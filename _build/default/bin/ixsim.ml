@@ -1,0 +1,122 @@
+(* ixsim: command-line driver for the IX reproduction.
+
+   Subcommands run individual experiments with adjustable parameters —
+   handy for exploring the parameter space beyond what bench/main.exe
+   regenerates. *)
+
+open Cmdliner
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let log_term =
+  Term.(const setup_logs $ Logs_cli.level ())
+
+let kind_conv =
+  let parse = function
+    | "ix" -> Ok Harness.Cluster.Ix
+    | "linux" -> Ok Harness.Cluster.Linux
+    | "mtcp" -> Ok Harness.Cluster.Mtcp
+    | s -> Error (`Msg (Printf.sprintf "unknown stack %S (ix|linux|mtcp)" s))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with
+      | Harness.Cluster.Ix -> "ix"
+      | Harness.Cluster.Linux -> "linux"
+      | Harness.Cluster.Mtcp -> "mtcp")
+  in
+  Arg.conv (parse, print)
+
+let kind_arg =
+  Arg.(value & opt kind_conv Harness.Cluster.Ix & info [ "s"; "stack" ] ~doc:"Server stack: ix, linux or mtcp.")
+
+let cores_arg = Arg.(value & opt int 8 & info [ "c"; "cores" ] ~doc:"Server cores.")
+let ports_arg = Arg.(value & opt int 1 & info [ "p"; "ports" ] ~doc:"Server NIC ports (1 or 4).")
+let size_arg = Arg.(value & opt int 64 & info [ "m"; "msg-size" ] ~doc:"Message size in bytes.")
+let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connection.")
+let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
+
+let echo_cmd =
+  let run () kind cores ports size n batch =
+    let p =
+      Harness.Experiments.run_echo ~kind ~ports ~cores ~msg_size:size
+        ~msgs_per_conn:n ~batch_bound:batch ()
+    in
+    Printf.printf "%s: %.2f M msgs/s, %.2f Gbps goodput, p99 %.1f us\n"
+      p.Harness.Experiments.label
+      (p.Harness.Experiments.msgs_per_sec /. 1e6)
+      p.Harness.Experiments.goodput_gbps p.Harness.Experiments.p99_us
+  in
+  Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
+    Term.(const run $ log_term $ kind_arg $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg)
+
+let memcached_cmd =
+  let workload_arg =
+    Arg.(value & opt string "USR" & info [ "w"; "workload" ] ~doc:"ETC or USR.")
+  in
+  let rps_arg =
+    Arg.(value & opt float 500_000. & info [ "r"; "rps" ] ~doc:"Target requests/second.")
+  in
+  let run () kind cores workload rps batch =
+    let profile = Workloads.Size_dist.by_name workload in
+    let r, kshare =
+      Harness.Experiments.run_memcached ~kind ~server_threads:cores
+        ~batch_bound:batch ~profile ~target_rps:rps ()
+    in
+    Printf.printf
+      "%s/%s @%.0fK target: achieved %.0fK RPS, avg %.1f us, p99 %.1f us, kernel %.0f%%\n"
+      workload
+      (match kind with
+      | Harness.Cluster.Ix -> "ix"
+      | Harness.Cluster.Linux -> "linux"
+      | Harness.Cluster.Mtcp -> "mtcp")
+      (rps /. 1e3)
+      (r.Workloads.Mutilate.achieved_rps /. 1e3)
+      r.Workloads.Mutilate.avg_us r.Workloads.Mutilate.p99_us (100. *. kshare)
+  in
+  Cmd.v (Cmd.info "memcached" ~doc:"Run one memcached load point (§5.5).")
+    Term.(const run $ log_term $ kind_arg $ cores_arg $ workload_arg $ rps_arg $ batch_arg)
+
+let netpipe_cmd =
+  let run () kind size =
+    let p = Harness.Experiments.netpipe_once ~kind ~size in
+    Printf.printf "%s %dB: one-way %.1f us, goodput %.2f Gbps\n"
+      p.Harness.Experiments.system p.Harness.Experiments.size
+      p.Harness.Experiments.one_way_us p.Harness.Experiments.gbps
+  in
+  Cmd.v (Cmd.info "netpipe" ~doc:"Run one NetPIPE ping-pong point (§5.2).")
+    Term.(const run $ log_term $ kind_arg $ size_arg)
+
+let ping_cmd =
+  let run () =
+    (* A 2-host IX cluster; thread 0 of the server pings the client. *)
+    let server = Harness.Cluster.server_spec ~threads:1 Harness.Cluster.Ix in
+    let cluster = Harness.Cluster.build ~client_hosts:1 ~client_threads:1
+        ~client_kind:Harness.Cluster.Ix ~server () in
+    let host = Option.get cluster.Harness.Cluster.server_ix in
+    let dp = Ix_core.Ix_host.dataplane host 0 in
+    Ix_core.Dataplane.set_ping_handler dp (fun ~src_ip reply ->
+        Printf.printf "reply from %s: icmp_seq=%d time=%.1f us\n"
+          (Format.asprintf "%a" Ixnet.Ip_addr.pp src_ip)
+          reply.Ixnet.Icmp_packet.seq
+          (Engine.Sim_time.to_float_us (Engine.Sim.now cluster.Harness.Cluster.sim)));
+    let target = List.hd cluster.Harness.Cluster.client_ips in
+    for seq = 1 to 3 do
+      Ix_core.Dataplane.ping dp ~dst:target ~ident:1 ~seq
+    done;
+    Engine.Sim.run ~until:(Engine.Sim_time.ms 10) cluster.Harness.Cluster.sim
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"ICMP echo across the simulated fabric (dataplane ICMP).")
+    Term.(const run $ log_term)
+
+let main =
+  Cmd.group
+    (Cmd.info "ixsim" ~version:"1.0"
+       ~doc:"Simulated reproduction of IX (OSDI '14): dataplane OS experiments.")
+    [ echo_cmd; memcached_cmd; netpipe_cmd; ping_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/elastic_scaling.ml: Apps Engine Harness Ix_core List Option Printf

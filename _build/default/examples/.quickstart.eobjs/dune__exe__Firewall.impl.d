@@ -1,0 +1,1 @@
+examples/firewall.ml: Apps Engine Harness Ix_core List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Engine Harness Ix_core Ixmem List Netapi Option Printf

@@ -1,0 +1,55 @@
+(* Elastic resource usage (§4.1/§4.4): IXCP monitors dataplane load and
+   grows/shrinks the set of elastic threads, remapping RSS flow groups
+   and migrating live flows when a core is revoked.  This example runs
+   an echo load against a 4-thread IX server, revokes cores down to one
+   mid-run, then grants them back — while traffic keeps flowing.
+
+     dune exec examples/elastic_scaling.exe *)
+
+module Cluster = Harness.Cluster
+module Control_plane = Ix_core.Control_plane
+
+let () =
+  let server = Cluster.server_spec ~threads:4 Cluster.Ix in
+  let cluster = Cluster.build ~client_hosts:2 ~client_threads:4 ~server () in
+  let host = Option.get cluster.Cluster.server_ix in
+  let cp = Control_plane.create host in
+  Apps.Echo.server cluster.Cluster.server ~port:7 ~msg_size:64 ~app_ns:200;
+  let stats = Apps.Echo.new_stats () in
+  List.iteri
+    (fun i client ->
+      for thread = 0 to 3 do
+        for _session = 1 to 8 do
+          Apps.Echo.client client ~now:(Cluster.now cluster) ~thread
+            ~server_ip:cluster.Cluster.server_ip ~port:7 ~msg_size:64
+            ~msgs_per_conn:512 ~stats ~stop_after:(Engine.Sim_time.ms 30);
+          ignore i
+        done
+      done)
+    cluster.Cluster.clients;
+
+  let show phase =
+    Printf.printf "%-28s threads=%d  msgs so far=%d\n" phase
+      (Control_plane.active_threads cp) stats.Apps.Echo.messages;
+    List.iter
+      (fun r ->
+        Printf.printf "    thread %d: %4d flows, mean batch %5.1f, kernel %4.1f%%\n"
+          r.Control_plane.thread r.Control_plane.flows r.Control_plane.mean_batch
+          (100. *. r.Control_plane.kernel_share))
+      (Control_plane.monitor cp)
+  in
+
+  Engine.Sim.run ~until:(Engine.Sim_time.ms 8) cluster.Cluster.sim;
+  show "[8ms] full allocation";
+  Printf.printf "congested? %b\n" (Control_plane.congested cp);
+
+  (* Revoke three cores: flows migrate to thread 0. *)
+  Control_plane.set_elastic_threads cp 1;
+  Engine.Sim.run ~until:(Engine.Sim_time.ms 16) cluster.Cluster.sim;
+  show "[16ms] revoked to 1 thread";
+
+  (* Grant them back. *)
+  Control_plane.set_elastic_threads cp 4;
+  Engine.Sim.run ~until:(Engine.Sim_time.ms 30) cluster.Cluster.sim;
+  show "[30ms] regrown to 4 threads";
+  Printf.printf "rebalances performed by IXCP: %d\n" (Control_plane.rebalances cp)

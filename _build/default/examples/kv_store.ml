@@ -1,0 +1,37 @@
+(* A memcached-style key-value deployment on the IX dataplane (§5.5 in
+   miniature): six client machines place an open-loop Poisson load on a
+   six-core IX server over 256 persistent connections; the harness
+   reports achieved throughput and tail latency, plus a comparison run
+   on the Linux baseline.
+
+     dune exec examples/kv_store.exe *)
+
+module Cluster = Harness.Cluster
+
+let run kind name threads =
+  let profile = Workloads.Size_dist.usr in
+  let server = Cluster.server_spec ~threads kind in
+  let cluster = Cluster.build ~server () in
+  let mc =
+    Apps.Memcached.server cluster.Cluster.server ~now:(Cluster.now cluster)
+      ~port:11211 ()
+  in
+  Workloads.Keygen.preload ~insert:(Apps.Memcached.insert mc) ~profile ~seed:3;
+  let result =
+    Workloads.Mutilate.run ~sim:cluster.Cluster.sim ~clients:cluster.Cluster.clients
+      ~server_ip:cluster.Cluster.server_ip ~port:11211 ~profile ~connections:256
+      ~target_rps:400_000. ~warmup_ms:5 ~duration_ms:20 ~seed:5 ()
+  in
+  Printf.printf
+    "%-6s %d cores: %.0fK RPS achieved (target 400K), avg %.1f us, p99 %.1f us\n"
+    name threads
+    (result.Workloads.Mutilate.achieved_rps /. 1e3)
+    result.Workloads.Mutilate.avg_us result.Workloads.Mutilate.p99_us;
+  Printf.printf "       store: %d items, %d GETs (%d hits), %d SETs\n"
+    (Apps.Memcached.items mc) (Apps.Memcached.gets mc) (Apps.Memcached.hits mc)
+    (Apps.Memcached.sets mc)
+
+let () =
+  print_endline "USR workload, 256 connections, 400K RPS offered:";
+  run Cluster.Ix "IX" 6;
+  run Cluster.Linux "Linux" 8

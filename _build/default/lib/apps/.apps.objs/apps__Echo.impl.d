@@ -1,0 +1,1 @@
+lib/apps/echo.ml: Buffer Engine Netapi String

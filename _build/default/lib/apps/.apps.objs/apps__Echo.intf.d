@@ -1,0 +1,1 @@
+lib/apps/echo.mli: Engine Ixnet Netapi

@@ -1,0 +1,1 @@
+lib/apps/ix_adapter.ml: Ix_core Netapi

@@ -1,0 +1,1 @@
+lib/apps/ix_adapter.mli: Ix_core Netapi

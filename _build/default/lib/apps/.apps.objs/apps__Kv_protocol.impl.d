@@ -1,0 +1,1 @@
+lib/apps/kv_protocol.ml: Bytes Int32 String

@@ -1,0 +1,1 @@
+lib/apps/kv_protocol.mli:

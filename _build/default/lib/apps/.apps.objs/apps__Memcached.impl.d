@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: Float Hashtbl Kv_protocol Netapi String

@@ -1,0 +1,1 @@
+lib/apps/memcached.mli: Engine Netapi

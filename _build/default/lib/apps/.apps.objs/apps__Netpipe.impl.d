@@ -1,0 +1,1 @@
+lib/apps/netpipe.ml: Netapi String

@@ -1,0 +1,1 @@
+lib/apps/netpipe.mli: Engine Ixnet Netapi

@@ -1,0 +1,81 @@
+module Net_api = Netapi.Net_api
+module Libix = Ix_core.Libix
+module Dataplane = Ix_core.Dataplane
+module Ix_host = Ix_core.Ix_host
+
+(* Execute [f] in the thread's user context: directly when already in
+   the user phase, otherwise via a bootstrap transition (a timed client
+   action arriving from "outside", e.g. an open-loop generator). *)
+let in_user_context lib f =
+  if Dataplane.in_app_context (Libix.dataplane lib) then f () else Libix.run lib f
+
+let conn_seq = ref 0
+
+let wrap_conn lib (c : Libix.conn) ~peer : Net_api.conn =
+  incr conn_seq;
+  {
+    Net_api.id = !conn_seq;
+    send =
+      (fun data ->
+        (* Entering user context guarantees the queued write is flushed
+           (coalesced into a sendv) even when the caller is a timer. *)
+        let ok = ref false in
+        in_user_context lib (fun () -> ok := Libix.send lib c data);
+        !ok);
+    close = (fun () -> in_user_context lib (fun () -> Libix.close lib c));
+    abort = (fun () -> in_user_context lib (fun () -> Libix.abort lib c));
+    peer;
+  }
+
+let wrap_handlers lib (h : Net_api.handlers) ~peer =
+  (* One Net_api.conn per libix conn, built lazily at first event. *)
+  let wrapped : (Libix.conn * Net_api.conn) option ref = ref None in
+  let net_conn c =
+    match !wrapped with
+    | Some (c', nc) when c' == c -> nc
+    | Some _ | None ->
+        let nc = wrap_conn lib c ~peer in
+        wrapped := Some (c, nc);
+        nc
+  in
+  {
+    Libix.on_connected = (fun c ~ok -> h.Net_api.on_connected (net_conn c) ~ok);
+    on_data = (fun c data -> h.Net_api.on_data (net_conn c) data);
+    on_sent = (fun c n -> h.Net_api.on_sent (net_conn c) n);
+    on_closed = (fun c _reason -> h.Net_api.on_closed (net_conn c));
+  }
+
+let stack_of_host host =
+  let threads = Ix_host.thread_count host in
+  let connect ~thread ~ip ~port handlers =
+    let lib = Ix_host.libix host thread in
+    in_user_context lib (fun () ->
+        Libix.connect lib ~ip ~port (wrap_handlers lib handlers ~peer:(ip, port)))
+  in
+  let listen ~port acceptor =
+    for thread = 0 to threads - 1 do
+      let lib = Ix_host.libix host thread in
+      in_user_context lib (fun () ->
+          Libix.listen lib ~port ~on_accept:(fun c ->
+              let nc = wrap_conn lib c ~peer:(Libix.peer c) in
+              let h = acceptor ~thread nc in
+              {
+                Libix.on_connected = (fun _ ~ok -> h.Net_api.on_connected nc ~ok);
+                on_data = (fun _ data -> h.Net_api.on_data nc data);
+                on_sent = (fun _ n -> h.Net_api.on_sent nc n);
+                on_closed = (fun _ _reason -> h.Net_api.on_closed nc);
+              }))
+    done
+  in
+  let run_app ~thread f = in_user_context (Ix_host.libix host thread) f in
+  let charge_app ~thread ns = Dataplane.charge_user (Ix_host.dataplane host thread) ns in
+  {
+    Net_api.name = "ix";
+    threads;
+    connect;
+    listen;
+    run_app;
+    charge_app;
+    kernel_share = (fun () -> Ix_host.kernel_share host);
+    conn_count = (fun () -> Ix_host.connections host);
+  }

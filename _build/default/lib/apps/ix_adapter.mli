@@ -1,0 +1,5 @@
+(** Adapter exposing an IX host ([Ix_host] + libix) through the
+    stack-portable {!Netapi.Net_api.stack} interface, so the shared
+    benchmark applications run on the dataplane unchanged. *)
+
+val stack_of_host : Ix_core.Ix_host.t -> Netapi.Net_api.stack

@@ -1,0 +1,58 @@
+module Net_api = Netapi.Net_api
+
+type result = {
+  msg_size : int;
+  iterations : int;
+  one_way_ns : float;
+  goodput_gbps : float;
+}
+
+let server stack ~port ~msg_size =
+  stack.Net_api.listen ~port (fun ~thread conn ->
+      ignore thread;
+      ignore conn;
+      let pending = ref 0 in
+      {
+        Net_api.null_handlers with
+        Net_api.on_data =
+          (fun conn data ->
+            pending := !pending + String.length data;
+            while !pending >= msg_size do
+              pending := !pending - msg_size;
+              ignore (conn.Net_api.send (String.make msg_size 'p'))
+            done);
+      })
+
+let client stack ~now ~server_ip ~port ~msg_size ~iterations ~on_done =
+  let message = String.make msg_size 'q' in
+  let received = ref 0 in
+  let remaining = ref (iterations + 1) (* first exchange is warmup *) in
+  let started_at = ref 0 in
+  let handlers =
+    {
+      Net_api.on_connected =
+        (fun conn ~ok -> if ok then ignore (conn.Net_api.send message));
+      on_data =
+        (fun conn data ->
+          received := !received + String.length data;
+          if !received >= msg_size then begin
+            received := !received - msg_size;
+            decr remaining;
+            if !remaining = iterations then started_at := now ();
+            if !remaining > 0 then ignore (conn.Net_api.send message)
+            else begin
+              let elapsed = now () - !started_at in
+              let one_way_ns =
+                float_of_int elapsed /. float_of_int (2 * iterations)
+              in
+              let goodput_gbps = float_of_int (8 * msg_size) /. one_way_ns in
+              conn.Net_api.close ();
+              on_done { msg_size; iterations; one_way_ns; goodput_gbps }
+            end
+          end);
+      on_sent = (fun _ _ -> ());
+      on_closed = (fun _ -> ());
+    }
+  in
+  stack.Net_api.run_app ~thread:0 (fun () ->
+      stack.Net_api.connect ~thread:0 ~ip:server_ip ~port handlers)

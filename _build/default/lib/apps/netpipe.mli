@@ -1,0 +1,27 @@
+(** NetPIPE (§5.2, [57]): a ping-pong between two machines exchanging a
+    fixed-size message, calibrating single-flow latency and bandwidth.
+    The same system runs on both ends.  Goodput is
+    [msg_bytes / one-way-time], exactly how Fig. 2 plots it. *)
+
+type result = {
+  msg_size : int;
+  iterations : int;
+  one_way_ns : float;  (** mean one-way latency *)
+  goodput_gbps : float;
+}
+
+val server : Netapi.Net_api.stack -> port:int -> msg_size:int -> unit
+(** Echo side: replies with [msg_size] bytes once the whole message has
+    been received. *)
+
+val client :
+  Netapi.Net_api.stack ->
+  now:(unit -> Engine.Sim_time.t) ->
+  server_ip:Ixnet.Ip_addr.t ->
+  port:int ->
+  msg_size:int ->
+  iterations:int ->
+  on_done:(result -> unit) ->
+  unit
+(** Run the ping-pong [iterations] times (after one warmup exchange)
+    and report the calibrated result. *)

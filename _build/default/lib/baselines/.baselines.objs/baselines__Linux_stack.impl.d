@@ -1,0 +1,1 @@
+lib/baselines/linux_stack.ml: Array Bytes Engine Hashtbl Ixhw Ixmem Ixnet Ixtcp Lazy List Netapi Option Printf String Timerwheel

@@ -1,0 +1,1 @@
+lib/baselines/linux_stack.mli: Engine Ixhw Ixnet Ixtcp Netapi

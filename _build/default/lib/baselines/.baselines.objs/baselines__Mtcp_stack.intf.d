@@ -1,0 +1,1 @@
+lib/baselines/mtcp_stack.mli: Engine Ixhw Ixnet Ixtcp Netapi

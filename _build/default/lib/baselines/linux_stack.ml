@@ -1,0 +1,585 @@
+module Sim = Engine.Sim
+module Mbuf = Ixmem.Mbuf
+module Mempool = Ixmem.Mempool
+module Iovec = Ixmem.Iovec
+module Wheel = Timerwheel.Timer_wheel
+module Nic = Ixhw.Nic
+module Cpu_core = Ixhw.Cpu_core
+module Seg = Ixnet.Tcp_segment
+module Tcb = Ixtcp.Tcb
+module Tcp_conn = Ixtcp.Tcp_conn
+module Tcp_endpoint = Ixtcp.Tcp_endpoint
+module Net_api = Netapi.Net_api
+
+type costs = {
+  irq_entry_ns : int;
+  softirq_pkt_ns : int;
+  wakeup_ns : int;
+  epoll_ns : int;
+  epoll_event_ns : int;
+  syscall_ns : int;
+  copy_ns_per_kb : int;
+  proto_tx_ns : int;
+  tx_pkt_ns : int;
+  itr_interval_ns : int;
+}
+
+let default_costs =
+  {
+    irq_entry_ns = 1_500;
+    softirq_pkt_ns = 2_300;
+    wakeup_ns = 7_000;
+    epoll_ns = 1_200;
+    epoll_event_ns = 300;
+    syscall_ns = 1_100;
+    copy_ns_per_kb = 250;
+    proto_tx_ns = 1_000;
+    tx_pkt_ns = 700;
+    itr_interval_ns = 20_000;
+  }
+
+(* Linux TCP parameters: 200 ms minimum RTO, 40 ms delayed ACK floor,
+   4 MB buffers (autotuning endpoint), buffered POSIX send. *)
+let linux_tcp_config =
+  {
+    Ixtcp.Tcb.default_config with
+    Ixtcp.Tcb.rcv_buf = 4 * 1024 * 1024;
+    snd_buf = 4 * 1024 * 1024;
+    wscale = 9;
+    min_rto_ns = 200_000_000;
+    delack_ns = 40_000_000;
+    buffered_send = true;
+  }
+
+type socket = {
+  tcb : Tcb.t;
+  conn : Net_api.conn;
+  mutable handlers : Net_api.handlers;
+  mutable rx_chunks : string list; (* reversed *)
+  mutable rx_bytes : int;
+  mutable backlog : Iovec.t list; (* bytes send() took beyond the TCP budget *)
+  mutable in_ready : bool;
+  mutable sent_pending : int; (* acked bytes not yet reported to the app *)
+  mutable closed_pending : bool;
+}
+
+type core_ctx = {
+  sim : Sim.t;
+  idx : int;
+  cache : Ixhw.Cache_model.t option;
+  conn_count : int ref;
+  cpu : Cpu_core.t;
+  wheel : Wheel.t;
+  pool : Mempool.t;
+  mutable ep : Tcp_endpoint.t option;
+  queues : (Nic.t * Nic.rx_queue) list;
+  tx_nic : Nic.t;
+  costs : costs;
+  arp : (Ixnet.Ip_addr.t, Ixnet.Mac_addr.t) Hashtbl.t;
+  (* Host-static ARP: the kernel resolves neighbours once; modelling
+     the Linux neighbour cache in detail adds nothing here. *)
+  arp_parked : (Ixnet.Ip_addr.t, Mbuf.t list) Hashtbl.t;
+  mutable ready : socket list; (* reversed: sockets with pending app work *)
+  mutable app_blocked : bool;
+  mutable app_scheduled : bool;
+  mutable irq_scheduled : bool;
+  mutable last_irq : int;
+  mutable timer_wakeup : Sim.handle option;
+  sockets : (int, socket) Hashtbl.t; (* by tcb handle *)
+  mutable jobs : (unit -> unit) list; (* deferred app closures *)
+  mutable conn_seq : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Outbound path                                                       *)
+
+let ethernet_frame ctx ~remote_ip mbuf =
+  Ixnet.Ipv4_packet.prepend mbuf
+    {
+      Ixnet.Ipv4_packet.src = Tcp_endpoint.local_ip (Option.get ctx.ep);
+      dst = remote_ip;
+      protocol = Ixnet.Ipv4_packet.Tcp;
+      ttl = 64;
+      ecn = 0;
+      payload_len = mbuf.Mbuf.len;
+    };
+  match Hashtbl.find_opt ctx.arp remote_ip with
+  | Some mac ->
+      Ixnet.Ethernet.prepend mbuf
+        { Ixnet.Ethernet.dst = mac; src = Nic.mac ctx.tx_nic; ethertype = Ixnet.Ethernet.Ipv4 };
+      Some mbuf
+  | None ->
+      (* Kernel ARP: park the datagram, broadcast a request. *)
+      let parked = Option.value ~default:[] (Hashtbl.find_opt ctx.arp_parked remote_ip) in
+      Hashtbl.replace ctx.arp_parked remote_ip (mbuf :: parked);
+      (match Mempool.alloc ctx.pool with
+      | None -> ()
+      | Some req ->
+          Ixnet.Arp_packet.write req
+            {
+              Ixnet.Arp_packet.op = Ixnet.Arp_packet.Request;
+              sender_mac = Nic.mac ctx.tx_nic;
+              sender_ip = Tcp_endpoint.local_ip (Option.get ctx.ep);
+              target_mac = Ixnet.Mac_addr.zero;
+              target_ip = remote_ip;
+            };
+          Ixnet.Ethernet.prepend req
+            {
+              Ixnet.Ethernet.dst = Ixnet.Mac_addr.broadcast;
+              src = Nic.mac ctx.tx_nic;
+              ethertype = Ixnet.Ethernet.Arp;
+            };
+          Nic.transmit_at ctx.tx_nic req ~earliest:(Cpu_core.free_at ctx.cpu)
+            ~on_complete:(fun () -> Mbuf.decref req));
+      None
+
+let output_raw ctx ~remote_ip mbuf =
+  (* TCP output runs in kernel context wherever it was triggered
+     (syscall, softirq ACK, timer); charge and ship at core-free time. *)
+  let now = Sim.now ctx.sim in
+  ignore (Cpu_core.charge ctx.cpu ~now Cpu_core.Kernel ctx.costs.proto_tx_ns);
+  match ethernet_frame ctx ~remote_ip mbuf with
+  | None -> ()
+  | Some frame ->
+      ignore (Cpu_core.charge ctx.cpu ~now Cpu_core.Kernel ctx.costs.tx_pkt_ns);
+      Nic.transmit_at ctx.tx_nic frame ~earliest:(Cpu_core.free_at ctx.cpu)
+        ~on_complete:(fun () -> Mbuf.decref frame)
+
+(* ------------------------------------------------------------------ *)
+(* Application thread                                                  *)
+
+let mark_ready ctx socket =
+  if not socket.in_ready then begin
+    socket.in_ready <- true;
+    ctx.ready <- socket :: ctx.ready
+  end
+
+let rec schedule_app ctx =
+  if not ctx.app_scheduled then begin
+    ctx.app_scheduled <- true;
+    (* Wakeup: context switch into the blocked epoll thread. *)
+    let now = Sim.now ctx.sim in
+    let resume =
+      if ctx.app_blocked then
+        Cpu_core.charge ctx.cpu ~now Cpu_core.Kernel ctx.costs.wakeup_ns
+      else max now (Cpu_core.free_at ctx.cpu)
+    in
+    ignore (Sim.at ctx.sim resume (fun () -> app_run ctx))
+  end
+
+and app_run ctx =
+  ctx.app_scheduled <- false;
+  ctx.app_blocked <- false;
+  let now () = Sim.now ctx.sim in
+  let charge_k ns = ignore (Cpu_core.charge ctx.cpu ~now:(now ()) Cpu_core.Kernel ns) in
+  let charge_u ns = ignore (Cpu_core.charge ctx.cpu ~now:(now ()) Cpu_core.User ns) in
+  (* epoll_wait returns a batch of ready descriptors. *)
+  charge_k ctx.costs.epoll_ns;
+  let rec drain () =
+    let ready = List.rev ctx.ready in
+    ctx.ready <- [];
+    let jobs = List.rev ctx.jobs in
+    ctx.jobs <- [];
+    List.iter (fun job -> job ()) jobs;
+    List.iter
+      (fun socket ->
+        socket.in_ready <- false;
+        charge_k ctx.costs.epoll_event_ns;
+        (* read(2): copy the receive queue out to user space. *)
+        if socket.rx_bytes > 0 then begin
+          let data = String.concat "" (List.rev socket.rx_chunks) in
+          socket.rx_chunks <- [];
+          socket.rx_bytes <- 0;
+          charge_k ctx.costs.syscall_ns;
+          charge_k (ctx.costs.copy_ns_per_kb * String.length data / 1024);
+          Tcp_conn.consume socket.tcb (String.length data);
+          charge_u 0;
+          socket.handlers.Net_api.on_data socket.conn data
+        end;
+        if socket.sent_pending > 0 then begin
+          let n = socket.sent_pending in
+          socket.sent_pending <- 0;
+          (* Flush backlog the TCP budget previously refused. *)
+          if socket.backlog <> [] then begin
+            let iovs = socket.backlog in
+            socket.backlog <- [];
+            let accepted = Tcp_conn.send socket.tcb iovs in
+            let rec drop k = function
+              | [] -> []
+              | (iov : Iovec.t) :: rest ->
+                  if iov.Iovec.len <= k then drop (k - iov.Iovec.len) rest
+                  else Iovec.sub iov k (iov.Iovec.len - k) :: rest
+            in
+            socket.backlog <- drop accepted iovs
+          end;
+          socket.handlers.Net_api.on_sent socket.conn n
+        end;
+        if socket.closed_pending then begin
+          socket.closed_pending <- false;
+          socket.handlers.Net_api.on_closed socket.conn
+        end)
+      ready;
+    if ctx.ready <> [] || ctx.jobs <> [] then drain ()
+  in
+  drain ();
+  ctx.app_blocked <- true
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt / softirq path                                            *)
+
+let rec do_irq ctx =
+  ctx.irq_scheduled <- false;
+  ctx.last_irq <- Sim.now ctx.sim;
+  let charge ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns) in
+  charge ctx.costs.irq_entry_ns;
+  (* NAPI poll: drain the rings (64-packet budget per queue per pass).
+     GRO: consecutive in-order segments of the same flow aggregate, so
+     follow-up packets of a bulk stream cost a fraction of the first
+     (this is what lets 2014-era Linux stream at several Gbit/s). *)
+  let tuple_of mbuf =
+    if mbuf.Mbuf.len >= 38 then
+      Some (Bytes.sub_string mbuf.Mbuf.buf (mbuf.Mbuf.off + 26) 12)
+    else None
+  in
+  let rec napi () =
+    let processed = ref 0 in
+    List.iter
+      (fun (_, q) ->
+        let burst = Nic.rx_burst q ~max:64 in
+        Nic.replenish q (List.length burst);
+        let prev = ref None in
+        List.iter
+          (fun mbuf ->
+            incr processed;
+            let tuple = tuple_of mbuf in
+            if Option.is_some tuple && tuple = !prev then
+              charge (ctx.costs.softirq_pkt_ns / 3)
+            else charge ctx.costs.softirq_pkt_ns;
+            prev := tuple;
+            (match ctx.cache with
+            | Some cm ->
+                charge
+                  (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(ctx.conn_count)
+                  / 2)
+            | None -> ());
+            process_frame ctx mbuf)
+          burst)
+      ctx.queues;
+    if !processed > 0 then napi ()
+  in
+  napi ();
+  (* Kernel timers piggyback on the softirq pass. *)
+  Wheel.advance ctx.wheel ~now:(Sim.now ctx.sim);
+  arm_timer_wakeup ctx;
+  if ctx.ready <> [] then schedule_app ctx
+
+and process_frame ctx mbuf =
+  (match Ixnet.Ethernet.decode mbuf with
+  | Error _ -> ()
+  | Ok eth -> (
+      match eth.Ixnet.Ethernet.ethertype with
+      | Ixnet.Ethernet.Arp -> process_arp ctx mbuf
+      | Ixnet.Ethernet.Ipv4 -> (
+          match Ixnet.Ipv4_packet.decode mbuf with
+          | Error _ -> ()
+          | Ok ip -> (
+              match ip.Ixnet.Ipv4_packet.protocol with
+              | Ixnet.Ipv4_packet.Tcp -> (
+                  match
+                    Seg.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src
+                      ~dst:ip.Ixnet.Ipv4_packet.dst
+                  with
+                  | Error _ -> ()
+                  | Ok seg ->
+                      Tcp_endpoint.rx_segment
+                        ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
+                        (Option.get ctx.ep) ~src_ip:ip.Ixnet.Ipv4_packet.src seg
+                        mbuf)
+              | Ixnet.Ipv4_packet.Udp | Ixnet.Ipv4_packet.Icmp
+              | Ixnet.Ipv4_packet.Other _ ->
+                  ()))
+      | Ixnet.Ethernet.Other _ -> ()));
+  Mbuf.decref mbuf
+
+and process_arp ctx mbuf =
+  match Ixnet.Arp_packet.decode mbuf with
+  | Error _ -> ()
+  | Ok arp ->
+      let sender_ip = arp.Ixnet.Arp_packet.sender_ip in
+      let sender_mac = arp.Ixnet.Arp_packet.sender_mac in
+      Hashtbl.replace ctx.arp sender_ip sender_mac;
+      (match Hashtbl.find_opt ctx.arp_parked sender_ip with
+      | Some parked ->
+          Hashtbl.remove ctx.arp_parked sender_ip;
+          List.iter
+            (fun datagram ->
+              Ixnet.Ethernet.prepend datagram
+                {
+                  Ixnet.Ethernet.dst = sender_mac;
+                  src = Nic.mac ctx.tx_nic;
+                  ethertype = Ixnet.Ethernet.Ipv4;
+                };
+              Nic.transmit_at ctx.tx_nic datagram ~earliest:(Cpu_core.free_at ctx.cpu)
+                ~on_complete:(fun () -> Mbuf.decref datagram))
+            (List.rev parked)
+      | None -> ());
+      if arp.Ixnet.Arp_packet.op = Ixnet.Arp_packet.Request
+         && arp.Ixnet.Arp_packet.target_ip = Tcp_endpoint.local_ip (Option.get ctx.ep)
+      then begin
+        match Mempool.alloc ctx.pool with
+        | None -> ()
+        | Some reply ->
+            Ixnet.Arp_packet.write reply
+              {
+                Ixnet.Arp_packet.op = Ixnet.Arp_packet.Reply;
+                sender_mac = Nic.mac ctx.tx_nic;
+                sender_ip = Tcp_endpoint.local_ip (Option.get ctx.ep);
+                target_mac = sender_mac;
+                target_ip = sender_ip;
+              };
+            Ixnet.Ethernet.prepend reply
+              {
+                Ixnet.Ethernet.dst = sender_mac;
+                src = Nic.mac ctx.tx_nic;
+                ethertype = Ixnet.Ethernet.Arp;
+              };
+            Nic.transmit_at ctx.tx_nic reply ~earliest:(Cpu_core.free_at ctx.cpu)
+              ~on_complete:(fun () -> Mbuf.decref reply)
+      end
+
+and arm_timer_wakeup ctx =
+  (match ctx.timer_wakeup with
+  | Some handle ->
+      Sim.cancel handle;
+      ctx.timer_wakeup <- None
+  | None -> ());
+  match Wheel.next_expiry ctx.wheel with
+  | None -> ()
+  | Some deadline ->
+      let at = max deadline (Sim.now ctx.sim) in
+      ctx.timer_wakeup <-
+        Some
+          (Sim.at ctx.sim at (fun () ->
+               Wheel.advance ctx.wheel ~now:(Sim.now ctx.sim);
+               arm_timer_wakeup ctx;
+               if ctx.ready <> [] then schedule_app ctx))
+
+(* Interrupt moderation: fire now if the line has been quiet, else
+   defer to the adaptive interval boundary. *)
+let on_nic_notify ctx =
+  if not ctx.irq_scheduled then begin
+    ctx.irq_scheduled <- true;
+    let now = Sim.now ctx.sim in
+    let at = max now (ctx.last_irq + ctx.costs.itr_interval_ns) in
+    ignore (Sim.at ctx.sim at (fun () -> do_irq ctx))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Socket layer                                                        *)
+
+let make_socket ctx tcb =
+  ctx.conn_seq <- ctx.conn_seq + 1;
+  let charge_k ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns) in
+  let rec socket =
+    lazy
+      (let conn =
+         {
+           Net_api.id = (ctx.idx * 1_000_000) + ctx.conn_seq;
+           send =
+             (fun data ->
+               let s = Lazy.force socket in
+               (* write(2): syscall + copy into the socket buffer. *)
+               charge_k ctx.costs.syscall_ns;
+               charge_k (ctx.costs.copy_ns_per_kb * String.length data / 1024);
+               let iov = Iovec.of_string data in
+               let accepted = Tcp_conn.send s.tcb [ iov ] in
+               if accepted < iov.Iovec.len then
+                 s.backlog <-
+                   s.backlog @ [ Iovec.sub iov accepted (iov.Iovec.len - accepted) ];
+               true)
+           ;
+           close =
+             (fun () ->
+               charge_k ctx.costs.syscall_ns;
+               Tcp_conn.close (Lazy.force socket).tcb);
+           abort =
+             (fun () ->
+               charge_k ctx.costs.syscall_ns;
+               Tcp_conn.abort (Lazy.force socket).tcb);
+           peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
+         }
+       in
+       {
+         tcb;
+         conn;
+         handlers = Net_api.null_handlers;
+         rx_chunks = [];
+         rx_bytes = 0;
+         backlog = [];
+         in_ready = false;
+         sent_pending = 0;
+         closed_pending = false;
+       })
+  in
+  let s = Lazy.force socket in
+  Hashtbl.replace ctx.sockets (Tcb.handle tcb) s;
+  incr ctx.conn_count;
+  let cbs = tcb.Tcb.callbacks in
+  cbs.Tcb.on_recv <-
+    (fun mbuf off len ->
+      (* skb chain appended to the socket receive queue (no user copy
+         yet — that happens at read(2) time). *)
+      s.rx_chunks <- Bytes.sub_string mbuf.Mbuf.buf off len :: s.rx_chunks;
+      s.rx_bytes <- s.rx_bytes + len;
+      Mbuf.decref mbuf;
+      mark_ready ctx s;
+      schedule_app ctx);
+  cbs.Tcb.on_sent <-
+    (fun n ->
+      s.sent_pending <- s.sent_pending + n;
+      mark_ready ctx s;
+      schedule_app ctx);
+  cbs.Tcb.on_closed <-
+    (fun _reason ->
+      s.closed_pending <- true;
+      decr ctx.conn_count;
+      Hashtbl.remove ctx.sockets (Tcb.handle tcb);
+      mark_ready ctx s;
+      schedule_app ctx);
+  s
+
+(* ------------------------------------------------------------------ *)
+
+let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
+    ?(config = linux_tcp_config) ?cache ~seed () =
+  let conn_count_ref = ref 0 in
+  let arp = Hashtbl.create 64 in
+  let arp_parked = Hashtbl.create 16 in
+  let rng = Engine.Rng.create ~seed:(seed + (host_id * 104729)) in
+  let contexts =
+    Array.init threads (fun i ->
+        let queues = Array.to_list (Array.map (fun nic -> (nic, Nic.queue nic i)) nics) in
+        {
+          sim;
+          idx = i;
+          cache;
+          conn_count = conn_count_ref;
+          cpu = Cpu_core.create ~id:((host_id * 100) + i);
+          wheel = Wheel.create ~now:(Sim.now sim) ();
+          pool = Mempool.create ~capacity:65536 ~name:(Printf.sprintf "linux%d" i) ();
+          ep = None;
+          queues;
+          tx_nic = nics.(i mod Array.length nics);
+          costs;
+          arp;
+          arp_parked;
+          ready = [];
+          app_blocked = true;
+          app_scheduled = false;
+          irq_scheduled = false;
+          last_irq = min_int / 2;
+          timer_wakeup = None;
+          sockets = Hashtbl.create 1024;
+          jobs = [];
+          conn_seq = 0;
+        })
+  in
+  Array.iter
+    (fun ctx ->
+      let ep =
+        Tcp_endpoint.create
+          ~now:(fun () -> Sim.now sim)
+          ~wheel:ctx.wheel
+          ~alloc:(fun () -> Mempool.alloc ctx.pool)
+          ~output_raw:(fun ~remote_ip mbuf -> output_raw ctx ~remote_ip mbuf)
+          ~rng:(Engine.Rng.split rng) ~local_ip:ip ~config ()
+      in
+      ctx.ep <- Some ep;
+      List.iter (fun (_, q) -> Nic.set_notify q (fun () -> on_nic_notify ctx)) ctx.queues)
+    contexts;
+  Array.iter (fun nic -> Nic.set_indirection nic (fun group -> group mod threads)) nics;
+  let acceptors : (int, thread:int -> Net_api.conn -> Net_api.handlers) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let listen ~port acceptor =
+    Hashtbl.replace acceptors port acceptor;
+    Array.iter
+      (fun ctx ->
+        Tcp_endpoint.listen (Option.get ctx.ep) ~port ~on_accept:(fun tcb ->
+            let s = make_socket ctx tcb in
+            ignore
+              (Cpu_core.charge ctx.cpu ~now:(Sim.now sim) Cpu_core.Kernel
+                 costs.syscall_ns (* accept(2) *));
+            s.handlers <- acceptor ~thread:ctx.idx s.conn))
+      contexts
+  in
+  let connect ~thread ~ip:dst_ip ~port handlers =
+    let ctx = contexts.(thread) in
+    let job () =
+      let port_suitable p =
+        (* RFS-perfect tuning: the reply lands on this core's queue. *)
+        List.for_all
+          (fun (nic, q) ->
+            Nic.rss_queue_of_tuple nic ~src_ip:dst_ip ~dst_ip:ip ~src_port:port
+              ~dst_port:p
+            = Nic.queue_index q)
+          ctx.queues
+      in
+      ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now sim) Cpu_core.Kernel costs.syscall_ns);
+      match
+        Tcp_endpoint.connect (Option.get ctx.ep) ~remote_ip:dst_ip ~remote_port:port
+          ~port_suitable ~cookie:0 ()
+      with
+      | None ->
+          (* Ephemeral ports exhausted: surface as a failed connect. *)
+          let dead_conn =
+            {
+              Net_api.id = -1;
+              send = (fun _ -> false);
+              close = ignore;
+              abort = ignore;
+              peer = (dst_ip, port);
+            }
+          in
+          handlers.Net_api.on_connected dead_conn ~ok:false
+      | Some tcb ->
+          let s = make_socket ctx tcb in
+          s.handlers <- handlers;
+          tcb.Tcb.callbacks.Tcb.on_connected <-
+            (fun ok ->
+              ctx.jobs <- (fun () -> s.handlers.Net_api.on_connected s.conn ~ok) :: ctx.jobs;
+              mark_ready ctx s;
+              schedule_app ctx)
+    in
+    ctx.jobs <- job :: ctx.jobs;
+    schedule_app ctx
+  in
+  let run_app ~thread f =
+    let ctx = contexts.(thread) in
+    ctx.jobs <- f :: ctx.jobs;
+    schedule_app ctx
+  in
+  let charge_app ~thread ns =
+    let ctx = contexts.(thread) in
+    ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now sim) Cpu_core.User ns)
+  in
+  let kernel_share () =
+    let k = Array.fold_left (fun acc c -> acc + Cpu_core.kernel_ns c.cpu) 0 contexts in
+    let u = Array.fold_left (fun acc c -> acc + Cpu_core.user_ns c.cpu) 0 contexts in
+    if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u)
+  in
+  let conn_count () =
+    Array.fold_left
+      (fun acc c -> acc + Tcp_endpoint.connection_count (Option.get c.ep))
+      0 contexts
+  in
+  {
+    Net_api.name = "linux";
+    threads;
+    connect;
+    listen;
+    run_app;
+    charge_app;
+    kernel_share;
+    conn_count;
+  }

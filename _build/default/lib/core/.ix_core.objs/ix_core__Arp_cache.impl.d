@@ -1,0 +1,1 @@
+lib/core/arp_cache.ml: Hashtbl Int Ixmem Ixnet List Map Option Rcu

@@ -1,0 +1,1 @@
+lib/core/arp_cache.mli: Ixmem Ixnet Rcu

@@ -1,0 +1,1 @@
+lib/core/control_plane.ml: Array Batch Dataplane Ix_host Ixhw List Logs Protection Rcu

@@ -1,0 +1,1 @@
+lib/core/control_plane.mli: Ix_host

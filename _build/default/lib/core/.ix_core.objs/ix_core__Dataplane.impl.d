@@ -1,0 +1,1 @@
+lib/core/dataplane.ml: Arp_cache Batch Engine Hashtbl Ix_api Ixhw Ixmem Ixnet Ixtcp List Logs Option Policy Printf Protection Rcu Timerwheel

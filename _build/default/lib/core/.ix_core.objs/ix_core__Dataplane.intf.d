@@ -1,0 +1,1 @@
+lib/core/dataplane.mli: Arp_cache Batch Engine Ix_api Ixhw Ixnet Ixtcp Policy Protection Rcu

@@ -1,0 +1,1 @@
+lib/core/ix_api.ml: Format Ixmem Ixnet Ixtcp

@@ -1,0 +1,1 @@
+lib/core/ix_api.mli: Format Ixmem Ixnet Ixtcp

@@ -1,0 +1,1 @@
+lib/core/ix_host.ml: Arp_cache Array Dataplane Engine Ixhw Ixnet Ixtcp Libix Rcu

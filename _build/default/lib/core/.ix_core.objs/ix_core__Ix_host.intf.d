@@ -1,0 +1,1 @@
+lib/core/ix_host.mli: Arp_cache Dataplane Engine Ixhw Ixnet Ixtcp Libix Rcu

@@ -1,0 +1,1 @@
+lib/core/libix.ml: Bytes Dataplane Hashtbl Ix_api Ixmem Ixnet Ixtcp List

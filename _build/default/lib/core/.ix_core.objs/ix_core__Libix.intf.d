@@ -1,0 +1,1 @@
+lib/core/libix.mli: Dataplane Ixmem Ixnet Ixtcp

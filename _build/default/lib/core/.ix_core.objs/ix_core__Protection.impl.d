@@ -1,0 +1,1 @@
+lib/core/protection.ml: Printf

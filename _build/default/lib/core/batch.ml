@@ -1,0 +1,20 @@
+type t = { mutable limit : int; mutable cycle_count : int; mutable packet_count : int }
+
+let create ?(bound = 64) () = { limit = bound; cycle_count = 0; packet_count = 0 }
+let bound t = t.limit
+let set_bound t b = t.limit <- max 1 b
+
+let next_batch t ~pending =
+  let n = min pending t.limit in
+  if n > 0 then begin
+    t.cycle_count <- t.cycle_count + 1;
+    t.packet_count <- t.packet_count + n
+  end;
+  n
+
+let cycles t = t.cycle_count
+let packets t = t.packet_count
+
+let mean_batch t =
+  if t.cycle_count = 0 then 0.
+  else float_of_int t.packet_count /. float_of_int t.cycle_count

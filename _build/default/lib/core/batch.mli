@@ -1,0 +1,30 @@
+(** Adaptive, bounded batching (§3).
+
+    IX batches at every stage of the network stack, under two rules:
+    (i) batching never *waits* — it only occurs in the presence of
+    congestion, i.e. a cycle takes whatever has already accumulated;
+    (ii) the batch size is bounded by B so the live set stays within
+    cache capacity and the transmit queue is never starved.  Fig. 6
+    sweeps B; 16–64 maximizes throughput.
+
+    This module is the policy: it decides how many packets the next
+    run-to-completion cycle admits and records batch-size statistics. *)
+
+type t
+
+val create : ?bound:int -> unit -> t
+(** [bound] defaults to 64, the value used in the paper's evaluation. *)
+
+val bound : t -> int
+val set_bound : t -> int -> unit
+
+val next_batch : t -> pending:int -> int
+(** How many packets the next cycle should take: [min pending bound],
+    never waiting for more.  Records the decision. *)
+
+val cycles : t -> int
+val packets : t -> int
+
+val mean_batch : t -> float
+(** Average admitted batch size (a congestion signal the control plane
+    can read). *)

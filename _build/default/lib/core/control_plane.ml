@@ -1,0 +1,80 @@
+module Nic = Ixhw.Nic
+
+let log = Logs.Src.create "ix.ctlplane" ~doc:"IXCP control plane"
+
+module Log = (val Logs.src_log log)
+
+type report = {
+  thread : int;
+  flows : int;
+  mean_batch : float;
+  rx_queue_depth : int;
+  kernel_share : float;
+  nonresponsive : int;
+}
+
+type t = { h : Ix_host.t; mutable active : int; mutable rebalance_count : int }
+
+let create h = { h; active = Ix_host.thread_count h; rebalance_count = 0 }
+let host t = t.h
+let active_threads t = t.active
+
+let set_elastic_threads t n =
+  let total = Ix_host.thread_count t.h in
+  if n < 1 || n > total then invalid_arg "Control_plane.set_elastic_threads";
+  if n <> t.active then begin
+    (* Remap RSS flow groups onto the surviving queues... *)
+    Array.iter
+      (fun nic -> Nic.set_indirection nic (fun group -> group mod n))
+      (Ix_host.nics t.h);
+    (* ...and migrate flows off revoked elastic threads. *)
+    if n < t.active then
+      for i = n to t.active - 1 do
+        let src = Ix_host.dataplane t.h i in
+        let dst = Ix_host.dataplane t.h (i mod n) in
+        Dataplane.migrate_flows_to src dst
+      done;
+    Rcu.set_threads (Ix_host.rcu t.h) (max n t.active);
+    t.active <- n;
+    t.rebalance_count <- t.rebalance_count + 1;
+    Log.info (fun m -> m "elastic threads set to %d" n)
+  end
+
+let monitor t =
+  let reports = ref [] in
+  for i = Ix_host.thread_count t.h - 1 downto 0 do
+    let dp = Ix_host.dataplane t.h i in
+    let core = Dataplane.core dp in
+    let rx_depth =
+      Array.fold_left
+        (fun acc nic -> acc + Nic.rx_pending (Nic.queue nic i))
+        0 (Ix_host.nics t.h)
+    in
+    reports :=
+      {
+        thread = i;
+        flows = Dataplane.flows dp;
+        mean_batch = Batch.mean_batch (Dataplane.batcher dp);
+        rx_queue_depth = rx_depth;
+        kernel_share = Ixhw.Cpu_core.kernel_share core;
+        nonresponsive = Dataplane.nonresponsive_marks dp;
+      }
+      :: !reports
+  done;
+  !reports
+
+let congested t =
+  let reports = monitor t in
+  List.exists
+    (fun r ->
+      let bound =
+        Batch.bound (Dataplane.batcher (Ix_host.dataplane t.h r.thread))
+      in
+      r.mean_batch >= 0.75 *. float_of_int bound)
+    reports
+
+let posix_passthrough t ~thread =
+  let dp = Ix_host.dataplane t.h thread in
+  Protection.control_plane_call (Dataplane.protection dp)
+
+let rebalances t = t.rebalance_count

@@ -1,0 +1,50 @@
+(** IXCP, the control plane (§4.1).
+
+    The control plane (the full Linux kernel plus the IXCP user-level
+    program in the real system) owns coarse-grained resource
+    allocation: entire cores are dedicated to dataplanes, NIC hardware
+    queues are assigned to elastic threads, and RSS flow groups are
+    remapped when the allocation changes.  It also monitors dataplane
+    health (queue depths, batch sizes as a congestion signal,
+    non-responsive marks from the user-mode timeout) and intermediates
+    POSIX system calls for background threads. *)
+
+type t
+
+type report = {
+  thread : int;
+  flows : int;
+  mean_batch : float;
+  rx_queue_depth : int;
+  kernel_share : float;
+  nonresponsive : int;
+}
+
+val create : Ix_host.t -> t
+
+val host : t -> Ix_host.t
+
+val active_threads : t -> int
+
+val set_elastic_threads : t -> int -> unit
+(** Elastically grow or shrink the dataplane to [n] threads (1 ≤ n ≤
+    thread_count): RSS flow groups are remapped onto the first [n]
+    queues and flows owned by revoked threads are migrated to the
+    surviving ones (§4.4).  Uses the Exokernel-style revocation
+    protocol: the dataplane adjusts its elastic thread count. *)
+
+val monitor : t -> report list
+(** Poll per-thread health, as IXCP would. *)
+
+val congested : t -> bool
+(** True when mean batch sizes approach the bound — the signal that the
+    dataplane would benefit from more resources (§3: "monitor queue
+    depths ... signal the control plane to allocate additional
+    resources"). *)
+
+val posix_passthrough : t -> thread:int -> int
+(** A background thread's POSIX call, validated by the dataplane and
+    forwarded to the Linux kernel; returns the charged cost in ns
+    (two VM transitions). *)
+
+val rebalances : t -> int

@@ -1,0 +1,727 @@
+module Sim = Engine.Sim
+module Mbuf = Ixmem.Mbuf
+module Mempool = Ixmem.Mempool
+module Iovec = Ixmem.Iovec
+module Wheel = Timerwheel.Timer_wheel
+module Nic = Ixhw.Nic
+module Cpu_core = Ixhw.Cpu_core
+module Seg = Ixnet.Tcp_segment
+module Tcb = Ixtcp.Tcb
+module Tcp_conn = Ixtcp.Tcp_conn
+module Tcp_endpoint = Ixtcp.Tcp_endpoint
+
+let log = Logs.Src.create "ix.dataplane" ~doc:"IX dataplane"
+
+module Log = (val Logs.src_log log)
+
+type costs = {
+  poll_ns : int;
+  rx_pkt_ns : int;
+  proto_rx_ns : int;
+  proto_tx_ns : int;
+  tx_pkt_ns : int;
+  event_ns : int;
+  syscall_ns : int;
+  timer_ns : int;
+  copy_ns_per_kb : int;
+}
+
+let default_costs =
+  {
+    poll_ns = 60;
+    rx_pkt_ns = 45;
+    proto_rx_ns = 140;
+    proto_tx_ns = 110;
+    tx_pkt_ns = 35;
+    event_ns = 15;
+    syscall_ns = 25;
+    timer_ns = 20;
+    copy_ns_per_kb = 120;
+  }
+
+(* Events are staged against the TCB and materialized (cookie read) when
+   the user phase begins, so an [accept] processed in between is
+   reflected. *)
+type staged_event =
+  | St_knock of Tcb.t
+  | St_connected of Tcb.t * bool
+  | St_recv of Tcb.t * Mbuf.t * int * int
+  | St_sent of Tcb.t * int
+  | St_dead of Tcb.t * Tcb.close_reason
+  | St_udp of int * Ixnet.Ip_addr.t * int * Mbuf.t * int * int
+
+type state = Idle | Scheduled | Running
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  cpu : Cpu_core.t;
+  wheel : Wheel.t;
+  pool : Mempool.t;
+  queues : (Nic.t * Nic.rx_queue) list;
+  tx_nic : Nic.t;
+  arp : Arp_cache.t;
+  rcu : Rcu.manager;
+  costs : costs;
+  batcher : Batch.t;
+  prot : Protection.t;
+  pol : Policy.t;
+  pcie : Ixhw.Pcie_model.t;
+  cache : Ixhw.Cache_model.t option;
+  conn_count : int ref;
+  zero_copy : bool;
+  polling : bool;
+  interrupt_latency_ns : int;
+  local_ip : Ixnet.Ip_addr.t;
+  mutable ep : Tcp_endpoint.t option; (* set right after creation *)
+  mutable app : Ix_api.event list -> unit;
+  mutable staged_events : staged_event list; (* reversed *)
+  mutable unaccepted : (int, staged_event list ref) Hashtbl.t;
+  mutable staged_syscalls : (Ix_api.syscall * (int -> unit)) list; (* reversed *)
+  mutable tx_staged : Mbuf.t list; (* reversed *)
+  mutable kernel_ns_acc : int;
+  mutable user_ns_acc : int;
+  mutable state : state;
+  mutable in_user_phase : bool;
+  mutable idle_wakeup : Sim.handle option;
+  handles : (int, Tcb.t) Hashtbl.t;
+  udp_binds : (int, unit) Hashtbl.t;
+  mutable cycle_count : int;
+  mutable event_count : int;
+  mutable syscall_count : int;
+  mutable rx_count : int;
+  mutable tx_count : int;
+  user_timeout_ns : int;
+  mutable nonresponsive_marks : int;
+  mutable ping_handler : src_ip:Ixnet.Ip_addr.t -> Ixnet.Icmp_packet.t -> unit;
+  mutable background : (int * (unit -> unit)) option; (* slice_ns, work *)
+  mutable background_slices : int;
+}
+
+let thread_id t = t.id
+let core t = t.cpu
+let endpoint t = Option.get t.ep
+let batcher t = t.batcher
+let protection t = t.prot
+let policy t = t.pol
+let now t = Sim.now t.sim
+let charge_kernel t ns = t.kernel_ns_acc <- t.kernel_ns_acc + ns
+let charge_user t ns = t.user_ns_acc <- t.user_ns_acc + ns
+
+(* ------------------------------------------------------------------ *)
+(* Outbound path: TCP segment -> IP -> ARP -> Ethernet -> staged TX    *)
+
+let stage_tx t mbuf =
+  t.tx_staged <- mbuf :: t.tx_staged;
+  t.tx_count <- t.tx_count + 1
+
+let ethernet_to t ~dst_mac mbuf =
+  Ixnet.Ethernet.prepend mbuf
+    { Ixnet.Ethernet.dst = dst_mac; src = Nic.mac t.tx_nic; ethertype = Ixnet.Ethernet.Ipv4 }
+
+let send_arp t ~op ~target_ip ~target_mac =
+  match Mempool.alloc t.pool with
+  | None -> ()
+  | Some mbuf ->
+      Ixnet.Arp_packet.write mbuf
+        {
+          Ixnet.Arp_packet.op;
+          sender_mac = Nic.mac t.tx_nic;
+          sender_ip = t.local_ip;
+          target_mac;
+          target_ip;
+        };
+      Ixnet.Ethernet.prepend mbuf
+        {
+          Ixnet.Ethernet.dst =
+            (if op = Ixnet.Arp_packet.Request then Ixnet.Mac_addr.broadcast else target_mac);
+          src = Nic.mac t.tx_nic;
+          ethertype = Ixnet.Ethernet.Arp;
+        };
+      stage_tx t mbuf
+
+(* [mbuf] holds an IP datagram for [remote_ip]; resolve and frame it. *)
+let resolve_and_frame t ~remote_ip mbuf =
+  match Arp_cache.lookup t.arp remote_ip with
+  | Some mac ->
+      ethernet_to t ~dst_mac:mac mbuf;
+      stage_tx t mbuf
+  | None ->
+      Arp_cache.park t.arp remote_ip mbuf;
+      send_arp t ~op:Ixnet.Arp_packet.Request ~target_ip:remote_ip
+        ~target_mac:Ixnet.Mac_addr.zero
+
+let output_raw t ~remote_ip mbuf =
+  charge_kernel t t.costs.proto_tx_ns;
+  if not t.zero_copy then
+    charge_kernel t (t.costs.copy_ns_per_kb * mbuf.Mbuf.len / 1024);
+  Ixnet.Ipv4_packet.prepend mbuf
+    {
+      Ixnet.Ipv4_packet.src = t.local_ip;
+      dst = remote_ip;
+      protocol = Ixnet.Ipv4_packet.Tcp;
+      ttl = 64;
+      ecn = 0;
+      payload_len = mbuf.Mbuf.len;
+    };
+  resolve_and_frame t ~remote_ip mbuf
+
+(* ------------------------------------------------------------------ *)
+(* Event staging                                                       *)
+
+let stage_event t tcb ev =
+  match Hashtbl.find_opt t.unaccepted (Tcb.handle tcb) with
+  | Some pending -> pending := ev :: !pending
+  | None -> t.staged_events <- ev :: t.staged_events
+
+let install_callbacks t tcb =
+  let cbs = tcb.Tcb.callbacks in
+  cbs.Tcb.on_connected <- (fun ok -> stage_event t tcb (St_connected (tcb, ok)));
+  cbs.Tcb.on_recv <- (fun mbuf off len -> stage_event t tcb (St_recv (tcb, mbuf, off, len)));
+  cbs.Tcb.on_sent <- (fun n -> stage_event t tcb (St_sent (tcb, n)));
+  cbs.Tcb.on_closed <- (fun reason -> stage_event t tcb (St_dead (tcb, reason)))
+
+let materialize ev =
+  match ev with
+  | St_knock tcb ->
+      Ix_api.Ev_knock
+        {
+          handle = Tcb.handle tcb;
+          src_ip = tcb.Tcb.remote_ip;
+          src_port = tcb.Tcb.remote_port;
+          dst_port = tcb.Tcb.local_port;
+        }
+  | St_connected (tcb, ok) ->
+      Ix_api.Ev_connected { cookie = Tcb.cookie tcb; handle = Tcb.handle tcb; ok }
+  | St_recv (tcb, mbuf, off, len) ->
+      Ix_api.Ev_recv { cookie = Tcb.cookie tcb; mbuf; off; len }
+  | St_sent (tcb, bytes) ->
+      Ix_api.Ev_sent
+        { cookie = Tcb.cookie tcb; bytes_sent = bytes; window_size = Tcb.rcv_window tcb }
+  | St_dead (tcb, reason) -> Ix_api.Ev_dead { cookie = Tcb.cookie tcb; reason }
+  | St_udp (dst_port, src_ip, src_port, mbuf, off, len) ->
+      Ix_api.Ev_udp_recv { dst_port; src_ip; src_port; mbuf; off; len }
+
+(* ------------------------------------------------------------------ *)
+(* Syscall execution (step 4)                                          *)
+
+let lookup_handle t handle = Hashtbl.find_opt t.handles handle
+
+let rss_suitable t ~remote_ip ~remote_port =
+  (* §4.4: probe ephemeral ports until the *reply* direction RSS-hashes
+     to one of this thread's queues. *)
+  match t.queues with
+  | [] -> fun _ -> true
+  | queues ->
+      fun port ->
+        List.for_all
+          (fun (nic, q) ->
+            Nic.rss_queue_of_tuple nic ~src_ip:remote_ip ~dst_ip:t.local_ip
+              ~src_port:remote_port ~dst_port:port
+            = Nic.queue_index q)
+          queues
+
+let exec_syscall t (sc, on_result) =
+  t.syscall_count <- t.syscall_count + 1;
+  charge_kernel t t.costs.syscall_ns;
+  match sc with
+  | Ix_api.Sys_connect { cookie; dst_ip; dst_port } -> (
+      let port_suitable = rss_suitable t ~remote_ip:dst_ip ~remote_port:dst_port in
+      match
+        Tcp_endpoint.connect (endpoint t) ~remote_ip:dst_ip ~remote_port:dst_port
+          ~port_suitable ~cookie ()
+      with
+      | None -> on_result (-1)
+      | Some tcb ->
+          install_callbacks t tcb;
+          Hashtbl.replace t.handles (Tcb.handle tcb) tcb;
+          incr t.conn_count;
+          on_result (Tcb.handle tcb))
+  | Ix_api.Sys_accept { handle; cookie } -> (
+      match lookup_handle t handle with
+      | None -> on_result (-1)
+      | Some tcb ->
+          tcb.Tcb.cookie <- cookie;
+          (match Hashtbl.find_opt t.unaccepted handle with
+          | Some pending ->
+              Hashtbl.remove t.unaccepted handle;
+              (* Flush events buffered while unaccepted, oldest first. *)
+              List.iter
+                (fun ev -> t.staged_events <- ev :: t.staged_events)
+                (List.rev !pending)
+          | None -> ());
+          on_result 0)
+  | Ix_api.Sys_sendv { handle; iovs } -> (
+      match lookup_handle t handle with
+      | None -> on_result (-1)
+      | Some tcb ->
+          let accepted = Tcp_conn.send tcb iovs in
+          if not t.zero_copy then
+            charge_kernel t (t.costs.copy_ns_per_kb * accepted / 1024);
+          on_result accepted)
+  | Ix_api.Sys_recv_done { handle; bytes_acked } -> (
+      match lookup_handle t handle with
+      | None -> on_result (-1)
+      | Some tcb ->
+          Tcp_conn.consume tcb bytes_acked;
+          on_result 0)
+  | Ix_api.Sys_close { handle } -> (
+      match lookup_handle t handle with
+      | None -> on_result (-1)
+      | Some tcb ->
+          if Hashtbl.mem t.unaccepted handle then begin
+            (* Rejecting a knock. *)
+            Hashtbl.remove t.unaccepted handle;
+            Tcp_conn.abort tcb
+          end
+          else Tcp_conn.close tcb;
+          on_result 0)
+  | Ix_api.Sys_abort { handle } -> (
+      match lookup_handle t handle with
+      | None -> on_result (-1)
+      | Some tcb ->
+          Tcp_conn.abort tcb;
+          on_result 0)
+  | Ix_api.Sys_udp_sendv { src_port; dst_ip; dst_port; iovs } -> (
+      match Mempool.alloc t.pool with
+      | None -> on_result (-1)
+      | Some mbuf ->
+          let total = Iovec.total iovs in
+          List.iter
+            (fun (iov : Iovec.t) ->
+              Mbuf.append_bytes mbuf iov.Iovec.buf iov.Iovec.off iov.Iovec.len)
+            iovs;
+          Ixnet.Udp_packet.prepend mbuf ~src:t.local_ip ~dst:dst_ip ~src_port
+            ~dst_port;
+          charge_kernel t t.costs.proto_tx_ns;
+          Ixnet.Ipv4_packet.prepend mbuf
+            {
+              Ixnet.Ipv4_packet.src = t.local_ip;
+              dst = dst_ip;
+              protocol = Ixnet.Ipv4_packet.Udp;
+              ttl = 64;
+              ecn = 0;
+              payload_len = mbuf.Mbuf.len;
+            };
+          resolve_and_frame t ~remote_ip:dst_ip mbuf;
+          on_result total)
+
+(* ------------------------------------------------------------------ *)
+(* Inbound packet processing (step 2)                                  *)
+
+let process_arp t mbuf =
+  match Ixnet.Arp_packet.decode mbuf with
+  | Error _ -> ()
+  | Ok arp ->
+      Arp_cache.learn t.arp arp.Ixnet.Arp_packet.sender_ip arp.Ixnet.Arp_packet.sender_mac;
+      (* Drain anything parked on this resolution. *)
+      List.iter
+        (fun parked ->
+          ethernet_to t ~dst_mac:arp.Ixnet.Arp_packet.sender_mac parked;
+          stage_tx t parked)
+        (Arp_cache.take_parked t.arp arp.Ixnet.Arp_packet.sender_ip);
+      if arp.Ixnet.Arp_packet.op = Ixnet.Arp_packet.Request
+         && arp.Ixnet.Arp_packet.target_ip = t.local_ip
+      then
+        send_arp t ~op:Ixnet.Arp_packet.Reply ~target_ip:arp.Ixnet.Arp_packet.sender_ip
+          ~target_mac:arp.Ixnet.Arp_packet.sender_mac
+
+(* ICMP echo: answered in the dataplane kernel (the paper implemented
+   RFC-compliant ICMP alongside UDP and ARP). *)
+let process_icmp t ~src_ip mbuf =
+  match Ixnet.Icmp_packet.decode mbuf with
+  | Error _ -> ()
+  | Ok icmp when icmp.Ixnet.Icmp_packet.kind = Ixnet.Icmp_packet.Echo_request -> (
+      match Mempool.alloc t.pool with
+      | None -> ()
+      | Some reply ->
+          Ixnet.Icmp_packet.write reply
+            { icmp with Ixnet.Icmp_packet.kind = Ixnet.Icmp_packet.Echo_reply };
+          Ixnet.Ipv4_packet.prepend reply
+            {
+              Ixnet.Ipv4_packet.src = t.local_ip;
+              dst = src_ip;
+              protocol = Ixnet.Ipv4_packet.Icmp;
+              ttl = 64;
+              ecn = 0;
+              payload_len = reply.Mbuf.len;
+            };
+          resolve_and_frame t ~remote_ip:src_ip reply)
+  | Ok reply -> t.ping_handler ~src_ip reply
+
+let process_ipv4 t mbuf =
+  match Ixnet.Ipv4_packet.decode mbuf with
+  | Error _ -> ()
+  | Ok ip -> (
+      if ip.Ixnet.Ipv4_packet.dst = t.local_ip then begin
+        match ip.Ixnet.Ipv4_packet.protocol with
+        | Ixnet.Ipv4_packet.Tcp -> (
+            match
+              Seg.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src ~dst:ip.Ixnet.Ipv4_packet.dst
+            with
+            | Error _ -> ()
+            | Ok seg ->
+                if
+                  Policy.admit t.pol ~now:(now t) ~src_ip:ip.Ixnet.Ipv4_packet.src
+                    ~dst_port:seg.Seg.dst_port ~len:mbuf.Mbuf.len
+                then
+                  Tcp_endpoint.rx_segment
+                    ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
+                    (endpoint t) ~src_ip:ip.Ixnet.Ipv4_packet.src seg mbuf)
+        | Ixnet.Ipv4_packet.Icmp -> process_icmp t ~src_ip:ip.Ixnet.Ipv4_packet.src mbuf
+        | Ixnet.Ipv4_packet.Udp -> (
+            match
+              Ixnet.Udp_packet.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src
+                ~dst:ip.Ixnet.Ipv4_packet.dst
+            with
+            | Error _ -> ()
+            | Ok udp ->
+                if
+                  Hashtbl.mem t.udp_binds udp.Ixnet.Udp_packet.dst_port
+                  && Policy.admit t.pol ~now:(now t)
+                       ~src_ip:ip.Ixnet.Ipv4_packet.src
+                       ~dst_port:udp.Ixnet.Udp_packet.dst_port ~len:mbuf.Mbuf.len
+                then begin
+                  Mbuf.incref mbuf;
+                  t.staged_events <-
+                    St_udp
+                      ( udp.Ixnet.Udp_packet.dst_port,
+                        ip.Ixnet.Ipv4_packet.src,
+                        udp.Ixnet.Udp_packet.src_port,
+                        mbuf,
+                        udp.Ixnet.Udp_packet.payload_off,
+                        udp.Ixnet.Udp_packet.payload_len )
+                    :: t.staged_events
+                end)
+        | Ixnet.Ipv4_packet.Other _ -> ()
+      end)
+
+let process_frame t mbuf =
+  charge_kernel t t.costs.proto_rx_ns;
+  (match t.cache with
+  | Some cm ->
+      (* The model's figure is per message (~2 frames at the server). *)
+      charge_kernel t
+        (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(t.conn_count) / 2)
+  | None -> ());
+  (match Ixnet.Ethernet.decode mbuf with
+  | Error _ -> ()
+  | Ok eth -> (
+      match eth.Ixnet.Ethernet.ethertype with
+      | Ixnet.Ethernet.Arp -> process_arp t mbuf
+      | Ixnet.Ethernet.Ipv4 -> process_ipv4 t mbuf
+      | Ixnet.Ethernet.Other _ -> ()));
+  Mbuf.decref mbuf
+
+(* ------------------------------------------------------------------ *)
+(* The run-to-completion cycle (Fig. 1b)                               *)
+
+let rx_pending t =
+  List.fold_left (fun acc (_, q) -> acc + Nic.rx_pending q) 0 t.queues
+
+let has_work t =
+  rx_pending t > 0 || t.staged_events <> [] || t.staged_syscalls <> []
+
+let rec run_cycle t =
+  t.state <- Running;
+  (match t.idle_wakeup with
+  | Some handle ->
+      Sim.cancel handle;
+      t.idle_wakeup <- None
+  | None -> ());
+  t.cycle_count <- t.cycle_count + 1;
+  t.kernel_ns_acc <- 0;
+  t.user_ns_acc <- 0;
+  let start = max (now t) (Cpu_core.free_at t.cpu) in
+  (* --- (1) poll RX rings, take a bounded batch, replenish --- *)
+  charge_kernel t t.costs.poll_ns;
+  let budget = Batch.next_batch t.batcher ~pending:(rx_pending t) in
+  let batch =
+    let rec gather acc remaining = function
+      | [] -> acc
+      | (_, q) :: rest ->
+          if remaining = 0 then acc
+          else begin
+            let taken = Nic.rx_burst q ~max:remaining in
+            Nic.replenish q (List.length taken);
+            charge_kernel t
+              (Ixhw.Pcie_model.replenish_cost_ns t.pcie ~descriptors:(List.length taken));
+            gather (acc @ taken) (remaining - List.length taken) rest
+          end
+    in
+    gather [] budget t.queues
+  in
+  let n_rx = List.length batch in
+  t.rx_count <- t.rx_count + n_rx;
+  charge_kernel t (t.costs.rx_pkt_ns * n_rx);
+  (* --- (2) protocol processing, generating event conditions --- *)
+  List.iter (process_frame t) batch;
+  (* --- (3) user phase: deliver event conditions to the app --- *)
+  let staged = List.rev t.staged_events in
+  t.staged_events <- [];
+  if staged <> [] then begin
+    charge_kernel t (Protection.enter_user t.prot);
+    t.in_user_phase <- true;
+    let events = List.map materialize staged in
+    t.event_count <- t.event_count + List.length events;
+    charge_user t (t.costs.event_ns * List.length events);
+    t.app events;
+    t.in_user_phase <- false;
+    charge_kernel t (Protection.enter_kernel t.prot);
+    (* §4.5: a timeout interrupt detects elastic threads that spend
+       excessive time in user mode; we mark them non-responsive for the
+       control plane. *)
+    if t.user_ns_acc > t.user_timeout_ns then
+      t.nonresponsive_marks <- t.nonresponsive_marks + 1
+  end;
+  (* --- (4) batched system calls --- *)
+  let syscalls = List.rev t.staged_syscalls in
+  t.staged_syscalls <- [];
+  List.iter (exec_syscall t) syscalls;
+  (* --- (5) kernel timers --- *)
+  charge_kernel t t.costs.timer_ns;
+  Wheel.advance t.wheel ~now:(now t);
+  (* --- (6) transmit --- *)
+  let frames = List.rev t.tx_staged in
+  t.tx_staged <- [];
+  charge_kernel t (t.costs.tx_pkt_ns * List.length frames);
+  if frames <> [] then
+    charge_kernel t (Ixhw.Pcie_model.doorbell_cost_ns t.pcie);
+  (* Commit costs to the core; effects land at cycle end. *)
+  let t_mid = Cpu_core.charge t.cpu ~now:start Cpu_core.Kernel t.kernel_ns_acc in
+  let t_end = Cpu_core.charge t.cpu ~now:t_mid Cpu_core.User t.user_ns_acc in
+  List.iter
+    (fun mbuf ->
+      Nic.transmit_at t.tx_nic mbuf ~earliest:t_end ~on_complete:(fun () ->
+          Mbuf.decref mbuf))
+    frames;
+  (* RCU quiescent point. *)
+  Rcu.quiescent t.rcu ~thread:t.id;
+  (* Loop or go idle. *)
+  if has_work t then begin
+    t.state <- Scheduled;
+    ignore (Sim.at t.sim t_end (fun () -> run_cycle t))
+  end
+  else begin
+    t.state <- Idle;
+    arm_idle_wakeup t t_end;
+    maybe_background t t_end
+  end
+
+(* §4.1: background threads timeshare a hardware thread with the
+   elastic work.  A slice runs only while the dataplane is otherwise
+   idle; packets arriving during a slice are picked up at the next
+   slice boundary — the (bounded) latency cost of timesharing. *)
+and maybe_background t earliest =
+  match t.background with
+  | None -> ()
+  | Some _ ->
+      if t.state = Idle then begin
+        t.state <- Scheduled;
+        (match t.idle_wakeup with
+        | Some handle ->
+            Sim.cancel handle;
+            t.idle_wakeup <- None
+        | None -> ());
+        let at = max (now t) earliest in
+        ignore
+          (Sim.at t.sim at (fun () ->
+               t.state <- Idle;
+               if has_work t || rx_pending t > 0 then kick t
+               else begin
+                 (* Re-read: the task may have been cleared meanwhile. *)
+                 match t.background with
+                 | None -> arm_idle_wakeup t (now t)
+                 | Some (slice_ns, work) ->
+                     t.background_slices <- t.background_slices + 1;
+                     work ();
+                     let finished =
+                       Cpu_core.charge t.cpu ~now:(now t) Cpu_core.User slice_ns
+                     in
+                     Wheel.advance t.wheel ~now:(now t);
+                     if has_work t then kick t
+                     else begin
+                       arm_idle_wakeup t finished;
+                       maybe_background t finished
+                     end
+               end))
+      end
+
+and arm_idle_wakeup t earliest =
+  match Wheel.next_expiry t.wheel with
+  | None -> ()
+  | Some deadline ->
+      let at = max deadline earliest in
+      t.idle_wakeup <- Some (Sim.at t.sim at (fun () -> kick t))
+
+and kick t =
+  match t.state with
+  | Running | Scheduled -> ()
+  | Idle ->
+      t.state <- Scheduled;
+      (match t.idle_wakeup with
+      | Some handle ->
+          Sim.cancel handle;
+          t.idle_wakeup <- None
+      | None -> ());
+      let wakeup_cost = if t.polling then 0 else t.interrupt_latency_ns in
+      let at = max (now t) (Cpu_core.free_at t.cpu) + wakeup_cost in
+      ignore (Sim.at t.sim at (fun () -> run_cycle t))
+
+(* ------------------------------------------------------------------ *)
+
+let set_app t f = t.app <- f
+
+let udp_bind t ~port = Hashtbl.replace t.udp_binds port ()
+let udp_unbind t ~port = Hashtbl.remove t.udp_binds port
+
+let listen t ~port =
+  Tcp_endpoint.listen (endpoint t) ~port ~on_accept:(fun tcb ->
+      install_callbacks t tcb;
+      Hashtbl.replace t.handles (Tcb.handle tcb) tcb;
+      Hashtbl.replace t.unaccepted (Tcb.handle tcb) (ref []);
+      t.staged_events <- St_knock tcb :: t.staged_events;
+      incr t.conn_count)
+
+let syscall t sc ~on_result =
+  Protection.require t.prot Protection.User;
+  t.staged_syscalls <- (sc, on_result) :: t.staged_syscalls
+
+let flows t = Tcp_endpoint.connection_count (endpoint t)
+
+let migrate_flows_to t dst =
+  let moving = ref [] in
+  Tcp_endpoint.iter_connections (endpoint t) (fun tcb -> moving := tcb :: !moving);
+  List.iter
+    (fun tcb ->
+      Tcp_endpoint.evict (endpoint t) tcb;
+      Hashtbl.remove t.handles (Tcb.handle tcb);
+      Tcp_conn.rebind tcb (Tcp_endpoint.env (endpoint dst));
+      install_callbacks dst tcb;
+      Hashtbl.replace dst.handles (Tcb.handle tcb) tcb;
+      Tcp_endpoint.adopt (endpoint dst) tcb)
+    !moving;
+  Log.debug (fun m -> m "thread %d migrated %d flows to thread %d" t.id (List.length !moving) dst.id)
+
+let set_ping_handler t f = t.ping_handler <- f
+
+let set_background_work t ~slice_ns work =
+  t.background <- Some (slice_ns, work);
+  maybe_background t (now t)
+
+let clear_background_work t = t.background <- None
+let background_slices t = t.background_slices
+
+let ping t ~dst ~ident ~seq =
+  match Mempool.alloc t.pool with
+  | None -> ()
+  | Some mbuf ->
+      Ixnet.Icmp_packet.write mbuf
+        { Ixnet.Icmp_packet.kind = Ixnet.Icmp_packet.Echo_request; ident; seq; data = "ix-ping" };
+      Ixnet.Ipv4_packet.prepend mbuf
+        {
+          Ixnet.Ipv4_packet.src = t.local_ip;
+          dst;
+          protocol = Ixnet.Ipv4_packet.Icmp;
+          ttl = 64;
+          ecn = 0;
+          payload_len = mbuf.Mbuf.len;
+        };
+      resolve_and_frame t ~remote_ip:dst mbuf;
+      kick t
+
+let in_app_context t = t.in_user_phase
+let cycles_run t = t.cycle_count
+let events_delivered t = t.event_count
+let syscalls_processed t = t.syscall_count
+let nonresponsive_marks t = t.nonresponsive_marks
+
+let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
+    ?(costs = default_costs) ?(batch_bound = 64) ?(config = Tcb.default_config)
+    ?(zero_copy = true) ?(polling = true) ?cache ?(conn_count = ref 0)
+    ?(pcie = Ixhw.Pcie_model.create ()) ~rng () =
+  let pool = Mempool.create ~capacity:65536 ~name:(Printf.sprintf "dp%d" thread_id) () in
+  let wheel = Wheel.create ~now:(Sim.now sim) () in
+  let t =
+    {
+      sim;
+      id = thread_id;
+      cpu = core;
+      wheel;
+      pool;
+      queues;
+      tx_nic;
+      arp;
+      rcu;
+      costs;
+      batcher = Batch.create ~bound:batch_bound ();
+      prot = Protection.create ();
+      pol = Policy.create ();
+      pcie;
+      cache;
+      conn_count;
+      zero_copy;
+      polling;
+      interrupt_latency_ns = 3_000;
+      local_ip;
+      ep = None;
+      app = ignore;
+      staged_events = [];
+      unaccepted = Hashtbl.create 64;
+      staged_syscalls = [];
+      tx_staged = [];
+      kernel_ns_acc = 0;
+      user_ns_acc = 0;
+      state = Idle;
+      in_user_phase = false;
+      idle_wakeup = None;
+      handles = Hashtbl.create 1024;
+      udp_binds = Hashtbl.create 8;
+      cycle_count = 0;
+      event_count = 0;
+      syscall_count = 0;
+      rx_count = 0;
+      tx_count = 0;
+      user_timeout_ns = 10_000_000;
+      nonresponsive_marks = 0;
+      ping_handler = (fun ~src_ip:_ _ -> ());
+      background = None;
+      background_slices = 0;
+    }
+  in
+  let ep =
+    Tcp_endpoint.create
+      ~now:(fun () -> Sim.now sim)
+      ~wheel
+      ~alloc:(fun () -> Mempool.alloc pool)
+      ~output_raw:(fun ~remote_ip mbuf -> output_raw t ~remote_ip mbuf)
+      ~rng ~local_ip ~config ()
+  in
+  t.ep <- Some ep;
+  (* Chain teardown: the endpoint unhooks flow tables; we additionally
+     drop the handle and count the connection out. *)
+  let env = Tcp_endpoint.env ep in
+  let endpoint_teardown = env.Tcb.on_teardown in
+  env.Tcb.on_teardown <-
+    (fun tcb ->
+      endpoint_teardown tcb;
+      if Hashtbl.mem t.handles (Tcb.handle tcb) then begin
+        Hashtbl.remove t.handles (Tcb.handle tcb);
+        Hashtbl.remove t.unaccepted (Tcb.handle tcb);
+        decr t.conn_count
+      end);
+  (* Wire NIC queue notifications to kick the thread. *)
+  List.iter (fun (_, q) -> Nic.set_notify q (fun () -> kick t)) t.queues;
+  t
+
+(* Userspace bootstrap: applications start life in ring 3 and issue
+   their first batched syscalls (listen-side accepts excepted) before
+   any packet has arrived.  This enters user mode, runs the setup
+   closure, returns to the kernel and kicks the first cycle. *)
+let bootstrap t f =
+  ignore (Protection.enter_user t.prot);
+  t.in_user_phase <- true;
+  f ();
+  t.in_user_phase <- false;
+  ignore (Protection.enter_kernel t.prot);
+  kick t

@@ -1,0 +1,66 @@
+type handle = int
+
+type syscall =
+  | Sys_connect of { cookie : int; dst_ip : Ixnet.Ip_addr.t; dst_port : int }
+  | Sys_accept of { handle : handle; cookie : int }
+  | Sys_sendv of { handle : handle; iovs : Ixmem.Iovec.t list }
+  | Sys_recv_done of { handle : handle; bytes_acked : int }
+  | Sys_close of { handle : handle }
+  | Sys_abort of { handle : handle }
+  | Sys_udp_sendv of {
+      src_port : int;
+      dst_ip : Ixnet.Ip_addr.t;
+      dst_port : int;
+      iovs : Ixmem.Iovec.t list;
+    }
+
+type event =
+  | Ev_knock of {
+      handle : handle;
+      src_ip : Ixnet.Ip_addr.t;
+      src_port : int;
+      dst_port : int;  (** listening port, so libix can find the acceptor *)
+    }
+  | Ev_connected of { cookie : int; handle : handle; ok : bool }
+  | Ev_recv of { cookie : int; mbuf : Ixmem.Mbuf.t; off : int; len : int }
+  | Ev_sent of { cookie : int; bytes_sent : int; window_size : int }
+  | Ev_dead of { cookie : int; reason : Ixtcp.Tcb.close_reason }
+  | Ev_udp_recv of {
+      dst_port : int;
+      src_ip : Ixnet.Ip_addr.t;
+      src_port : int;
+      mbuf : Ixmem.Mbuf.t;
+      off : int;
+      len : int;
+    }
+
+type syscall_result = int
+
+let pp_syscall fmt = function
+  | Sys_connect { cookie; dst_ip; dst_port } ->
+      Format.fprintf fmt "connect(cookie=%d, %a:%d)" cookie Ixnet.Ip_addr.pp dst_ip
+        dst_port
+  | Sys_accept { handle; cookie } -> Format.fprintf fmt "accept(h=%d, cookie=%d)" handle cookie
+  | Sys_sendv { handle; iovs } ->
+      Format.fprintf fmt "sendv(h=%d, %dB)" handle (Ixmem.Iovec.total iovs)
+  | Sys_recv_done { handle; bytes_acked } ->
+      Format.fprintf fmt "recv_done(h=%d, %dB)" handle bytes_acked
+  | Sys_close { handle } -> Format.fprintf fmt "close(h=%d)" handle
+  | Sys_abort { handle } -> Format.fprintf fmt "abort(h=%d)" handle
+  | Sys_udp_sendv { src_port; dst_ip; dst_port; iovs } ->
+      Format.fprintf fmt "udp_sendv(:%d -> %a:%d, %dB)" src_port Ixnet.Ip_addr.pp
+        dst_ip dst_port (Ixmem.Iovec.total iovs)
+
+let pp_event fmt = function
+  | Ev_knock { handle; src_ip; src_port; dst_port } ->
+      Format.fprintf fmt "knock(h=%d, %a:%d->:%d)" handle Ixnet.Ip_addr.pp src_ip
+        src_port dst_port
+  | Ev_connected { cookie; handle; ok } ->
+      Format.fprintf fmt "connected(cookie=%d, h=%d, %b)" cookie handle ok
+  | Ev_recv { cookie; len; _ } -> Format.fprintf fmt "recv(cookie=%d, %dB)" cookie len
+  | Ev_sent { cookie; bytes_sent; window_size } ->
+      Format.fprintf fmt "sent(cookie=%d, %dB, win=%d)" cookie bytes_sent window_size
+  | Ev_dead { cookie; _ } -> Format.fprintf fmt "dead(cookie=%d)" cookie
+  | Ev_udp_recv { dst_port; src_ip; src_port; len; _ } ->
+      Format.fprintf fmt "udp_recv(:%d <- %a:%d, %dB)" dst_port Ixnet.Ip_addr.pp
+        src_ip src_port len

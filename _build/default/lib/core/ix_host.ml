@@ -1,0 +1,98 @@
+module Nic = Ixhw.Nic
+module Cpu_core = Ixhw.Cpu_core
+
+type options = {
+  costs : Dataplane.costs;
+  batch_bound : int;
+  config : Ixtcp.Tcb.config;
+  zero_copy : bool;
+  polling : bool;
+  cache : Ixhw.Cache_model.t option;
+  pcie : Ixhw.Pcie_model.t option;
+}
+
+(* IX's TCP profile: aggressive retransmission timers enabled by the
+   16 us timing wheel (§4.2, [64]), moderate fixed buffers because the
+   zero-copy API keeps queueing in application hands. *)
+let ix_tcp_config =
+  {
+    Ixtcp.Tcb.default_config with
+    Ixtcp.Tcb.rcv_buf = 256 * 1024;
+    snd_buf = 256 * 1024;
+    min_rto_ns = 1_000_000 (* 1 ms *);
+    delack_ns = 100_000 (* 100 us *);
+  }
+
+let default_options =
+  {
+    costs = Dataplane.default_costs;
+    batch_bound = 64;
+    config = ix_tcp_config;
+    zero_copy = true;
+    polling = true;
+    cache = None;
+    pcie = None;
+  }
+
+type t = {
+  sim : Engine.Sim.t;
+  host_ip : Ixnet.Ip_addr.t;
+  nic_array : Ixhw.Nic.t array;
+  threads : Dataplane.t array;
+  libs : Libix.t array;
+  arp_cache : Arp_cache.t;
+  rcu_mgr : Rcu.manager;
+  conn_count : int ref;
+}
+
+let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options) ~seed () =
+  assert (threads > 0);
+  Array.iter (fun nic -> assert (Nic.queue_count nic >= threads)) nics;
+  let rcu_mgr = Rcu.create_manager ~threads in
+  let arp_cache = Arp_cache.create rcu_mgr in
+  let conn_count = ref 0 in
+  let rng = Engine.Rng.create ~seed:(seed + (host_id * 7919)) in
+  let make_thread i =
+    let queues = Array.to_list (Array.map (fun nic -> (nic, Nic.queue nic i)) nics) in
+    let tx_nic = nics.(i mod Array.length nics) in
+    Dataplane.create ~sim ~thread_id:i
+      ~core:(Cpu_core.create ~id:((host_id * 100) + i))
+      ~local_ip:ip ~queues ~tx_nic ~arp:arp_cache ~rcu:rcu_mgr ~costs:options.costs
+      ~batch_bound:options.batch_bound ~config:options.config
+      ~zero_copy:options.zero_copy ~polling:options.polling ?cache:options.cache
+      ~conn_count ?pcie:options.pcie ~rng:(Engine.Rng.split rng) ()
+  in
+  let thread_array = Array.init threads make_thread in
+  (* Spread RSS flow groups across the active threads. *)
+  Array.iter (fun nic -> Nic.set_indirection nic (fun group -> group mod threads)) nics;
+  {
+    sim;
+    host_ip = ip;
+    nic_array = nics;
+    threads = thread_array;
+    libs = Array.map Libix.create thread_array;
+    arp_cache;
+    rcu_mgr;
+    conn_count;
+  }
+
+let sim t = t.sim
+let ip t = t.host_ip
+let thread_count t = Array.length t.threads
+let dataplane t i = t.threads.(i)
+let libix t i = t.libs.(i)
+let nics t = t.nic_array
+let arp t = t.arp_cache
+let rcu t = t.rcu_mgr
+let connections t = !(t.conn_count)
+let iter_threads t f = Array.iter f t.threads
+
+let total_kernel_ns t =
+  Array.fold_left (fun acc dp -> acc + Cpu_core.kernel_ns (Dataplane.core dp)) 0 t.threads
+
+let total_user_ns t =
+  Array.fold_left (fun acc dp -> acc + Cpu_core.user_ns (Dataplane.core dp)) 0 t.threads
+
+let kernel_share t =
+  let k = total_kernel_ns t and u = total_user_ns t in
+  if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u)

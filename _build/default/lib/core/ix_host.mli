@@ -1,0 +1,59 @@
+(** An assembled IX server or client machine: NICs, elastic threads
+    (one dataplane per hardware thread, each owning one RX/TX queue
+    per NIC), the shared RCU-protected ARP cache, and one libix
+    context per thread.
+
+    The NICs must be created with [queues = threads] so the default
+    RSS indirection spreads flow groups evenly; the control plane can
+    rebalance afterwards. *)
+
+type t
+
+type options = {
+  costs : Dataplane.costs;
+  batch_bound : int;
+  config : Ixtcp.Tcb.config;
+  zero_copy : bool;
+  polling : bool;
+  cache : Ixhw.Cache_model.t option;
+  pcie : Ixhw.Pcie_model.t option;  (** override for the PCIe ablation *)
+}
+
+val default_options : options
+
+val ix_tcp_config : Ixtcp.Tcb.config
+(** The dataplane's TCP profile: fine-grained RTO floor (the timing
+    wheel's 16 µs resolution makes sub-millisecond retransmission
+    practical), 256 KB buffers. *)
+
+val create :
+  sim:Engine.Sim.t ->
+  host_id:int ->
+  ip:Ixnet.Ip_addr.t ->
+  nics:Ixhw.Nic.t array ->
+  threads:int ->
+  ?options:options ->
+  seed:int ->
+  unit ->
+  t
+
+val sim : t -> Engine.Sim.t
+val ip : t -> Ixnet.Ip_addr.t
+val thread_count : t -> int
+val dataplane : t -> int -> Dataplane.t
+val libix : t -> int -> Libix.t
+val nics : t -> Ixhw.Nic.t array
+val arp : t -> Arp_cache.t
+val rcu : t -> Rcu.manager
+
+val connections : t -> int
+(** Live connections across all elastic threads. *)
+
+val iter_threads : t -> (Dataplane.t -> unit) -> unit
+
+val kernel_share : t -> float
+(** Aggregate kernel-time share across cores (cf. the memcached
+    analysis: < 10 % under IX vs ~75 % under Linux). *)
+
+val total_kernel_ns : t -> int
+val total_user_ns : t -> int

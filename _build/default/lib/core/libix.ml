@@ -1,0 +1,244 @@
+module Mbuf = Ixmem.Mbuf
+module Iovec = Ixmem.Iovec
+
+let max_pending_send = 1 lsl 20
+
+type handlers = {
+  on_connected : conn -> ok:bool -> unit;
+  on_data : conn -> string -> unit;
+  on_sent : conn -> int -> unit;
+  on_closed : conn -> Ixtcp.Tcb.close_reason -> unit;
+}
+
+and conn = {
+  cookie : int;
+  mutable handle : int; (* -1 until the dataplane reports it *)
+  mutable peer : Ixnet.Ip_addr.t * int;
+  mutable handlers : handlers;
+  mutable write_queue : Iovec.t list; (* in order; head is oldest *)
+  mutable queued_bytes : int;
+  mutable in_flight : int; (* bytes accepted by the stack, not yet acked *)
+  mutable dirty : bool;
+  mutable dead : bool;
+}
+
+and t = {
+  dp : Dataplane.t;
+  conns : (int, conn) Hashtbl.t; (* by cookie *)
+  acceptors : (int, conn -> handlers) Hashtbl.t; (* by listening port *)
+  udp_handlers :
+    (int, src:Ixnet.Ip_addr.t * int -> string -> unit) Hashtbl.t; (* by port *)
+  mutable next_cookie : int;
+  mutable dirty_conns : conn list;
+  mutable zc_reader : (conn -> Mbuf.t -> int -> int -> unit) option;
+}
+
+let default_handlers =
+  {
+    on_connected = (fun _ ~ok:_ -> ());
+    on_data = (fun _ _ -> ());
+    on_sent = (fun _ _ -> ());
+    on_closed = (fun _ _ -> ());
+  }
+
+let dataplane t = t.dp
+let peer conn = conn.peer
+let conn_count t = Hashtbl.length t.conns
+let pending_send_bytes conn = conn.queued_bytes
+
+let fresh_cookie t =
+  let c = t.next_cookie in
+  t.next_cookie <- t.next_cookie + 1;
+  c
+
+let mark_dirty t conn =
+  if not conn.dirty then begin
+    conn.dirty <- true;
+    t.dirty_conns <- conn :: t.dirty_conns
+  end
+
+(* Coalesce each dirty connection's queued writes into one sendv (the
+   libix behaviour the paper describes), reissuing trimmed suffixes on
+   later rounds. *)
+let flush t =
+  let dirty = t.dirty_conns in
+  t.dirty_conns <- [];
+  List.iter
+    (fun conn ->
+      conn.dirty <- false;
+      if (not conn.dead) && conn.handle >= 0 && conn.write_queue <> [] then begin
+        let iovs = conn.write_queue in
+        Dataplane.syscall t.dp
+          (Ix_api.Sys_sendv { handle = conn.handle; iovs })
+          ~on_result:(fun accepted ->
+            if accepted > 0 then begin
+              let rec drop n = function
+                | [] -> []
+                | (iov : Iovec.t) :: rest ->
+                    if iov.Iovec.len <= n then drop (n - iov.Iovec.len) rest
+                    else Iovec.sub iov n (iov.Iovec.len - n) :: rest
+              in
+              conn.write_queue <- drop accepted conn.write_queue;
+              conn.queued_bytes <- conn.queued_bytes - accepted;
+              conn.in_flight <- conn.in_flight + accepted
+            end)
+      end)
+    dirty
+
+let handle_event t ev =
+  match ev with
+  | Ix_api.Ev_knock { handle; src_ip; src_port; dst_port } -> (
+      match Hashtbl.find_opt t.acceptors dst_port with
+      | None ->
+          (* No acceptor: reject the knock. *)
+          Dataplane.syscall t.dp (Ix_api.Sys_close { handle }) ~on_result:ignore
+      | Some on_accept ->
+          let cookie = fresh_cookie t in
+          let conn =
+            {
+              cookie;
+              handle;
+              peer = (src_ip, src_port);
+              handlers = default_handlers;
+              write_queue = [];
+              queued_bytes = 0;
+              in_flight = 0;
+              dirty = false;
+              dead = false;
+            }
+          in
+          Hashtbl.replace t.conns cookie conn;
+          Dataplane.syscall t.dp (Ix_api.Sys_accept { handle; cookie }) ~on_result:ignore;
+          conn.handlers <- on_accept conn)
+  | Ix_api.Ev_connected { cookie; handle; ok } -> (
+      match Hashtbl.find_opt t.conns cookie with
+      | None -> ()
+      | Some conn ->
+          conn.handle <- handle;
+          if not ok then begin
+            conn.dead <- true;
+            Hashtbl.remove t.conns cookie
+          end;
+          conn.handlers.on_connected conn ~ok;
+          if ok && conn.write_queue <> [] then mark_dirty t conn)
+  | Ix_api.Ev_recv { cookie; mbuf; off; len } -> (
+      match Hashtbl.find_opt t.conns cookie with
+      | None -> Mbuf.decref mbuf
+      | Some conn -> (
+          match t.zc_reader with
+          | Some reader -> reader conn mbuf off len
+          | None ->
+              (* Compatibility path: one copy, close to its use (§6). *)
+              let data = Bytes.sub_string mbuf.Mbuf.buf off len in
+              Dataplane.charge_user t.dp (len * 100 / 1024);
+              Dataplane.syscall t.dp
+                (Ix_api.Sys_recv_done { handle = conn.handle; bytes_acked = len })
+                ~on_result:ignore;
+              Mbuf.decref mbuf;
+              conn.handlers.on_data conn data))
+  | Ix_api.Ev_sent { cookie; bytes_sent; _ } -> (
+      match Hashtbl.find_opt t.conns cookie with
+      | None -> ()
+      | Some conn ->
+          conn.in_flight <- max 0 (conn.in_flight - bytes_sent);
+          if conn.write_queue <> [] then mark_dirty t conn;
+          conn.handlers.on_sent conn bytes_sent)
+  | Ix_api.Ev_dead { cookie; reason } -> (
+      match Hashtbl.find_opt t.conns cookie with
+      | None -> ()
+      | Some conn ->
+          conn.dead <- true;
+          Hashtbl.remove t.conns cookie;
+          conn.handlers.on_closed conn reason)
+  | Ix_api.Ev_udp_recv { dst_port; src_ip; src_port; mbuf; off; len } -> (
+      match Hashtbl.find_opt t.udp_handlers dst_port with
+      | None -> Mbuf.decref mbuf
+      | Some handler ->
+          let data = Bytes.sub_string mbuf.Mbuf.buf off len in
+          Dataplane.charge_user t.dp (len * 100 / 1024);
+          Mbuf.decref mbuf;
+          handler ~src:(src_ip, src_port) data)
+
+let create dp =
+  let t =
+    {
+      dp;
+      conns = Hashtbl.create 1024;
+      acceptors = Hashtbl.create 8;
+      udp_handlers = Hashtbl.create 8;
+      next_cookie = 1;
+      dirty_conns = [];
+      zc_reader = None;
+    }
+  in
+  Dataplane.set_app dp (fun events ->
+      List.iter (handle_event t) events;
+      flush t);
+  t
+
+let run t f =
+  Dataplane.bootstrap t.dp (fun () ->
+      f ();
+      flush t)
+
+let connect t ~ip ~port handlers =
+  let cookie = fresh_cookie t in
+  let conn =
+    {
+      cookie;
+      handle = -1;
+      peer = (ip, port);
+      handlers;
+      write_queue = [];
+      queued_bytes = 0;
+      in_flight = 0;
+      dirty = false;
+      dead = false;
+    }
+  in
+  Hashtbl.replace t.conns cookie conn;
+  Dataplane.syscall t.dp
+    (Ix_api.Sys_connect { cookie; dst_ip = ip; dst_port = port })
+    ~on_result:(fun handle -> if handle >= 0 then conn.handle <- handle)
+
+let listen t ~port ~on_accept =
+  Hashtbl.replace t.acceptors port on_accept;
+  Dataplane.listen t.dp ~port
+
+let udp_bind t ~port handler =
+  Hashtbl.replace t.udp_handlers port handler;
+  Dataplane.udp_bind t.dp ~port
+
+let udp_send t ~src_port ~dst_ip ~dst_port data =
+  Dataplane.syscall t.dp
+    (Ix_api.Sys_udp_sendv
+       { src_port; dst_ip; dst_port; iovs = [ Iovec.of_string data ] })
+    ~on_result:ignore
+
+let set_zero_copy_reader t reader = t.zc_reader <- Some reader
+
+let recv_done t conn mbuf len =
+  Dataplane.syscall t.dp
+    (Ix_api.Sys_recv_done { handle = conn.handle; bytes_acked = len })
+    ~on_result:ignore;
+  Mbuf.decref mbuf
+
+let sendv t conn iovs =
+  let total = Iovec.total iovs in
+  if conn.dead || conn.queued_bytes + total > max_pending_send then false
+  else begin
+    conn.write_queue <- conn.write_queue @ iovs;
+    conn.queued_bytes <- conn.queued_bytes + total;
+    mark_dirty t conn;
+    true
+  end
+
+let send t conn data = sendv t conn [ Iovec.of_string data ]
+
+let close t conn =
+  if not conn.dead then
+    Dataplane.syscall t.dp (Ix_api.Sys_close { handle = conn.handle }) ~on_result:ignore
+
+let abort t conn =
+  if not conn.dead then
+    Dataplane.syscall t.dp (Ix_api.Sys_abort { handle = conn.handle }) ~on_result:ignore

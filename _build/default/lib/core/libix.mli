@@ -1,0 +1,80 @@
+(** libix: the user-level library over the raw dataplane API (§4.3).
+
+    libix abstracts the batched-syscall/event-condition machinery
+    behind a libevent-like interface.  It automatically coalesces
+    multiple write requests into a single [sendv] per connection per
+    batching round, tracks outgoing buffers in the transmit vector so
+    trimmed writes are reissued when the window reopens (driven by
+    [sent] events), enforces a maximum-pending-send-bytes policy, and
+    offers both a compatibility read path (which copies, like the
+    paper's libevent-compatible interface) and a zero-copy read path.
+
+    One [Libix.t] exists per elastic thread; everything here executes
+    in ring 3. *)
+
+type t
+type conn
+
+type handlers = {
+  on_connected : conn -> ok:bool -> unit;
+  on_data : conn -> string -> unit;
+      (** compatibility read path: payload copied near its use *)
+  on_sent : conn -> int -> unit;  (** bytes acknowledged by the peer *)
+  on_closed : conn -> Ixtcp.Tcb.close_reason -> unit;
+}
+
+val default_handlers : handlers
+
+val create : Dataplane.t -> t
+(** Installs itself as the dataplane's application. *)
+
+val dataplane : t -> Dataplane.t
+
+val run : t -> (unit -> unit) -> unit
+(** Execute setup code (connects, listens, initial sends) in user
+    mode and start the event loop. *)
+
+val connect : t -> ip:Ixnet.Ip_addr.t -> port:int -> handlers -> unit
+(** Open a connection; completion arrives via [on_connected]. *)
+
+val listen : t -> port:int -> on_accept:(conn -> handlers) -> unit
+(** Accept connections on [port]; [on_accept] runs at knock time and
+    returns the handlers for the new connection. *)
+
+val set_zero_copy_reader : t -> (conn -> Ixmem.Mbuf.t -> int -> int -> unit) -> unit
+(** Opt into the zero-copy read path: payloads are delivered as mbuf
+    slices instead of [on_data] copies; the reader must eventually call
+    [recv_done]. *)
+
+val recv_done : t -> conn -> Ixmem.Mbuf.t -> int -> unit
+(** Zero-copy reader acknowledgment: advances the receive window and
+    releases the buffer reference. *)
+
+val send : t -> conn -> string -> bool
+(** Queue data (copied into the transmit vector).  [false] if the
+    per-connection pending-send limit would be exceeded. *)
+
+val sendv : t -> conn -> Ixmem.Iovec.t list -> bool
+(** Zero-copy send: the slices must stay immutable until [on_sent]
+    covers them. *)
+
+val udp_bind : t -> port:int -> (src:Ixnet.Ip_addr.t * int -> string -> unit) -> unit
+(** Receive datagrams on a UDP port (§4.2's UDP support — the protocol
+    Facebook's memcached deployment uses for GETs [46]). *)
+
+val udp_send :
+  t -> src_port:int -> dst_ip:Ixnet.Ip_addr.t -> dst_port:int -> string -> unit
+
+val close : t -> conn -> unit
+
+val abort : t -> conn -> unit
+(** Hard close with RST (benchmark clients' connection churn). *)
+
+val peer : conn -> Ixnet.Ip_addr.t * int
+(** Remote address (from the knock for passive connections). *)
+
+val conn_count : t -> int
+val pending_send_bytes : conn -> int
+
+val max_pending_send : int
+(** The per-connection pending-send-bytes policy limit (1 MB). *)

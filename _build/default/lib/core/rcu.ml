@@ -1,0 +1,46 @@
+(* Epoch-based reclamation: each update captures the set of threads that
+   must still quiesce; when the set empties, the callback fires. *)
+
+type pending = { mutable waiting_for : bool array; callback : unit -> unit }
+
+type manager = { mutable thread_count : int; mutable pendings : pending list }
+
+let create_manager ~threads = { thread_count = threads; pendings = [] }
+let set_threads m n = m.thread_count <- n
+
+let all_done p = Array.for_all (fun w -> not w) p.waiting_for
+
+let quiescent m ~thread =
+  let still_pending =
+    List.filter
+      (fun p ->
+        if thread < Array.length p.waiting_for then p.waiting_for.(thread) <- false;
+        if all_done p then begin
+          p.callback ();
+          false
+        end
+        else true)
+      m.pendings
+  in
+  m.pendings <- still_pending
+
+let pending_callbacks m = List.length m.pendings
+
+type 'a t = { mgr : manager; mutable value : 'a }
+
+let make mgr value = { mgr; value }
+let read t = t.value
+
+let update t f ~retired =
+  let old_value = t.value in
+  t.value <- f old_value;
+  if t.mgr.thread_count = 0 then retired old_value
+  else begin
+    let p =
+      {
+        waiting_for = Array.make t.mgr.thread_count true;
+        callback = (fun () -> retired old_value);
+      }
+    in
+    t.mgr.pendings <- p :: t.mgr.pendings
+  end

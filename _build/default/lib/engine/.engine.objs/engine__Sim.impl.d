@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Event_queue Rng Sim_time

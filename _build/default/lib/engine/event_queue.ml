@@ -1,0 +1,73 @@
+type 'a entry = { time : Sim_time.t; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let capacity' = if capacity = 0 then 64 else capacity * 2 in
+    let heap' = Array.make capacity' entry in
+    Array.blit q.heap 0 heap' 0 q.size;
+    q.heap <- heap'
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes heap.(i) heap.(parent) then begin
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(parent);
+      heap.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap size i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < size && precedes heap.(left) heap.(i) then left else i in
+  let smallest =
+    if right < size && precedes heap.(right) heap.(smallest) then right
+    else smallest
+  in
+  if smallest <> i then begin
+    let tmp = heap.(i) in
+    heap.(i) <- heap.(smallest);
+    heap.(smallest) <- tmp;
+    sift_down heap size smallest
+  end
+
+let push q ~time value =
+  let entry = { time; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q.heap (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let root = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q.heap q.size 0
+    end;
+    Some (root.time, root.value)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0

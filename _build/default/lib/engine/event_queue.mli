@@ -1,0 +1,25 @@
+(** A binary min-heap of timestamped events.
+
+    Events with equal timestamps are delivered in insertion order (a
+    monotonically increasing sequence number breaks ties), which keeps
+    whole simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:Sim_time.t -> 'a -> unit
+(** [push q ~time v] inserts [v] with priority [time]. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** [pop q] removes and returns the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** [peek_time q] is the timestamp of the earliest event without
+    removing it. *)
+
+val clear : 'a t -> unit

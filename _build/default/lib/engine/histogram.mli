@@ -1,0 +1,38 @@
+(** Log-linear latency histograms (HdrHistogram style).
+
+    Values (nanoseconds) are recorded into buckets whose width grows
+    geometrically, giving a bounded relative quantile error (< 1/32 by
+    default) over the full 1 ns .. ~292 s range with a few KB of
+    memory.  This is how every latency distribution in the benchmark
+    harness is captured. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record h v] adds one sample with value [v] (clamped at 0). *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n h v n] adds [n] samples of value [v]. *)
+
+val count : t -> int
+val is_empty : t -> bool
+
+val mean : t -> float
+(** Mean of recorded samples (0 if empty). *)
+
+val max_value : t -> int
+val min_value : t -> int
+
+val quantile : t -> float -> int
+(** [quantile h q] with [q] in [\[0,1\]] returns an upper bound of the
+    [q]-quantile with bounded relative error.  0 if empty. *)
+
+val percentile : t -> float -> int
+(** [percentile h p] = [quantile h (p /. 100.)]. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Accumulate [src]'s samples into [dst]. *)
+
+val clear : t -> unit

@@ -1,0 +1,58 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+type handle = event
+
+type t = {
+  mutable clock : Sim_time.t;
+  queue : event Event_queue.t;
+  root_rng : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    clock = Sim_time.zero;
+    queue = Event_queue.create ();
+    root_rng = Rng.create ~seed;
+    executed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let at t time action =
+  assert (time >= t.clock);
+  let event = { cancelled = false; action } in
+  Event_queue.push t.queue ~time event;
+  event
+
+let after t delay action = at t (Sim_time.add t.clock delay) action
+let cancel handle = handle.cancelled <- true
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, event) ->
+      t.clock <- time;
+      if not event.cancelled then begin
+        t.executed <- t.executed + 1;
+        event.action ()
+      end;
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> not (Event_queue.is_empty t.queue)
+    | Some horizon -> (
+        match Event_queue.peek_time t.queue with
+        | None -> false
+        | Some next -> next <= horizon)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some horizon when t.clock < horizon -> t.clock <- horizon
+  | Some _ | None -> ()
+
+let events_executed t = t.executed

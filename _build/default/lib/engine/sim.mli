@@ -1,0 +1,41 @@
+(** The discrete-event simulation core.
+
+    A [Sim.t] owns the virtual clock and the event queue.  Components
+    schedule closures at absolute or relative times; [run] drains the
+    queue in timestamp order, advancing the clock as it goes.  Equal
+    timestamps preserve scheduling order, making runs deterministic. *)
+
+type t
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+
+val now : t -> Sim_time.t
+(** The current virtual time. *)
+
+val rng : t -> Rng.t
+(** The root random stream of this simulation. *)
+
+val at : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [at sim time f] runs [f] when the clock reaches [time].  [time] must
+    not be in the past. *)
+
+val after : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [after sim delay f] runs [f] [delay] from now. *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event.  Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** Drain the event queue.  With [~until], stop once the clock would
+    pass that time (remaining events stay queued). *)
+
+val step : t -> bool
+(** Execute the single earliest event.  Returns [false] if the queue was
+    empty. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far (for reporting). *)

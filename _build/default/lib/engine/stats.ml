@@ -1,0 +1,54 @@
+type t = {
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { n = 0; mean_acc = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean_acc
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then 0. else t.min_v
+let max_value t = if t.n = 0 then 0. else t.max_v
+
+let clear t =
+  t.n <- 0;
+  t.mean_acc <- 0.;
+  t.m2 <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let cell t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t name r;
+        r
+
+  let add t name n = cell t name := !(cell t name) + n
+  let incr t name = add t name 1
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

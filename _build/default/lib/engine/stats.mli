@@ -1,0 +1,29 @@
+(** Streaming scalar statistics (Welford) and named counters. *)
+
+type t
+(** A streaming mean/variance accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val clear : t -> unit
+
+module Counters : sig
+  (** A small bag of named monotonically increasing counters, used for
+      per-stack accounting (packets, syscalls, interrupts, cache
+      misses, ...). *)
+
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end

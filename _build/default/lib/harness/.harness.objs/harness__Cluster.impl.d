@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Apps Array Baselines Engine Fun Ix_core Ixhw Ixnet Ixtcp List Netapi Option

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Engine Ix_core Ixhw Ixnet Ixtcp Netapi

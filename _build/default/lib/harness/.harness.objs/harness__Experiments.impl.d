@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Apps Array Cluster Engine Float Ix_core Ixhw Ixtcp List Netapi Option Printf Report String Sys Workloads

@@ -1,0 +1,702 @@
+module Sim = Engine.Sim
+module Net_api = Netapi.Net_api
+
+type echo_point = {
+  label : string;
+  cores : int;
+  msgs_per_conn : int;
+  msg_size : int;
+  msgs_per_sec : float;
+  conns_per_sec : float;
+  goodput_gbps : float;
+  p99_us : float;
+  cpu_utilization : float;
+      (** busy share of the server cores during the window *)
+  polling : bool;
+}
+
+type netpipe_point = { system : string; size : int; one_way_us : float; gbps : float }
+
+type memcached_point = {
+  system : string;
+  workload : string;
+  target_krps : float;
+  achieved_krps : float;
+  avg_us : float;
+  p99 : float;
+  kernel_share : float;
+}
+
+let scale () =
+  match Sys.getenv_opt "IX_BENCH_SCALE" with
+  | Some s -> ( try max 0.05 (float_of_string s) with _ -> 1.0)
+  | None -> 1.0
+
+let scaled_ms ms = max 2 (int_of_float (float_of_int ms *. scale ()))
+
+let kind_name = function
+  | Cluster.Ix -> "IX"
+  | Cluster.Linux -> "Linux"
+  | Cluster.Mtcp -> "mTCP"
+
+(* ------------------------------------------------------------------ *)
+(* Echo runner (Figs. 3a/3b/3c and the ablations)                      *)
+
+let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
+    ?(sessions = 768) ?cache ?pcie ?(zero_copy = true) ?(polling = true)
+    ?(batch_bound = 64) ~kind ~ports ~cores ~msg_size ~msgs_per_conn () =
+  let server =
+    Cluster.server_spec ~threads:cores ~nic_ports:ports ~batch_bound
+      ~zero_copy ~polling ?cache ?pcie kind
+  in
+  let cluster = Cluster.build ~client_hosts ~client_threads ~server () in
+  let echo_app_ns = 150 in
+  Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size
+    ~app_ns:echo_app_ns;
+  let warmup = Engine.Sim_time.ms (scaled_ms 4) in
+  let measure = Engine.Sim_time.ms (scaled_ms 10) in
+  let stop_after = warmup + measure in
+  let stats = Apps.Echo.new_stats () in
+  let clients = Array.of_list cluster.Cluster.clients in
+  (* Ramp sessions up over the first part of the warmup rather than
+     SYN-storming an empty server at t=0 (as real load generators do). *)
+  let spacing = max 1 (warmup / (2 * sessions)) in
+  for s = 0 to sessions - 1 do
+    let client = clients.(s mod Array.length clients) in
+    let thread = s / Array.length clients mod client_threads in
+    ignore
+      (Sim.at cluster.Cluster.sim (s * spacing) (fun () ->
+           Apps.Echo.client client
+             ~now:(Cluster.now cluster)
+             ~thread ~server_ip:cluster.Cluster.server_ip ~port:7000 ~msg_size
+             ~msgs_per_conn ~stats ~stop_after))
+  done;
+  let server_busy () =
+    match cluster.Cluster.server_ix with
+    | Some host ->
+        let total = ref 0 in
+        Ix_core.Ix_host.iter_threads host (fun dp ->
+            total := !total + Ixhw.Cpu_core.busy_ns_total (Ix_core.Dataplane.core dp));
+        !total
+    | None ->
+        (* The baseline stacks report through kernel_share only; derive
+           busy time from the aggregate instead. *)
+        0
+  in
+  Sim.run ~until:warmup cluster.Cluster.sim;
+  let warm_msgs = stats.Apps.Echo.messages in
+  let warm_conns = stats.Apps.Echo.connects in
+  let warm_busy = server_busy () in
+  Sim.run ~until:stop_after cluster.Cluster.sim;
+  let busy_delta = server_busy () - warm_busy in
+  let cpu_utilization =
+    float_of_int busy_delta /. float_of_int (cores * measure)
+  in
+  let seconds = Engine.Sim_time.to_float_s measure in
+  let msgs = float_of_int (stats.Apps.Echo.messages - warm_msgs) /. seconds in
+  let conns = float_of_int (stats.Apps.Echo.connects - warm_conns) /. seconds in
+  let goodput_gbps = msgs *. float_of_int msg_size *. 8. /. 1e9 in
+  let label =
+    if label <> "" then label
+    else Printf.sprintf "%s-%dG" (kind_name kind) (10 * ports)
+  in
+  {
+    label;
+    cores;
+    msgs_per_conn;
+    msg_size;
+    msgs_per_sec = msgs;
+    conns_per_sec = conns;
+    goodput_gbps;
+    p99_us = float_of_int (Engine.Histogram.percentile stats.Apps.Echo.latency 99.) /. 1e3;
+    cpu_utilization;
+    polling;
+  }
+
+let fig3_systems =
+  [
+    ("Linux-10G", Cluster.Linux, 1);
+    ("Linux-40G", Cluster.Linux, 4);
+    ("mTCP-10G", Cluster.Mtcp, 1);
+    ("IX-10G", Cluster.Ix, 1);
+    ("IX-40G", Cluster.Ix, 4);
+  ]
+
+let fig3a () =
+  let cores_list = [ 1; 2; 3; 4; 6; 8 ] in
+  let points =
+    List.concat_map
+      (fun (label, kind, ports) ->
+        List.map
+          (fun cores ->
+            run_echo ~label ~kind ~ports ~cores ~msg_size:64 ~msgs_per_conn:1 ())
+          cores_list)
+      fig3_systems
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.label;
+          string_of_int p.cores;
+          Report.mps p.msgs_per_sec;
+          Report.mps p.conns_per_sec;
+        ])
+      points
+  in
+  Report.table ~title:"Fig 3a: multi-core scalability (echo s=64B, n=1)"
+    ~headers:[ "system"; "cores"; "msgs/s"; "conns/s" ]
+    rows;
+  points
+
+let fig3b () =
+  let ns = [ 1; 8; 32; 128; 512; 1024 ] in
+  let points =
+    List.concat_map
+      (fun (label, kind, ports) ->
+        List.map
+          (fun n -> run_echo ~label ~kind ~ports ~cores:8 ~msg_size:64 ~msgs_per_conn:n ())
+          ns)
+      fig3_systems
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [ p.label; string_of_int p.msgs_per_conn; Report.mps p.msgs_per_sec ])
+      points
+  in
+  Report.table ~title:"Fig 3b: messages per connection sweep (s=64B, 8 cores)"
+    ~headers:[ "system"; "n"; "msgs/s" ] rows;
+  points
+
+let fig3c () =
+  let sizes = [ 64; 256; 1024; 4096; 8192 ] in
+  let points =
+    List.concat_map
+      (fun (label, kind, ports) ->
+        List.map
+          (fun s -> run_echo ~label ~kind ~ports ~cores:8 ~msg_size:s ~msgs_per_conn:1 ())
+          sizes)
+      fig3_systems
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [ p.label; string_of_int p.msg_size; Report.gbps p.goodput_gbps; Report.mps p.msgs_per_sec ])
+      points
+  in
+  Report.table ~title:"Fig 3c: message size sweep (n=1, 8 cores)"
+    ~headers:[ "system"; "size B"; "goodput Gbps"; "msgs/s" ]
+    rows;
+  points
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: NetPIPE                                                     *)
+
+let netpipe_once ~kind ~size =
+  let server =
+    Cluster.server_spec ~threads:1 ~nic_ports:1 kind
+  in
+  let cluster =
+    Cluster.build ~client_hosts:1 ~client_threads:1 ~client_kind:kind
+      ~server ()
+  in
+  Apps.Netpipe.server cluster.Cluster.server ~port:7410 ~msg_size:size;
+  let result = ref None in
+  let iterations = max 8 (min 200 (300_000 / size)) in
+  Apps.Netpipe.client
+    (List.hd cluster.Cluster.clients)
+    ~now:(Cluster.now cluster)
+    ~server_ip:cluster.Cluster.server_ip ~port:7410 ~msg_size:size
+    ~iterations
+    ~on_done:(fun r -> result := Some r);
+  Sim.run ~until:(Engine.Sim_time.s 30) cluster.Cluster.sim;
+  match !result with
+  | Some r ->
+      ({
+         system = kind_name kind;
+         size;
+         one_way_us = r.Apps.Netpipe.one_way_ns /. 1e3;
+         gbps = r.Apps.Netpipe.goodput_gbps;
+       }
+        : netpipe_point)
+  | None ->
+      ({ system = kind_name kind; size; one_way_us = nan; gbps = nan } : netpipe_point)
+
+let fig2 () =
+  let sizes = [ 64; 1024; 4096; 16_384; 65_536; 131_072; 262_144; 393_216; 524_288 ] in
+  let points =
+    List.concat_map
+      (fun kind -> List.map (fun size -> netpipe_once ~kind ~size) sizes)
+      [ Cluster.Linux; Cluster.Mtcp; Cluster.Ix ]
+  in
+  let rows =
+    List.map
+      (fun (p : netpipe_point) ->
+        [ p.system; string_of_int p.size; Report.us p.one_way_us; Report.gbps p.gbps ])
+      points
+  in
+  Report.table ~title:"Fig 2: NetPIPE (one-way latency, goodput)"
+    ~headers:[ "system"; "msg size B"; "one-way us"; "goodput Gbps" ]
+    rows;
+  points
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: connection scalability                                      *)
+
+let run_connection_scaling ~kind ~conns ~workers =
+  let cache = Ixhw.Cache_model.create () in
+  let server =
+    Cluster.server_spec ~threads:8 ~nic_ports:4 ~cache kind
+  in
+  let cluster = Cluster.build ~client_hosts:6 ~client_threads:8 ~server () in
+  Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size:64
+    ~app_ns:150;
+  let sim = cluster.Cluster.sim in
+  let clients = Array.of_list cluster.Cluster.clients in
+  let message = String.make 64 'c' in
+  (* Connection slots; workers rotate over their partition. *)
+  let slot_conn = Array.make conns None in
+  let slot_worker = Array.make conns (-1) in
+  let slot_rx = Array.make conns 0 in
+  let completed = ref 0 in
+  let send_on slot =
+    match slot_conn.(slot) with
+    | Some conn -> ignore (conn.Net_api.send message)
+    | None -> ()
+  in
+  let worker_next = Array.make workers 0 in
+  let rec advance_worker w =
+    (* Next *established* slot owned by worker w (slots w, w+W, ...);
+       during ramp-up, retry until one connects. *)
+    let steps = (conns - w + workers - 1) / workers in
+    let rec find tries =
+      if steps = 0 || tries >= steps then None
+      else begin
+        let k = worker_next.(w) mod steps in
+        worker_next.(w) <- worker_next.(w) + 1;
+        let slot = w + (k * workers) in
+        if Option.is_some slot_conn.(slot) then Some slot else find (tries + 1)
+      end
+    in
+    match find 0 with
+    | Some slot ->
+        slot_worker.(slot) <- w;
+        send_on slot
+    | None ->
+        ignore (Sim.after sim (Engine.Sim_time.ms 1) (fun () -> advance_worker w))
+  in
+  let on_slot_response slot =
+    slot_rx.(slot) <- slot_rx.(slot) + 64;
+    if slot_rx.(slot) >= 64 then begin
+      slot_rx.(slot) <- slot_rx.(slot) - 64;
+      incr completed;
+      let w = slot_worker.(slot) in
+      if w >= 0 then advance_worker w
+    end
+  in
+  (* Staggered establishment, paced to the server's accept rate. *)
+  let stagger_ns = match kind with Cluster.Linux -> 2_500 | _ -> 400 in
+  for slot = 0 to conns - 1 do
+    let client_idx = slot mod Array.length clients in
+    let thread = slot / Array.length clients mod 8 in
+    let handlers =
+      {
+        Net_api.on_connected =
+          (fun conn ~ok -> if ok then slot_conn.(slot) <- Some conn);
+        on_data = (fun _ _data -> on_slot_response slot);
+        on_sent = (fun _ _ -> ());
+        on_closed = (fun _ -> ());
+      }
+    in
+    ignore
+      (Sim.at sim (slot * stagger_ns) (fun () ->
+           clients.(client_idx).Net_api.connect ~thread
+             ~ip:cluster.Cluster.server_ip ~port:7000 handlers))
+  done;
+  let setup = Engine.Sim_time.ms (max 4 ((conns * stagger_ns / 1_000_000) + 4)) in
+  Sim.run ~until:setup sim;
+  (* Start the workers. *)
+  for w = 0 to workers - 1 do
+    advance_worker w
+  done;
+  let warmup = setup + Engine.Sim_time.ms (scaled_ms 4) in
+  Sim.run ~until:warmup sim;
+  let base = !completed in
+  let measure = Engine.Sim_time.ms (scaled_ms 10) in
+  Sim.run ~until:(warmup + measure) sim;
+  float_of_int (!completed - base) /. Engine.Sim_time.to_float_s measure
+
+let fig4 () =
+  let conn_counts = [ 100; 1_000; 10_000; 50_000; 100_000; 250_000 ] in
+  let points =
+    List.concat_map
+      (fun (name, kind) ->
+        List.map
+          (fun conns ->
+            (name, conns, run_connection_scaling ~kind ~conns ~workers:384))
+          conn_counts)
+      [ ("IX-40G", Cluster.Ix); ("Linux-40G", Cluster.Linux) ]
+  in
+  let rows =
+    List.map (fun (name, conns, rate) -> [ name; string_of_int conns; Report.mps rate ]) points
+  in
+  Report.table ~title:"Fig 4: connection scalability (64B echo, 4x10GbE)"
+    ~headers:[ "system"; "connections"; "msgs/s" ]
+    rows;
+  points
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 / Fig. 6 / Table 2: memcached                                *)
+
+let run_memcached ~kind ~server_threads ?(batch_bound = 64) ~profile ~target_rps () =
+  let server =
+    Cluster.server_spec ~threads:server_threads ~nic_ports:1 ~batch_bound
+      kind
+  in
+  let cluster = Cluster.build ~client_hosts:6 ~client_threads:8 ~server () in
+  let mc =
+    Apps.Memcached.server cluster.Cluster.server
+      ~now:(Cluster.now cluster)
+      ~port:11211 ()
+  in
+  Workloads.Keygen.preload ~insert:(Apps.Memcached.insert mc) ~profile ~seed:7;
+  let result =
+    Workloads.Mutilate.run ~sim:cluster.Cluster.sim
+      ~clients:cluster.Cluster.clients
+      ~server_ip:cluster.Cluster.server_ip ~port:11211 ~profile
+      ~connections:1476 ~target_rps
+      ~warmup_ms:(scaled_ms 8)
+      ~duration_ms:(scaled_ms 40)
+      ~seed:11 ()
+  in
+  (result, cluster.Cluster.server.Net_api.kernel_share ())
+
+let fig5_targets = [ 100e3; 250e3; 500e3; 750e3; 1000e3; 1250e3; 1500e3; 1800e3; 2000e3 ]
+
+let fig5 () =
+  let configs =
+    [
+      ("Linux", Cluster.Linux, 8);
+      ("IX", Cluster.Ix, 6);
+    ]
+  in
+  let points =
+    List.concat_map
+      (fun profile ->
+        List.concat_map
+          (fun (name, kind, threads) ->
+            List.map
+              (fun target_rps ->
+                let r, kshare =
+                  run_memcached ~kind ~server_threads:threads ~profile ~target_rps ()
+                in
+                {
+                  system = name;
+                  workload = profile.Workloads.Size_dist.name;
+                  target_krps = target_rps /. 1e3;
+                  achieved_krps = r.Workloads.Mutilate.achieved_rps /. 1e3;
+                  avg_us = r.Workloads.Mutilate.avg_us;
+                  p99 = r.Workloads.Mutilate.p99_us;
+                  kernel_share = kshare;
+                })
+              fig5_targets)
+          configs)
+      [ Workloads.Size_dist.etc; Workloads.Size_dist.usr ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.workload;
+          p.system;
+          Printf.sprintf "%.0fK" p.target_krps;
+          Printf.sprintf "%.0fK" p.achieved_krps;
+          Report.us p.avg_us;
+          Report.us p.p99;
+          Report.pct p.kernel_share;
+        ])
+      points
+  in
+  Report.table
+    ~title:"Fig 5: memcached latency vs throughput (1476 connections)"
+    ~headers:[ "workload"; "system"; "target"; "achieved"; "avg us"; "p99 us"; "kernel" ]
+    rows;
+  points
+
+let table2 fig5_points =
+  let sla = 500. in
+  let best workload system =
+    List.fold_left
+      (fun acc p ->
+        if p.workload = workload && p.system = system && p.p99 <= sla then
+          max acc p.achieved_krps
+        else acc)
+      0. fig5_points
+  in
+  let unloaded workload kind threads =
+    let profile = Workloads.Size_dist.by_name workload in
+    let r, _ = run_memcached ~kind ~server_threads:threads ~profile ~target_rps:20e3 () in
+    r.Workloads.Mutilate.p99_us
+  in
+  let rows =
+    List.concat_map
+      (fun workload ->
+        [
+          [
+            workload ^ "-Linux";
+            Report.us (unloaded workload Cluster.Linux 8);
+            Printf.sprintf "%.0fK" (best workload "Linux");
+          ];
+          [
+            workload ^ "-IX";
+            Report.us (unloaded workload Cluster.Ix 6);
+            Printf.sprintf "%.0fK" (best workload "IX");
+          ];
+        ])
+      [ "ETC"; "USR" ]
+  in
+  Report.table
+    ~title:"Table 2: unloaded p99 latency and max RPS under 500us p99 SLA"
+    ~headers:[ "configuration"; "min latency p99 us"; "RPS for SLA" ]
+    rows
+
+let fig6 () =
+  let bounds = [ 1; 2; 8; 16; 64 ] in
+  let profile = Workloads.Size_dist.usr in
+  let points =
+    List.map
+      (fun b ->
+        let high, _ =
+          run_memcached ~kind:Cluster.Ix ~server_threads:6 ~batch_bound:b
+            ~profile ~target_rps:2400e3 ()
+        in
+        let low, _ =
+          run_memcached ~kind:Cluster.Ix ~server_threads:6 ~batch_bound:b
+            ~profile ~target_rps:200e3 ()
+        in
+        (b, high.Workloads.Mutilate.achieved_rps /. 1e3, low.Workloads.Mutilate.p99_us))
+      bounds
+  in
+  let rows =
+    List.map
+      (fun (b, high_krps, low_p99) ->
+        [ string_of_int b; Printf.sprintf "%.0fK" high_krps; Report.us low_p99 ])
+      points
+  in
+  Report.table ~title:"Fig 6: batch bound B (USR workload, IX)"
+    ~headers:[ "B"; "achieved at high load"; "p99 at low load us" ]
+    rows;
+  points
+
+(* ------------------------------------------------------------------ *)
+(* Incast (extension): fine-grained timers and DCTCP, per §6           *)
+
+(* N synchronized senders each ship one [block] to a single receiver
+   through its 10GbE port, whose switch-side queue holds only
+   [queue_limit] bytes — the classic incast fan-in.  We compare a
+   coarse 200 ms RTO (commodity kernel default), the 1 ms RTO the 16 µs
+   timing wheel makes practical [64], and DCTCP over an ECN-marking
+   queue. *)
+let run_incast_stats ~senders ~block ~config ~ecn =
+  let receiver = Cluster.server_spec ~threads:4 ~tcp_config:config Cluster.Ix in
+  let queue_limit = 64 * 1024 in
+  let cluster =
+    Cluster.build ~client_hosts:senders ~client_threads:1 ~client_kind:Cluster.Ix
+      ~client_tcp_config:config
+      ?server_ecn_threshold_bytes:(if ecn then Some (24 * 1024) else None)
+      ~server_queue_limit_bytes:queue_limit ~server:receiver ()
+  in
+  let received = ref 0 in
+  let total = senders * block in
+  let finished_at = ref 0 in
+  cluster.Cluster.server.Net_api.listen ~port:9100 (fun ~thread:_ _conn ->
+      {
+        Net_api.null_handlers with
+        Net_api.on_data =
+          (fun _ data ->
+            received := !received + String.length data;
+            if !received >= total then finished_at := Sim.now cluster.Cluster.sim);
+      });
+  let payload = String.make block 'i' in
+  let start = Engine.Sim_time.ms 2 in
+  List.iter
+    (fun client ->
+      ignore
+        (Sim.at cluster.Cluster.sim start (fun () ->
+             client.Net_api.connect ~thread:0 ~ip:cluster.Cluster.server_ip
+               ~port:9100
+               {
+                 Net_api.null_handlers with
+                 Net_api.on_connected =
+                   (fun conn ~ok -> if ok then ignore (conn.Net_api.send payload));
+               })))
+    cluster.Cluster.clients;
+  Sim.run ~until:(Engine.Sim_time.s 3) cluster.Cluster.sim;
+  let marked, dropped = Cluster.server_link_stats cluster in
+  let goodput =
+    if !finished_at = 0 then 0.
+    else begin
+      let elapsed = !finished_at - start in
+      float_of_int (8 * total) /. float_of_int elapsed (* Gbps *)
+    end
+  in
+  (goodput, marked, dropped)
+
+let run_incast ~senders ~block ~config ~ecn =
+  let goodput, _, _ = run_incast_stats ~senders ~block ~config ~ecn in
+  goodput
+
+let incast () =
+  let block = 256 * 1024 in
+  let coarse =
+    { Ix_core.Ix_host.ix_tcp_config with Ixtcp.Tcb.min_rto_ns = 200_000_000 }
+  in
+  let fine = Ix_core.Ix_host.ix_tcp_config (* 1 ms RTO via the timing wheel *) in
+  let dctcp = { fine with Ixtcp.Tcb.dctcp = true } in
+  let rows =
+    List.map
+      (fun senders ->
+        let coarse_g, _, coarse_d =
+          run_incast_stats ~senders ~block ~config:coarse ~ecn:false
+        in
+        let fine_g, _, fine_d =
+          run_incast_stats ~senders ~block ~config:fine ~ecn:false
+        in
+        let dctcp_g, dctcp_m, dctcp_d =
+          run_incast_stats ~senders ~block ~config:dctcp ~ecn:true
+        in
+        [
+          string_of_int senders;
+          Report.gbps coarse_g;
+          string_of_int coarse_d;
+          Report.gbps fine_g;
+          string_of_int fine_d;
+          Report.gbps dctcp_g;
+          string_of_int dctcp_d;
+          string_of_int dctcp_m;
+        ])
+      [ 4; 8; 16; 32; 48 ]
+  in
+  Report.table
+    ~title:
+      "Incast (extension, per paper-§6): 256KB fan-in, 64KB switch buffer"
+    ~headers:
+      [
+        "senders";
+        "200ms Gbps";
+        "drops";
+        "1ms Gbps";
+        "drops";
+        "DCTCP Gbps";
+        "drops";
+        "marks";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Energy proportionality (extension, §4.3/§6)                         *)
+
+(* The quiescent dataplane either polls (hyperthread-friendly spin:
+   the core never enters a low-power state) or sleeps in a C-state
+   behind an interrupt, "at the cost of some additional latency"
+   (§4.3).  This table quantifies that trade-off: server power and
+   energy per message across load levels, polling vs interrupt mode. *)
+let active_w_per_core = 25.5
+let idle_w_per_core = 8.0
+
+let energy () =
+  let point ~polling ~sessions =
+    run_echo
+      ~label:(if polling then "IX-poll" else "IX-intr")
+      ~polling ~sessions ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64
+      ~msgs_per_conn:64 ()
+  in
+  let rows =
+    List.concat_map
+      (fun sessions ->
+        List.map
+          (fun polling ->
+            let p = point ~polling ~sessions in
+            let util = Float.min 1.0 p.cpu_utilization in
+            let watts =
+              if polling then float_of_int p.cores *. active_w_per_core
+              else
+                float_of_int p.cores
+                *. ((util *. active_w_per_core) +. ((1. -. util) *. idle_w_per_core))
+            in
+            let uj_per_msg =
+              if p.msgs_per_sec <= 0. then 0. else watts /. p.msgs_per_sec *. 1e6
+            in
+            [
+              string_of_int sessions;
+              p.label;
+              Report.mps p.msgs_per_sec;
+              Report.us p.p99_us;
+              Report.pct util;
+              Printf.sprintf "%.0f" watts;
+              Printf.sprintf "%.2f" uj_per_msg;
+            ])
+          [ true; false ])
+      [ 8; 96; 768 ]
+  in
+  Report.table
+    ~title:
+      "Energy proportionality (extension, §4.3): polling vs interrupt-driven IX (4 cores)"
+    ~headers:[ "sessions"; "mode"; "msgs/s"; "p99 us"; "cpu util"; "watts"; "uJ/msg" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablations () =
+  (* Each configuration runs twice: fully loaded (throughput, loaded
+     p99) and nearly unloaded (path latency). *)
+  let run ?pcie ?(zero_copy = true) ?(polling = true) ?(batch_bound = 64) label =
+    let loaded =
+      run_echo ~label ?pcie ~zero_copy ~polling ~batch_bound ~kind:Cluster.Ix
+        ~ports:1 ~cores:4 ~msg_size:64 ~msgs_per_conn:64 ()
+    in
+    let unloaded =
+      run_echo ~label ?pcie ~zero_copy ~polling ~batch_bound ~sessions:8
+        ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64 ~msgs_per_conn:64 ()
+    in
+    (loaded, unloaded)
+  in
+  let points =
+    [
+      run "IX baseline";
+      run ~batch_bound:1 "batch bound B=1";
+      run ~polling:false "interrupts (no polling)";
+      run ~zero_copy:false "copying API (no zero-copy)";
+      run ~pcie:(Ixhw.Pcie_model.create ~replenish_batch:1 ())
+        "uncoalesced PCIe doorbells";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (loaded, unloaded) ->
+        [
+          loaded.label;
+          Report.mps loaded.msgs_per_sec;
+          Report.us loaded.p99_us;
+          Report.us unloaded.p99_us;
+        ])
+      points
+  in
+  Report.table ~title:"Ablations (64B echo, n=64, 4 cores, 10GbE)"
+    ~headers:[ "configuration"; "msgs/s"; "loaded p99 us"; "unloaded p99 us" ]
+    rows
+
+let run_all () =
+  ignore (fig2 ());
+  ignore (fig3a ());
+  ignore (fig3b ());
+  ignore (fig3c ());
+  ignore (fig4 ());
+  let f5 = fig5 () in
+  ignore (fig6 ());
+  table2 f5;
+  ablations ();
+  incast ();
+  energy ()

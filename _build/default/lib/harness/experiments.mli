@@ -1,0 +1,128 @@
+(** The paper's evaluation (§5): one runner per table and figure, each
+    regenerating the corresponding rows/series on the simulated
+    testbed.  Absolute numbers come from the calibrated cost models;
+    the claims under reproduction are the *shapes* (who wins, by what
+    factor, where crossovers fall) — see EXPERIMENTS.md.
+
+    Every runner prints a table via {!Report} and returns its data so
+    the test suite can assert the trends. *)
+
+type echo_point = {
+  label : string;
+  cores : int;
+  msgs_per_conn : int;
+  msg_size : int;
+  msgs_per_sec : float;
+  conns_per_sec : float;
+  goodput_gbps : float;
+  p99_us : float;
+  cpu_utilization : float;
+  polling : bool;
+}
+
+type netpipe_point = { system : string; size : int; one_way_us : float; gbps : float }
+
+type memcached_point = {
+  system : string;
+  workload : string;
+  target_krps : float;
+  achieved_krps : float;
+  avg_us : float;
+  p99 : float;
+  kernel_share : float;
+}
+
+val scale : unit -> float
+(** Duration multiplier from the [IX_BENCH_SCALE] environment variable
+    (default 1.0; smaller = faster, noisier). *)
+
+val run_echo :
+  ?label:string ->
+  ?client_hosts:int ->
+  ?client_threads:int ->
+  ?sessions:int ->
+  ?cache:Ixhw.Cache_model.t ->
+  ?pcie:Ixhw.Pcie_model.t ->
+  ?zero_copy:bool ->
+  ?polling:bool ->
+  ?batch_bound:int ->
+  kind:Cluster.kind ->
+  ports:int ->
+  cores:int ->
+  msg_size:int ->
+  msgs_per_conn:int ->
+  unit ->
+  echo_point
+(** One echo measurement on a fresh cluster (the primitive behind the
+    Fig. 3 sweeps, also exposed for the CLI). *)
+
+val netpipe_once : kind:Cluster.kind -> size:int -> netpipe_point
+
+val run_memcached :
+  kind:Cluster.kind ->
+  server_threads:int ->
+  ?batch_bound:int ->
+  profile:Workloads.Size_dist.profile ->
+  target_rps:float ->
+  unit ->
+  Workloads.Mutilate.result * float
+(** One memcached load point; also returns the server's kernel-time
+    share. *)
+
+val fig2 : unit -> netpipe_point list
+(** NetPIPE goodput vs message size, Linux/mTCP/IX on both ends. *)
+
+val fig3a : unit -> echo_point list
+(** Multi-core scalability, 64 B echo, n=1 connection per message. *)
+
+val fig3b : unit -> echo_point list
+(** Round trips per connection (n sweep) at 8 cores. *)
+
+val fig3c : unit -> echo_point list
+(** Message-size sweep (n=1) at 8 cores. *)
+
+val run_connection_scaling : kind:Cluster.kind -> conns:int -> workers:int -> float
+(** One Fig. 4 point: messages/sec with [conns] live connections and
+    [workers] concurrent closed-loop requesters. *)
+
+val fig4 : unit -> (string * int * float) list
+(** Connection scalability: (system, connection count, messages/sec). *)
+
+val fig5 : unit -> memcached_point list
+(** memcached ETC/USR throughput-vs-latency sweeps, Linux vs IX. *)
+
+val fig6 : unit -> (int * float * float) list
+(** Batch bound B sweep on USR: (B, achieved kRPS at high load,
+    low-load p99 µs). *)
+
+val table2 : memcached_point list -> unit
+(** Derive Table 2 (unloaded p99 latency; max RPS under the 500 µs p99
+    SLA) from the fig5 sweep plus dedicated unloaded runs. *)
+
+val run_incast :
+  senders:int -> block:int -> config:Ixtcp.Tcb.config -> ecn:bool -> float
+(** One incast fan-in run; returns goodput in Gbps (0.0 if the transfer
+    never completed within the horizon). *)
+
+val run_incast_stats :
+  senders:int -> block:int -> config:Ixtcp.Tcb.config -> ecn:bool ->
+  float * int * int
+(** Like {!run_incast} but also returns (CE marks, tail drops) at the
+    receiver's switch port. *)
+
+val incast : unit -> unit
+(** Extension experiment (paper §6): incast goodput under a coarse RTO,
+    the fine-grained RTO the 16 µs timing wheel enables [64], and
+    DCTCP over an ECN-marking switch queue. *)
+
+val energy : unit -> unit
+(** Extension experiment (§4.3): the polling-vs-C-state trade-off —
+    power and energy per message across load levels for polling and
+    interrupt-driven IX. *)
+
+val ablations : unit -> unit
+(** Design-choice ablations from DESIGN.md §5: batching off, interrupts
+    instead of polling, copying instead of zero-copy, uncoalesced PCIe
+    doorbells, and broken flow steering. *)
+
+val run_all : unit -> unit

@@ -1,0 +1,1 @@
+lib/hw/cache_model.ml:

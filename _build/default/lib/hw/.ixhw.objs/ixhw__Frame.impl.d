@@ -1,0 +1,1 @@
+lib/hw/frame.ml: Bytes Char Ixmem Ixnet String

@@ -1,0 +1,1 @@
+lib/hw/frame.mli: Ixmem Ixnet

@@ -1,0 +1,1 @@
+lib/hw/link.ml: Engine Frame

@@ -1,0 +1,1 @@
+lib/hw/nic.ml: Array Frame Ixmem Ixnet Link List Printf Queue Toeplitz

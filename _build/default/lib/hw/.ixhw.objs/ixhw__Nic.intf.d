@@ -1,0 +1,1 @@
+lib/hw/nic.mli: Engine Frame Ixmem Ixnet Link

@@ -1,0 +1,1 @@
+lib/hw/pcie_model.ml:

@@ -1,0 +1,1 @@
+lib/hw/switch.ml: Array Engine Frame Hashtbl Ixnet Link List Option

@@ -1,0 +1,1 @@
+lib/hw/switch.mli: Engine Frame Ixnet Link

@@ -1,0 +1,1 @@
+lib/hw/toeplitz.ml: Bytes Char Ixnet String

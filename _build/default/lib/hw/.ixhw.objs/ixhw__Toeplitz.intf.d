@@ -1,0 +1,1 @@
+lib/hw/toeplitz.mli: Ixnet

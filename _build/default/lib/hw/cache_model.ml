@@ -1,0 +1,27 @@
+type t = {
+  l3_bytes : int;
+  per_conn_bytes : int;
+  ddio_floor : float;
+  miss_ns : int;
+  max_extra_misses : float;
+}
+
+let create ?(l3_bytes = 20 * 1024 * 1024) ?(per_conn_bytes = 512)
+    ?(ddio_floor = 1.4) ?(miss_ns = 32) () =
+  (* [max_extra_misses] calibrates the 250 k-connection point of §5.4
+     (~25 misses/message) given the other defaults. *)
+  { l3_bytes; per_conn_bytes; ddio_floor; miss_ns; max_extra_misses = 28.0 }
+
+let misses_per_message t ~conns =
+  let working_set = conns * t.per_conn_bytes in
+  if working_set <= t.l3_bytes then t.ddio_floor
+  else begin
+    let miss_fraction =
+      1. -. (float_of_int t.l3_bytes /. float_of_int working_set)
+    in
+    t.ddio_floor +. (t.max_extra_misses *. miss_fraction)
+  end
+
+let extra_ns_per_message t ~conns =
+  let extra = misses_per_message t ~conns -. t.ddio_floor in
+  int_of_float (extra *. float_of_int t.miss_ns)

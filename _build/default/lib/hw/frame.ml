@@ -1,0 +1,82 @@
+module Mbuf = Ixmem.Mbuf
+
+type t = { data : string }
+
+let of_mbuf mbuf = { data = Bytes.sub_string mbuf.Mbuf.buf mbuf.Mbuf.off mbuf.Mbuf.len }
+let length t = String.length t.data
+
+let wire_bytes t =
+  Ixnet.Ethernet.wire_bytes ~payload_len:(length t - Ixnet.Ethernet.header_size)
+
+let read_mac t off =
+  let b i = Char.code t.data.[off + i] in
+  (b 0 lsl 40) lor (b 1 lsl 32) lor (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8)
+  lor b 5
+
+let dst_mac t = read_mac t 0
+let src_mac t = read_mac t 6
+
+let read_u16 t off = (Char.code t.data.[off] lsl 8) lor Char.code t.data.[off + 1]
+
+let read_ip t off =
+  (Char.code t.data.[off] lsl 24)
+  lor (Char.code t.data.[off + 1] lsl 16)
+  lor (Char.code t.data.[off + 2] lsl 8)
+  lor Char.code t.data.[off + 3]
+
+let rss_tuple t =
+  if length t < 38 then None
+  else if read_u16 t 12 <> 0x0800 then None
+  else begin
+    let protocol = Char.code t.data.[23] in
+    if protocol <> 6 && protocol <> 17 then None
+    else if Char.code t.data.[14] <> 0x45 then None
+    else
+      Some (read_ip t 26, read_ip t 30, read_u16 t 34, read_u16 t 36)
+  end
+
+let l3l4_hash t =
+  match rss_tuple t with
+  | None -> 0
+  | Some (src_ip, dst_ip, src_port, dst_port) ->
+      (* A simple mixing of the 4-tuple; real switches use a vendor
+         hash, only uniformity matters here. *)
+      let h = ref 0x9E3779B9 in
+      let mix v = h := (!h lxor v) * 0x01000193 land max_int in
+      mix src_ip;
+      mix dst_ip;
+      mix ((src_port lsl 16) lor 1);
+      mix ((dst_port lsl 16) lor 1);
+      (* Murmur-style avalanche so the low bits (used for [mod n]
+         member selection) depend on every input bit. *)
+      let x = !h in
+      let x = (x lxor (x lsr 16)) * 0x85EBCA6B land max_int in
+      let x = (x lxor (x lsr 13)) * 0xC2B2AE35 land max_int in
+      x lxor (x lsr 16)
+
+let is_ce t =
+  length t >= 34 && read_u16 t 12 = 0x0800 && Char.code t.data.[15] land 3 = 3
+
+let with_ce t =
+  if length t < 34 || read_u16 t 12 <> 0x0800 then t
+  else begin
+    let tos = Char.code t.data.[15] in
+    if tos land 3 = 3 then t
+    else begin
+      let buf = Bytes.of_string t.data in
+      let tos' = tos lor 3 in
+      Bytes.set_uint8 buf 15 tos';
+      (* RFC 1624 incremental checksum update for the changed 16-bit
+         word (version/ihl . tos). *)
+      let m = (Char.code t.data.[14] lsl 8) lor tos in
+      let m' = (Char.code t.data.[14] lsl 8) lor tos' in
+      let hc = read_u16 t 24 in
+      let sum = (lnot hc land 0xFFFF) + (lnot m land 0xFFFF) + m' in
+      let rec fold s = if s > 0xFFFF then fold ((s land 0xFFFF) + (s lsr 16)) else s in
+      Bytes.set_uint16_be buf 24 (lnot (fold sum) land 0xFFFF);
+      { data = Bytes.unsafe_to_string buf }
+    end
+  end
+
+let to_mbuf t ~into =
+  Mbuf.append into t.data

@@ -1,0 +1,35 @@
+(** A frame in flight on the wire.
+
+    Transmission snapshots the mbuf into an immutable string (the DMA
+    read); reception copies it into an mbuf of the receiving queue's
+    pool (the DMA write).  The accessors below are the fixed-offset
+    header peeks NIC hardware performs for RSS and switching. *)
+
+type t = { data : string }
+
+val of_mbuf : Ixmem.Mbuf.t -> t
+val length : t -> int
+
+val wire_bytes : t -> int
+(** Bytes occupied on the wire including preamble/FCS/IFG/padding. *)
+
+val dst_mac : t -> Ixnet.Mac_addr.t
+val src_mac : t -> Ixnet.Mac_addr.t
+
+val rss_tuple : t -> (Ixnet.Ip_addr.t * Ixnet.Ip_addr.t * int * int) option
+(** (src ip, dst ip, src port, dst port) for TCP/UDP-over-IPv4 frames;
+    [None] for anything else (steered to queue 0). *)
+
+val l3l4_hash : t -> int
+(** The switch's LAG member-selection hash (bonding, §5.1). *)
+
+val to_mbuf : t -> into:Ixmem.Mbuf.t -> unit
+(** DMA the frame contents into a fresh mbuf. *)
+
+val with_ce : t -> t
+(** Return a copy with the IPv4 ECN field set to Congestion
+    Experienced, updating the header checksum incrementally (RFC 1624).
+    Non-IPv4 frames are returned unchanged — this is what an
+    ECN-marking switch queue does to passing packets. *)
+
+val is_ce : t -> bool

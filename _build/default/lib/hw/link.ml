@@ -1,0 +1,83 @@
+type t = {
+  sim : Engine.Sim.t;
+  bits_per_ns : float;
+  propagation_ns : int;
+  ecn_threshold_bytes : int option;
+  queue_limit_bytes : int option;
+  deliver : Frame.t -> unit;
+  mutable busy : Engine.Sim_time.t;
+  mutable total_bytes : int;
+  mutable total_frames : int;
+  mutable busy_ns : int;
+  mutable marked_count : int;
+  mutable dropped_count : int;
+}
+
+let create sim ~gbps ~propagation_ns ?ecn_threshold_bytes ?queue_limit_bytes
+    ~deliver () =
+  {
+    sim;
+    bits_per_ns = gbps;
+    propagation_ns;
+    ecn_threshold_bytes;
+    queue_limit_bytes;
+    deliver;
+    busy = 0;
+    total_bytes = 0;
+    total_frames = 0;
+    busy_ns = 0;
+    marked_count = 0;
+    dropped_count = 0;
+  }
+
+let serialize_ns t frame =
+  let bits = 8 * Frame.wire_bytes frame in
+  int_of_float (ceil (float_of_int bits /. t.bits_per_ns))
+
+let send_at t frame ~earliest =
+  let now = Engine.Sim.now t.sim in
+  let reference = max now earliest in
+  (* Backlog ahead of this frame, in bytes at line rate. *)
+  let backlog_ns = max 0 (t.busy - reference) in
+  let backlog_bytes =
+    int_of_float (float_of_int backlog_ns *. t.bits_per_ns /. 8.)
+  in
+  let drop =
+    match t.queue_limit_bytes with
+    | Some limit -> backlog_bytes > limit
+    | None -> false
+  in
+  if drop then t.dropped_count <- t.dropped_count + 1
+  else begin
+    let frame =
+      match t.ecn_threshold_bytes with
+      | Some threshold when backlog_bytes > threshold ->
+          t.marked_count <- t.marked_count + 1;
+          Frame.with_ce frame
+      | Some _ | None -> frame
+    in
+    let start = max reference t.busy in
+    let duration = serialize_ns t frame in
+    t.busy <- start + duration;
+    t.busy_ns <- t.busy_ns + duration;
+    t.total_bytes <- t.total_bytes + Frame.wire_bytes frame;
+    t.total_frames <- t.total_frames + 1;
+    let arrival = start + duration + t.propagation_ns in
+    ignore (Engine.Sim.at t.sim arrival (fun () -> t.deliver frame))
+  end
+
+let send t frame = send_at t frame ~earliest:0
+let busy_until t = t.busy
+
+let queue_delay t =
+  let now = Engine.Sim.now t.sim in
+  if t.busy > now then t.busy - now else 0
+
+let bytes_sent t = t.total_bytes
+let frames_sent t = t.total_frames
+
+let utilization t ~over =
+  if over = 0 then 0. else float_of_int t.busy_ns /. float_of_int over
+
+let marked t = t.marked_count
+let dropped t = t.dropped_count

@@ -1,0 +1,46 @@
+(** A unidirectional point-to-point link.
+
+    Frames serialize at the link rate (store-and-forward at the sender),
+    then arrive at the far end after the propagation delay.  Back-to-
+    back sends queue behind the link's busy time, which is what enforces
+    line-rate ceilings throughout the evaluation. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  gbps:float ->
+  propagation_ns:int ->
+  ?ecn_threshold_bytes:int ->
+  ?queue_limit_bytes:int ->
+  deliver:(Frame.t -> unit) ->
+  unit ->
+  t
+(** [ecn_threshold_bytes]: frames that would queue behind more than
+    this many bytes are CE-marked (a DCTCP-style AQM at the switch
+    port).  [queue_limit_bytes]: frames beyond this backlog are tail
+    dropped (finite switch buffers — what makes incast collapse). *)
+
+val send : t -> Frame.t -> unit
+(** Queue a frame for transmission; [deliver] fires at arrival time. *)
+
+val send_at : t -> Frame.t -> earliest:Engine.Sim_time.t -> unit
+(** Like [send] but not before [earliest]. *)
+
+val busy_until : t -> Engine.Sim_time.t
+
+val queue_delay : t -> Engine.Sim_time.t
+(** How long a frame handed over now would wait before starting to
+    serialize. *)
+
+val bytes_sent : t -> int
+val frames_sent : t -> int
+
+val utilization : t -> over:Engine.Sim_time.t -> float
+(** Fraction of [over] the link spent serializing. *)
+
+val marked : t -> int
+(** Frames CE-marked by the AQM. *)
+
+val dropped : t -> int
+(** Frames tail-dropped at the queue limit. *)

@@ -1,0 +1,120 @@
+module Mbuf = Ixmem.Mbuf
+module Mempool = Ixmem.Mempool
+
+let indirection_entries = 128
+
+type rx_queue = {
+  index : int;
+  ring : Mbuf.t Queue.t;
+  mutable avail_descs : int;
+  ring_size : int;
+  pool : Mempool.t;
+  mutable notify : unit -> unit;
+}
+
+type t = {
+  mac_addr : Ixnet.Mac_addr.t;
+  queues : rx_queue array;
+  mutable indirection : int array;
+  rss_key : string;
+  tx_link : Link.t;
+  mutable drops : int;
+  mutable rx_count : int;
+  mutable tx_count : int;
+}
+
+let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key)
+    ~tx () =
+  let make_queue index =
+    {
+      index;
+      ring = Queue.create ();
+      avail_descs = ring_size;
+      ring_size;
+      pool =
+        Mempool.create ~capacity:(4 * ring_size)
+          ~name:(Printf.sprintf "nic-rxq%d" index)
+          ();
+      notify = ignore;
+    }
+  in
+  {
+    mac_addr = mac;
+    queues = Array.init queues make_queue;
+    indirection = Array.init indirection_entries (fun i -> i mod queues);
+    rss_key;
+    tx_link = tx;
+    drops = 0;
+    rx_count = 0;
+    tx_count = 0;
+  }
+
+let mac t = t.mac_addr
+let queue_count t = Array.length t.queues
+let queue t i = t.queues.(i)
+
+let set_indirection t f =
+  t.indirection <-
+    Array.init indirection_entries (fun g ->
+        let q = f g in
+        assert (q >= 0 && q < Array.length t.queues);
+        q)
+
+let rss_queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
+  let hash =
+    Toeplitz.hash_tuple ~key:t.rss_key ~src_ip ~dst_ip ~src_port ~dst_port ()
+  in
+  t.indirection.(hash land (indirection_entries - 1))
+
+let classify t frame =
+  match Frame.rss_tuple frame with
+  | None -> 0
+  | Some (src_ip, dst_ip, src_port, dst_port) ->
+      rss_queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port
+
+let receive t frame =
+  let dst = Frame.dst_mac frame in
+  if dst <> t.mac_addr && not (Ixnet.Mac_addr.is_broadcast dst) then ()
+  else begin
+    let q = t.queues.(classify t frame) in
+    if q.avail_descs = 0 then t.drops <- t.drops + 1
+    else begin
+      match Mempool.alloc q.pool with
+      | None -> t.drops <- t.drops + 1
+      | Some mbuf ->
+          q.avail_descs <- q.avail_descs - 1;
+          Frame.to_mbuf frame ~into:mbuf;
+          Queue.push mbuf q.ring;
+          t.rx_count <- t.rx_count + 1;
+          q.notify ()
+    end
+  end
+
+let set_notify q f = q.notify <- f
+let queue_index q = q.index
+let rx_pending q = Queue.length q.ring
+
+let rx_burst q ~max =
+  let rec take acc n =
+    if n = 0 || Queue.is_empty q.ring then List.rev acc
+    else take (Queue.pop q.ring :: acc) (n - 1)
+  in
+  take [] max
+
+let replenish q n = q.avail_descs <- min q.ring_size (q.avail_descs + n)
+let free_descriptors q = q.avail_descs
+
+let transmit_at t mbuf ~earliest ~on_complete =
+  let frame = Frame.of_mbuf mbuf in
+  t.tx_count <- t.tx_count + 1;
+  (* The frame contents are snapshotted here (DMA read), so the driver
+     may reclaim the buffer immediately. *)
+  Link.send_at t.tx_link frame ~earliest;
+  on_complete ()
+
+let transmit t mbuf ~on_complete = transmit_at t mbuf ~earliest:0 ~on_complete
+
+let rx_drops t = t.drops
+let rx_frames t = t.rx_count
+let tx_frames t = t.tx_count
+let pool_of q = q.pool

@@ -1,0 +1,74 @@
+(** A multi-queue 10GbE NIC with receive-side scaling (modelled on the
+    Intel 82599, §4.2/§5.1).
+
+    Incoming frames are classified by a Toeplitz hash of the 4-tuple
+    through a 128-entry indirection table onto RX queues.  A frame is
+    DMA-ed into an mbuf from the queue's pool if the queue has posted
+    descriptors, otherwise it is dropped — replenishment is the
+    driver's job ([rx_burst] + [replenish]).  Each delivery fires the
+    queue's notifier; polling stacks use it to kick an idle loop,
+    interrupt-driven stacks apply moderation on top of it. *)
+
+type t
+
+type rx_queue
+
+val create :
+  Engine.Sim.t ->
+  mac:Ixnet.Mac_addr.t ->
+  queues:int ->
+  ?ring_size:int ->
+  ?rss_key:string ->
+  tx:Link.t ->
+  unit ->
+  t
+
+val mac : t -> Ixnet.Mac_addr.t
+val queue_count : t -> int
+val queue : t -> int -> rx_queue
+
+val set_indirection : t -> (int -> int) -> unit
+(** [set_indirection nic f] maps RSS flow group [g] (0..127) to queue
+    [f g].  The control plane uses this to rebalance flow groups when
+    elastic threads come and go. *)
+
+val rss_queue_of_tuple :
+  t -> src_ip:Ixnet.Ip_addr.t -> dst_ip:Ixnet.Ip_addr.t -> src_port:int -> dst_port:int -> int
+(** Which RX queue a flow — as seen by this NIC on receive — lands on;
+    used by [Port_alloc] to probe ephemeral ports. *)
+
+val receive : t -> Frame.t -> unit
+(** Entry point wired to the switch-side link's [deliver]. *)
+
+val set_notify : rx_queue -> (unit -> unit) -> unit
+(** Called (synchronously) each time a frame lands in the queue. *)
+
+val queue_index : rx_queue -> int
+
+val rx_pending : rx_queue -> int
+
+val rx_burst : rx_queue -> max:int -> Ixmem.Mbuf.t list
+(** Take up to [max] received mbufs (step 1 of the paper's Fig. 1b).
+    Ownership transfers to the caller. *)
+
+val replenish : rx_queue -> int -> unit
+(** Post [n] fresh RX descriptors. *)
+
+val free_descriptors : rx_queue -> int
+
+val transmit : t -> Ixmem.Mbuf.t -> on_complete:(unit -> unit) -> unit
+(** Place a frame on the wire; [on_complete] fires once the frame has
+    been snapshotted (DMA read), after which the caller may reclaim the
+    buffer. *)
+
+val transmit_at :
+  t -> Ixmem.Mbuf.t -> earliest:Engine.Sim_time.t -> on_complete:(unit -> unit) -> unit
+(** Like [transmit], but the frame does not start serializing before
+    [earliest] — used by run-to-completion stacks whose cycle finishes
+    (and rings its doorbell) at a future point of simulated time. *)
+
+val rx_drops : t -> int
+val rx_frames : t -> int
+val tx_frames : t -> int
+
+val pool_of : rx_queue -> Ixmem.Mempool.t

@@ -1,0 +1,15 @@
+type t = { doorbell_ns : int; batch : int }
+
+let create ?(doorbell_ns = 120) ?(replenish_batch = 32) () =
+  { doorbell_ns; batch = max 1 replenish_batch }
+
+let replenish_batch t = t.batch
+
+let replenish_cost_ns t ~descriptors =
+  if descriptors <= 0 then 0
+  else begin
+    let writes = (descriptors + t.batch - 1) / t.batch in
+    writes * t.doorbell_ns
+  end
+
+let doorbell_cost_ns t = t.doorbell_ns

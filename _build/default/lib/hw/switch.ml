@@ -1,0 +1,72 @@
+type port = { mutable mac : Ixnet.Mac_addr.t; mutable out : Link.t option }
+
+type t = {
+  sim : Engine.Sim.t;
+  crossing_ns : int;
+  ports : port array;
+  mac_table : (Ixnet.Mac_addr.t, int) Hashtbl.t;
+  mutable bonds : int list list;
+  mutable forwarded_count : int;
+  mutable flooded_count : int;
+}
+
+let create sim ?(crossing_ns = 300) ~ports () =
+  {
+    sim;
+    crossing_ns;
+    ports = Array.init ports (fun _ -> { mac = Ixnet.Mac_addr.zero; out = None });
+    mac_table = Hashtbl.create 64;
+    bonds = [];
+    forwarded_count = 0;
+    flooded_count = 0;
+  }
+
+let attach t ~port ~mac ~out =
+  t.ports.(port).mac <- mac;
+  t.ports.(port).out <- Some out;
+  Hashtbl.replace t.mac_table mac port
+
+let bond t ~ports = t.bonds <- ports :: t.bonds
+
+let bond_of t port_idx =
+  List.find_opt (fun group -> List.mem port_idx group) t.bonds
+
+let egress t port_idx frame =
+  match t.ports.(port_idx).out with
+  | Some link -> Link.send link frame
+  | None -> () (* unattached port: frame dropped *)
+
+(* Pick the LAG member carrying this frame's flow. *)
+let lag_member group frame =
+  let members = Array.of_list group in
+  let n = Array.length members in
+  members.(Frame.l3l4_hash frame mod n)
+
+let forward t ~ingress_port frame =
+  let dst = Frame.dst_mac frame in
+  if Ixnet.Mac_addr.is_broadcast dst then begin
+    t.flooded_count <- t.flooded_count + 1;
+    Array.iteri
+      (fun i port ->
+        if i <> ingress_port && Option.is_some port.out then egress t i frame)
+      t.ports
+  end
+  else begin
+    match Hashtbl.find_opt t.mac_table dst with
+    | None -> () (* unknown unicast: drop (hosts are statically attached) *)
+    | Some port_idx ->
+        t.forwarded_count <- t.forwarded_count + 1;
+        let port_idx =
+          match bond_of t port_idx with
+          | Some group -> lag_member group frame
+          | None -> port_idx
+        in
+        egress t port_idx frame
+  end
+
+let input t ~ingress_port frame =
+  ignore
+    (Engine.Sim.after t.sim t.crossing_ns (fun () -> forward t ~ingress_port frame))
+
+let forwarded t = t.forwarded_count
+let flooded t = t.flooded_count

@@ -1,0 +1,45 @@
+(* The hash XORs, for every set bit i of the input (MSB first), the
+   32-bit window of the key starting at bit i.  We slide the window one
+   bit at a time, which is plenty fast for a simulator. *)
+
+let default_key =
+  "\x6d\x5a\x56\xda\x25\x5b\x0e\xc2\x41\x67\x25\x3d\x43\xa3\x8f\xb0\
+   \xd0\xca\x2b\xcb\xae\x7b\x30\xb4\x77\xcb\x2d\xa3\x80\x30\xf2\x0c\
+   \x6a\x42\xb7\x3b\xbe\xac\x01\xfa"
+
+let symmetric_key = String.init 40 (fun i -> if i land 1 = 0 then '\x6d' else '\x5a')
+
+let key_bit key i =
+  let byte = Char.code key.[(i / 8) mod String.length key] in
+  (byte lsr (7 - (i mod 8))) land 1
+
+(* 32-bit key window starting at bit [i]. *)
+let key_window key i =
+  let w = ref 0 in
+  for b = 0 to 31 do
+    w := (!w lsl 1) lor key_bit key (i + b)
+  done;
+  !w
+
+let hash ?(key = default_key) input =
+  let result = ref 0 in
+  let window = ref (key_window key 0) in
+  let bit_pos = ref 0 in
+  String.iter
+    (fun c ->
+      let byte = Char.code c in
+      for bit = 7 downto 0 do
+        if byte land (1 lsl bit) <> 0 then result := !result lxor !window;
+        incr bit_pos;
+        window := ((!window lsl 1) land 0xFFFFFFFF) lor key_bit key (!bit_pos + 31)
+      done)
+    input;
+  !result
+
+let hash_tuple ?key ~src_ip ~dst_ip ~src_port ~dst_port () =
+  let input = Bytes.create 12 in
+  Ixnet.Ip_addr.write input 0 src_ip;
+  Ixnet.Ip_addr.write input 4 dst_ip;
+  Bytes.set_uint16_be input 8 src_port;
+  Bytes.set_uint16_be input 10 dst_port;
+  hash ?key (Bytes.unsafe_to_string input)

@@ -1,0 +1,24 @@
+(** Toeplitz hashing for receive-side scaling (RSS), as computed by the
+    Intel 82599 (§3, [43]).  Flow-consistent hashing of the TCP/IPv4
+    4-tuple steers each flow to a single hardware queue; because the
+    hash cannot be reversed, clients instead probe the ephemeral port
+    range ([Port_alloc]) until the reply hashes where they want (§4.4). *)
+
+val default_key : string
+(** The 40-byte Microsoft verification key. *)
+
+val symmetric_key : string
+(** A repeating 2-byte key making hash(src,dst) = hash(dst,src). *)
+
+val hash_tuple :
+  ?key:string ->
+  src_ip:Ixnet.Ip_addr.t ->
+  dst_ip:Ixnet.Ip_addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  unit ->
+  int
+(** 32-bit Toeplitz hash of the TCPv4 12-byte input. *)
+
+val hash : ?key:string -> string -> int
+(** Toeplitz hash of an arbitrary input string. *)

@@ -1,0 +1,1 @@
+lib/mem/iovec.ml: Bytes List String

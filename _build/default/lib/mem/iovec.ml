@@ -1,0 +1,14 @@
+type t = { buf : Bytes.t; off : int; len : int }
+
+let of_string s = { buf = Bytes.of_string s; off = 0; len = String.length s }
+let of_bytes b = { buf = b; off = 0; len = Bytes.length b }
+
+let sub t off len =
+  if off < 0 || len < 0 || off + len > t.len then invalid_arg "Iovec.sub";
+  { buf = t.buf; off = t.off + off; len }
+
+let total iovs = List.fold_left (fun acc iov -> acc + iov.len) 0 iovs
+
+let blit t ~src_off ~dst ~dst_off ~len =
+  assert (src_off + len <= t.len);
+  Bytes.blit t.buf (t.off + src_off) dst dst_off len

@@ -1,0 +1,15 @@
+(** Scatter/gather slices of application memory.
+
+    The IX [sendv] call takes a scatter/gather array of locations whose
+    contents must stay immutable until the peer acknowledges them
+    (§3, zero-copy API); these are those locations. *)
+
+type t = { buf : Bytes.t; off : int; len : int }
+
+val of_string : string -> t
+val of_bytes : Bytes.t -> t
+val sub : t -> int -> int -> t
+val total : t list -> int
+
+val blit : t -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+(** Copy [len] bytes starting [src_off] into the slice. *)

@@ -1,0 +1,62 @@
+type t = {
+  buf : Bytes.t;
+  mutable off : int;
+  mutable len : int;
+  mutable refcount : int;
+  mutable on_free : t -> unit;
+  id : int;
+}
+
+let default_size = 2048
+let headroom = 128
+let next_id = ref 0
+
+let create ?(size = default_size) () =
+  incr next_id;
+  {
+    buf = Bytes.create size;
+    off = headroom;
+    len = 0;
+    refcount = 1;
+    on_free = ignore;
+    id = !next_id;
+  }
+
+let reset t =
+  t.off <- headroom;
+  t.len <- 0;
+  t.refcount <- 1
+
+let incref t = t.refcount <- t.refcount + 1
+
+let decref t =
+  if t.refcount <= 0 then invalid_arg "Mbuf.decref: refcount already zero";
+  t.refcount <- t.refcount - 1;
+  if t.refcount = 0 then t.on_free t
+
+let capacity t = Bytes.length t.buf
+let tailroom t = Bytes.length t.buf - (t.off + t.len)
+
+let append_bytes t src src_off src_len =
+  if src_len > tailroom t then invalid_arg "Mbuf.append_bytes: no tailroom";
+  Bytes.blit src src_off t.buf (t.off + t.len) src_len;
+  t.len <- t.len + src_len
+
+let append t s =
+  if String.length s > tailroom t then invalid_arg "Mbuf.append: no tailroom";
+  Bytes.blit_string s 0 t.buf (t.off + t.len) (String.length s);
+  t.len <- t.len + String.length s
+
+let prepend t n =
+  if n > t.off then invalid_arg "Mbuf.prepend: no headroom";
+  t.off <- t.off - n;
+  t.len <- t.len + n;
+  t.off
+
+let adjust t n =
+  if n > t.len then invalid_arg "Mbuf.adjust: beyond payload";
+  t.off <- t.off + n;
+  t.len <- t.len - n
+
+let payload t = Bytes.sub_string t.buf t.off t.len
+let blit_payload t dst dst_off = Bytes.blit t.buf t.off dst dst_off t.len

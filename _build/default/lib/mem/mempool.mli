@@ -1,0 +1,32 @@
+(** Per-hardware-thread memory pools (§4.2).
+
+    Each pool is structured as arrays of identically sized objects,
+    provisioned in page-sized blocks; free objects are tracked with a
+    simple free list.  One pool per elastic thread means allocation
+    never synchronizes with other cores.  The pool records allocation
+    statistics so benchmarks can report pressure and exhaustion. *)
+
+type t
+
+val create : ?mbuf_size:int -> ?capacity:int -> name:string -> unit -> t
+(** [create ~name ()] makes a pool that can hold up to [capacity]
+    mbufs (default 16384) of [mbuf_size] bytes, provisioned lazily in
+    page-sized blocks. *)
+
+val alloc : t -> Mbuf.t option
+(** Take an mbuf from the free list, growing the pool by one block if
+    needed.  [None] once [capacity] objects are live (pool exhausted) —
+    callers treat this as packet drop, as real NIC replenishment does. *)
+
+val free_count : t -> int
+(** Objects currently sitting in the free list. *)
+
+val live_count : t -> int
+(** Objects currently allocated out of the pool. *)
+
+val capacity : t -> int
+
+val stat_allocs : t -> int
+val stat_failures : t -> int
+
+val name : t -> string

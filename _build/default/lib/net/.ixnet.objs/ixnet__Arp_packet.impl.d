@@ -1,0 +1,1 @@
+lib/net/arp_packet.ml: Bytes Ip_addr Ixmem Mac_addr

@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Bytes Ixmem Mac_addr

@@ -1,0 +1,1 @@
+lib/net/icmp_packet.ml: Bytes Checksum Ixmem String

@@ -1,0 +1,1 @@
+lib/net/ipv4_packet.ml: Bytes Checksum Ip_addr Ixmem

@@ -1,0 +1,1 @@
+lib/net/ipv4_packet.mli: Ip_addr Ixmem

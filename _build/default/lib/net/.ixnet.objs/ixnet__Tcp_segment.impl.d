@@ -1,0 +1,1 @@
+lib/net/tcp_segment.ml: Bytes Checksum Format Int32 Ipv4_packet Ixmem

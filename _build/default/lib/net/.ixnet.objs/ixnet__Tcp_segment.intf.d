@@ -1,0 +1,1 @@
+lib/net/tcp_segment.mli: Format Ip_addr Ixmem

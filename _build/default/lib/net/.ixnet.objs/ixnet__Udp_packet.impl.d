@@ -1,0 +1,1 @@
+lib/net/udp_packet.ml: Bytes Checksum Ipv4_packet Ixmem

@@ -1,0 +1,1 @@
+lib/net/udp_packet.mli: Ip_addr Ixmem

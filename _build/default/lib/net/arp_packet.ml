@@ -1,0 +1,50 @@
+module Mbuf = Ixmem.Mbuf
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac_addr.t;
+  sender_ip : Ip_addr.t;
+  target_mac : Mac_addr.t;
+  target_ip : Ip_addr.t;
+}
+
+let size = 28
+
+let write mbuf t =
+  if Mbuf.tailroom mbuf < size then invalid_arg "Arp_packet.write: no room";
+  let off = mbuf.Mbuf.off + mbuf.Mbuf.len in
+  let buf = mbuf.Mbuf.buf in
+  Bytes.set_uint16_be buf off 1 (* htype: ethernet *);
+  Bytes.set_uint16_be buf (off + 2) 0x0800 (* ptype: ipv4 *);
+  Bytes.set_uint8 buf (off + 4) 6;
+  Bytes.set_uint8 buf (off + 5) 4;
+  Bytes.set_uint16_be buf (off + 6) (match t.op with Request -> 1 | Reply -> 2);
+  Mac_addr.write buf (off + 8) t.sender_mac;
+  Ip_addr.write buf (off + 14) t.sender_ip;
+  Mac_addr.write buf (off + 18) t.target_mac;
+  Ip_addr.write buf (off + 24) t.target_ip;
+  mbuf.Mbuf.len <- mbuf.Mbuf.len + size
+
+let decode mbuf =
+  if mbuf.Mbuf.len < size then Error "arp: packet too short"
+  else begin
+    let off = mbuf.Mbuf.off in
+    let buf = mbuf.Mbuf.buf in
+    if Bytes.get_uint16_be buf off <> 1 || Bytes.get_uint16_be buf (off + 2) <> 0x0800
+    then Error "arp: unsupported hardware or protocol type"
+    else begin
+      match Bytes.get_uint16_be buf (off + 6) with
+      | (1 | 2) as code ->
+          Ok
+            {
+              op = (if code = 1 then Request else Reply);
+              sender_mac = Mac_addr.read buf (off + 8);
+              sender_ip = Ip_addr.read buf (off + 14);
+              target_mac = Mac_addr.read buf (off + 18);
+              target_ip = Ip_addr.read buf (off + 24);
+            }
+      | _ -> Error "arp: bad opcode"
+    end
+  end

@@ -1,0 +1,21 @@
+(** ARP requests and replies (RFC 826), IPv4-over-Ethernet only.  The
+    paper implemented its own RFC-compliant ARP on top of lwIP; here it
+    backs the RCU-protected ARP cache in the dataplane. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac_addr.t;
+  sender_ip : Ip_addr.t;
+  target_mac : Mac_addr.t;
+  target_ip : Ip_addr.t;
+}
+
+val size : int
+(** 28 bytes. *)
+
+val write : Ixmem.Mbuf.t -> t -> unit
+(** Append the packet to an (empty-payload) mbuf. *)
+
+val decode : Ixmem.Mbuf.t -> (t, string) result

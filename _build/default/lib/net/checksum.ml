@@ -1,0 +1,28 @@
+let ones_complement_sum buf ~off ~len ~init =
+  let sum = ref init in
+  let last = off + len in
+  let i = ref off in
+  while !i + 1 < last do
+    sum := !sum + ((Bytes.get_uint8 buf !i lsl 8) lor Bytes.get_uint8 buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (Bytes.get_uint8 buf !i lsl 8);
+  !sum
+
+let finish sum =
+  let rec fold s = if s > 0xFFFF then fold ((s land 0xFFFF) + (s lsr 16)) else s in
+  lnot (fold sum) land 0xFFFF
+
+let compute buf ~off ~len = finish (ones_complement_sum buf ~off ~len ~init:0)
+
+let pseudo_header_sum ~src ~dst ~protocol ~length =
+  ((src lsr 16) land 0xFFFF)
+  + (src land 0xFFFF)
+  + ((dst lsr 16) land 0xFFFF)
+  + (dst land 0xFFFF)
+  + protocol + length
+
+let verify buf ~off ~len ~init =
+  let sum = ones_complement_sum buf ~off ~len ~init in
+  let rec fold s = if s > 0xFFFF then fold ((s land 0xFFFF) + (s lsr 16)) else s in
+  fold sum = 0xFFFF

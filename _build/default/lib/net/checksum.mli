@@ -1,0 +1,19 @@
+(** RFC 1071 internet checksum, plus the TCP/UDP pseudo-header form. *)
+
+val ones_complement_sum : Bytes.t -> off:int -> len:int -> init:int -> int
+(** Fold 16-bit big-endian words with end-around carry into a partial
+    sum.  An odd trailing byte is padded with zero, per RFC 1071. *)
+
+val finish : int -> int
+(** Fold carries and complement, yielding the 16-bit checksum field. *)
+
+val compute : Bytes.t -> off:int -> len:int -> int
+(** Checksum of a single region (used for IPv4/ICMP headers). *)
+
+val pseudo_header_sum :
+  src:Ip_addr.t -> dst:Ip_addr.t -> protocol:int -> length:int -> int
+(** Partial sum over the IPv4 pseudo header, to be passed as [init] when
+    summing a TCP or UDP segment. *)
+
+val verify : Bytes.t -> off:int -> len:int -> init:int -> bool
+(** A region containing its own checksum field sums to 0xFFFF. *)

@@ -1,0 +1,40 @@
+module Mbuf = Ixmem.Mbuf
+
+type ethertype = Ipv4 | Arp | Other of int
+
+type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : ethertype }
+
+let header_size = 14
+let mtu = 1500
+let wire_overhead = 24
+let min_frame = 64
+
+let wire_bytes ~payload_len =
+  let frame = header_size + payload_len + 4 in
+  (* +4: FCS counts toward the 64-byte minimum *)
+  let frame = if frame < min_frame then min_frame else frame in
+  frame + wire_overhead - 4 (* FCS already included in [frame] *)
+
+let ethertype_code = function Ipv4 -> 0x0800 | Arp -> 0x0806 | Other n -> n
+
+let ethertype_of_code = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | n -> Other n
+
+let prepend mbuf t =
+  let off = Mbuf.prepend mbuf header_size in
+  Mac_addr.write mbuf.Mbuf.buf off t.dst;
+  Mac_addr.write mbuf.Mbuf.buf (off + 6) t.src;
+  Bytes.set_uint16_be mbuf.Mbuf.buf (off + 12) (ethertype_code t.ethertype)
+
+let decode mbuf =
+  if mbuf.Mbuf.len < header_size then Error "ethernet: frame too short"
+  else begin
+    let off = mbuf.Mbuf.off in
+    let dst = Mac_addr.read mbuf.Mbuf.buf off in
+    let src = Mac_addr.read mbuf.Mbuf.buf (off + 6) in
+    let ethertype = ethertype_of_code (Bytes.get_uint16_be mbuf.Mbuf.buf (off + 12)) in
+    Mbuf.adjust mbuf header_size;
+    Ok { dst; src; ethertype }
+  end

@@ -1,0 +1,29 @@
+(** Ethernet II framing. *)
+
+type ethertype = Ipv4 | Arp | Other of int
+
+type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : ethertype }
+
+val header_size : int
+(** 14 bytes. *)
+
+val mtu : int
+(** 1500 — jumbo frames are never enabled (§5.1). *)
+
+val wire_overhead : int
+(** Preamble (8) + FCS (4) + inter-frame gap (12) = 24 bytes charged on
+    the wire per frame in addition to the header+payload. *)
+
+val min_frame : int
+(** 64 bytes: short frames are padded on the wire. *)
+
+val wire_bytes : payload_len:int -> int
+(** Total bytes a frame with [payload_len] bytes after the Ethernet
+    header occupies on the wire, including padding and overhead.  This
+    is what determines line-rate message ceilings. *)
+
+val prepend : Ixmem.Mbuf.t -> t -> unit
+(** Prepend the 14-byte header to an mbuf's payload. *)
+
+val decode : Ixmem.Mbuf.t -> (t, string) result
+(** Parse the header at the mbuf's current offset and advance past it. *)

@@ -1,0 +1,49 @@
+module Mbuf = Ixmem.Mbuf
+
+type kind = Echo_request | Echo_reply
+
+type t = { kind : kind; ident : int; seq : int; data : string }
+
+let header = 8
+
+let write mbuf t =
+  let len = header + String.length t.data in
+  if Mbuf.tailroom mbuf < len then invalid_arg "Icmp_packet.write: no room";
+  let off = mbuf.Mbuf.off + mbuf.Mbuf.len in
+  let buf = mbuf.Mbuf.buf in
+  Bytes.set_uint8 buf off (match t.kind with Echo_request -> 8 | Echo_reply -> 0);
+  Bytes.set_uint8 buf (off + 1) 0 (* code *);
+  Bytes.set_uint16_be buf (off + 2) 0 (* checksum placeholder *);
+  Bytes.set_uint16_be buf (off + 4) t.ident;
+  Bytes.set_uint16_be buf (off + 6) t.seq;
+  Bytes.blit_string t.data 0 buf (off + header) (String.length t.data);
+  let csum = Checksum.compute buf ~off ~len in
+  Bytes.set_uint16_be buf (off + 2) csum;
+  mbuf.Mbuf.len <- mbuf.Mbuf.len + len
+
+let decode mbuf =
+  if mbuf.Mbuf.len < header then Error "icmp: too short"
+  else begin
+    let off = mbuf.Mbuf.off in
+    let buf = mbuf.Mbuf.buf in
+    if not (Checksum.verify buf ~off ~len:mbuf.Mbuf.len ~init:0) then
+      Error "icmp: bad checksum"
+    else begin
+      let kind =
+        match Bytes.get_uint8 buf off with
+        | 8 -> Some Echo_request
+        | 0 -> Some Echo_reply
+        | _ -> None
+      in
+      match kind with
+      | None -> Error "icmp: unsupported type"
+      | Some kind ->
+          Ok
+            {
+              kind;
+              ident = Bytes.get_uint16_be buf (off + 4);
+              seq = Bytes.get_uint16_be buf (off + 6);
+              data = Bytes.sub_string buf (off + header) (mbuf.Mbuf.len - header);
+            }
+    end
+  end

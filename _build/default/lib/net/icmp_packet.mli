@@ -1,0 +1,10 @@
+(** ICMP echo request/reply — enough to support a ping utility over the
+    simulated fabric, mirroring the paper's "we implemented our own
+    RFC-compliant support for UDP, ARP and ICMP". *)
+
+type kind = Echo_request | Echo_reply
+
+type t = { kind : kind; ident : int; seq : int; data : string }
+
+val write : Ixmem.Mbuf.t -> t -> unit
+val decode : Ixmem.Mbuf.t -> (t, string) result

@@ -1,0 +1,23 @@
+type t = int
+
+let of_octets a b c d =
+  ((a land 0xFF) lsl 24) lor ((b land 0xFF) lsl 16) lor ((c land 0xFF) lsl 8)
+  lor (d land 0xFF)
+
+let of_host_id n = of_octets 10 0 ((n lsr 8) land 0xFF) (n land 0xFF)
+
+let write buf off t =
+  Bytes.set_uint8 buf off ((t lsr 24) land 0xFF);
+  Bytes.set_uint8 buf (off + 1) ((t lsr 16) land 0xFF);
+  Bytes.set_uint8 buf (off + 2) ((t lsr 8) land 0xFF);
+  Bytes.set_uint8 buf (off + 3) (t land 0xFF)
+
+let read buf off =
+  (Bytes.get_uint8 buf off lsl 24)
+  lor (Bytes.get_uint8 buf (off + 1) lsl 16)
+  lor (Bytes.get_uint8 buf (off + 2) lsl 8)
+  lor Bytes.get_uint8 buf (off + 3)
+
+let pp fmt t =
+  Format.fprintf fmt "%d.%d.%d.%d" ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF) (t land 0xFF)

@@ -1,0 +1,11 @@
+(** IPv4 addresses as unboxed ints (low 32 bits). *)
+
+type t = int
+
+val of_octets : int -> int -> int -> int -> t
+val of_host_id : int -> t
+(** Address 10.0.(n lsr 8).(n land 0xff) for simulated host [n]. *)
+
+val write : Bytes.t -> int -> t -> unit
+val read : Bytes.t -> int -> t
+val pp : Format.formatter -> t -> unit

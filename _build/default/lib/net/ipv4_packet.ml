@@ -1,0 +1,70 @@
+module Mbuf = Ixmem.Mbuf
+
+type protocol = Tcp | Udp | Icmp | Other of int
+
+type t = {
+  src : Ip_addr.t;
+  dst : Ip_addr.t;
+  protocol : protocol;
+  ttl : int;
+  ecn : int;
+  payload_len : int;
+}
+
+let header_size = 20
+let ce = 3
+let protocol_code = function Icmp -> 1 | Tcp -> 6 | Udp -> 17 | Other n -> n
+
+let protocol_of_code = function
+  | 1 -> Icmp
+  | 6 -> Tcp
+  | 17 -> Udp
+  | n -> Other n
+
+let prepend mbuf t =
+  let off = Mbuf.prepend mbuf header_size in
+  let buf = mbuf.Mbuf.buf in
+  Bytes.set_uint8 buf off 0x45 (* version 4, ihl 5 *);
+  Bytes.set_uint8 buf (off + 1) (t.ecn land 3) (* dscp/ecn *);
+  Bytes.set_uint16_be buf (off + 2) (header_size + t.payload_len);
+  Bytes.set_uint16_be buf (off + 4) 0 (* identification *);
+  Bytes.set_uint16_be buf (off + 6) 0x4000 (* don't fragment *);
+  Bytes.set_uint8 buf (off + 8) t.ttl;
+  Bytes.set_uint8 buf (off + 9) (protocol_code t.protocol);
+  Bytes.set_uint16_be buf (off + 10) 0 (* checksum placeholder *);
+  Ip_addr.write buf (off + 12) t.src;
+  Ip_addr.write buf (off + 16) t.dst;
+  let csum = Checksum.compute buf ~off ~len:header_size in
+  Bytes.set_uint16_be buf (off + 10) csum
+
+let decode mbuf =
+  if mbuf.Mbuf.len < header_size then Error "ipv4: packet too short"
+  else begin
+    let off = mbuf.Mbuf.off in
+    let buf = mbuf.Mbuf.buf in
+    let vihl = Bytes.get_uint8 buf off in
+    if vihl <> 0x45 then Error "ipv4: bad version or options present"
+    else if not (Checksum.verify buf ~off ~len:header_size ~init:0) then
+      Error "ipv4: bad header checksum"
+    else begin
+      let total_len = Bytes.get_uint16_be buf (off + 2) in
+      if total_len < header_size || total_len > mbuf.Mbuf.len then
+        Error "ipv4: bad total length"
+      else begin
+        let t =
+          {
+            src = Ip_addr.read buf (off + 12);
+            dst = Ip_addr.read buf (off + 16);
+            protocol = protocol_of_code (Bytes.get_uint8 buf (off + 9));
+            ttl = Bytes.get_uint8 buf (off + 8);
+            ecn = Bytes.get_uint8 buf (off + 1) land 3;
+            payload_len = total_len - header_size;
+          }
+        in
+        Mbuf.adjust mbuf header_size;
+        (* Trim Ethernet minimum-frame padding. *)
+        mbuf.Mbuf.len <- t.payload_len;
+        Ok t
+      end
+    end
+  end

@@ -1,0 +1,28 @@
+(** IPv4 headers (no options, no fragmentation — datacenter paths with a
+    1500-byte MTU and TCP MSS clamping never fragment here). *)
+
+type protocol = Tcp | Udp | Icmp | Other of int
+
+type t = {
+  src : Ip_addr.t;
+  dst : Ip_addr.t;
+  protocol : protocol;
+  ttl : int;
+  ecn : int;  (** 2-bit ECN field: 0 = not-ECT, 1/2 = ECT, 3 = CE *)
+  payload_len : int;  (** bytes following the 20-byte header *)
+}
+
+val header_size : int
+
+val protocol_code : protocol -> int
+
+val ce : int
+(** Congestion Experienced (0b11). *)
+
+val prepend : Ixmem.Mbuf.t -> t -> unit
+(** Prepend a header (with correct checksum) to the mbuf, whose current
+    payload must be exactly the L4 segment of [payload_len] bytes. *)
+
+val decode : Ixmem.Mbuf.t -> (t, string) result
+(** Validate the header checksum and length, advance past the header and
+    trim any Ethernet padding beyond [payload_len]. *)

@@ -1,0 +1,159 @@
+module Mbuf = Ixmem.Mbuf
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  syn : bool;
+  ack_flag : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  ece : bool;
+  cwr : bool;
+  window : int;
+  mss : int option;
+  wscale : int option;
+  payload_off : int;
+  payload_len : int;
+}
+
+let header_size = 20
+
+let options_size t =
+  let mss = match t.mss with Some _ -> 4 | None -> 0 in
+  let ws = match t.wscale with Some _ -> 3 | None -> 0 in
+  (* Round up to a 4-byte boundary with NOP/EOL padding. *)
+  (mss + ws + 3) land lnot 3
+
+let flags_byte t =
+  (if t.fin then 0x01 else 0)
+  lor (if t.syn then 0x02 else 0)
+  lor (if t.rst then 0x04 else 0)
+  lor (if t.psh then 0x08 else 0)
+  lor (if t.ack_flag then 0x10 else 0)
+  lor (if t.ece then 0x40 else 0)
+  lor if t.cwr then 0x80 else 0
+
+let prepend mbuf ~src ~dst t =
+  let opt_len = options_size t in
+  let hdr_len = header_size + opt_len in
+  let seg_len = mbuf.Mbuf.len + hdr_len in
+  let off = Mbuf.prepend mbuf hdr_len in
+  let buf = mbuf.Mbuf.buf in
+  Bytes.set_uint16_be buf off t.src_port;
+  Bytes.set_uint16_be buf (off + 2) t.dst_port;
+  Bytes.set_int32_be buf (off + 4) (Int32.of_int (t.seq land 0xFFFFFFFF));
+  Bytes.set_int32_be buf (off + 8) (Int32.of_int (t.ack land 0xFFFFFFFF));
+  Bytes.set_uint8 buf (off + 12) ((hdr_len / 4) lsl 4);
+  Bytes.set_uint8 buf (off + 13) (flags_byte t);
+  Bytes.set_uint16_be buf (off + 14) (t.window land 0xFFFF);
+  Bytes.set_uint16_be buf (off + 16) 0 (* checksum placeholder *);
+  Bytes.set_uint16_be buf (off + 18) 0 (* urgent pointer *);
+  (* Options. *)
+  let pos = ref (off + header_size) in
+  (match t.mss with
+  | Some mss ->
+      Bytes.set_uint8 buf !pos 2;
+      Bytes.set_uint8 buf (!pos + 1) 4;
+      Bytes.set_uint16_be buf (!pos + 2) mss;
+      pos := !pos + 4
+  | None -> ());
+  (match t.wscale with
+  | Some shift ->
+      Bytes.set_uint8 buf !pos 3;
+      Bytes.set_uint8 buf (!pos + 1) 3;
+      Bytes.set_uint8 buf (!pos + 2) shift;
+      pos := !pos + 3
+  | None -> ());
+  while !pos < off + hdr_len do
+    Bytes.set_uint8 buf !pos 1 (* NOP *);
+    incr pos
+  done;
+  let init =
+    Checksum.pseudo_header_sum ~src ~dst
+      ~protocol:(Ipv4_packet.protocol_code Ipv4_packet.Tcp)
+      ~length:seg_len
+  in
+  let csum = Checksum.finish (Checksum.ones_complement_sum buf ~off ~len:seg_len ~init) in
+  Bytes.set_uint16_be buf (off + 16) csum
+
+let parse_options buf ~off ~len =
+  let mss = ref None and wscale = ref None in
+  let rec scan pos =
+    if pos < off + len then begin
+      match Bytes.get_uint8 buf pos with
+      | 0 -> () (* end of options *)
+      | 1 -> scan (pos + 1) (* NOP *)
+      | kind ->
+          if pos + 1 >= off + len then ()
+          else begin
+            let olen = Bytes.get_uint8 buf (pos + 1) in
+            if olen < 2 || pos + olen > off + len then ()
+            else begin
+              (match kind with
+              | 2 when olen = 4 -> mss := Some (Bytes.get_uint16_be buf (pos + 2))
+              | 3 when olen = 3 -> wscale := Some (Bytes.get_uint8 buf (pos + 2))
+              | _ -> ());
+              scan (pos + olen)
+            end
+          end
+    end
+  in
+  scan off;
+  (!mss, !wscale)
+
+let decode mbuf ~src ~dst =
+  if mbuf.Mbuf.len < header_size then Error "tcp: segment too short"
+  else begin
+    let off = mbuf.Mbuf.off in
+    let buf = mbuf.Mbuf.buf in
+    let data_off = (Bytes.get_uint8 buf (off + 12) lsr 4) * 4 in
+    if data_off < header_size || data_off > mbuf.Mbuf.len then
+      Error "tcp: bad data offset"
+    else begin
+      let seg_len = mbuf.Mbuf.len in
+      let init =
+        Checksum.pseudo_header_sum ~src ~dst
+          ~protocol:(Ipv4_packet.protocol_code Ipv4_packet.Tcp)
+          ~length:seg_len
+      in
+      if not (Checksum.verify buf ~off ~len:seg_len ~init) then
+        Error "tcp: bad checksum"
+      else begin
+        let flags = Bytes.get_uint8 buf (off + 13) in
+        let mss, wscale =
+          if data_off > header_size then
+            parse_options buf ~off:(off + header_size) ~len:(data_off - header_size)
+          else (None, None)
+        in
+        Ok
+          {
+            src_port = Bytes.get_uint16_be buf off;
+            dst_port = Bytes.get_uint16_be buf (off + 2);
+            seq = Int32.to_int (Bytes.get_int32_be buf (off + 4)) land 0xFFFFFFFF;
+            ack = Int32.to_int (Bytes.get_int32_be buf (off + 8)) land 0xFFFFFFFF;
+            fin = flags land 0x01 <> 0;
+            syn = flags land 0x02 <> 0;
+            rst = flags land 0x04 <> 0;
+            psh = flags land 0x08 <> 0;
+            ack_flag = flags land 0x10 <> 0;
+            ece = flags land 0x40 <> 0;
+            cwr = flags land 0x80 <> 0;
+            window = Bytes.get_uint16_be buf (off + 14);
+            mss;
+            wscale;
+            payload_off = off + data_off;
+            payload_len = seg_len - data_off;
+          }
+      end
+    end
+  end
+
+let pp fmt t =
+  let flag c b = if b then c else "" in
+  Format.fprintf fmt "%d>%d seq=%d ack=%d len=%d [%s%s%s%s%s] win=%d" t.src_port
+    t.dst_port t.seq t.ack t.payload_len (flag "S" t.syn)
+    (flag "A" t.ack_flag) (flag "F" t.fin) (flag "R" t.rst) (flag "P" t.psh)
+    t.window

@@ -1,0 +1,38 @@
+(** TCP segment wire format (RFC 793), with the MSS and window-scale
+    options (RFC 7323) that the single-flow bandwidth experiments
+    (NetPIPE, Fig. 2) depend on. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** 32-bit sequence number (low 32 bits used) *)
+  ack : int;
+  syn : bool;
+  ack_flag : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  ece : bool;  (** ECN echo (RFC 3168), used by the DCTCP extension *)
+  cwr : bool;  (** congestion window reduced *)
+  window : int;  (** raw 16-bit window field (pre-scaling) *)
+  mss : int option;  (** SYN-only option *)
+  wscale : int option;  (** SYN-only option *)
+  payload_off : int;  (** payload position within the mbuf buffer *)
+  payload_len : int;
+}
+
+val header_size : int
+(** Minimum header (20 bytes); options add to this. *)
+
+val prepend :
+  Ixmem.Mbuf.t -> src:Ip_addr.t -> dst:Ip_addr.t -> t -> unit
+(** Prepend the TCP header (with options and pseudo-header checksum) to
+    an mbuf whose payload is the segment body.  [payload_off]/[len] of
+    [t] are ignored on encode; the mbuf payload is the body. *)
+
+val decode :
+  Ixmem.Mbuf.t -> src:Ip_addr.t -> dst:Ip_addr.t -> (t, string) result
+(** Parse and checksum-verify the segment at the mbuf's offset.  Does
+    not consume the mbuf: [payload_off]/[payload_len] point into it. *)
+
+val pp : Format.formatter -> t -> unit

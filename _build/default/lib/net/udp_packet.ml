@@ -1,0 +1,49 @@
+module Mbuf = Ixmem.Mbuf
+
+type t = { src_port : int; dst_port : int; payload_off : int; payload_len : int }
+
+let header_size = 8
+
+let prepend mbuf ~src ~dst ~src_port ~dst_port =
+  let seg_len = mbuf.Mbuf.len + header_size in
+  let off = Mbuf.prepend mbuf header_size in
+  let buf = mbuf.Mbuf.buf in
+  Bytes.set_uint16_be buf off src_port;
+  Bytes.set_uint16_be buf (off + 2) dst_port;
+  Bytes.set_uint16_be buf (off + 4) seg_len;
+  Bytes.set_uint16_be buf (off + 6) 0;
+  let init =
+    Checksum.pseudo_header_sum ~src ~dst
+      ~protocol:(Ipv4_packet.protocol_code Ipv4_packet.Udp)
+      ~length:seg_len
+  in
+  let csum = Checksum.finish (Checksum.ones_complement_sum buf ~off ~len:seg_len ~init) in
+  (* An all-zero computed checksum is transmitted as 0xFFFF (RFC 768). *)
+  Bytes.set_uint16_be buf (off + 6) (if csum = 0 then 0xFFFF else csum)
+
+let decode mbuf ~src ~dst =
+  if mbuf.Mbuf.len < header_size then Error "udp: too short"
+  else begin
+    let off = mbuf.Mbuf.off in
+    let buf = mbuf.Mbuf.buf in
+    let seg_len = Bytes.get_uint16_be buf (off + 4) in
+    if seg_len < header_size || seg_len > mbuf.Mbuf.len then Error "udp: bad length"
+    else begin
+      let init =
+        Checksum.pseudo_header_sum ~src ~dst
+          ~protocol:(Ipv4_packet.protocol_code Ipv4_packet.Udp)
+          ~length:seg_len
+      in
+      if Bytes.get_uint16_be buf (off + 6) <> 0
+         && not (Checksum.verify buf ~off ~len:seg_len ~init)
+      then Error "udp: bad checksum"
+      else
+        Ok
+          {
+            src_port = Bytes.get_uint16_be buf off;
+            dst_port = Bytes.get_uint16_be buf (off + 2);
+            payload_off = off + header_size;
+            payload_len = seg_len - header_size;
+          }
+    end
+  end

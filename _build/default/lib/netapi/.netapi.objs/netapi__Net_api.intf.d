@@ -1,0 +1,1 @@
+lib/netapi/net_api.mli: Ixnet

@@ -1,0 +1,33 @@
+type conn = {
+  id : int;
+  send : string -> bool;
+  close : unit -> unit;
+  abort : unit -> unit;
+  peer : Ixnet.Ip_addr.t * int;
+}
+
+type handlers = {
+  on_connected : conn -> ok:bool -> unit;
+  on_data : conn -> string -> unit;
+  on_sent : conn -> int -> unit;
+  on_closed : conn -> unit;
+}
+
+let null_handlers =
+  {
+    on_connected = (fun _ ~ok:_ -> ());
+    on_data = (fun _ _ -> ());
+    on_sent = (fun _ _ -> ());
+    on_closed = (fun _ -> ());
+  }
+
+type stack = {
+  name : string;
+  threads : int;
+  connect : thread:int -> ip:Ixnet.Ip_addr.t -> port:int -> handlers -> unit;
+  listen : port:int -> (thread:int -> conn -> handlers) -> unit;
+  run_app : thread:int -> (unit -> unit) -> unit;
+  charge_app : thread:int -> int -> unit;
+  kernel_share : unit -> float;
+  conn_count : unit -> int;
+}

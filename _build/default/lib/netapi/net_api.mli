@@ -1,0 +1,48 @@
+(** The stack-portable application interface.
+
+    The benchmark applications (echo, NetPIPE, memcached) are written
+    once against this interface and run unchanged over the IX dataplane
+    (via libix), the Linux baseline stack and the mTCP baseline stack —
+    mirroring how the paper ports the same benchmarks across systems.
+
+    Payloads are delivered as [string]s; whether a copy was *charged*
+    (and where) is each stack's own business, which is exactly the
+    zero-copy-vs-copying distinction under study. *)
+
+type conn = {
+  id : int;  (** unique within the stack *)
+  send : string -> bool;
+      (** queue data; [false] if the stack refused (buffer policy) *)
+  close : unit -> unit;  (** orderly close *)
+  abort : unit -> unit;  (** hard close (RST) *)
+  peer : Ixnet.Ip_addr.t * int;
+}
+
+type handlers = {
+  on_connected : conn -> ok:bool -> unit;
+  on_data : conn -> string -> unit;
+  on_sent : conn -> int -> unit;  (** bytes acknowledged end-to-end *)
+  on_closed : conn -> unit;
+}
+
+val null_handlers : handlers
+
+type stack = {
+  name : string;
+  threads : int;
+  connect :
+    thread:int -> ip:Ixnet.Ip_addr.t -> port:int -> handlers -> unit;
+      (** open a connection from the given application thread *)
+  listen : port:int -> (thread:int -> conn -> handlers) -> unit;
+      (** serve [port] on every thread; the acceptor returns the new
+          connection's handlers *)
+  run_app : thread:int -> (unit -> unit) -> unit;
+      (** execute application code in the stack's app context (IX: user
+          phase; Linux: app thread; mTCP: app-thread round) — timed
+          client actions (open-loop senders) go through this *)
+  charge_app : thread:int -> int -> unit;
+      (** account [ns] of application compute time *)
+  kernel_share : unit -> float;
+      (** fraction of busy CPU time spent in the kernel/dataplane domain *)
+  conn_count : unit -> int;  (** live connections across all threads *)
+}

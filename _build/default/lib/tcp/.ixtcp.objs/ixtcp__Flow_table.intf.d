@@ -1,0 +1,1 @@
+lib/tcp/flow_table.mli: Ixnet Tcb

@@ -1,0 +1,1 @@
+lib/tcp/port_alloc.mli:

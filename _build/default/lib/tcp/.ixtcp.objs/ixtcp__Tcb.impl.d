@@ -1,0 +1,1 @@
+lib/tcp/tcb.ml: Congestion Engine Ixmem Ixnet Rtt Seqno Tcp_state Timerwheel

@@ -1,0 +1,1 @@
+lib/tcp/tcp_conn.ml: Congestion Ixmem Ixnet List Rtt Seqno Tcb Tcp_state Timerwheel

@@ -1,0 +1,1 @@
+lib/tcp/tcp_conn.mli: Ixmem Ixnet Tcb

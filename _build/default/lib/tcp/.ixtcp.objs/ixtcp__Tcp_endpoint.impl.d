@@ -1,0 +1,1 @@
+lib/tcp/tcp_endpoint.ml: Flow_table Hashtbl Ixmem Ixnet Option Port_alloc Seqno Tcb Tcp_conn

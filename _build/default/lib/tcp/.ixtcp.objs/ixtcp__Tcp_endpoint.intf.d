@@ -1,0 +1,1 @@
+lib/tcp/tcp_endpoint.mli: Engine Ixmem Ixnet Tcb Timerwheel

@@ -1,0 +1,1 @@
+lib/tcp/tcp_state.ml: Format

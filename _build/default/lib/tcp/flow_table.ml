@@ -1,0 +1,18 @@
+type t = (int, Tcb.t) Hashtbl.t
+
+(* Pack the 3-tuple into one int key: 16 + 32 + 16 bits. *)
+let key ~local_port ~remote_ip ~remote_port =
+  (local_port lsl 48) lor ((remote_ip land 0xFFFFFFFF) lsl 16) lor remote_port
+
+let create () : t = Hashtbl.create 1024
+let add t ~local_port ~remote_ip ~remote_port tcb =
+  Hashtbl.replace t (key ~local_port ~remote_ip ~remote_port) tcb
+
+let find t ~local_port ~remote_ip ~remote_port =
+  Hashtbl.find_opt t (key ~local_port ~remote_ip ~remote_port)
+
+let remove t ~local_port ~remote_ip ~remote_port =
+  Hashtbl.remove t (key ~local_port ~remote_ip ~remote_port)
+
+let count t = Hashtbl.length t
+let iter t f = Hashtbl.iter (fun _ tcb -> f tcb) t

@@ -1,0 +1,20 @@
+(** Per-elastic-thread connection lookup.
+
+    Each elastic thread owns its own flow table — flow-consistent RSS
+    hashing guarantees each thread sees a disjoint subset of flows, so
+    the table needs no synchronization (§4.4) and the flow-identifier
+    namespace is per-thread, keeping the API commutative (§3). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> local_port:int -> remote_ip:Ixnet.Ip_addr.t -> remote_port:int -> Tcb.t -> unit
+
+val find :
+  t -> local_port:int -> remote_ip:Ixnet.Ip_addr.t -> remote_port:int -> Tcb.t option
+
+val remove : t -> local_port:int -> remote_ip:Ixnet.Ip_addr.t -> remote_port:int -> unit
+
+val count : t -> int
+val iter : t -> (Tcb.t -> unit) -> unit

@@ -1,0 +1,28 @@
+type t = {
+  lo : int;
+  hi : int;
+  used : (int, unit) Hashtbl.t;
+  mutable cursor : int;
+}
+
+let create ?(lo = 16384) ?(hi = 65535) () =
+  { lo; hi; used = Hashtbl.create 256; cursor = lo }
+
+let alloc t ~suitable =
+  let range = t.hi - t.lo + 1 in
+  let rec probe attempts cursor =
+    if attempts >= range then None
+    else begin
+      let port = t.lo + ((cursor - t.lo) mod range) in
+      if (not (Hashtbl.mem t.used port)) && suitable port then begin
+        Hashtbl.replace t.used port ();
+        t.cursor <- port + 1;
+        Some port
+      end
+      else probe (attempts + 1) (cursor + 1)
+    end
+  in
+  probe 0 t.cursor
+
+let free t port = Hashtbl.remove t.used port
+let in_use t = Hashtbl.length t.used

@@ -1,0 +1,19 @@
+(** Ephemeral port allocation with RSS reversal (§4.4).
+
+    The Toeplitz hash cannot be inverted, so a client thread that wants
+    the *reply* of an outbound connection steered back to itself simply
+    probes the ephemeral range until it finds a free port whose reverse
+    flow hashes to the desired queue.  [alloc] takes that steering
+    predicate. *)
+
+type t
+
+val create : ?lo:int -> ?hi:int -> unit -> t
+(** Default range 16384..65535. *)
+
+val alloc : t -> suitable:(int -> bool) -> int option
+(** Find a free port satisfying [suitable], scanning from a rotating
+    cursor.  Returns [None] if the whole range is exhausted. *)
+
+val free : t -> int -> unit
+val in_use : t -> int

@@ -1,0 +1,46 @@
+type t = {
+  min_rto : int;
+  max_rto : int;
+  mutable srtt : int;
+  mutable rttvar : int;
+  mutable rto : int;
+  mutable have_sample : bool;
+  mutable backoff_mult : int;
+}
+
+let create ~min_rto_ns ~max_rto_ns =
+  {
+    min_rto = min_rto_ns;
+    max_rto = max_rto_ns;
+    srtt = 0;
+    rttvar = 0;
+    rto = min_rto_ns * 4;
+    have_sample = false;
+    backoff_mult = 1;
+  }
+
+let clamp t v = max t.min_rto (min t.max_rto v)
+
+let observe t ~sample_ns =
+  if not t.have_sample then begin
+    t.srtt <- sample_ns;
+    t.rttvar <- sample_ns / 2;
+    t.have_sample <- true
+  end
+  else begin
+    (* RFC 6298: alpha = 1/8, beta = 1/4. *)
+    let err = abs (sample_ns - t.srtt) in
+    t.rttvar <- ((3 * t.rttvar) + err) / 4;
+    t.srtt <- ((7 * t.srtt) + sample_ns) / 8
+  end;
+  t.backoff_mult <- 1;
+  t.rto <- clamp t (t.srtt + max 1000 (4 * t.rttvar))
+
+let rto_ns t = clamp t (t.rto * t.backoff_mult)
+
+let backoff t =
+  if t.backoff_mult < 64 then t.backoff_mult <- t.backoff_mult * 2
+
+let reset_backoff t = t.backoff_mult <- 1
+
+let srtt_ns t = t.srtt

@@ -1,0 +1,26 @@
+(** RTT estimation and retransmission timeout (RFC 6298).
+
+    The minimum RTO is configurable: the paper's fine-grained timing
+    wheels exist precisely to support sub-millisecond retransmission
+    timers (down to 16 µs) that help under incast [64]; the Linux model
+    uses the kernel's 200 ms floor. *)
+
+type t
+
+val create : min_rto_ns:int -> max_rto_ns:int -> t
+
+val observe : t -> sample_ns:int -> unit
+(** Feed an RTT measurement (Karn's rule: only unambiguous samples). *)
+
+val rto_ns : t -> int
+(** Current retransmission timeout. *)
+
+val backoff : t -> unit
+(** Exponential backoff after a retransmission timeout. *)
+
+val reset_backoff : t -> unit
+(** Forward progress (a new cumulative ACK) ends the backoff even when
+    Karn's rule forbids taking an RTT sample. *)
+
+val srtt_ns : t -> int
+(** Smoothed RTT (0 before the first sample). *)

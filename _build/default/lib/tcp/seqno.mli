@@ -1,0 +1,19 @@
+(** 32-bit TCP sequence-number arithmetic with wrap-around. *)
+
+type t = int
+(** Always normalized to the low 32 bits. *)
+
+val add : t -> int -> t
+val sub : t -> int -> t
+
+val diff : t -> t -> int
+(** [diff a b] is the signed distance from [b] to [a] (positive when [a]
+    is logically after [b]).  Valid when the true distance is < 2^31. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val max : t -> t -> t
+(** The logically later of the two. *)

@@ -1,0 +1,215 @@
+(* The TCP control block and its environment.  All protocol logic lives
+   in [Tcp_conn]; this module only defines the state record, its
+   constructor and small accessors, so that other modules (flow tables,
+   stacks) can reference connections without pulling in the engine. *)
+
+module Mbuf = Ixmem.Mbuf
+
+type close_reason = Normal | Reset | Timeout | Refused
+
+type config = {
+  mss : int;
+  rcv_buf : int;  (** receive window ceiling, bytes *)
+  snd_buf : int;  (** bytes the stack will queue for transmit *)
+  wscale : int;  (** advertised window-scale shift *)
+  min_rto_ns : int;
+  max_rto_ns : int;
+  delack_ns : int;  (** delayed-ACK timeout *)
+  delack_segs : int;  (** ACK at least every n-th segment *)
+  initial_cwnd_segs : int;
+  time_wait_ns : int;
+  buffered_send : bool;
+      (** [true]: POSIX socket semantics — [send] accepts anything that
+          fits the kernel send buffer.  [false]: IX semantics — [send]
+          accepts only what the sliding window can cover, and the
+          application controls transmit buffering. *)
+  dctcp : bool;
+      (** ECN/DCTCP mode: echo CE marks and reduce the window in
+          proportion to the marked fraction (the §6 extension) *)
+}
+
+(* Defaults follow a modern datacenter profile; stacks override the
+   pieces that define their architecture (RTO floor, buffers). *)
+let default_config =
+  {
+    mss = 1460;
+    rcv_buf = 1 lsl 20;
+    snd_buf = 1 lsl 20;
+    wscale = 7;
+    min_rto_ns = 2_000_000 (* 2 ms *);
+    max_rto_ns = 1_000_000_000;
+    delack_ns = 200_000 (* 200 us *);
+    delack_segs = 2;
+    initial_cwnd_segs = 10;
+    time_wait_ns = 1_000_000 (* scaled-down MSL for simulation *);
+    buffered_send = false;
+    dctcp = false;
+  }
+
+type callbacks = {
+  mutable on_connected : bool -> unit;
+      (** active open finished; [true] = established *)
+  mutable on_recv : Mbuf.t -> int -> int -> unit;
+      (** in-order payload slice (mbuf, absolute offset, length); the
+          callee borrows a reference and must [Mbuf.decref] when done *)
+  mutable on_sent : int -> unit;  (** bytes newly acknowledged by the peer *)
+  mutable on_closed : close_reason -> unit;
+}
+
+let null_callbacks () =
+  {
+    on_connected = ignore;
+    on_recv = (fun mbuf _ _ -> Mbuf.decref mbuf);
+    on_sent = ignore;
+    on_closed = ignore;
+  }
+
+type t = {
+  mutable env : env;
+      (** mutable so the control plane can migrate a flow to another
+          elastic thread (new wheel, pools and output path) *)
+  cfg : config;
+  local_ip : Ixnet.Ip_addr.t;
+  local_port : int;
+  remote_ip : Ixnet.Ip_addr.t;
+  remote_port : int;
+  mutable cookie : int;
+      (** opaque user value (IX API, Table 1); set at connection
+          establishment — or at [accept] time for passive opens *)
+  mutable handle : int;  (** kernel-level flow identifier *)
+  mutable state : Tcp_state.t;
+  (* --- send side --- *)
+  mutable iss : Seqno.t;
+  mutable snd_una : Seqno.t;
+  mutable snd_nxt : Seqno.t;
+  mutable snd_max : Seqno.t;  (** highest sequence ever sent (go-back-N) *)
+  mutable snd_wnd : int;  (** peer-advertised window, scaled to bytes *)
+  mutable snd_wscale : int;  (** peer's announced shift *)
+  mutable ws_enabled : bool;  (** window scaling negotiated both ways *)
+  mutable snd_mss : int;  (** negotiated segment size *)
+  mutable snd_queue : Ixmem.Iovec.t list;
+  mutable snd_queue_seq : Seqno.t;  (** sequence of the queue's first byte *)
+  mutable snd_queue_len : int;
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  mutable rexmit_timer : Timerwheel.Timer_wheel.timer option;
+  mutable persist_timer : Timerwheel.Timer_wheel.timer option;
+  mutable rexmit_shots : int;
+  mutable rtt_seq : Seqno.t;
+  mutable rtt_start : int;  (** -1 when no sample is in flight *)
+  rtt : Rtt.t;
+  cong : Congestion.t;
+  mutable dupacks : int;
+  mutable recover : Seqno.t;
+  (* --- receive side --- *)
+  mutable irs : Seqno.t;
+  mutable rcv_nxt : Seqno.t;
+  mutable rcv_adv_wnd : int;  (** last advertised window, bytes *)
+  mutable rcv_delivered : int;  (** bytes handed to the application *)
+  mutable rcv_consumed : int;  (** bytes the application released *)
+  mutable ooo : (Seqno.t * Mbuf.t * int * int) list;  (** seq, mbuf, off, len *)
+  mutable close_notified : bool;  (** [on_closed] delivered exactly once *)
+  mutable ce_to_echo : bool;  (** a CE-marked segment arrived; echo ECE *)
+  mutable delack_count : int;
+  mutable delack_timer : Timerwheel.Timer_wheel.timer option;
+  mutable time_wait_timer : Timerwheel.Timer_wheel.timer option;
+  callbacks : callbacks;
+  (* --- statistics --- *)
+  mutable segs_in : int;
+  mutable segs_out : int;
+  mutable retransmits : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+and env = {
+  now : unit -> int;
+  wheel : Timerwheel.Timer_wheel.t;
+  alloc : unit -> Mbuf.t option;
+  output : t -> Mbuf.t -> unit;
+      (** a finished TCP segment; the stack adds IP/Ethernet and owns
+          the mbuf from here *)
+  rng : Engine.Rng.t;
+  mutable on_teardown : t -> unit;
+      (** connection fully closed: flow tables unhook it here *)
+  mutable on_established : t -> unit;
+      (** a passive connection completed its handshake (the endpoint
+          turns this into the IX [knock] event / an accept) *)
+}
+
+let next_handle = ref 0
+
+let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
+  incr next_handle;
+  let iss = Engine.Rng.int env.rng 0x3FFFFFFF in
+  {
+    env;
+    cfg;
+    local_ip;
+    local_port;
+    remote_ip;
+    remote_port;
+    cookie;
+    handle = !next_handle;
+    state = Tcp_state.Closed;
+    iss;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_max = iss;
+    snd_wnd = 0;
+    snd_wscale = 0;
+    ws_enabled = false;
+    snd_mss = cfg.mss;
+    snd_queue = [];
+    snd_queue_seq = Seqno.add iss 1 (* data starts after the SYN *);
+    snd_queue_len = 0;
+    fin_queued = false;
+    fin_sent = false;
+    rexmit_timer = None;
+    persist_timer = None;
+    rexmit_shots = 0;
+    rtt_seq = 0;
+    rtt_start = -1;
+    rtt = Rtt.create ~min_rto_ns:cfg.min_rto_ns ~max_rto_ns:cfg.max_rto_ns;
+    cong =
+      Congestion.create ~dctcp:cfg.dctcp ~mss:cfg.mss
+        ~initial_window_segs:cfg.initial_cwnd_segs ();
+    dupacks = 0;
+    recover = iss;
+    irs = 0;
+    rcv_nxt = 0;
+    rcv_adv_wnd = 0;
+    rcv_delivered = 0;
+    rcv_consumed = 0;
+    ooo = [];
+    close_notified = false;
+    ce_to_echo = false;
+    delack_count = 0;
+    delack_timer = None;
+    time_wait_timer = None;
+    callbacks = null_callbacks ();
+    segs_in = 0;
+    segs_out = 0;
+    retransmits = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+  }
+
+let state t = t.state
+let handle t = t.handle
+let cookie t = t.cookie
+
+let flight t = Seqno.diff t.snd_nxt t.snd_una
+(** Sequence space (data plus SYN/FIN) currently in flight. *)
+
+let unsent t =
+  (* Queued data not yet transmitted.  [snd_nxt] may sit one past the
+     data range while a FIN is in flight; clamp handles both ends. *)
+  let sent_data = Seqno.diff t.snd_nxt t.snd_queue_seq in
+  let sent_data = max 0 (min t.snd_queue_len sent_data) in
+  t.snd_queue_len - sent_data
+
+let rcv_window t =
+  let unconsumed = t.rcv_delivered - t.rcv_consumed in
+  let w = t.cfg.rcv_buf - unconsumed in
+  if w < 0 then 0 else w

@@ -1,0 +1,693 @@
+module Mbuf = Ixmem.Mbuf
+module Iovec = Ixmem.Iovec
+module Wheel = Timerwheel.Timer_wheel
+module Seg = Ixnet.Tcp_segment
+open Tcb
+
+let max_rexmit_shots = 12
+
+(* ------------------------------------------------------------------ *)
+(* Timer plumbing                                                      *)
+
+let cancel_timer slot =
+  match slot with
+  | Some timer -> Wheel.cancel timer
+  | None -> ()
+
+let set_rexmit tcb f =
+  cancel_timer tcb.rexmit_timer;
+  let deadline = tcb.env.now () + Rtt.rto_ns tcb.rtt in
+  tcb.rexmit_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline f)
+
+let clear_rexmit tcb =
+  cancel_timer tcb.rexmit_timer;
+  tcb.rexmit_timer <- None
+
+let cancel_all_timers tcb =
+  cancel_timer tcb.rexmit_timer;
+  cancel_timer tcb.persist_timer;
+  cancel_timer tcb.delack_timer;
+  cancel_timer tcb.time_wait_timer;
+  tcb.rexmit_timer <- None;
+  tcb.persist_timer <- None;
+  tcb.delack_timer <- None;
+  tcb.time_wait_timer <- None
+
+(* ------------------------------------------------------------------ *)
+(* Segment construction                                                *)
+
+let advertised_window tcb =
+  let w = Tcb.rcv_window tcb in
+  let shift = if tcb.ws_enabled then tcb.cfg.wscale else 0 in
+  let field = w lsr shift in
+  min field 0xFFFF
+
+(* Copy [len] bytes of queued send data starting at sequence [seq] into
+   the mbuf (this is the NIC's gather DMA in the real system; the data
+   itself still lives in application buffers until acknowledged). *)
+let gather_payload tcb mbuf ~seq ~len =
+  let skip0 = Seqno.diff seq tcb.snd_queue_seq in
+  assert (skip0 >= 0 && skip0 + len <= tcb.snd_queue_len);
+  let dst = mbuf.Mbuf.buf in
+  let rec walk iovs skip remaining dst_off =
+    if remaining > 0 then begin
+      match iovs with
+      | [] -> assert false
+      | (iov : Iovec.t) :: rest ->
+          if skip >= iov.Iovec.len then walk rest (skip - iov.Iovec.len) remaining dst_off
+          else begin
+            let n = min (iov.Iovec.len - skip) remaining in
+            Iovec.blit iov ~src_off:skip ~dst ~dst_off ~len:n;
+            walk rest 0 (remaining - n) (dst_off + n)
+          end
+    end
+  in
+  walk tcb.snd_queue skip0 len (mbuf.Mbuf.off + mbuf.Mbuf.len);
+  mbuf.Mbuf.len <- mbuf.Mbuf.len + len
+
+type seg_kind =
+  | Seg_syn
+  | Seg_syn_ack
+  | Seg_data of { seq : Seqno.t; len : int; psh : bool }
+  | Seg_fin
+  | Seg_fin_rexmit
+  | Seg_ack
+  | Seg_rst
+
+let emit tcb kind =
+  match tcb.env.alloc () with
+  | None -> () (* transmit pool exhausted: behaves as loss; RTO recovers *)
+  | Some mbuf ->
+      let ack_flag = tcb.state <> Tcp_state.Syn_sent in
+      let base =
+        {
+          Seg.src_port = tcb.local_port;
+          dst_port = tcb.remote_port;
+          seq = tcb.snd_nxt;
+          ack = (if ack_flag then tcb.rcv_nxt else 0);
+          syn = false;
+          ack_flag;
+          fin = false;
+          rst = false;
+          psh = false;
+          ece = false;
+          cwr = false;
+          window = advertised_window tcb;
+          mss = None;
+          wscale = None;
+          payload_off = 0;
+          payload_len = 0;
+        }
+      in
+      let seg =
+        match kind with
+        | Seg_syn ->
+            {
+              base with
+              Seg.seq = tcb.iss;
+              syn = true;
+              ack_flag = false;
+              mss = Some tcb.cfg.mss;
+              wscale = Some tcb.cfg.wscale;
+              window = min (Tcb.rcv_window tcb) 0xFFFF;
+            }
+        | Seg_syn_ack ->
+            {
+              base with
+              Seg.seq = tcb.iss;
+              syn = true;
+              ack_flag = true;
+              mss = Some tcb.cfg.mss;
+              wscale = (if tcb.ws_enabled then Some tcb.cfg.wscale else None);
+              window = min (Tcb.rcv_window tcb) 0xFFFF;
+            }
+        | Seg_data { seq; len; psh } ->
+            gather_payload tcb mbuf ~seq ~len;
+            { base with Seg.seq; psh }
+        | Seg_fin -> { base with Seg.fin = true }
+        | Seg_fin_rexmit ->
+            (* The FIN occupies the sequence just below snd_nxt. *)
+            { base with Seg.fin = true; seq = Seqno.sub tcb.snd_nxt 1 }
+        | Seg_ack -> base
+        | Seg_rst -> { base with Seg.rst = true }
+      in
+      (* DCTCP: echo congestion marks on outgoing ACK-bearing segments. *)
+      let seg =
+        if tcb.cfg.dctcp && tcb.ce_to_echo && seg.Seg.ack_flag then begin
+          tcb.ce_to_echo <- false;
+          { seg with Seg.ece = true }
+        end
+        else seg
+      in
+      Seg.prepend mbuf ~src:tcb.local_ip ~dst:tcb.remote_ip seg;
+      tcb.segs_out <- tcb.segs_out + 1;
+      (match kind with
+      | Seg_data { len; _ } -> tcb.bytes_out <- tcb.bytes_out + len
+      | Seg_syn | Seg_syn_ack | Seg_fin | Seg_fin_rexmit | Seg_ack | Seg_rst -> ());
+      tcb.rcv_adv_wnd <- Tcb.rcv_window tcb;
+      tcb.delack_count <- 0;
+      cancel_timer tcb.delack_timer;
+      tcb.delack_timer <- None;
+      tcb.env.output tcb mbuf
+
+let ack_now tcb = emit tcb Seg_ack
+
+let advance_snd_nxt tcb n =
+  tcb.snd_nxt <- Seqno.add tcb.snd_nxt n;
+  if Seqno.gt tcb.snd_nxt tcb.snd_max then tcb.snd_max <- tcb.snd_nxt
+
+(* ------------------------------------------------------------------ *)
+(* Teardown                                                            *)
+
+let teardown tcb reason =
+  if tcb.state <> Tcp_state.Closed then begin
+    let was_synchronized = Tcp_state.is_synchronized tcb.state in
+    cancel_all_timers tcb;
+    List.iter (fun (_, mbuf, _, _) -> Mbuf.decref mbuf) tcb.ooo;
+    tcb.ooo <- [];
+    tcb.state <- Tcp_state.Closed;
+    tcb.env.on_teardown tcb;
+    if was_synchronized then begin
+      if not tcb.close_notified then begin
+        tcb.close_notified <- true;
+        tcb.callbacks.on_closed reason
+      end
+    end
+    else tcb.callbacks.on_connected false
+  end
+
+let abort tcb =
+  if tcb.state <> Tcp_state.Closed then begin
+    (match tcb.state with
+    | Tcp_state.Syn_sent | Tcp_state.Time_wait -> ()
+    | _ -> emit tcb Seg_rst);
+    teardown tcb Tcb.Reset
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Output path                                                         *)
+
+let rec rexmit_timeout tcb () =
+  tcb.rexmit_timer <- None;
+  if tcb.state <> Tcp_state.Closed then begin
+    tcb.rexmit_shots <- tcb.rexmit_shots + 1;
+    if tcb.rexmit_shots > max_rexmit_shots then teardown tcb Tcb.Timeout
+    else begin
+      tcb.retransmits <- tcb.retransmits + 1;
+      tcb.rtt_start <- -1 (* Karn: no sample across a retransmission *);
+      Rtt.backoff tcb.rtt;
+      Congestion.on_rto tcb.cong;
+      tcb.dupacks <- 0;
+      (* Go-back-N: after a timeout, everything past snd_una is treated
+         as lost; slow start re-covers the range (the receiver's
+         out-of-order cache turns most of it into large cumulative
+         ACKs).  Without this, a multi-segment loss burst recovers only
+         one hole per backed-off RTO — incast collapse squared. *)
+      if Tcp_state.is_synchronized tcb.state then begin
+        if tcb.fin_sent then begin
+          tcb.fin_sent <- false;
+          tcb.state <-
+            (match tcb.state with
+            | Tcp_state.Last_ack -> Tcp_state.Close_wait
+            | Tcp_state.Fin_wait_1 | Tcp_state.Closing -> Tcp_state.Established
+            | s -> s)
+        end;
+        tcb.snd_nxt <- tcb.snd_una
+      end;
+      retransmit_one tcb;
+      set_rexmit tcb (rexmit_timeout tcb)
+    end
+  end
+
+and retransmit_one tcb =
+  match tcb.state with
+  | Tcp_state.Syn_sent -> emit tcb Seg_syn
+  | Tcp_state.Syn_received -> emit tcb Seg_syn_ack
+  | _ ->
+      let data_in_flight =
+        let d = Seqno.diff tcb.snd_queue_seq tcb.snd_una in
+        (* snd_queue_seq = snd_una in steady state; if FIN/SYN edge, d>0 *)
+        d <= 0
+      in
+      if data_in_flight && tcb.snd_queue_len > 0
+         && Seqno.lt tcb.snd_una (Seqno.add tcb.snd_queue_seq tcb.snd_queue_len)
+      then begin
+        let avail =
+          Seqno.diff (Seqno.add tcb.snd_queue_seq tcb.snd_queue_len) tcb.snd_una
+        in
+        let len = min tcb.snd_mss avail in
+        emit tcb (Seg_data { seq = tcb.snd_una; len; psh = false });
+        (* Keep snd_nxt covering the retransmission (go-back-N resets). *)
+        if Seqno.lt tcb.snd_nxt (Seqno.add tcb.snd_una len) then begin
+          tcb.snd_nxt <- Seqno.add tcb.snd_una len;
+          if Seqno.gt tcb.snd_nxt tcb.snd_max then tcb.snd_max <- tcb.snd_nxt
+        end
+      end
+      else if tcb.fin_sent then emit tcb Seg_fin_rexmit
+      else ()
+
+let arm_rexmit_if_needed tcb =
+  if Tcb.flight tcb > 0 then begin
+    if tcb.rexmit_timer = None then set_rexmit tcb (rexmit_timeout tcb)
+  end
+  else clear_rexmit tcb
+
+let rec persist_timeout tcb () =
+  tcb.persist_timer <- None;
+  if tcb.state <> Tcp_state.Closed && tcb.snd_wnd = 0 && Tcb.unsent tcb > 0 then begin
+    (* Window probe: one byte beyond the window. *)
+    emit tcb (Seg_data { seq = tcb.snd_nxt; len = 1; psh = false });
+    advance_snd_nxt tcb 1;
+    Rtt.backoff tcb.rtt;
+    arm_rexmit_if_needed tcb;
+    arm_persist tcb
+  end
+
+and arm_persist tcb =
+  if tcb.persist_timer = None then begin
+    let deadline = tcb.env.now () + Rtt.rto_ns tcb.rtt in
+    tcb.persist_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline (persist_timeout tcb))
+  end
+
+let try_output tcb =
+  if Tcp_state.can_send_data tcb.state || tcb.fin_queued then begin
+    let wnd = min tcb.snd_wnd (Congestion.cwnd tcb.cong) in
+    let progress = ref true in
+    while
+      !progress && Tcb.unsent tcb > 0 && Tcb.flight tcb < wnd
+      && Tcp_state.can_send_data tcb.state
+    do
+      let len = min (min tcb.snd_mss (Tcb.unsent tcb)) (wnd - Tcb.flight tcb) in
+      if len <= 0 then progress := false
+      else begin
+        let seq = tcb.snd_nxt in
+        let psh = len = Tcb.unsent tcb in
+        (* Time one segment per window for RTT estimation. *)
+        if tcb.rtt_start < 0 then begin
+          tcb.rtt_start <- tcb.env.now ();
+          tcb.rtt_seq <- Seqno.add seq len
+        end;
+        emit tcb (Seg_data { seq; len; psh });
+        advance_snd_nxt tcb len
+      end
+    done;
+    (* FIN once the queue is drained. *)
+    if tcb.fin_queued && (not tcb.fin_sent) && Tcb.unsent tcb = 0
+       && Tcp_state.can_send_data tcb.state
+    then begin
+      emit tcb Seg_fin;
+      tcb.fin_sent <- true;
+      advance_snd_nxt tcb 1;
+      tcb.state <-
+        (match tcb.state with
+        | Tcp_state.Close_wait -> Tcp_state.Last_ack
+        | _ -> Tcp_state.Fin_wait_1)
+    end;
+    if tcb.snd_wnd = 0 && Tcb.unsent tcb > 0 && Tcb.flight tcb = 0 then
+      arm_persist tcb;
+    arm_rexmit_if_needed tcb
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public API: open/send/close                                         *)
+
+let connect env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
+  let tcb = Tcb.create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie in
+  tcb.state <- Tcp_state.Syn_sent;
+  tcb.snd_nxt <- Seqno.add tcb.iss 1;
+  tcb.snd_max <- tcb.snd_nxt;
+  emit tcb Seg_syn;
+  set_rexmit tcb (rexmit_timeout tcb);
+  tcb
+
+let accept_syn env cfg ~local_ip ~remote_ip ~segment ~cookie =
+  let tcb =
+    Tcb.create env cfg ~local_ip ~local_port:segment.Seg.dst_port ~remote_ip
+      ~remote_port:segment.Seg.src_port ~cookie
+  in
+  tcb.state <- Tcp_state.Syn_received;
+  tcb.irs <- segment.Seg.seq;
+  tcb.rcv_nxt <- Seqno.add segment.Seg.seq 1;
+  (match segment.Seg.mss with
+  | Some mss -> tcb.snd_mss <- min tcb.cfg.mss mss
+  | None -> tcb.snd_mss <- 536);
+  (match segment.Seg.wscale with
+  | Some shift ->
+      tcb.ws_enabled <- true;
+      tcb.snd_wscale <- shift
+  | None -> tcb.ws_enabled <- false);
+  tcb.snd_wnd <- segment.Seg.window (* unscaled in SYN *);
+  tcb.snd_nxt <- Seqno.add tcb.iss 1;
+  tcb.snd_max <- tcb.snd_nxt;
+  emit tcb Seg_syn_ack;
+  set_rexmit tcb (rexmit_timeout tcb);
+  tcb
+
+let send tcb iovs =
+  if not (Tcp_state.can_send_data tcb.state) || tcb.fin_queued then 0
+  else begin
+    (* IX semantics: accept only what the transmit budget (send buffer
+       bounded by the peer's window headroom) allows; the caller
+       retries the rest on a later [sent] event. *)
+    let budget =
+      if tcb.cfg.buffered_send then tcb.cfg.snd_buf - tcb.snd_queue_len
+      else begin
+        let window_headroom =
+          max tcb.snd_wnd (2 * tcb.snd_mss) - (Tcb.flight tcb + Tcb.unsent tcb)
+        in
+        min (tcb.cfg.snd_buf - tcb.snd_queue_len) window_headroom
+      end
+    in
+    let budget = max budget 0 in
+    let total = Iovec.total iovs in
+    let accepted = min budget total in
+    if accepted > 0 then begin
+      (* Split iovecs at the accepted boundary. *)
+      let rec take acc remaining = function
+        | [] -> List.rev acc
+        | (iov : Iovec.t) :: rest ->
+            if remaining = 0 then List.rev acc
+            else if iov.Iovec.len <= remaining then
+              take (iov :: acc) (remaining - iov.Iovec.len) rest
+            else List.rev (Iovec.sub iov 0 remaining :: acc)
+      in
+      tcb.snd_queue <- tcb.snd_queue @ take [] accepted iovs;
+      tcb.snd_queue_len <- tcb.snd_queue_len + accepted;
+      try_output tcb
+    end;
+    accepted
+  end
+
+let consume tcb n =
+  assert (n >= 0);
+  tcb.rcv_consumed <- min (tcb.rcv_consumed + n) tcb.rcv_delivered;
+  (* Send a window update if the window reopened significantly since we
+     last told the peer about it. *)
+  let w = Tcb.rcv_window tcb in
+  if (tcb.rcv_adv_wnd < tcb.snd_mss && w >= 2 * tcb.snd_mss)
+     || w - tcb.rcv_adv_wnd >= tcb.cfg.rcv_buf / 2
+  then ack_now tcb
+
+let close tcb =
+  match tcb.state with
+  | Tcp_state.Closed -> ()
+  | Tcp_state.Syn_sent | Tcp_state.Listen -> teardown tcb Tcb.Normal
+  | Tcp_state.Established | Tcp_state.Close_wait | Tcp_state.Syn_received ->
+      tcb.fin_queued <- true;
+      try_output tcb
+  | Tcp_state.Fin_wait_1 | Tcp_state.Fin_wait_2 | Tcp_state.Closing
+  | Tcp_state.Last_ack | Tcp_state.Time_wait ->
+      () (* already closing *)
+
+(* ------------------------------------------------------------------ *)
+(* Input path                                                          *)
+
+let enter_time_wait tcb =
+  tcb.state <- Tcp_state.Time_wait;
+  clear_rexmit tcb;
+  cancel_timer tcb.time_wait_timer;
+  let deadline = tcb.env.now () + tcb.cfg.time_wait_ns in
+  tcb.time_wait_timer <-
+    Some (Wheel.schedule tcb.env.wheel ~deadline (fun () -> teardown tcb Tcb.Normal))
+
+let drop_acked_data tcb ack =
+  let acked_data =
+    let d = Seqno.diff ack tcb.snd_queue_seq in
+    max 0 (min d tcb.snd_queue_len)
+  in
+  if acked_data > 0 then begin
+    let rec drop n iovs =
+      if n = 0 then iovs
+      else begin
+        match iovs with
+        | [] -> assert false
+        | (iov : Iovec.t) :: rest ->
+            if iov.Iovec.len <= n then drop (n - iov.Iovec.len) rest
+            else Iovec.sub iov n (iov.Iovec.len - n) :: rest
+      end
+    in
+    tcb.snd_queue <- drop acked_data tcb.snd_queue;
+    tcb.snd_queue_seq <- Seqno.add tcb.snd_queue_seq acked_data;
+    tcb.snd_queue_len <- tcb.snd_queue_len - acked_data
+  end;
+  acked_data
+
+let update_send_window tcb (seg : Seg.t) =
+  let scale = if tcb.ws_enabled then tcb.snd_wscale else 0 in
+  tcb.snd_wnd <- seg.Seg.window lsl scale;
+  if tcb.snd_wnd > 0 then begin
+    cancel_timer tcb.persist_timer;
+    tcb.persist_timer <- None
+  end
+
+let schedule_delack tcb =
+  tcb.delack_count <- tcb.delack_count + 1;
+  if tcb.delack_count >= tcb.cfg.delack_segs then ack_now tcb
+  else if tcb.delack_timer = None then begin
+    let deadline = tcb.env.now () + tcb.cfg.delack_ns in
+    let fire () =
+      tcb.delack_timer <- None;
+      if tcb.state <> Tcp_state.Closed && tcb.delack_count > 0 then ack_now tcb
+    in
+    tcb.delack_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline fire)
+  end
+
+(* Deliver the in-order byte range [seg payload from rcv_nxt onward]. *)
+let deliver_payload tcb mbuf ~off ~len =
+  if len > 0 && Tcp_state.can_receive_data tcb.state then begin
+    tcb.rcv_delivered <- tcb.rcv_delivered + len;
+    tcb.bytes_in <- tcb.bytes_in + len;
+    Mbuf.incref mbuf;
+    tcb.callbacks.on_recv mbuf off len
+  end
+
+let insert_ooo tcb seq mbuf off len =
+  if List.length tcb.ooo < 64
+     && not (List.exists (fun (s, _, _, _) -> s = seq) tcb.ooo)
+  then begin
+    Mbuf.incref mbuf;
+    let entry = (seq, mbuf, off, len) in
+    let sorted =
+      List.sort (fun (a, _, _, _) (b, _, _, _) -> Seqno.diff a b) (entry :: tcb.ooo)
+    in
+    tcb.ooo <- sorted
+  end
+
+let rec drain_ooo tcb =
+  match tcb.ooo with
+  | (seq, mbuf, off, len) :: rest when Seqno.le seq tcb.rcv_nxt ->
+      tcb.ooo <- rest;
+      let skip = Seqno.diff tcb.rcv_nxt seq in
+      if skip < len then begin
+        tcb.rcv_nxt <- Seqno.add tcb.rcv_nxt (len - skip);
+        deliver_payload tcb mbuf ~off:(off + skip) ~len:(len - skip)
+      end;
+      Mbuf.decref mbuf;
+      drain_ooo tcb
+  | _ -> ()
+
+let process_payload tcb (seg : Seg.t) mbuf =
+  let seq = seg.Seg.seq and len = seg.Seg.payload_len in
+  if len = 0 then false
+  else if not (Tcp_state.can_receive_data tcb.state) then false
+  else begin
+    let seg_end = Seqno.add seq len in
+    if Seqno.le seg_end tcb.rcv_nxt then begin
+      (* Entirely old: dup segment, force an ACK to resynchronize. *)
+      ack_now tcb;
+      false
+    end
+    else if Seqno.gt seq tcb.rcv_nxt then begin
+      (* Future data: out of order.  Stash and dup-ACK. *)
+      insert_ooo tcb seq mbuf seg.Seg.payload_off len;
+      ack_now tcb;
+      false
+    end
+    else begin
+      (* In order (possibly with an old prefix). *)
+      let skip = Seqno.diff tcb.rcv_nxt seq in
+      let fresh = len - skip in
+      tcb.rcv_nxt <- Seqno.add tcb.rcv_nxt fresh;
+      deliver_payload tcb mbuf ~off:(seg.Seg.payload_off + skip) ~len:fresh;
+      drain_ooo tcb;
+      true
+    end
+  end
+
+let process_fin tcb (seg : Seg.t) =
+  let fin_seq = Seqno.add seg.Seg.seq seg.Seg.payload_len in
+  if seg.Seg.fin && fin_seq = tcb.rcv_nxt then begin
+    tcb.rcv_nxt <- Seqno.add tcb.rcv_nxt 1;
+    ack_now tcb;
+    (match tcb.state with
+    | Tcp_state.Established ->
+        tcb.state <- Tcp_state.Close_wait;
+        if not tcb.close_notified then begin
+          tcb.close_notified <- true;
+          tcb.callbacks.on_closed Tcb.Normal
+        end
+    | Tcp_state.Fin_wait_1 ->
+        (* Our FIN not yet acked: simultaneous close. *)
+        tcb.state <- Tcp_state.Closing
+    | Tcp_state.Fin_wait_2 -> enter_time_wait tcb
+    | Tcp_state.Syn_received | Tcp_state.Close_wait | Tcp_state.Closing
+    | Tcp_state.Last_ack | Tcp_state.Time_wait | Tcp_state.Closed
+    | Tcp_state.Listen | Tcp_state.Syn_sent ->
+        ())
+  end
+
+let process_ack tcb (seg : Seg.t) =
+  let ack = seg.Seg.ack in
+  if Seqno.gt ack tcb.snd_max then ack_now tcb (* acks never-sent data *)
+  else if Seqno.gt ack tcb.snd_una then begin
+    (* After a go-back-N reset, a cumulative ACK may leapfrog snd_nxt
+       (the receiver's out-of-order cache covered the hole). *)
+    if Seqno.gt ack tcb.snd_nxt then tcb.snd_nxt <- ack;
+    let acked = Seqno.diff ack tcb.snd_una in
+    if tcb.cfg.dctcp then
+      Congestion.on_ecn_feedback tcb.cong ~acked_bytes:acked ~marked:seg.Seg.ece;
+    tcb.snd_una <- ack;
+    tcb.rexmit_shots <- 0;
+    Rtt.reset_backoff tcb.rtt;
+    (* RTT sample (Karn-valid). *)
+    if tcb.rtt_start >= 0 && Seqno.ge ack tcb.rtt_seq then begin
+      Rtt.observe tcb.rtt ~sample_ns:(tcb.env.now () - tcb.rtt_start);
+      tcb.rtt_start <- -1
+    end;
+    let data_acked = drop_acked_data tcb ack in
+    update_send_window tcb seg;
+    if Congestion.in_recovery tcb.cong then begin
+      if Seqno.ge tcb.snd_una tcb.recover then begin
+        Congestion.on_recovery_exit tcb.cong;
+        tcb.dupacks <- 0
+      end
+      else
+        (* Partial ACK: retransmit the next hole immediately. *)
+        retransmit_one tcb
+    end
+    else begin
+      tcb.dupacks <- 0;
+      Congestion.on_ack tcb.cong ~acked_bytes:acked ~flight:(Tcb.flight tcb)
+    end;
+    (* Handshake / close transitions driven by our data being acked. *)
+    (match tcb.state with
+    | Tcp_state.Syn_received ->
+        tcb.state <- Tcp_state.Established;
+        update_send_window tcb seg;
+        tcb.env.on_established tcb
+    | Tcp_state.Fin_wait_1 when tcb.fin_sent && ack = tcb.snd_nxt ->
+        tcb.state <- Tcp_state.Fin_wait_2
+    | Tcp_state.Closing when tcb.fin_sent && ack = tcb.snd_nxt ->
+        enter_time_wait tcb
+    | Tcp_state.Last_ack when tcb.fin_sent && ack = tcb.snd_nxt ->
+        teardown tcb Tcb.Normal
+    | _ -> ());
+    if tcb.state <> Tcp_state.Closed then begin
+      if Tcb.flight tcb = 0 then clear_rexmit tcb
+      else set_rexmit tcb (rexmit_timeout tcb);
+      if data_acked > 0 then tcb.callbacks.on_sent data_acked;
+      try_output tcb
+    end
+  end
+  else begin
+    (* ack = snd_una: possible duplicate. *)
+    update_send_window tcb seg;
+    if seg.Seg.payload_len = 0 && Tcb.flight tcb > 0 then begin
+      tcb.dupacks <- tcb.dupacks + 1;
+      if tcb.dupacks = Congestion.dup_ack_threshold then begin
+        tcb.recover <- tcb.snd_nxt;
+        Congestion.on_fast_retransmit tcb.cong ~flight:(Tcb.flight tcb);
+        retransmit_one tcb
+      end
+      else if tcb.dupacks > Congestion.dup_ack_threshold then begin
+        Congestion.on_dup_ack tcb.cong;
+        try_output tcb
+      end
+    end;
+    (match tcb.state with
+    | Tcp_state.Syn_received when Seqno.ge ack tcb.snd_una ->
+        () (* retransmitted handshake ACK handled above *)
+    | _ -> ());
+    try_output tcb
+  end
+
+let input_syn_sent tcb (seg : Seg.t) =
+  if seg.Seg.rst then begin
+    if seg.Seg.ack_flag && seg.Seg.ack = tcb.snd_nxt then teardown tcb Tcb.Refused
+  end
+  else if seg.Seg.syn && seg.Seg.ack_flag && seg.Seg.ack = tcb.snd_nxt then begin
+    tcb.irs <- seg.Seg.seq;
+    tcb.rcv_nxt <- Seqno.add seg.Seg.seq 1;
+    tcb.snd_una <- seg.Seg.ack;
+    (match seg.Seg.mss with
+    | Some mss -> tcb.snd_mss <- min tcb.cfg.mss mss
+    | None -> tcb.snd_mss <- 536);
+    (match seg.Seg.wscale with
+    | Some shift ->
+        tcb.ws_enabled <- true;
+        tcb.snd_wscale <- shift
+    | None -> tcb.ws_enabled <- false);
+    tcb.snd_wnd <- seg.Seg.window (* unscaled in SYN *);
+    tcb.state <- Tcp_state.Established;
+    clear_rexmit tcb;
+    tcb.rexmit_shots <- 0;
+    ack_now tcb;
+    tcb.callbacks.on_connected true;
+    try_output tcb
+  end
+
+let input ?(ce = false) tcb (seg : Seg.t) mbuf =
+  tcb.segs_in <- tcb.segs_in + 1;
+  if ce && tcb.cfg.dctcp then tcb.ce_to_echo <- true;
+  match tcb.state with
+  | Tcp_state.Closed | Tcp_state.Listen -> ()
+  | Tcp_state.Syn_sent -> input_syn_sent tcb seg
+  | Tcp_state.Syn_received when seg.Seg.rst -> teardown tcb Tcb.Reset
+  | Tcp_state.Syn_received when seg.Seg.syn ->
+      emit tcb Seg_syn_ack (* duplicate SYN: re-answer *)
+  | Tcp_state.Time_wait ->
+      if seg.Seg.rst then teardown tcb Tcb.Reset
+      else begin
+        (* Any arrival in TIME_WAIT (e.g. a retransmitted FIN whose
+           final ACK was lost) is re-ACKed and restarts the timer. *)
+        ack_now tcb;
+        enter_time_wait tcb
+      end
+  | _ ->
+      if seg.Seg.rst then begin
+        (* Accept an RST whose sequence falls in the receive window. *)
+        if Seqno.ge seg.Seg.seq tcb.rcv_nxt
+           && Seqno.lt seg.Seg.seq (Seqno.add tcb.rcv_nxt (max 1 (Tcb.rcv_window tcb)))
+           || seg.Seg.seq = tcb.rcv_nxt
+        then teardown tcb Tcb.Reset
+      end
+      else begin
+        if seg.Seg.ack_flag then process_ack tcb seg;
+        if tcb.state <> Tcp_state.Closed then begin
+          let delivered = process_payload tcb seg mbuf in
+          if tcb.state <> Tcp_state.Closed then begin
+            process_fin tcb seg;
+            if delivered then schedule_delack tcb
+          end
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Flow migration                                                      *)
+
+let rebind tcb new_env =
+  let had_rexmit = tcb.rexmit_timer <> None in
+  let had_delack = tcb.delack_timer <> None in
+  let had_time_wait = tcb.time_wait_timer <> None in
+  cancel_all_timers tcb;
+  tcb.env <- new_env;
+  if had_rexmit || Tcb.flight tcb > 0 then set_rexmit tcb (rexmit_timeout tcb);
+  if had_delack then begin
+    let deadline = new_env.Tcb.now () + tcb.cfg.delack_ns in
+    let fire () =
+      tcb.delack_timer <- None;
+      if tcb.state <> Tcp_state.Closed && tcb.delack_count > 0 then ack_now tcb
+    in
+    tcb.delack_timer <- Some (Wheel.schedule new_env.Tcb.wheel ~deadline fire)
+  end;
+  if had_time_wait then enter_time_wait tcb

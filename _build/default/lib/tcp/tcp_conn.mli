@@ -1,0 +1,69 @@
+(** TCP connection logic: the RFC 793 state machine with NewReno
+    congestion control, fast retransmit/recovery, RTO via the timing
+    wheel, delayed ACKs, zero-window probing and out-of-order
+    reassembly.
+
+    The engine is host-agnostic: it builds TCP segments into mbufs and
+    hands them to [Tcb.env.output]; the owning stack wraps them in
+    IP/Ethernet and charges its own CPU costs.  All three stacks in the
+    repository (IX, Linux model, mTCP model) share this module, so
+    protocol behaviour is held constant across the comparison, exactly
+    as the paper holds lwIP constant. *)
+
+val connect :
+  Tcb.env ->
+  Tcb.config ->
+  local_ip:Ixnet.Ip_addr.t ->
+  local_port:int ->
+  remote_ip:Ixnet.Ip_addr.t ->
+  remote_port:int ->
+  cookie:int ->
+  Tcb.t
+(** Active open: allocates a TCB in SYN_SENT and emits the SYN.
+    Completion is reported through [callbacks.on_connected]. *)
+
+val accept_syn :
+  Tcb.env ->
+  Tcb.config ->
+  local_ip:Ixnet.Ip_addr.t ->
+  remote_ip:Ixnet.Ip_addr.t ->
+  segment:Ixnet.Tcp_segment.t ->
+  cookie:int ->
+  Tcb.t
+(** Passive open from a received SYN: allocates a TCB in SYN_RCVD and
+    emits the SYN-ACK.  The caller (the endpoint demultiplexer) fires
+    its accept callback once the connection reaches ESTABLISHED. *)
+
+val input : ?ce:bool -> Tcb.t -> Ixnet.Tcp_segment.t -> Ixmem.Mbuf.t -> unit
+(** Process one segment addressed to this connection.  [ce] reports the
+    IP header's Congestion Experienced mark (echoed as ECE when the
+    connection runs DCTCP).  The mbuf is borrowed for the duration of
+    the call; payload slices handed to the application carry their own
+    references. *)
+
+val send : Tcb.t -> Ixmem.Iovec.t list -> int
+(** Queue application data, IX [sendv] style: returns the number of
+    bytes *accepted*, as constrained by the send-buffer/window budget;
+    the application owns retrying the remainder (libix does this
+    automatically).  Accepted bytes must stay immutable until reported
+    by [on_sent]. *)
+
+val consume : Tcb.t -> int -> unit
+(** IX [recv_done]: the application has released [n] received bytes;
+    advances the receive window (and emits a window update if it
+    reopens significantly). *)
+
+val close : Tcb.t -> unit
+(** Orderly close (FIN once queued data drains). *)
+
+val abort : Tcb.t -> unit
+(** Hard close: emit RST and tear down immediately (what the
+    benchmark clients use to avoid ephemeral-port exhaustion, §5.3). *)
+
+val ack_now : Tcb.t -> unit
+(** Force an immediate pure ACK (used by stacks at batch boundaries). *)
+
+val rebind : Tcb.t -> Tcb.env -> unit
+(** Flow migration: move the connection to a new environment (another
+    elastic thread's wheel/pool/output path), cancelling timers on the
+    old wheel and re-arming them on the new one. *)

@@ -1,0 +1,160 @@
+module Mbuf = Ixmem.Mbuf
+module Seg = Ixnet.Tcp_segment
+
+type listener = { on_accept : Tcb.t -> unit }
+
+type t = {
+  tcb_env : Tcb.env;
+  cfg : Tcb.config;
+  ip : Ixnet.Ip_addr.t;
+  flows : Flow_table.t;
+  listeners : (int, listener) Hashtbl.t;
+  ports : Port_alloc.t;
+  output_raw : remote_ip:Ixnet.Ip_addr.t -> Mbuf.t -> unit;
+  alloc : unit -> Mbuf.t option;
+  mutable rst_count : int;
+}
+
+let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config () =
+  let tcb_env =
+    {
+      Tcb.now;
+      wheel;
+      alloc;
+      output = (fun tcb mbuf -> output_raw ~remote_ip:tcb.Tcb.remote_ip mbuf);
+      rng;
+      on_teardown = ignore;
+      on_established = ignore;
+    }
+  in
+  let t =
+    {
+      tcb_env;
+      cfg = config;
+      ip = local_ip;
+      flows = Flow_table.create ();
+      listeners = Hashtbl.create 8;
+      ports = Port_alloc.create ();
+      output_raw;
+      alloc;
+      rst_count = 0;
+    }
+  in
+  tcb_env.Tcb.on_teardown <-
+    (fun tcb ->
+      Flow_table.remove t.flows ~local_port:tcb.Tcb.local_port
+        ~remote_ip:tcb.Tcb.remote_ip ~remote_port:tcb.Tcb.remote_port;
+      Port_alloc.free t.ports tcb.Tcb.local_port);
+  tcb_env.Tcb.on_established <-
+    (fun tcb ->
+      match Hashtbl.find_opt t.listeners tcb.Tcb.local_port with
+      | Some listener -> listener.on_accept tcb
+      | None -> Tcp_conn.abort tcb);
+  t
+
+let local_ip t = t.ip
+let config t = t.cfg
+let env t = t.tcb_env
+let listen t ~port ~on_accept = Hashtbl.replace t.listeners port { on_accept }
+let unlisten t ~port = Hashtbl.remove t.listeners port
+
+let connect t ~remote_ip ~remote_port ?(port_suitable = fun _ -> true) ~cookie () =
+  let suitable port =
+    port_suitable port
+    && Option.is_none
+         (Flow_table.find t.flows ~local_port:port ~remote_ip ~remote_port)
+  in
+  match Port_alloc.alloc t.ports ~suitable with
+  | None -> None
+  | Some local_port ->
+      let tcb =
+        Tcp_conn.connect t.tcb_env t.cfg ~local_ip:t.ip ~local_port ~remote_ip
+          ~remote_port ~cookie
+      in
+      Flow_table.add t.flows ~local_port ~remote_ip ~remote_port tcb;
+      Some tcb
+
+(* RST in reply to a segment that matches no connection (RFC 793 p.36). *)
+let send_rst t ~src_ip (seg : Seg.t) =
+  if not seg.Seg.rst then begin
+    match t.alloc () with
+    | None -> ()
+    | Some mbuf ->
+        let rst =
+          if seg.Seg.ack_flag then
+            {
+              Seg.src_port = seg.Seg.dst_port;
+              dst_port = seg.Seg.src_port;
+              seq = seg.Seg.ack;
+              ack = 0;
+              syn = false;
+              ack_flag = false;
+              fin = false;
+              rst = true;
+              psh = false;
+              ece = false;
+              cwr = false;
+              window = 0;
+              mss = None;
+              wscale = None;
+              payload_off = 0;
+              payload_len = 0;
+            }
+          else
+            {
+              Seg.src_port = seg.Seg.dst_port;
+              dst_port = seg.Seg.src_port;
+              seq = 0;
+              ack =
+                Seqno.add seg.Seg.seq
+                  (seg.Seg.payload_len + (if seg.Seg.syn then 1 else 0));
+              syn = false;
+              ack_flag = true;
+              fin = false;
+              rst = true;
+              psh = false;
+              ece = false;
+              cwr = false;
+              window = 0;
+              mss = None;
+              wscale = None;
+              payload_off = 0;
+              payload_len = 0;
+            }
+        in
+        Seg.prepend mbuf ~src:t.ip ~dst:src_ip rst;
+        t.rst_count <- t.rst_count + 1;
+        t.output_raw ~remote_ip:src_ip mbuf
+  end
+
+let rx_segment ?(ce = false) t ~src_ip (seg : Seg.t) mbuf =
+  match
+    Flow_table.find t.flows ~local_port:seg.Seg.dst_port ~remote_ip:src_ip
+      ~remote_port:seg.Seg.src_port
+  with
+  | Some tcb -> Tcp_conn.input ~ce tcb seg mbuf
+  | None ->
+      if seg.Seg.syn && not seg.Seg.ack_flag then begin
+        match Hashtbl.find_opt t.listeners seg.Seg.dst_port with
+        | Some _listener ->
+            let tcb =
+              Tcp_conn.accept_syn t.tcb_env t.cfg ~local_ip:t.ip ~remote_ip:src_ip
+                ~segment:seg ~cookie:0
+            in
+            Flow_table.add t.flows ~local_port:seg.Seg.dst_port ~remote_ip:src_ip
+              ~remote_port:seg.Seg.src_port tcb
+        | None -> send_rst t ~src_ip seg
+      end
+      else send_rst t ~src_ip seg
+
+let adopt t tcb =
+  Flow_table.add t.flows ~local_port:tcb.Tcb.local_port ~remote_ip:tcb.Tcb.remote_ip
+    ~remote_port:tcb.Tcb.remote_port tcb
+
+let evict t tcb =
+  Flow_table.remove t.flows ~local_port:tcb.Tcb.local_port
+    ~remote_ip:tcb.Tcb.remote_ip ~remote_port:tcb.Tcb.remote_port
+
+let connection_count t = Flow_table.count t.flows
+let iter_connections t f = Flow_table.iter t.flows f
+let rsts_sent t = t.rst_count

@@ -1,0 +1,59 @@
+(** Per-thread TCP endpoint: demultiplexes incoming segments to
+    connections, handles passive opens through listeners, answers
+    unknown flows with RST, and allocates ephemeral ports for active
+    opens (optionally steered with the RSS-reversing probe). *)
+
+type t
+
+val create :
+  now:(unit -> int) ->
+  wheel:Timerwheel.Timer_wheel.t ->
+  alloc:(unit -> Ixmem.Mbuf.t option) ->
+  output_raw:(remote_ip:Ixnet.Ip_addr.t -> Ixmem.Mbuf.t -> unit) ->
+  rng:Engine.Rng.t ->
+  local_ip:Ixnet.Ip_addr.t ->
+  config:Tcb.config ->
+  unit ->
+  t
+
+val local_ip : t -> Ixnet.Ip_addr.t
+val config : t -> Tcb.config
+val env : t -> Tcb.env
+
+val listen : t -> port:int -> on_accept:(Tcb.t -> unit) -> unit
+(** Accept connections on [port]; [on_accept] fires at ESTABLISHED,
+    after which the caller installs the connection's callbacks. *)
+
+val unlisten : t -> port:int -> unit
+
+val connect :
+  t ->
+  remote_ip:Ixnet.Ip_addr.t ->
+  remote_port:int ->
+  ?port_suitable:(int -> bool) ->
+  cookie:int ->
+  unit ->
+  Tcb.t option
+(** Active open on an ephemeral port ([port_suitable] additionally
+    constrains the choice, e.g. to reverse RSS steering).  [None] if
+    ports are exhausted. *)
+
+val rx_segment :
+  ?ce:bool ->
+  t ->
+  src_ip:Ixnet.Ip_addr.t ->
+  Ixnet.Tcp_segment.t ->
+  Ixmem.Mbuf.t ->
+  unit
+(** Feed one received, checksum-verified segment; [ce] carries the IP
+    ECN Congestion Experienced bit for DCTCP connections. *)
+
+val adopt : t -> Tcb.t -> unit
+(** Flow migration: register a connection created elsewhere. *)
+
+val evict : t -> Tcb.t -> unit
+(** Flow migration: unhook a connection without tearing it down. *)
+
+val connection_count : t -> int
+val iter_connections : t -> (Tcb.t -> unit) -> unit
+val rsts_sent : t -> int

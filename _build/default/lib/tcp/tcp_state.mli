@@ -1,0 +1,26 @@
+(** TCP connection states (RFC 793 §3.2). *)
+
+type t =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+val is_synchronized : t -> bool
+(** States in which the connection has a synchronized sequence space
+    (Established and later). *)
+
+val can_send_data : t -> bool
+(** States in which new application data may be sent. *)
+
+val can_receive_data : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/timerwheel/timer_wheel.ml: Array List

@@ -1,0 +1,1 @@
+lib/timerwheel/timer_wheel.mli: Engine

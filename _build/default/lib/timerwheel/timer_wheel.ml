@@ -1,0 +1,129 @@
+let default_tick_ns = 16_000
+let slot_bits = 8
+let slots = 1 lsl slot_bits (* 256 *)
+let levels = 4
+
+type timer = {
+  deadline_tick : int;
+  action : unit -> unit;
+  mutable state : [ `Armed | `Cancelled | `Fired ];
+}
+
+type t = {
+  tick_ns : int;
+  wheel : timer list array array; (* level -> slot -> timers (unordered) *)
+  mutable current : int; (* wheel time, in ticks *)
+  mutable armed : int;
+}
+
+let create ?(tick_ns = default_tick_ns) ~now () =
+  {
+    tick_ns;
+    wheel = Array.init levels (fun _ -> Array.make slots []);
+    current = now / tick_ns;
+    armed = 0;
+  }
+
+let now t = t.current * t.tick_ns
+let pending t = t.armed
+
+(* Place a timer in the wheel according to its distance from [current].
+   Level l covers deltas in [256^l, 256^(l+1)). *)
+let place t timer =
+  let delta = timer.deadline_tick - t.current in
+  let delta = if delta < 1 then 1 else delta in
+  let rec level l span =
+    if delta < span * slots || l = levels - 1 then l else level (l + 1) (span * slots)
+  in
+  let l = level 0 1 in
+  let slot = (timer.deadline_tick lsr (slot_bits * l)) land (slots - 1) in
+  t.wheel.(l).(slot) <- timer :: t.wheel.(l).(slot)
+
+let schedule t ~deadline action =
+  let deadline_tick =
+    let tick = (deadline + t.tick_ns - 1) / t.tick_ns in
+    if tick <= t.current then t.current + 1 else tick
+  in
+  let timer = { deadline_tick; action; state = `Armed } in
+  place t timer;
+  t.armed <- t.armed + 1;
+  timer
+
+let cancel timer = if timer.state = `Armed then timer.state <- `Cancelled
+
+(* Visit a level-0 slot: fire timers due at exactly [current]. *)
+let fire_slot t =
+  let slot = t.current land (slots - 1) in
+  let entries = t.wheel.(0).(slot) in
+  t.wheel.(0).(slot) <- [];
+  (* Entries were pushed in LIFO order; restore arming order so equal
+     deadlines fire FIFO. *)
+  let entries = List.rev entries in
+  let fire timer =
+    match timer.state with
+    | `Cancelled | `Fired -> t.armed <- t.armed - (if timer.state = `Cancelled then 1 else 0)
+    | `Armed ->
+        if timer.deadline_tick <= t.current then begin
+          timer.state <- `Fired;
+          t.armed <- t.armed - 1;
+          timer.action ()
+        end
+        else
+          (* A stale resident from a previous lap of the wheel: re-place. *)
+          place t timer
+  in
+  List.iter fire entries
+
+(* Cascade one slot of level [l] down into lower levels. *)
+let cascade t l =
+  let slot = (t.current lsr (slot_bits * l)) land (slots - 1) in
+  let entries = t.wheel.(l).(slot) in
+  t.wheel.(l).(slot) <- [];
+  let redistribute timer =
+    match timer.state with
+    | `Cancelled -> t.armed <- t.armed - 1
+    | `Fired -> ()
+    | `Armed -> place t timer
+  in
+  List.iter redistribute entries
+
+let tick t =
+  t.current <- t.current + 1;
+  (* At each level boundary, pull the next higher-level slot down. *)
+  let rec maybe_cascade l =
+    if l < levels && (t.current lsr (slot_bits * (l - 1))) land (slots - 1) = 0
+    then begin
+      cascade t l;
+      maybe_cascade (l + 1)
+    end
+  in
+  maybe_cascade 1;
+  fire_slot t
+
+let advance t ~now =
+  let target = now / t.tick_ns in
+  while t.current < target && t.armed > 0 do
+    tick t
+  done;
+  if t.current < target then t.current <- target
+
+let next_expiry t =
+  if t.armed = 0 then None
+  else begin
+    (* Earliest live deadline in level 0 within the current window. *)
+    let best = ref max_int in
+    for i = 1 to slots do
+      let tick = t.current + i in
+      let slot = tick land (slots - 1) in
+      let check timer =
+        if timer.state = `Armed && timer.deadline_tick > t.current
+           && timer.deadline_tick < !best
+        then best := timer.deadline_tick
+      in
+      List.iter check t.wheel.(0).(slot)
+    done;
+    (* Next level boundary where a cascade could reveal earlier timers. *)
+    let boundary = ((t.current lsr slot_bits) + 1) lsl slot_bits in
+    let tick = min !best boundary in
+    Some (tick * t.tick_ns)
+  end

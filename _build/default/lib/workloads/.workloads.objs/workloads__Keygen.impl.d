@@ -1,0 +1,1 @@
+lib/workloads/keygen.ml: Engine Printf Size_dist String

@@ -1,0 +1,1 @@
+lib/workloads/keygen.mli: Size_dist

@@ -1,0 +1,1 @@
+lib/workloads/mutilate.ml: Apps Array Engine Hashtbl Keygen List Netapi Option Size_dist String Zipf

@@ -1,0 +1,1 @@
+lib/workloads/mutilate.mli: Engine Ixnet Netapi Size_dist

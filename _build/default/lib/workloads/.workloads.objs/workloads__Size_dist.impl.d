@@ -1,0 +1,1 @@
+lib/workloads/size_dist.ml: Engine

@@ -1,0 +1,1 @@
+lib/workloads/size_dist.mli: Engine

@@ -1,0 +1,16 @@
+let key ~profile ~rank =
+  (* Deterministic per-rank length within the profile's range. *)
+  let lo, hi =
+    match profile.Size_dist.name with "USR" -> (12, 19) | _ -> (20, 70)
+  in
+  let len = lo + (rank * 2654435761 mod (hi - lo + 1)) in
+  let base = Printf.sprintf "key-%08d-" rank in
+  let pad = max 0 (len - String.length base) in
+  base ^ String.make pad 'k'
+
+let preload ~insert ~profile ~seed =
+  let rng = Engine.Rng.create ~seed in
+  for rank = 1 to profile.Size_dist.key_space do
+    let value = String.make (max 1 (profile.Size_dist.value_len rng)) 'v' in
+    insert (key ~profile ~rank) value
+  done

@@ -1,0 +1,13 @@
+(** Deterministic key naming shared by the load generator and the
+    dataset preloader: rank [k] always maps to the same key string
+    (with a profile-dependent length), so preloaded datasets get hits. *)
+
+val key : profile:Size_dist.profile -> rank:int -> string
+
+val preload :
+  insert:(string -> string -> unit) ->
+  profile:Size_dist.profile ->
+  seed:int ->
+  unit
+(** Populate a store with the whole key space (values sampled from the
+    profile's value-size distribution). *)

@@ -1,0 +1,45 @@
+type profile = {
+  name : string;
+  key_len : Engine.Rng.t -> int;
+  value_len : Engine.Rng.t -> int;
+  get_fraction : float;
+  key_space : int;
+  zipf_theta : float;
+}
+
+(* ETC value sizes: most values are small with a tail toward 1 KB; a
+   simple two-regime sampler matching the paper's "1B-1KB" description
+   and Atikoglu's small-value dominance. *)
+let etc_value_len rng =
+  if Engine.Rng.float rng 1.0 < 0.6 then Engine.Rng.uniform_range rng ~lo:1 ~hi:64
+  else begin
+    (* Log-uniform over 64..1024. *)
+    let log_lo = log 64. and log_hi = log 1024. in
+    let v = exp (log_lo +. Engine.Rng.float rng (log_hi -. log_lo)) in
+    int_of_float v
+  end
+
+let etc =
+  {
+    name = "ETC";
+    key_len = (fun rng -> Engine.Rng.uniform_range rng ~lo:20 ~hi:70);
+    value_len = etc_value_len;
+    get_fraction = 0.75;
+    key_space = 100_000;
+    zipf_theta = 0.99;
+  }
+
+let usr =
+  {
+    name = "USR";
+    key_len = (fun rng -> Engine.Rng.uniform_range rng ~lo:12 ~hi:19);
+    value_len = (fun _ -> 2);
+    get_fraction = 0.99;
+    key_space = 100_000;
+    zipf_theta = 0.99;
+  }
+
+let by_name = function
+  | "ETC" | "etc" -> etc
+  | "USR" | "usr" -> usr
+  | other -> invalid_arg ("Size_dist.by_name: " ^ other)

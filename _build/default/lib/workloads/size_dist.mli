@@ -1,0 +1,20 @@
+(** The Facebook memcached workload profiles of §5.5 (from Atikoglu et
+    al. [2]), as the paper configures mutilate:
+
+    - ETC — the highest-capacity deployment: 20–70 B keys, 1 B–1 KB
+      values, 75 % GET / 25 % SET;
+    - USR — the most-GET deployment: short (< 20 B) keys, 2 B values,
+      99 % GET (nearly all traffic in minimum-size TCP packets). *)
+
+type profile = {
+  name : string;
+  key_len : Engine.Rng.t -> int;
+  value_len : Engine.Rng.t -> int;
+  get_fraction : float;
+  key_space : int;  (** number of distinct keys *)
+  zipf_theta : float;
+}
+
+val etc : profile
+val usr : profile
+val by_name : string -> profile

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Engine Gen Harness Hashtbl List Netapi Option Printf QCheck QCheck_alcotest String Workloads

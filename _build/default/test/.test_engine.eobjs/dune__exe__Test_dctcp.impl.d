@@ -1,0 +1,1 @@
+test/test_dctcp.ml: Alcotest Congestion Engine Harness Ix_core Ixhw Ixmem Ixnet Ixtcp List Seqno String Tcb Tcp_conn Timerwheel

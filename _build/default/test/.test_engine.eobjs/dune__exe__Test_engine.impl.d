@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Event_queue Format Fun Gen Histogram List QCheck QCheck_alcotest Rng Sim Sim_time Stats String

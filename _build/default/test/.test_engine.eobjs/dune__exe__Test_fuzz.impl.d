@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Apps Engine Gen Ixmem Ixnet Ixtcp List QCheck QCheck_alcotest Tcb Tcp_conn Tcp_endpoint Timerwheel

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Apps Array Buffer Engine Format Harness Ixhw List Netapi Option String

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Cache_model Cpu_core Engine Frame Ixhw Ixmem Ixnet Link List Nic Pcie_model QCheck QCheck_alcotest String Switch Toeplitz

@@ -1,0 +1,1 @@
+test/test_ix.ml: Alcotest Apps Arp_cache Batch Buffer Control_plane Dataplane Engine Harness Ix_core Ix_host Ixmem Ixnet Libix List Netapi Option Policy Protection Rcu String

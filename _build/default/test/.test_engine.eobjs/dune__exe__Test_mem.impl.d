@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Ixmem List Option QCheck QCheck_alcotest String

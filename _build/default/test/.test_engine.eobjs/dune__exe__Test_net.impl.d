@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Arp_packet Bytes Checksum Ethernet Format Gen Icmp_packet Ip_addr Ipv4_packet Ixmem Ixnet Mac_addr QCheck QCheck_alcotest Result String Tcp_segment Udp_packet

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer Bytes Char Congestion Engine Ixmem Ixnet Ixtcp Lazy Option Port_alloc QCheck QCheck_alcotest Rtt Seqno String Tcb Tcp_conn Tcp_endpoint Tcp_state Timerwheel

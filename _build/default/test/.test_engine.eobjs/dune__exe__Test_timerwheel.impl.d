@@ -1,0 +1,1 @@
+test/test_timerwheel.ml: Alcotest Gen List QCheck QCheck_alcotest Timerwheel

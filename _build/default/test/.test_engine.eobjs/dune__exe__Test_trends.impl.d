@@ -1,0 +1,1 @@
+test/test_trends.ml: Alcotest Harness Unix Workloads

@@ -1,0 +1,557 @@
+(* TCP engine tests over a loopback fixture: two endpoints joined by a
+   lossy, delaying "wire", with timing wheels pumped from the event
+   loop.  The property tests assert TCP's contract — exactly-once,
+   in-order delivery — under random loss. *)
+
+module Mbuf = Ixmem.Mbuf
+module Mempool = Ixmem.Mempool
+module Iovec = Ixmem.Iovec
+module Wheel = Timerwheel.Timer_wheel
+module Seg = Ixnet.Tcp_segment
+open Ixtcp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ip_a = Ixnet.Ip_addr.of_octets 10 0 0 1
+let ip_b = Ixnet.Ip_addr.of_octets 10 0 0 2
+
+type host = {
+  ep : Tcp_endpoint.t;
+  wheel : Wheel.t;
+  pool : Mempool.t;
+}
+
+type net = {
+  sim : Engine.Sim.t;
+  a : host;
+  b : host;
+  mutable drops : int;
+}
+
+(* Build two endpoints joined back-to-back.  [loss] drops each segment
+   with the given probability; [delay_ns] is the one-way latency. *)
+let make_net ?(loss = 0.) ?(delay_ns = 10_000) ?(seed = 1) ?config () =
+  let sim = Engine.Sim.create ~seed () in
+  let loss_rng = Engine.Rng.create ~seed:(seed + 100) in
+  let cfg = match config with Some c -> c | None -> Tcb.default_config in
+  let net = ref None in
+  let peer_of ip = if ip = ip_a then (Option.get !net).a else (Option.get !net).b in
+  let make_host ~local_ip ~seed =
+    let wheel = Wheel.create ~now:0 () in
+    let pool = Mempool.create ~capacity:32768 ~name:"host" () in
+    let rec host =
+      lazy
+        (let output_raw ~remote_ip mbuf =
+           let this = Lazy.force host in
+           ignore this;
+           if loss > 0. && Engine.Rng.float loss_rng 1.0 < loss then begin
+             (Option.get !net).drops <- (Option.get !net).drops + 1;
+             Mbuf.decref mbuf
+           end
+           else begin
+             ignore
+               (Engine.Sim.after sim delay_ns (fun () ->
+                    let dst = peer_of remote_ip in
+                    (* The peer decodes the raw TCP segment. *)
+                    (match Seg.decode mbuf ~src:local_ip ~dst:remote_ip with
+                    | Ok seg -> Tcp_endpoint.rx_segment dst.ep ~src_ip:local_ip seg mbuf
+                    | Error e -> Alcotest.failf "segment decode: %s" e);
+                    Mbuf.decref mbuf))
+           end
+         in
+         let ep =
+           Tcp_endpoint.create
+             ~now:(fun () -> Engine.Sim.now sim)
+             ~wheel
+             ~alloc:(fun () -> Mempool.alloc pool)
+             ~output_raw
+             ~rng:(Engine.Rng.create ~seed)
+             ~local_ip ~config:cfg ()
+         in
+         { ep; wheel; pool })
+    in
+    Lazy.force host
+  in
+  let a = make_host ~local_ip:ip_a ~seed:(seed + 1) in
+  let b = make_host ~local_ip:ip_b ~seed:(seed + 2) in
+  let n = { sim; a; b; drops = 0 } in
+  net := Some n;
+  (* Pump both timing wheels every 100 us. *)
+  let rec tick () =
+    Wheel.advance a.wheel ~now:(Engine.Sim.now sim);
+    Wheel.advance b.wheel ~now:(Engine.Sim.now sim);
+    ignore (Engine.Sim.after sim 100_000 tick)
+  in
+  ignore (Engine.Sim.after sim 100_000 tick);
+  n
+
+let run net ~ms = Engine.Sim.run ~until:(Engine.Sim_time.ms ms) net.sim
+
+(* An accumulating sink server: collects everything it receives. *)
+let sink_server ?(consume = true) host ~port =
+  let received = Buffer.create 1024 in
+  let closed = ref false in
+  Tcp_endpoint.listen host.ep ~port ~on_accept:(fun tcb ->
+      tcb.Tcb.callbacks.Tcb.on_recv <-
+        (fun mbuf off len ->
+          Buffer.add_subbytes received mbuf.Mbuf.buf off len;
+          if consume then Tcp_conn.consume tcb len;
+          Mbuf.decref mbuf);
+      tcb.Tcb.callbacks.Tcb.on_closed <-
+        (fun _reason ->
+          closed := true;
+          Tcp_conn.close tcb));
+  (received, closed)
+
+(* A client that connects and streams [data], reissuing on [sent]. *)
+let streaming_client host ~remote_ip ~port ~data ?(close_when_done = false) () =
+  let connected = ref false in
+  let refused = ref false in
+  let sent_acked = ref 0 in
+  let pos = ref 0 in
+  let total = String.length data in
+  let buf = Bytes.of_string data in
+  let tcb_ref = ref None in
+  let rec push tcb =
+    if !pos < total then begin
+      let iov = { Iovec.buf; off = !pos; len = total - !pos } in
+      let accepted = Tcp_conn.send tcb [ iov ] in
+      pos := !pos + accepted;
+      if accepted > 0 && !pos < total then push tcb
+    end
+    else if close_when_done && !pos = total && !sent_acked = total then
+      Tcp_conn.close tcb
+  in
+  let tcb =
+    Option.get
+      (Tcp_endpoint.connect host.ep ~remote_ip ~remote_port:port ~cookie:7 ())
+  in
+  tcb_ref := Some tcb;
+  tcb.Tcb.callbacks.Tcb.on_connected <-
+    (fun ok ->
+      if ok then begin
+        connected := true;
+        push tcb
+      end
+      else refused := true);
+  tcb.Tcb.callbacks.Tcb.on_sent <-
+    (fun n ->
+      sent_acked := !sent_acked + n;
+      push tcb);
+  (tcb, connected, refused, sent_acked)
+
+(* ---------------- Seqno ---------------- *)
+
+let test_seqno_wraparound () =
+  check_int "add wraps" 5 (Seqno.add 0xFFFFFFFE 7);
+  check_bool "lt across wrap" true (Seqno.lt 0xFFFFFFF0 5);
+  check_bool "gt across wrap" true (Seqno.gt 5 0xFFFFFFF0);
+  check_int "diff across wrap" 21 (Seqno.diff 5 0xFFFFFFF0);
+  check_int "negative diff" (-21) (Seqno.diff 0xFFFFFFF0 5);
+  check_int "max picks later" 5 (Seqno.max 5 0xFFFFFFF0)
+
+let prop_seqno_ordering_antisymmetric =
+  QCheck.Test.make ~name:"seqno lt/gt antisymmetric" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+    (fun (a, b) ->
+      QCheck.assume (Seqno.diff a b <> 0);
+      Seqno.lt a b = Seqno.gt b a && Seqno.lt a b <> Seqno.lt b a)
+
+(* ---------------- Rtt ---------------- *)
+
+let test_rtt_converges () =
+  let r = Rtt.create ~min_rto_ns:1_000_000 ~max_rto_ns:60_000_000_000 in
+  for _ = 1 to 50 do
+    Rtt.observe r ~sample_ns:10_000_000
+  done;
+  check_int "srtt converges to sample" 10_000_000 (Rtt.srtt_ns r);
+  check_bool "rto >= srtt" true (Rtt.rto_ns r >= 10_000_000)
+
+let test_rtt_backoff () =
+  let r = Rtt.create ~min_rto_ns:1_000_000 ~max_rto_ns:60_000_000_000 in
+  Rtt.observe r ~sample_ns:5_000_000;
+  let base = Rtt.rto_ns r in
+  Rtt.backoff r;
+  Rtt.backoff r;
+  check_int "doubles twice" (4 * base) (Rtt.rto_ns r);
+  Rtt.observe r ~sample_ns:5_000_000;
+  check_bool "ack resets backoff" true (Rtt.rto_ns r < 4 * base)
+
+let test_rtt_respects_min () =
+  let r = Rtt.create ~min_rto_ns:200_000_000 ~max_rto_ns:60_000_000_000 in
+  Rtt.observe r ~sample_ns:50_000 (* 50 us RTT *);
+  check_int "Linux-style 200ms floor" 200_000_000 (Rtt.rto_ns r)
+
+(* ---------------- Congestion ---------------- *)
+
+let test_congestion_slow_start_doubles () =
+  let c = Congestion.create ~mss:1000 ~initial_window_segs:10 () in
+  check_int "IW10" 10_000 (Congestion.cwnd c);
+  Congestion.on_ack c ~acked_bytes:10_000 ~flight:0;
+  check_int "doubled" 20_000 (Congestion.cwnd c)
+
+let test_congestion_fast_retransmit_halves () =
+  let c = Congestion.create ~mss:1000 ~initial_window_segs:10 () in
+  Congestion.on_fast_retransmit c ~flight:20_000;
+  check_bool "in recovery" true (Congestion.in_recovery c);
+  check_int "ssthresh half of flight" 10_000 (Congestion.ssthresh c);
+  Congestion.on_recovery_exit c;
+  check_int "cwnd deflates to ssthresh" 10_000 (Congestion.cwnd c);
+  check_bool "recovery exited" false (Congestion.in_recovery c)
+
+let test_congestion_rto_collapses () =
+  let c = Congestion.create ~mss:1000 ~initial_window_segs:10 () in
+  Congestion.on_rto c;
+  check_int "one segment" 1_000 (Congestion.cwnd c)
+
+let test_congestion_avoidance_linear () =
+  let c = Congestion.create ~mss:1000 ~initial_window_segs:4 () in
+  Congestion.on_fast_retransmit c ~flight:8_000;
+  Congestion.on_recovery_exit c;
+  let w0 = Congestion.cwnd c in
+  (* One full window of acks in avoidance grows cwnd by one MSS. *)
+  Congestion.on_ack c ~acked_bytes:w0 ~flight:0;
+  check_int "plus one mss" (w0 + 1000) (Congestion.cwnd c)
+
+(* ---------------- Port allocation ---------------- *)
+
+let test_port_alloc_respects_predicate () =
+  let pa = Port_alloc.create ~lo:100 ~hi:200 () in
+  let even p = p mod 2 = 0 in
+  (match Port_alloc.alloc pa ~suitable:even with
+  | Some p -> check_bool "even port" true (even p)
+  | None -> Alcotest.fail "expected a port");
+  check_int "in use" 1 (Port_alloc.in_use pa)
+
+let test_port_alloc_exhaustion () =
+  let pa = Port_alloc.create ~lo:10 ~hi:12 () in
+  let p1 = Port_alloc.alloc pa ~suitable:(fun _ -> true) in
+  let p2 = Port_alloc.alloc pa ~suitable:(fun _ -> true) in
+  let p3 = Port_alloc.alloc pa ~suitable:(fun _ -> true) in
+  check_bool "three allocated" true
+    (Option.is_some p1 && Option.is_some p2 && Option.is_some p3);
+  Alcotest.(check (option int)) "exhausted" None (Port_alloc.alloc pa ~suitable:(fun _ -> true));
+  Port_alloc.free pa (Option.get p2);
+  Alcotest.(check (option int)) "freed port reusable" p2 (Port_alloc.alloc pa ~suitable:(fun _ -> true))
+
+(* ---------------- Connection lifecycle ---------------- *)
+
+let test_handshake () =
+  let net = make_net () in
+  let _received, _ = sink_server net.b ~port:80 in
+  let tcb, connected, _, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"" ()
+  in
+  run net ~ms:100;
+  check_bool "client connected" true !connected;
+  Alcotest.(check string) "established" "ESTABLISHED" (Tcp_state.to_string (Tcb.state tcb));
+  check_int "server tracks one conn" 1 (Tcp_endpoint.connection_count net.b.ep)
+
+let test_small_transfer () =
+  let net = make_net () in
+  let received, _ = sink_server net.b ~port:80 in
+  let _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"hello over tcp" () in
+  run net ~ms:100;
+  Alcotest.(check string) "payload delivered" "hello over tcp" (Buffer.contents received)
+
+let test_multi_segment_transfer () =
+  let net = make_net () in
+  let received, _ = sink_server net.b ~port:80 in
+  let data = String.init 50_000 (fun i -> Char.chr (i land 0xFF)) in
+  let _, _, _, sent_acked = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  run net ~ms:500;
+  check_int "all bytes acked" 50_000 !sent_acked;
+  Alcotest.(check string) "content integrity" data (Buffer.contents received)
+
+let test_connection_refused () =
+  let net = make_net () in
+  (* No listener on port 81. *)
+  let _, connected, refused, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:81 ~data:"x" ()
+  in
+  run net ~ms:100;
+  check_bool "refused" true !refused;
+  check_bool "never connected" false !connected;
+  check_bool "server sent RST" true (Tcp_endpoint.rsts_sent net.b.ep > 0)
+
+let test_orderly_close () =
+  let net = make_net () in
+  let received, server_closed = sink_server net.b ~port:80 in
+  let tcb, _, _, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"bye" ~close_when_done:true ()
+  in
+  run net ~ms:2000;
+  Alcotest.(check string) "data before close" "bye" (Buffer.contents received);
+  check_bool "server saw close" true !server_closed;
+  Alcotest.(check string) "client fully closed" "CLOSED" (Tcp_state.to_string (Tcb.state tcb));
+  check_int "no lingering server conns" 0 (Tcp_endpoint.connection_count net.b.ep)
+
+let test_abort_sends_rst () =
+  let net = make_net () in
+  let _, server_closed = sink_server net.b ~port:80 in
+  let tcb, connected, _, _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"" () in
+  run net ~ms:50;
+  check_bool "connected first" true !connected;
+  Tcp_conn.abort tcb;
+  run net ~ms:100;
+  check_bool "server learned of reset" true !server_closed;
+  check_int "server table empty" 0 (Tcp_endpoint.connection_count net.b.ep);
+  check_int "client table empty" 0 (Tcp_endpoint.connection_count net.a.ep)
+
+let test_flow_control_zero_window () =
+  (* Server never consumes: sender must stall at the receive buffer. *)
+  let cfg = { Tcb.default_config with Tcb.rcv_buf = 8192 } in
+  let net = make_net ~config:cfg () in
+  let received, _ = sink_server ~consume:false net.b ~port:80 in
+  let data = String.make 100_000 'z' in
+  let _, _, _, sent_acked = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  run net ~ms:300;
+  check_bool "window bounds delivery" true (Buffer.length received <= 8192 + 1460);
+  check_bool "some data flowed" true (Buffer.length received > 0);
+  check_bool "sender stalled" true (!sent_acked < 100_000)
+
+let test_window_reopens_after_consume () =
+  let cfg = { Tcb.default_config with Tcb.rcv_buf = 8192 } in
+  let net = make_net ~config:cfg () in
+  let total_consumed = ref 0 in
+  let server_tcb = ref None in
+  Tcp_endpoint.listen net.b.ep ~port:80 ~on_accept:(fun tcb ->
+      server_tcb := Some tcb;
+      tcb.Tcb.callbacks.Tcb.on_recv <-
+        (fun mbuf _off len ->
+          (* Hold data; consume later in batches (recv_done). *)
+          total_consumed := !total_consumed + len;
+          Mbuf.decref mbuf));
+  let data = String.make 60_000 'q' in
+  let _, _, _, sent_acked = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  (* Periodically release the window, like an application draining. *)
+  let rec drain () =
+    (match !server_tcb with
+    | Some tcb -> Tcp_conn.consume tcb 4096
+    | None -> ());
+    ignore (Engine.Sim.after net.sim 500_000 drain)
+  in
+  ignore (Engine.Sim.after net.sim 500_000 drain);
+  run net ~ms:1000;
+  check_int "everything eventually acked" 60_000 !sent_acked
+
+let test_transfer_under_loss () =
+  let net = make_net ~loss:0.05 ~seed:3 () in
+  let received, _ = sink_server net.b ~port:80 in
+  let data = String.init 120_000 (fun i -> Char.chr ((i * 31) land 0xFF)) in
+  let _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  run net ~ms:5000;
+  check_bool "losses occurred" true (net.drops > 0);
+  Alcotest.(check string) "exactly-once in-order delivery" data (Buffer.contents received)
+
+let test_retransmit_counted () =
+  let net = make_net ~loss:0.2 ~seed:9 () in
+  let received, _ = sink_server net.b ~port:80 in
+  let data = String.make 20_000 'r' in
+  let tcb, _, _, _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  run net ~ms:10_000;
+  Alcotest.(check string) "delivered despite 20% loss" data (Buffer.contents received);
+  check_bool "retransmissions happened" true (tcb.Tcb.retransmits > 0)
+
+let test_bidirectional_echo () =
+  let net = make_net () in
+  (* Server echoes everything back. *)
+  Tcp_endpoint.listen net.b.ep ~port:7 ~on_accept:(fun tcb ->
+      tcb.Tcb.callbacks.Tcb.on_recv <-
+        (fun mbuf off len ->
+          let copy = Bytes.sub mbuf.Mbuf.buf off len in
+          ignore (Tcp_conn.send tcb [ Iovec.of_bytes copy ]);
+          Tcp_conn.consume tcb len;
+          Mbuf.decref mbuf));
+  let echoed = Buffer.create 64 in
+  let tcb =
+    Option.get (Tcp_endpoint.connect net.a.ep ~remote_ip:ip_b ~remote_port:7 ~cookie:1 ())
+  in
+  tcb.Tcb.callbacks.Tcb.on_connected <-
+    (fun ok -> if ok then ignore (Tcp_conn.send tcb [ Iovec.of_string "marco!" ]));
+  tcb.Tcb.callbacks.Tcb.on_recv <-
+    (fun mbuf off len ->
+      Buffer.add_subbytes echoed mbuf.Mbuf.buf off len;
+      Tcp_conn.consume tcb len;
+      Mbuf.decref mbuf);
+  run net ~ms:100;
+  Alcotest.(check string) "echo round trip" "marco!" (Buffer.contents echoed)
+
+let test_rtt_measured () =
+  let net = make_net ~delay_ns:50_000 () in
+  let _ = sink_server net.b ~port:80 in
+  let tcb, _, _, _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:(String.make 5000 'x') () in
+  run net ~ms:200;
+  let srtt = Rtt.srtt_ns tcb.Tcb.rtt in
+  check_bool "srtt near 2x one-way delay" true (srtt >= 100_000 && srtt < 400_000)
+
+let test_half_close_server_can_still_send () =
+  (* Client sends FIN; the server (CLOSE_WAIT) may still send data and
+     the client must receive it (half-close semantics). *)
+  let net = make_net () in
+  let server_tcb = ref None in
+  Tcp_endpoint.listen net.b.ep ~port:80 ~on_accept:(fun tcb ->
+      server_tcb := Some tcb;
+      tcb.Tcb.callbacks.Tcb.on_recv <-
+        (fun mbuf _ len ->
+          Tcp_conn.consume tcb len;
+          Mbuf.decref mbuf));
+  let got = Buffer.create 16 in
+  let client =
+    Option.get (Tcp_endpoint.connect net.a.ep ~remote_ip:ip_b ~remote_port:80 ~cookie:0 ())
+  in
+  client.Tcb.callbacks.Tcb.on_connected <-
+    (fun ok -> if ok then Tcp_conn.close client);
+  client.Tcb.callbacks.Tcb.on_recv <-
+    (fun mbuf off len ->
+      Buffer.add_subbytes got mbuf.Mbuf.buf off len;
+      Tcp_conn.consume client len;
+      Mbuf.decref mbuf);
+  run net ~ms:50;
+  (* Server is in CLOSE_WAIT now; send data on the half-open side. *)
+  let tcb = Option.get !server_tcb in
+  Alcotest.(check string) "server in close_wait" "CLOSE_WAIT"
+    (Tcp_state.to_string (Tcb.state tcb));
+  ignore (Tcp_conn.send tcb [ Iovec.of_string "parting gift" ]);
+  run net ~ms:100;
+  Alcotest.(check string) "client received post-FIN data" "parting gift"
+    (Buffer.contents got);
+  (* Server closes its side; everything tears down. *)
+  Tcp_conn.close tcb;
+  run net ~ms:3000;
+  check_int "server table empty" 0 (Tcp_endpoint.connection_count net.b.ep);
+  check_int "client table empty" 0 (Tcp_endpoint.connection_count net.a.ep)
+
+let test_simultaneous_close () =
+  let net = make_net () in
+  let server_tcb = ref None in
+  Tcp_endpoint.listen net.b.ep ~port:80 ~on_accept:(fun tcb -> server_tcb := Some tcb);
+  let client =
+    Option.get (Tcp_endpoint.connect net.a.ep ~remote_ip:ip_b ~remote_port:80 ~cookie:0 ())
+  in
+  run net ~ms:50;
+  (* Both ends close in the same instant: FINs cross on the wire. *)
+  Tcp_conn.close client;
+  Tcp_conn.close (Option.get !server_tcb);
+  run net ~ms:3000;
+  Alcotest.(check string) "client closed" "CLOSED" (Tcp_state.to_string (Tcb.state client));
+  check_int "no lingering flows" 0
+    (Tcp_endpoint.connection_count net.a.ep + Tcp_endpoint.connection_count net.b.ep)
+
+let test_mss_negotiation_clamps_segments () =
+  (* Server advertises a small MSS; the client must never send larger
+     segments.  Observable through segment counts: 5000 bytes over a
+     536-byte MSS needs at least 10 data segments. *)
+  let small = { Tcb.default_config with Tcb.mss = 536 } in
+  let sim = Engine.Sim.create ~seed:3 () in
+  ignore sim;
+  let net = make_net ~config:small () in
+  let received, _ = sink_server net.b ~port:80 in
+  let tcb, _, _, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:(String.make 5_000 'm') ()
+  in
+  run net ~ms:200;
+  check_int "delivered" 5_000 (Buffer.length received);
+  check_bool "segment count respects MSS" true (tcb.Tcb.segs_out >= 10)
+
+let test_ooo_flood_recovers () =
+  (* Heavy reordering-by-loss: more OOO segments than the 64-entry
+     bound; retransmission must still complete the byte stream. *)
+  let net = make_net ~loss:0.3 ~seed:21 () in
+  let received, _ = sink_server net.b ~port:80 in
+  let data = String.init 60_000 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+  let _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  run net ~ms:30_000;
+  Alcotest.(check string) "in-order exactly-once despite 30% loss" data
+    (Buffer.contents received)
+
+let test_listener_teardown_refuses () =
+  let net = make_net () in
+  let _ = sink_server net.b ~port:80 in
+  Tcp_endpoint.unlisten net.b.ep ~port:80;
+  let _, connected, refused, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"x" ()
+  in
+  run net ~ms:100;
+  check_bool "refused after unlisten" true !refused;
+  check_bool "not connected" false !connected
+
+(* ---------------- Properties ---------------- *)
+
+let transfer_roundtrip ~loss ~size ~seed =
+  let net = make_net ~loss ~seed () in
+  let received, _ = sink_server net.b ~port:80 in
+  let data = String.init size (fun i -> Char.chr ((i * 131) land 0xFF)) in
+  let _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
+  run net ~ms:20_000;
+  Buffer.contents received = data
+
+let prop_exactly_once_under_loss =
+  QCheck.Test.make ~name:"exactly-once in-order delivery under random loss" ~count:15
+    QCheck.(pair (int_bound 120) (int_bound 1000))
+    (fun (loss_pct_tenths, seed) ->
+      let loss = float_of_int loss_pct_tenths /. 1000. in
+      transfer_roundtrip ~loss ~size:15_000 ~seed:(seed + 1))
+
+let prop_sizes_roundtrip =
+  QCheck.Test.make ~name:"transfers of arbitrary sizes roundtrip" ~count:20
+    QCheck.(int_range 1 100_000)
+    (fun size -> transfer_roundtrip ~loss:0. ~size ~seed:2)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tcp"
+    [
+      ( "seqno",
+        [
+          Alcotest.test_case "wraparound" `Quick test_seqno_wraparound;
+          qt prop_seqno_ordering_antisymmetric;
+        ] );
+      ( "rtt",
+        [
+          Alcotest.test_case "converges" `Quick test_rtt_converges;
+          Alcotest.test_case "backoff" `Quick test_rtt_backoff;
+          Alcotest.test_case "min rto floor" `Quick test_rtt_respects_min;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "slow start" `Quick test_congestion_slow_start_doubles;
+          Alcotest.test_case "fast retransmit" `Quick test_congestion_fast_retransmit_halves;
+          Alcotest.test_case "rto collapse" `Quick test_congestion_rto_collapses;
+          Alcotest.test_case "avoidance linear" `Quick test_congestion_avoidance_linear;
+        ] );
+      ( "ports",
+        [
+          Alcotest.test_case "predicate" `Quick test_port_alloc_respects_predicate;
+          Alcotest.test_case "exhaustion" `Quick test_port_alloc_exhaustion;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "handshake" `Quick test_handshake;
+          Alcotest.test_case "small transfer" `Quick test_small_transfer;
+          Alcotest.test_case "multi segment transfer" `Quick test_multi_segment_transfer;
+          Alcotest.test_case "connection refused" `Quick test_connection_refused;
+          Alcotest.test_case "orderly close" `Quick test_orderly_close;
+          Alcotest.test_case "abort / RST" `Quick test_abort_sends_rst;
+          Alcotest.test_case "bidirectional echo" `Quick test_bidirectional_echo;
+          Alcotest.test_case "rtt measurement" `Quick test_rtt_measured;
+          Alcotest.test_case "half close" `Quick test_half_close_server_can_still_send;
+          Alcotest.test_case "simultaneous close" `Quick test_simultaneous_close;
+          Alcotest.test_case "mss clamping" `Quick test_mss_negotiation_clamps_segments;
+          Alcotest.test_case "unlisten refuses" `Quick test_listener_teardown_refuses;
+        ] );
+      ( "flow_control",
+        [
+          Alcotest.test_case "zero window stalls sender" `Quick test_flow_control_zero_window;
+          Alcotest.test_case "window reopens on consume" `Quick test_window_reopens_after_consume;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "transfer under 5% loss" `Quick test_transfer_under_loss;
+          Alcotest.test_case "retransmits under 20% loss" `Quick test_retransmit_counted;
+          Alcotest.test_case "ooo flood under 30% loss" `Quick test_ooo_flood_recovers;
+          qt prop_exactly_once_under_loss;
+          qt prop_sizes_roundtrip;
+        ] );
+    ]

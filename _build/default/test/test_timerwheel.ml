@@ -1,0 +1,140 @@
+(* Tests for the hierarchical timing wheel. *)
+
+module Wheel = Timerwheel.Timer_wheel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tick = Wheel.default_tick_ns
+
+let test_fires_at_deadline () =
+  let w = Wheel.create ~now:0 () in
+  let fired_at = ref (-1) in
+  ignore (Wheel.schedule w ~deadline:(10 * tick) (fun () -> fired_at := Wheel.now w));
+  Wheel.advance w ~now:(9 * tick);
+  check_int "not yet" (-1) !fired_at;
+  Wheel.advance w ~now:(10 * tick);
+  check_int "fired at its tick" (10 * tick) !fired_at
+
+let test_cancel () =
+  let w = Wheel.create ~now:0 () in
+  let fired = ref false in
+  let timer = Wheel.schedule w ~deadline:(5 * tick) (fun () -> fired := true) in
+  Wheel.cancel timer;
+  check_int "pending counts cancelled until visited" 1 (Wheel.pending w);
+  Wheel.advance w ~now:(6 * tick);
+  check_bool "cancelled did not fire" false !fired;
+  check_int "tombstone reaped" 0 (Wheel.pending w)
+
+let test_past_deadline_fires_next_tick () =
+  let w = Wheel.create ~now:(100 * tick) () in
+  let fired = ref false in
+  ignore (Wheel.schedule w ~deadline:0 (fun () -> fired := true));
+  Wheel.advance w ~now:(101 * tick);
+  check_bool "past deadline fired promptly" true !fired
+
+let test_long_range_cascade () =
+  let w = Wheel.create ~now:0 () in
+  (* Far enough to sit two levels up. *)
+  let deadline = 300 * 300 * tick in
+  let fired_at = ref (-1) in
+  ignore (Wheel.schedule w ~deadline (fun () -> fired_at := Wheel.now w));
+  Wheel.advance w ~now:(deadline - tick);
+  check_int "not early" (-1) !fired_at;
+  Wheel.advance w ~now:(deadline + tick);
+  check_bool "fired on time (within a tick)" true
+    (abs (!fired_at - deadline) <= tick)
+
+let test_high_resolution () =
+  (* 16 us resolution: two timers 16 us apart must fire separately. *)
+  let w = Wheel.create ~now:0 () in
+  let log = ref [] in
+  ignore (Wheel.schedule w ~deadline:16_000 (fun () -> log := 1 :: !log));
+  ignore (Wheel.schedule w ~deadline:32_000 (fun () -> log := 2 :: !log));
+  Wheel.advance w ~now:16_000;
+  Alcotest.(check (list int)) "only first" [ 1 ] (List.rev !log);
+  Wheel.advance w ~now:32_000;
+  Alcotest.(check (list int)) "then second" [ 1; 2 ] (List.rev !log)
+
+let test_next_expiry_bound () =
+  let w = Wheel.create ~now:0 () in
+  Alcotest.(check (option int)) "no timers" None (Wheel.next_expiry w);
+  ignore (Wheel.schedule w ~deadline:(7 * tick) ignore);
+  match Wheel.next_expiry w with
+  | None -> Alcotest.fail "expected a bound"
+  | Some bound -> check_bool "bound not after deadline" true (bound <= 7 * tick)
+
+let test_reschedule_in_callback () =
+  let w = Wheel.create ~now:0 () in
+  let count = ref 0 in
+  let rec again () =
+    incr count;
+    if !count < 5 then
+      ignore (Wheel.schedule w ~deadline:(Wheel.now w + tick) again)
+  in
+  ignore (Wheel.schedule w ~deadline:tick again);
+  Wheel.advance w ~now:(10 * tick);
+  check_int "periodic rescheduling" 5 !count
+
+let prop_timers_fire_in_order =
+  QCheck.Test.make ~name:"timers fire in nondecreasing deadline order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 64) (int_range 1 100_000))
+    (fun deadlines_ticks ->
+      let w = Wheel.create ~now:0 () in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          let deadline = d * tick in
+          ignore (Wheel.schedule w ~deadline (fun () -> fired := deadline :: !fired)))
+        deadlines_ticks;
+      Wheel.advance w ~now:(101_000 * tick);
+      let order = List.rev !fired in
+      List.length order = List.length deadlines_ticks
+      && order = List.sort compare order)
+
+let prop_all_fire_exactly_once =
+  QCheck.Test.make ~name:"every armed timer fires exactly once" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_range 1 70_000))
+    (fun deadlines_ticks ->
+      let w = Wheel.create ~now:0 () in
+      let count = ref 0 in
+      List.iter
+        (fun d ->
+          ignore (Wheel.schedule w ~deadline:(d * tick) (fun () -> incr count)))
+        deadlines_ticks;
+      Wheel.advance w ~now:(80_000 * tick);
+      !count = List.length deadlines_ticks && Wheel.pending w = 0)
+
+let prop_cancelled_never_fire =
+  QCheck.Test.make ~name:"cancelled timers never fire" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_range 1 10_000) bool))
+    (fun specs ->
+      let w = Wheel.create ~now:0 () in
+      let bad = ref false in
+      List.iter
+        (fun (d, cancel) ->
+          let timer =
+            Wheel.schedule w ~deadline:(d * tick) (fun () -> if cancel then bad := true)
+          in
+          if cancel then Wheel.cancel timer)
+        specs;
+      Wheel.advance w ~now:(20_000 * tick);
+      not !bad)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "timerwheel"
+    [
+      ( "wheel",
+        [
+          Alcotest.test_case "fires at deadline" `Quick test_fires_at_deadline;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "past deadline" `Quick test_past_deadline_fires_next_tick;
+          Alcotest.test_case "multi-level cascade" `Quick test_long_range_cascade;
+          Alcotest.test_case "16us resolution" `Quick test_high_resolution;
+          Alcotest.test_case "next_expiry bound" `Quick test_next_expiry_bound;
+          Alcotest.test_case "reschedule in callback" `Quick test_reschedule_in_callback;
+          qt prop_timers_fire_in_order;
+          qt prop_all_fire_exactly_once;
+          qt prop_cancelled_never_fire;
+        ] );
+    ]

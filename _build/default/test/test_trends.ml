@@ -1,0 +1,104 @@
+(* Trend tests: small-scale versions of the paper's headline claims.
+   These run the real experiment harness with short windows (via
+   IX_BENCH_SCALE) and assert orderings and rough factors rather than
+   absolute numbers — the same fidelity targets DESIGN.md commits to. *)
+
+module Cluster = Harness.Cluster
+module E = Harness.Experiments
+
+let () = Unix.putenv "IX_BENCH_SCALE" "0.25"
+
+let check_bool = Alcotest.(check bool)
+
+let echo kind ports cores n =
+  (E.run_echo ~kind ~ports ~cores ~msg_size:64 ~msgs_per_conn:n ()).E.msgs_per_sec
+
+(* §5.3: at high n, IX > mTCP > Linux in message rate. *)
+let test_throughput_ordering () =
+  let ix = echo Cluster.Ix 1 8 128 in
+  let mtcp = echo Cluster.Mtcp 1 8 128 in
+  let linux = echo Cluster.Linux 1 8 128 in
+  check_bool "ix beats mtcp" true (ix > mtcp);
+  check_bool "mtcp beats linux" true (mtcp > linux);
+  check_bool "ix >= 1.5x mtcp" true (ix > 1.5 *. mtcp);
+  check_bool "ix >= 5x linux" true (ix > 5. *. linux)
+
+(* §5.3: IX approaches the 10GbE line rate for 64B messages (8.8M/s). *)
+let test_ix_line_rate () =
+  let ix = echo Cluster.Ix 1 8 512 in
+  check_bool "within 15% of line rate" true (ix > 7.5e6)
+
+(* §5.3: IX saturates 10GbE with few cores — adding cores beyond ~4
+   brings little at n=1 because the wire is the limit. *)
+let test_ix_early_saturation () =
+  let three = echo Cluster.Ix 1 3 1 in
+  let eight = echo Cluster.Ix 1 8 1 in
+  check_bool "3 cores already near the 8-core rate" true (three > 0.6 *. eight)
+
+(* §5.3: 4x10GbE scales IX beyond a single port. *)
+let test_ix_40g_scaling () =
+  let one = echo Cluster.Ix 1 8 512 in
+  let four = echo Cluster.Ix 4 8 512 in
+  check_bool "bonding adds capacity" true (four > 1.2 *. one)
+
+(* §5.2: unloaded one-way latency ordering (IX < Linux < mTCP). *)
+let test_latency_ordering () =
+  let ix = (E.netpipe_once ~kind:Cluster.Ix ~size:64).E.one_way_us in
+  let linux = (E.netpipe_once ~kind:Cluster.Linux ~size:64).E.one_way_us in
+  let mtcp = (E.netpipe_once ~kind:Cluster.Mtcp ~size:64).E.one_way_us in
+  check_bool "ix < linux" true (ix < linux);
+  check_bool "linux < mtcp" true (linux < mtcp);
+  check_bool "ix at least 2.5x better than linux" true (linux > 2.5 *. ix);
+  check_bool "mtcp an order of magnitude worse than ix" true (mtcp > 8. *. ix)
+
+(* §6 / Fig. 6: larger batch bounds raise saturated throughput. *)
+let echo_with_bound batch =
+  (E.run_echo ~batch_bound:batch ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64
+     ~msgs_per_conn:64 ())
+    .E.msgs_per_sec
+
+let test_batch_bound () =
+  let b1 = echo_with_bound 1 in
+  let b64 = echo_with_bound 64 in
+  check_bool "B=64 beats B=1 at saturation" true (b64 > 1.15 *. b1)
+
+(* §5.5: memcached on IX sustains more load at low latency than Linux. *)
+let test_memcached_gap () =
+  let profile = Workloads.Size_dist.usr in
+  let ix, ix_kernel =
+    E.run_memcached ~kind:Cluster.Ix ~server_threads:6 ~profile ~target_rps:500e3 ()
+  in
+  let linux, linux_kernel =
+    E.run_memcached ~kind:Cluster.Linux ~server_threads:8 ~profile ~target_rps:500e3 ()
+  in
+  check_bool "both achieve the moderate target" true
+    (ix.Workloads.Mutilate.achieved_rps > 400e3
+    && linux.Workloads.Mutilate.achieved_rps > 400e3);
+  check_bool "ix p99 well below linux p99" true
+    (ix.Workloads.Mutilate.p99_us *. 2. < linux.Workloads.Mutilate.p99_us);
+  check_bool "linux mostly kernel time" true (linux_kernel > 0.6);
+  check_bool "ix mostly application time" true (ix_kernel < 0.5)
+
+(* §5.4: throughput falls once connection state outgrows the L3. *)
+let test_connection_count_decline () =
+  let peak = E.run_connection_scaling ~kind:Cluster.Ix ~conns:1_000 ~workers:384 in
+  let big = E.run_connection_scaling ~kind:Cluster.Ix ~conns:100_000 ~workers:384 in
+  check_bool "decline at high connection counts" true (big < 0.85 *. peak);
+  check_bool "but still a large fraction of peak" true (big > 0.3 *. peak)
+
+let () =
+  Alcotest.run "trends"
+    [
+      ( "echo",
+        [
+          Alcotest.test_case "throughput ordering" `Slow test_throughput_ordering;
+          Alcotest.test_case "ix line rate" `Slow test_ix_line_rate;
+          Alcotest.test_case "early core saturation" `Slow test_ix_early_saturation;
+          Alcotest.test_case "4x10GbE scaling" `Slow test_ix_40g_scaling;
+        ] );
+      ("netpipe", [ Alcotest.test_case "latency ordering" `Slow test_latency_ordering ]);
+      ("batching", [ Alcotest.test_case "B sweep" `Slow test_batch_bound ]);
+      ("memcached", [ Alcotest.test_case "ix vs linux" `Slow test_memcached_gap ]);
+      ( "connections",
+        [ Alcotest.test_case "L3 decline" `Slow test_connection_count_decline ] );
+    ]
