@@ -121,11 +121,28 @@ let micro () =
 
 let usage () =
   print_endline
-    "usage: main.exe [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|micro|all]";
+    "usage: main.exe [--metrics] [--trace=FILE] \
+     [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|micro|all]";
   exit 1
 
 let () =
-  let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let metrics = ref false and trace = ref None in
+  let targets =
+    List.filter
+      (fun arg ->
+        if arg = "--metrics" then begin
+          metrics := true;
+          false
+        end
+        else if String.length arg > 8 && String.sub arg 0 8 = "--trace=" then begin
+          trace := Some (String.sub arg 8 (String.length arg - 8));
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  H.set_stats_output ~metrics:!metrics ?trace:!trace ();
+  let target = match targets with t :: _ -> t | [] -> "all" in
   match target with
   | "fig2" -> ignore (timed "fig2" H.fig2)
   | "fig3a" -> ignore (timed "fig3a" H.fig3a)
@@ -140,6 +157,7 @@ let () =
   | "ablations" -> timed "ablations" H.ablations
   | "incast" -> timed "incast" H.incast
   | "energy" -> timed "energy" H.energy
+  | "breakdown" -> ignore (timed "breakdown" (fun () -> H.echo_breakdown ()))
   | "micro" -> micro ()
   | "all" ->
       timed "all experiments" H.run_all;

@@ -33,6 +33,28 @@ let kind_conv =
 let kind_arg =
   Arg.(value & opt kind_conv Harness.Cluster.Ix & info [ "s"; "stack" ] ~doc:"Server stack: ix, linux or mtcp.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the server's cycle breakdown and metric snapshot after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the server's retained cycle spans as Chrome trace_event JSON \
+           to $(docv) (open in chrome://tracing or Perfetto).")
+
+(* Evaluated before the experiment runs: flips the harness's telemetry
+   output switches. *)
+let stats_term =
+  Term.(
+    const (fun metrics trace -> Harness.Experiments.set_stats_output ~metrics ?trace ())
+    $ metrics_arg $ trace_arg)
+
 let cores_arg = Arg.(value & opt int 8 & info [ "c"; "cores" ] ~doc:"Server cores.")
 let ports_arg = Arg.(value & opt int 1 & info [ "p"; "ports" ] ~doc:"Server NIC ports (1 or 4).")
 let size_arg = Arg.(value & opt int 64 & info [ "m"; "msg-size" ] ~doc:"Message size in bytes.")
@@ -40,7 +62,7 @@ let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connect
 let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
 
 let echo_cmd =
-  let run () kind cores ports size n batch =
+  let run () () kind cores ports size n batch =
     let p =
       Harness.Experiments.run_echo ~kind ~ports ~cores ~msg_size:size
         ~msgs_per_conn:n ~batch_bound:batch ()
@@ -51,7 +73,20 @@ let echo_cmd =
       p.Harness.Experiments.goodput_gbps p.Harness.Experiments.p99_us
   in
   Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
-    Term.(const run $ log_term $ kind_arg $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg)
+    Term.(
+      const run $ log_term $ stats_term $ kind_arg $ cores_arg $ ports_arg
+      $ size_arg $ n_arg $ batch_arg)
+
+let breakdown_cmd =
+  let run () () cores size =
+    ignore (Harness.Experiments.echo_breakdown ~cores ~msg_size:size ())
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:
+         "Run a short IX echo and print its Table-2-style per-stage cycle \
+          breakdown (combine with --trace for a Chrome trace).")
+    Term.(const run $ log_term $ stats_term $ cores_arg $ size_arg)
 
 let memcached_cmd =
   let workload_arg =
@@ -60,7 +95,7 @@ let memcached_cmd =
   let rps_arg =
     Arg.(value & opt float 500_000. & info [ "r"; "rps" ] ~doc:"Target requests/second.")
   in
-  let run () kind cores workload rps batch =
+  let run () () kind cores workload rps batch =
     let profile = Workloads.Size_dist.by_name workload in
     let r, kshare =
       Harness.Experiments.run_memcached ~kind ~server_threads:cores
@@ -78,7 +113,9 @@ let memcached_cmd =
       r.Workloads.Mutilate.avg_us r.Workloads.Mutilate.p99_us (100. *. kshare)
   in
   Cmd.v (Cmd.info "memcached" ~doc:"Run one memcached load point (§5.5).")
-    Term.(const run $ log_term $ kind_arg $ cores_arg $ workload_arg $ rps_arg $ batch_arg)
+    Term.(
+      const run $ log_term $ stats_term $ kind_arg $ cores_arg $ workload_arg
+      $ rps_arg $ batch_arg)
 
 let netpipe_cmd =
   let run () kind size =
@@ -117,6 +154,6 @@ let main =
   Cmd.group
     (Cmd.info "ixsim" ~version:"1.0"
        ~doc:"Simulated reproduction of IX (OSDI '14): dataplane OS experiments.")
-    [ echo_cmd; memcached_cmd; netpipe_cmd; ping_cmd ]
+    [ echo_cmd; breakdown_cmd; memcached_cmd; netpipe_cmd; ping_cmd ]
 
 let () = exit (Cmd.eval main)

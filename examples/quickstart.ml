@@ -47,7 +47,7 @@ let () =
             ignore (conn.Netapi.Net_api.send (Printf.sprintf "message %d" (List.length !replies + 1)))
           else conn.Netapi.Net_api.close ());
       on_sent = (fun _ _ -> ());
-      on_closed = (fun _ -> ());
+      on_closed = (fun _ _ -> ());
     }
   in
   client.Netapi.Net_api.connect ~thread:0 ~ip:cluster.Cluster.server_ip ~port:7 handlers;

@@ -77,7 +77,7 @@ let client stack ~now ~thread ~server_ip ~port ~msg_size ~msgs_per_conn ~stats
               end
             end);
         on_sent = (fun _ _ -> ());
-        on_closed = (fun _ -> ());
+        on_closed = (fun _ _ -> ());
       }
     in
     stack.Net_api.connect ~thread ~ip:server_ip ~port handlers

@@ -11,6 +11,12 @@ let in_user_context lib f =
 
 let conn_seq = ref 0
 
+let net_reason : Ixtcp.Tcb.close_reason -> Net_api.close_reason = function
+  | Ixtcp.Tcb.Normal -> Net_api.Normal
+  | Ixtcp.Tcb.Reset -> Net_api.Reset
+  | Ixtcp.Tcb.Timeout -> Net_api.Timeout
+  | Ixtcp.Tcb.Refused -> Net_api.Refused
+
 let wrap_conn lib (c : Libix.conn) ~peer : Net_api.conn =
   incr conn_seq;
   {
@@ -42,7 +48,8 @@ let wrap_handlers lib (h : Net_api.handlers) ~peer =
     Libix.on_connected = (fun c ~ok -> h.Net_api.on_connected (net_conn c) ~ok);
     on_data = (fun c data -> h.Net_api.on_data (net_conn c) data);
     on_sent = (fun c n -> h.Net_api.on_sent (net_conn c) n);
-    on_closed = (fun c _reason -> h.Net_api.on_closed (net_conn c));
+    on_closed =
+      (fun c reason -> h.Net_api.on_closed (net_conn c) (net_reason reason));
   }
 
 let stack_of_host host =
@@ -63,7 +70,9 @@ let stack_of_host host =
                 Libix.on_connected = (fun _ ~ok -> h.Net_api.on_connected nc ~ok);
                 on_data = (fun _ data -> h.Net_api.on_data nc data);
                 on_sent = (fun _ n -> h.Net_api.on_sent nc n);
-                on_closed = (fun _ _reason -> h.Net_api.on_closed nc);
+                on_closed =
+                  (fun _ reason ->
+                    h.Net_api.on_closed nc (net_reason reason));
               }))
     done
   in
@@ -76,6 +85,6 @@ let stack_of_host host =
     listen;
     run_app;
     charge_app;
-    kernel_share = (fun () -> Ix_host.kernel_share host);
+    metrics = (fun () -> Ixtelemetry.Metrics.snapshot (Ix_host.metrics host));
     conn_count = (fun () -> Ix_host.connections host);
   }

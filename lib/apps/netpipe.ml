@@ -51,7 +51,7 @@ let client stack ~now ~server_ip ~port ~msg_size ~iterations ~on_done =
             end
           end);
       on_sent = (fun _ _ -> ());
-      on_closed = (fun _ -> ());
+      on_closed = (fun _ _ -> ());
     }
   in
   stack.Net_api.run_app ~thread:0 (fun () ->

@@ -10,6 +10,13 @@ module Tcb = Ixtcp.Tcb
 module Tcp_conn = Ixtcp.Tcp_conn
 module Tcp_endpoint = Ixtcp.Tcp_endpoint
 module Net_api = Netapi.Net_api
+module Metrics = Ixtelemetry.Metrics
+
+let net_reason : Tcb.close_reason -> Net_api.close_reason = function
+  | Tcb.Normal -> Net_api.Normal
+  | Tcb.Reset -> Net_api.Reset
+  | Tcb.Timeout -> Net_api.Timeout
+  | Tcb.Refused -> Net_api.Refused
 
 type costs = {
   irq_entry_ns : int;
@@ -60,7 +67,7 @@ type socket = {
   mutable backlog : Iovec.t list; (* bytes send() took beyond the TCP budget *)
   mutable in_ready : bool;
   mutable sent_pending : int; (* acked bytes not yet reported to the app *)
-  mutable closed_pending : bool;
+  mutable closed_reason : Net_api.close_reason option;
 }
 
 type core_ctx = {
@@ -88,6 +95,10 @@ type core_ctx = {
   sockets : (int, socket) Hashtbl.t; (* by tcb handle *)
   mutable jobs : (unit -> unit) list; (* deferred app closures *)
   mutable conn_seq : int;
+  c_irqs : Metrics.counter;
+  c_pkts : Metrics.counter;
+  c_wakeups : Metrics.counter;
+  c_syscalls : Metrics.counter;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -160,8 +171,10 @@ let rec schedule_app ctx =
     (* Wakeup: context switch into the blocked epoll thread. *)
     let now = Sim.now ctx.sim in
     let resume =
-      if ctx.app_blocked then
+      if ctx.app_blocked then begin
+        Metrics.incr ctx.c_wakeups;
         Cpu_core.charge ctx.cpu ~now Cpu_core.Kernel ctx.costs.wakeup_ns
+      end
       else max now (Cpu_core.free_at ctx.cpu)
     in
     ignore (Sim.at ctx.sim resume (fun () -> app_run ctx))
@@ -190,6 +203,7 @@ and app_run ctx =
           let data = String.concat "" (List.rev socket.rx_chunks) in
           socket.rx_chunks <- [];
           socket.rx_bytes <- 0;
+          Metrics.incr ctx.c_syscalls;
           charge_k ctx.costs.syscall_ns;
           charge_k (ctx.costs.copy_ns_per_kb * String.length data / 1024);
           Tcp_conn.consume socket.tcb (String.length data);
@@ -214,10 +228,11 @@ and app_run ctx =
           end;
           socket.handlers.Net_api.on_sent socket.conn n
         end;
-        if socket.closed_pending then begin
-          socket.closed_pending <- false;
-          socket.handlers.Net_api.on_closed socket.conn
-        end)
+        match socket.closed_reason with
+        | Some reason ->
+            socket.closed_reason <- None;
+            socket.handlers.Net_api.on_closed socket.conn reason
+        | None -> ())
       ready;
     if ctx.ready <> [] || ctx.jobs <> [] then drain ()
   in
@@ -231,6 +246,7 @@ let rec do_irq ctx =
   ctx.irq_scheduled <- false;
   ctx.last_irq <- Sim.now ctx.sim;
   let charge ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns) in
+  Metrics.incr ctx.c_irqs;
   charge ctx.costs.irq_entry_ns;
   (* NAPI poll: drain the rings (64-packet budget per queue per pass).
      GRO: consecutive in-order segments of the same flow aggregate, so
@@ -251,6 +267,7 @@ let rec do_irq ctx =
         List.iter
           (fun mbuf ->
             incr processed;
+            Metrics.incr ctx.c_pkts;
             let tuple = tuple_of mbuf in
             if Option.is_some tuple && tuple = !prev then
               charge (ctx.costs.softirq_pkt_ns / 3)
@@ -380,6 +397,10 @@ let on_nic_notify ctx =
 let make_socket ctx tcb =
   ctx.conn_seq <- ctx.conn_seq + 1;
   let charge_k ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns) in
+  let charge_syscall () =
+    Metrics.incr ctx.c_syscalls;
+    charge_k ctx.costs.syscall_ns
+  in
   let rec socket =
     lazy
       (let conn =
@@ -389,7 +410,7 @@ let make_socket ctx tcb =
              (fun data ->
                let s = Lazy.force socket in
                (* write(2): syscall + copy into the socket buffer. *)
-               charge_k ctx.costs.syscall_ns;
+               charge_syscall ();
                charge_k (ctx.costs.copy_ns_per_kb * String.length data / 1024);
                let iov = Iovec.of_string data in
                let accepted = Tcp_conn.send s.tcb [ iov ] in
@@ -400,11 +421,11 @@ let make_socket ctx tcb =
            ;
            close =
              (fun () ->
-               charge_k ctx.costs.syscall_ns;
+               charge_syscall ();
                Tcp_conn.close (Lazy.force socket).tcb);
            abort =
              (fun () ->
-               charge_k ctx.costs.syscall_ns;
+               charge_syscall ();
                Tcp_conn.abort (Lazy.force socket).tcb);
            peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
          }
@@ -418,7 +439,7 @@ let make_socket ctx tcb =
          backlog = [];
          in_ready = false;
          sent_pending = 0;
-         closed_pending = false;
+         closed_reason = None;
        })
   in
   let s = Lazy.force socket in
@@ -440,8 +461,8 @@ let make_socket ctx tcb =
       mark_ready ctx s;
       schedule_app ctx);
   cbs.Tcb.on_closed <-
-    (fun _reason ->
-      s.closed_pending <- true;
+    (fun reason ->
+      s.closed_reason <- Some (net_reason reason);
       decr ctx.conn_count;
       Hashtbl.remove ctx.sockets (Tcb.handle tcb);
       mark_ready ctx s;
@@ -451,7 +472,10 @@ let make_socket ctx tcb =
 (* ------------------------------------------------------------------ *)
 
 let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
-    ?(config = linux_tcp_config) ?cache ~seed () =
+    ?(config = linux_tcp_config) ?cache ?metrics ~seed () =
+  let registry =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   let conn_count_ref = ref 0 in
   let arp = Hashtbl.create 64 in
   let arp_parked = Hashtbl.create 16 in
@@ -459,6 +483,9 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
   let contexts =
     Array.init threads (fun i ->
         let queues = Array.to_list (Array.map (fun nic -> (nic, Nic.queue nic i)) nics) in
+        let c name =
+          Metrics.counter registry (Printf.sprintf "linux.%d.%s" i name)
+        in
         {
           sim;
           idx = i;
@@ -482,6 +509,10 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           sockets = Hashtbl.create 1024;
           jobs = [];
           conn_seq = 0;
+          c_irqs = c "irqs";
+          c_pkts = c "pkts";
+          c_wakeups = c "wakeups";
+          c_syscalls = c "syscalls";
         })
   in
   Array.iter
@@ -492,7 +523,8 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           ~wheel:ctx.wheel
           ~alloc:(fun () -> Mempool.alloc ctx.pool)
           ~output_raw:(fun ~remote_ip mbuf -> output_raw ctx ~remote_ip mbuf)
-          ~rng:(Engine.Rng.split rng) ~local_ip:ip ~config ()
+          ~rng:(Engine.Rng.split rng) ~local_ip:ip ~config ~metrics:registry
+          ~metrics_prefix:(Printf.sprintf "tcp.%d" ctx.idx) ()
       in
       ctx.ep <- Some ep;
       List.iter (fun (_, q) -> Nic.set_notify q (fun () -> on_nic_notify ctx)) ctx.queues)
@@ -507,6 +539,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
       (fun ctx ->
         Tcp_endpoint.listen (Option.get ctx.ep) ~port ~on_accept:(fun tcb ->
             let s = make_socket ctx tcb in
+            Metrics.incr ctx.c_syscalls;
             ignore
               (Cpu_core.charge ctx.cpu ~now:(Sim.now sim) Cpu_core.Kernel
                  costs.syscall_ns (* accept(2) *));
@@ -525,6 +558,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
             = Nic.queue_index q)
           ctx.queues
       in
+      Metrics.incr ctx.c_syscalls;
       ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now sim) Cpu_core.Kernel costs.syscall_ns);
       match
         Tcp_endpoint.connect (Option.get ctx.ep) ~remote_ip:dst_ip ~remote_port:port
@@ -563,11 +597,13 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
     let ctx = contexts.(thread) in
     ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now sim) Cpu_core.User ns)
   in
-  let kernel_share () =
-    let k = Array.fold_left (fun acc c -> acc + Cpu_core.kernel_ns c.cpu) 0 contexts in
-    let u = Array.fold_left (fun acc c -> acc + Cpu_core.user_ns c.cpu) 0 contexts in
-    if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u)
-  in
+  Metrics.probe registry "kernel_share" (fun () ->
+      let k = Array.fold_left (fun acc c -> acc + Cpu_core.kernel_ns c.cpu) 0 contexts in
+      let u = Array.fold_left (fun acc c -> acc + Cpu_core.user_ns c.cpu) 0 contexts in
+      if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u));
+  Metrics.probe registry "busy_ns" (fun () ->
+      float_of_int
+        (Array.fold_left (fun acc c -> acc + Cpu_core.busy_ns_total c.cpu) 0 contexts));
   let conn_count () =
     Array.fold_left
       (fun acc c -> acc + Tcp_endpoint.connection_count (Option.get c.ep))
@@ -580,6 +616,6 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
     listen;
     run_app;
     charge_app;
-    kernel_share;
+    metrics = (fun () -> Metrics.snapshot registry);
     conn_count;
   }

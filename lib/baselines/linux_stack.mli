@@ -40,6 +40,12 @@ val create :
   ?costs:costs ->
   ?config:Ixtcp.Tcb.config ->
   ?cache:Ixhw.Cache_model.t ->
+  ?metrics:Ixtelemetry.Metrics.t ->
   seed:int ->
   unit ->
   Netapi.Net_api.stack
+(** [metrics] is the telemetry registry the stack publishes through
+    [Net_api.stack.metrics]: per-core [linux.<i>.{irqs,pkts,wakeups,
+    syscalls}] counters, the shared TCP endpoint counters and the
+    [kernel_share]/[busy_ns] probe gauges.  A private registry is
+    created when omitted. *)

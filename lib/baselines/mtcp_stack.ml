@@ -10,6 +10,13 @@ module Tcb = Ixtcp.Tcb
 module Tcp_conn = Ixtcp.Tcp_conn
 module Tcp_endpoint = Ixtcp.Tcp_endpoint
 module Net_api = Netapi.Net_api
+module Metrics = Ixtelemetry.Metrics
+
+let net_reason : Tcb.close_reason -> Net_api.close_reason = function
+  | Tcb.Normal -> Net_api.Normal
+  | Tcb.Reset -> Net_api.Reset
+  | Tcb.Timeout -> Net_api.Timeout
+  | Tcb.Refused -> Net_api.Refused
 
 type costs = {
   stack_pkt_ns : int;
@@ -54,7 +61,7 @@ type socket = {
   mutable in_ready : bool;
   mutable sent_pending : int;
   mutable connected_pending : bool option;
-  mutable closed_pending : bool;
+  mutable closed_reason : Net_api.close_reason option;
 }
 
 type core_ctx = {
@@ -75,6 +82,9 @@ type core_ctx = {
   mutable stack_scheduled : bool;
   mutable timer_wakeup : Sim.handle option;
   mutable conn_seq : int;
+  c_rounds : Metrics.counter;
+  c_pkts : Metrics.counter;
+  c_api_calls : Metrics.counter;
 }
 
 let charge_k ctx ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns)
@@ -142,6 +152,7 @@ let rec schedule_round ctx =
 
 and app_round ctx =
   ctx.round_scheduled <- false;
+  Metrics.incr ctx.c_rounds;
   let ready = List.rev ctx.ready in
   ctx.ready <- [];
   let jobs = List.rev ctx.jobs in
@@ -160,7 +171,8 @@ and app_round ctx =
         let data = String.concat "" (List.rev s.rx_chunks) in
         s.rx_chunks <- [];
         s.rx_bytes <- 0;
-        charge_u ctx ctx.costs.api_call_ns;
+        Metrics.incr ctx.c_api_calls;
+               charge_u ctx ctx.costs.api_call_ns;
         charge_u ctx (ctx.costs.copy_ns_per_kb * String.length data / 1024);
         Tcp_conn.consume s.tcb (String.length data);
         s.handlers.Net_api.on_data s.conn data
@@ -182,16 +194,18 @@ and app_round ctx =
         end;
         s.handlers.Net_api.on_sent s.conn n
       end;
-      if s.closed_pending then begin
-        s.closed_pending <- false;
-        s.handlers.Net_api.on_closed s.conn
-      end)
+      match s.closed_reason with
+      | Some reason ->
+          s.closed_reason <- None;
+          s.handlers.Net_api.on_closed s.conn reason
+      | None -> ())
     ready;
   if ctx.ready <> [] || ctx.jobs <> [] then schedule_round ctx
 
 (* ---- stack thread: polls queues, processes immediately ---- *)
 
 let rec process_frame ctx mbuf =
+  Metrics.incr ctx.c_pkts;
   charge_k ctx ctx.costs.stack_pkt_ns;
   (match Ixnet.Ethernet.decode mbuf with
   | Error _ -> ()
@@ -312,6 +326,7 @@ let make_socket ctx tcb =
            send =
              (fun data ->
                let s = Lazy.force socket in
+               Metrics.incr ctx.c_api_calls;
                charge_u ctx ctx.costs.api_call_ns;
                charge_u ctx (ctx.costs.copy_ns_per_kb * String.length data / 1024);
                let iov = Iovec.of_string data in
@@ -322,10 +337,12 @@ let make_socket ctx tcb =
                true);
            close =
              (fun () ->
+               Metrics.incr ctx.c_api_calls;
                charge_u ctx ctx.costs.api_call_ns;
                Tcp_conn.close (Lazy.force socket).tcb);
            abort =
              (fun () ->
+               Metrics.incr ctx.c_api_calls;
                charge_u ctx ctx.costs.api_call_ns;
                Tcp_conn.abort (Lazy.force socket).tcb);
            peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
@@ -341,7 +358,7 @@ let make_socket ctx tcb =
          in_ready = false;
          sent_pending = 0;
          connected_pending = None;
-         closed_pending = false;
+         closed_reason = None;
        })
   in
   let s = Lazy.force socket in
@@ -359,21 +376,27 @@ let make_socket ctx tcb =
       mark_ready ctx s;
       schedule_round ctx);
   cbs.Tcb.on_closed <-
-    (fun _reason ->
-      s.closed_pending <- true;
+    (fun reason ->
+      s.closed_reason <- Some (net_reason reason);
       mark_ready ctx s;
       schedule_round ctx);
   s
 
 let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
-    ?(config = mtcp_tcp_config) ~seed () =
+    ?(config = mtcp_tcp_config) ?metrics ~seed () =
   if Array.length nics > 1 then
     invalid_arg "Mtcp_stack.create: mTCP does not support NIC bonding";
+  let registry =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   let arp = Hashtbl.create 64 in
   let arp_parked = Hashtbl.create 16 in
   let rng = Engine.Rng.create ~seed:(seed + (host_id * 13007)) in
   let contexts =
     Array.init threads (fun i ->
+        let c name =
+          Metrics.counter registry (Printf.sprintf "mtcp.%d.%s" i name)
+        in
         {
           sim;
           idx = i;
@@ -392,6 +415,9 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           stack_scheduled = false;
           timer_wakeup = None;
           conn_seq = 0;
+          c_rounds = c "rounds";
+          c_pkts = c "pkts";
+          c_api_calls = c "api_calls";
         })
   in
   Array.iter
@@ -402,7 +428,8 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           ~wheel:ctx.wheel
           ~alloc:(fun () -> Mempool.alloc ctx.pool)
           ~output_raw:(fun ~remote_ip mbuf -> output_raw ctx ~remote_ip mbuf)
-          ~rng:(Engine.Rng.split rng) ~local_ip:ip ~config ()
+          ~rng:(Engine.Rng.split rng) ~local_ip:ip ~config ~metrics:registry
+          ~metrics_prefix:(Printf.sprintf "tcp.%d" ctx.idx) ()
       in
       ctx.ep <- Some ep;
       List.iter (fun (_, q) -> Nic.set_notify q (fun () -> on_nic_notify ctx)) ctx.queues)
@@ -427,7 +454,8 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
             = Nic.queue_index q)
           ctx.queues
       in
-      charge_u ctx ctx.costs.api_call_ns;
+      Metrics.incr ctx.c_api_calls;
+               charge_u ctx ctx.costs.api_call_ns;
       match
         Tcp_endpoint.connect (Option.get ctx.ep) ~remote_ip:dst_ip ~remote_port:port
           ~port_suitable ~cookie:0 ()
@@ -461,11 +489,13 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
     schedule_round ctx
   in
   let charge_app ~thread ns = charge_u contexts.(thread) ns in
-  let kernel_share () =
-    let k = Array.fold_left (fun acc c -> acc + Cpu_core.kernel_ns c.cpu) 0 contexts in
-    let u = Array.fold_left (fun acc c -> acc + Cpu_core.user_ns c.cpu) 0 contexts in
-    if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u)
-  in
+  Metrics.probe registry "kernel_share" (fun () ->
+      let k = Array.fold_left (fun acc c -> acc + Cpu_core.kernel_ns c.cpu) 0 contexts in
+      let u = Array.fold_left (fun acc c -> acc + Cpu_core.user_ns c.cpu) 0 contexts in
+      if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u));
+  Metrics.probe registry "busy_ns" (fun () ->
+      float_of_int
+        (Array.fold_left (fun acc c -> acc + Cpu_core.busy_ns_total c.cpu) 0 contexts));
   let conn_count () =
     Array.fold_left
       (fun acc c -> acc + Tcp_endpoint.connection_count (Option.get c.ep))
@@ -478,6 +508,6 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
     listen;
     run_app;
     charge_app;
-    kernel_share;
+    metrics = (fun () -> Metrics.snapshot registry);
     conn_count;
   }

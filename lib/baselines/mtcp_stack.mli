@@ -31,9 +31,16 @@ val create :
   threads:int ->
   ?costs:costs ->
   ?config:Ixtcp.Tcb.config ->
+  ?metrics:Ixtelemetry.Metrics.t ->
   seed:int ->
   unit ->
   Netapi.Net_api.stack
 (** Raises [Invalid_argument] when given more than one NIC: mTCP does
     not support NIC bonding (§5.1), so 4x10GbE rows are absent from the
-    paper's mTCP results too. *)
+    paper's mTCP results too.
+
+    [metrics] is the telemetry registry the stack publishes through
+    [Net_api.stack.metrics]: per-core [mtcp.<i>.{rounds,pkts,api_calls}]
+    counters, the shared TCP endpoint counters and the
+    [kernel_share]/[busy_ns] probe gauges.  A private registry is
+    created when omitted. *)

@@ -6,6 +6,8 @@ module Wheel = Timerwheel.Timer_wheel
 module Nic = Ixhw.Nic
 module Cpu_core = Ixhw.Cpu_core
 module Seg = Ixnet.Tcp_segment
+module Metrics = Ixtelemetry.Metrics
+module Tracer = Ixtelemetry.Tracer
 module Tcb = Ixtcp.Tcb
 module Tcp_conn = Ixtcp.Tcp_conn
 module Tcp_endpoint = Ixtcp.Tcp_endpoint
@@ -86,13 +88,15 @@ type t = {
   mutable idle_wakeup : Sim.handle option;
   handles : (int, Tcb.t) Hashtbl.t;
   udp_binds : (int, unit) Hashtbl.t;
-  mutable cycle_count : int;
-  mutable event_count : int;
-  mutable syscall_count : int;
-  mutable rx_count : int;
-  mutable tx_count : int;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  c_cycles : Metrics.counter;
+  c_rx_pkts : Metrics.counter;
+  c_tx_pkts : Metrics.counter;
+  c_events : Metrics.counter;
+  c_syscalls : Metrics.counter;
+  c_nonresponsive : Metrics.counter;
   user_timeout_ns : int;
-  mutable nonresponsive_marks : int;
   mutable ping_handler : src_ip:Ixnet.Ip_addr.t -> Ixnet.Icmp_packet.t -> unit;
   mutable background : (int * (unit -> unit)) option; (* slice_ns, work *)
   mutable background_slices : int;
@@ -113,7 +117,7 @@ let charge_user t ns = t.user_ns_acc <- t.user_ns_acc + ns
 
 let stage_tx t mbuf =
   t.tx_staged <- mbuf :: t.tx_staged;
-  t.tx_count <- t.tx_count + 1
+  Metrics.incr t.c_tx_pkts
 
 let ethernet_to t ~dst_mac mbuf =
   Ixnet.Ethernet.prepend mbuf
@@ -222,7 +226,7 @@ let rss_suitable t ~remote_ip ~remote_port =
           queues
 
 let exec_syscall t (sc, on_result) =
-  t.syscall_count <- t.syscall_count + 1;
+  Metrics.incr t.c_syscalls;
   charge_kernel t t.costs.syscall_ns;
   match sc with
   | Ix_api.Sys_connect { cookie; dst_ip; dst_port } -> (
@@ -429,10 +433,21 @@ let rec run_cycle t =
       Sim.cancel handle;
       t.idle_wakeup <- None
   | None -> ());
-  t.cycle_count <- t.cycle_count + 1;
+  Metrics.incr t.c_cycles;
   t.kernel_ns_acc <- 0;
   t.user_ns_acc <- 0;
   let start = max (now t) (Cpu_core.free_at t.cpu) in
+  (* Stage spans are cut wherever [mark] is called: charges land on the
+     core as one kernel block then one user block, but attributing them
+     in charge order gives a per-stage timeline whose spans tile
+     [start, t_end] exactly — stage totals sum to the committed busy
+     time by construction. *)
+  let cursor = ref start in
+  let mark stage =
+    let at = start + t.kernel_ns_acc + t.user_ns_acc in
+    if at > !cursor then Tracer.span t.tracer stage ~start:!cursor ~stop:at;
+    cursor := at
+  in
   (* --- (1) poll RX rings, take a bounded batch, replenish --- *)
   charge_kernel t t.costs.poll_ns;
   let budget = Batch.next_batch t.batcher ~pending:(rx_pending t) in
@@ -452,41 +467,49 @@ let rec run_cycle t =
     gather [] budget t.queues
   in
   let n_rx = List.length batch in
-  t.rx_count <- t.rx_count + n_rx;
+  Metrics.add t.c_rx_pkts n_rx;
   charge_kernel t (t.costs.rx_pkt_ns * n_rx);
+  mark Tracer.Rx_driver;
   (* --- (2) protocol processing, generating event conditions --- *)
   List.iter (process_frame t) batch;
+  mark Tracer.Tcp_in;
   (* --- (3) user phase: deliver event conditions to the app --- *)
   let staged = List.rev t.staged_events in
   t.staged_events <- [];
   if staged <> [] then begin
     charge_kernel t (Protection.enter_user t.prot);
+    mark Tracer.Crossing;
     t.in_user_phase <- true;
     let events = List.map materialize staged in
-    t.event_count <- t.event_count + List.length events;
+    Metrics.add t.c_events (List.length events);
     charge_user t (t.costs.event_ns * List.length events);
+    mark Tracer.Event_delivery;
     t.app events;
+    mark Tracer.User_phase;
     t.in_user_phase <- false;
     charge_kernel t (Protection.enter_kernel t.prot);
+    mark Tracer.Crossing;
     (* §4.5: a timeout interrupt detects elastic threads that spend
        excessive time in user mode; we mark them non-responsive for the
        control plane. *)
-    if t.user_ns_acc > t.user_timeout_ns then
-      t.nonresponsive_marks <- t.nonresponsive_marks + 1
+    if t.user_ns_acc > t.user_timeout_ns then Metrics.incr t.c_nonresponsive
   end;
   (* --- (4) batched system calls --- *)
   let syscalls = List.rev t.staged_syscalls in
   t.staged_syscalls <- [];
   List.iter (exec_syscall t) syscalls;
+  mark Tracer.Syscall;
   (* --- (5) kernel timers --- *)
   charge_kernel t t.costs.timer_ns;
   Wheel.advance t.wheel ~now:(now t);
+  mark Tracer.Timer;
   (* --- (6) transmit --- *)
   let frames = List.rev t.tx_staged in
   t.tx_staged <- [];
   charge_kernel t (t.costs.tx_pkt_ns * List.length frames);
   if frames <> [] then
     charge_kernel t (Ixhw.Pcie_model.doorbell_cost_ns t.pcie);
+  mark Tracer.Tx_driver;
   (* Commit costs to the core; effects land at cycle end. *)
   let t_mid = Cpu_core.charge t.cpu ~now:start Cpu_core.Kernel t.kernel_ns_acc in
   let t_end = Cpu_core.charge t.cpu ~now:t_mid Cpu_core.User t.user_ns_acc in
@@ -631,17 +654,22 @@ let ping t ~dst ~ident ~seq =
       kick t
 
 let in_app_context t = t.in_user_phase
-let cycles_run t = t.cycle_count
-let events_delivered t = t.event_count
-let syscalls_processed t = t.syscall_count
-let nonresponsive_marks t = t.nonresponsive_marks
+let cycles_run t = Metrics.value t.c_cycles
+let events_delivered t = Metrics.value t.c_events
+let syscalls_processed t = Metrics.value t.c_syscalls
+let nonresponsive_marks t = Metrics.value t.c_nonresponsive
+let metrics t = t.metrics
+let tracer t = t.tracer
 
 let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
     ?(costs = default_costs) ?(batch_bound = 64) ?(config = Tcb.default_config)
     ?(zero_copy = true) ?(polling = true) ?cache ?(conn_count = ref 0)
-    ?(pcie = Ixhw.Pcie_model.create ()) ~rng () =
+    ?(pcie = Ixhw.Pcie_model.create ()) ?metrics ?(tracer_capacity = 4096) ~rng
+    () =
   let pool = Mempool.create ~capacity:65536 ~name:(Printf.sprintf "dp%d" thread_id) () in
   let wheel = Wheel.create ~now:(Sim.now sim) () in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let c name = Metrics.counter metrics (Printf.sprintf "dataplane.%d.%s" thread_id name) in
   let t =
     {
       sim;
@@ -677,13 +705,15 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       idle_wakeup = None;
       handles = Hashtbl.create 1024;
       udp_binds = Hashtbl.create 8;
-      cycle_count = 0;
-      event_count = 0;
-      syscall_count = 0;
-      rx_count = 0;
-      tx_count = 0;
+      metrics;
+      tracer = Tracer.create ~capacity:tracer_capacity ~thread:thread_id ();
+      c_cycles = c "cycles";
+      c_rx_pkts = c "rx_pkts";
+      c_tx_pkts = c "tx_pkts";
+      c_events = c "events";
+      c_syscalls = c "syscalls";
+      c_nonresponsive = c "nonresponsive";
       user_timeout_ns = 10_000_000;
-      nonresponsive_marks = 0;
       ping_handler = (fun ~src_ip:_ _ -> ());
       background = None;
       background_slices = 0;
@@ -695,7 +725,8 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       ~wheel
       ~alloc:(fun () -> Mempool.alloc pool)
       ~output_raw:(fun ~remote_ip mbuf -> output_raw t ~remote_ip mbuf)
-      ~rng ~local_ip ~config ()
+      ~rng ~local_ip ~config ~metrics
+      ~metrics_prefix:(Printf.sprintf "tcp.%d" thread_id) ()
   in
   t.ep <- Some ep;
   (* Chain teardown: the endpoint unhooks flow tables; we additionally

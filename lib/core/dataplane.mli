@@ -51,6 +51,8 @@ val create :
   ?cache:Ixhw.Cache_model.t ->
   ?conn_count:int ref ->
   ?pcie:Ixhw.Pcie_model.t ->
+  ?metrics:Ixtelemetry.Metrics.t ->
+  ?tracer_capacity:int ->
   rng:Engine.Rng.t ->
   unit ->
   t
@@ -59,7 +61,10 @@ val create :
     that makes the thread interrupt-driven (a fixed wakeup latency is
     added before each cycle triggered by a NIC notification).
     [cache]/[conn_count] enable the connection-count L3 model used by
-    the Fig. 4 experiment. *)
+    the Fig. 4 experiment.  [metrics] is the registry where the thread
+    registers its [dataplane.<id>.*] counters (a private registry is
+    created when omitted); [tracer_capacity] sizes the cycle tracer's
+    span ring (default 4096). *)
 
 val thread_id : t -> int
 val core : t -> Ixhw.Cpu_core.t
@@ -118,6 +123,18 @@ val migrate_flows_to : t -> t -> unit
 val cycles_run : t -> int
 val events_delivered : t -> int
 val syscalls_processed : t -> int
+
+val metrics : t -> Ixtelemetry.Metrics.t
+(** The registry holding this thread's [dataplane.<id>.*] counters
+    ([cycles], [rx_pkts], [tx_pkts], [events], [syscalls],
+    [nonresponsive]). *)
+
+val tracer : t -> Ixtelemetry.Tracer.t
+(** The per-thread cycle tracer.  Each run-to-completion cycle records
+    one span per non-empty stage plus the two protection-domain
+    crossings around the user phase; stage totals tile the cycle's
+    charged busy time exactly, so [Tracer.busy_ns] equals the core's
+    accumulated kernel+user nanoseconds from cycle work. *)
 
 val set_background_work : t -> slice_ns:int -> (unit -> unit) -> unit
 (** Install a background thread (§4.1): [work] runs in user mode in

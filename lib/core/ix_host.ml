@@ -43,11 +43,16 @@ type t = {
   arp_cache : Arp_cache.t;
   rcu_mgr : Rcu.manager;
   conn_count : int ref;
+  registry : Ixtelemetry.Metrics.t;
 }
 
-let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options) ~seed () =
+let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options)
+    ?metrics ~seed () =
   assert (threads > 0);
   Array.iter (fun nic -> assert (Nic.queue_count nic >= threads)) nics;
+  let registry =
+    match metrics with Some m -> m | None -> Ixtelemetry.Metrics.create ()
+  in
   let rcu_mgr = Rcu.create_manager ~threads in
   let arp_cache = Arp_cache.create rcu_mgr in
   let conn_count = ref 0 in
@@ -60,21 +65,32 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options) ~seed (
       ~local_ip:ip ~queues ~tx_nic ~arp:arp_cache ~rcu:rcu_mgr ~costs:options.costs
       ~batch_bound:options.batch_bound ~config:options.config
       ~zero_copy:options.zero_copy ~polling:options.polling ?cache:options.cache
-      ~conn_count ?pcie:options.pcie ~rng:(Engine.Rng.split rng) ()
+      ~conn_count ?pcie:options.pcie ~metrics:registry
+      ~rng:(Engine.Rng.split rng) ()
   in
   let thread_array = Array.init threads make_thread in
   (* Spread RSS flow groups across the active threads. *)
   Array.iter (fun nic -> Nic.set_indirection nic (fun group -> group mod threads)) nics;
-  {
-    sim;
-    host_ip = ip;
-    nic_array = nics;
-    threads = thread_array;
-    libs = Array.map Libix.create thread_array;
-    arp_cache;
-    rcu_mgr;
-    conn_count;
-  }
+  let t =
+    {
+      sim;
+      host_ip = ip;
+      nic_array = nics;
+      threads = thread_array;
+      libs = Array.map Libix.create thread_array;
+      arp_cache;
+      rcu_mgr;
+      conn_count;
+      registry;
+    }
+  in
+  let fold f = Array.fold_left (fun acc dp -> acc + f (Dataplane.core dp)) 0 thread_array in
+  Ixtelemetry.Metrics.probe registry "kernel_share" (fun () ->
+      let k = fold Cpu_core.kernel_ns and u = fold Cpu_core.user_ns in
+      if k + u = 0 then 0. else float_of_int k /. float_of_int (k + u));
+  Ixtelemetry.Metrics.probe registry "busy_ns" (fun () ->
+      float_of_int (fold Cpu_core.busy_ns_total));
+  t
 
 let sim t = t.sim
 let ip t = t.host_ip
@@ -86,6 +102,10 @@ let arp t = t.arp_cache
 let rcu t = t.rcu_mgr
 let connections t = !(t.conn_count)
 let iter_threads t f = Array.iter f t.threads
+let metrics t = t.registry
+
+let tracers t =
+  Array.to_list (Array.map Dataplane.tracer t.threads)
 
 let total_kernel_ns t =
   Array.fold_left (fun acc dp -> acc + Cpu_core.kernel_ns (Dataplane.core dp)) 0 t.threads

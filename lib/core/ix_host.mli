@@ -33,9 +33,14 @@ val create :
   nics:Ixhw.Nic.t array ->
   threads:int ->
   ?options:options ->
+  ?metrics:Ixtelemetry.Metrics.t ->
   seed:int ->
   unit ->
   t
+(** [metrics] is the telemetry registry shared by all elastic threads
+    (a private one is created when omitted); the host registers
+    ["kernel_share"] and ["busy_ns"] probe gauges on it alongside the
+    per-thread [dataplane.<id>.*] counters. *)
 
 val sim : t -> Engine.Sim.t
 val ip : t -> Ixnet.Ip_addr.t
@@ -50,6 +55,12 @@ val connections : t -> int
 (** Live connections across all elastic threads. *)
 
 val iter_threads : t -> (Dataplane.t -> unit) -> unit
+
+val metrics : t -> Ixtelemetry.Metrics.t
+(** The host-wide telemetry registry. *)
+
+val tracers : t -> Ixtelemetry.Tracer.t list
+(** One cycle tracer per elastic thread, in thread order. *)
 
 val kernel_share : t -> float
 (** Aggregate kernel-time share across cores (cf. the memcached

@@ -31,24 +31,22 @@ let clear t =
   t.min_v <- infinity;
   t.max_v <- neg_infinity
 
+(* Deprecated shim: a [Counters.t] is now just an [Ixtelemetry.Metrics.t]
+   restricted to counters, so legacy callers and new telemetry share one
+   registry. *)
 module Counters = struct
-  type t = (string, int ref) Hashtbl.t
+  module M = Ixtelemetry.Metrics
 
-  let create () : t = Hashtbl.create 32
+  type t = M.t
 
-  let cell t name =
-    match Hashtbl.find_opt t name with
-    | Some r -> r
-    | None ->
-        let r = ref 0 in
-        Hashtbl.add t name r;
-        r
-
-  let add t name n = cell t name := !(cell t name) + n
+  let create () : t = M.create ()
+  let add t name n = M.add (M.counter t name) n
   let incr t name = add t name 1
-  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+  let get t name = M.counter_value t name
 
   let to_list t =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    List.filter_map
+      (fun (name, v) ->
+        match v with M.Counter n -> Some (name, n) | _ -> None)
+      (M.snapshot t)
 end

@@ -68,8 +68,8 @@ let fast_client_costs =
 
 (* Attach one host with [ports] NIC ports starting at switch port
    [first_port]; returns its NIC array. *)
-let attach_host ?ecn_threshold_bytes ?queue_limit_bytes ?collect_rx_links sim
-    switch ~first_port ~ports ~queues ~host_id =
+let attach_host ?ecn_threshold_bytes ?queue_limit_bytes ?collect_rx_links
+    ?metrics sim switch ~first_port ~ports ~queues ~host_id =
   Array.init ports (fun p ->
       let port = first_port + p in
       (* All member ports of a bonded host share one MAC (802.3ad); the
@@ -80,7 +80,10 @@ let attach_host ?ecn_threshold_bytes ?queue_limit_bytes ?collect_rx_links sim
           ~deliver:(fun frame -> Switch.input switch ~ingress_port:port frame)
           ()
       in
-      let nic = Nic.create sim ~mac ~queues ~ring_size:4096 ~tx:to_switch () in
+      let nic =
+        Nic.create sim ~mac ~queues ~ring_size:4096 ?metrics
+          ~name:(Printf.sprintf "nic.%d" p) ~tx:to_switch ()
+      in
       (* AQM/buffer limits, if any, live on the switch's output port
          toward this host — the incast hot spot. *)
       let to_host =
@@ -95,7 +98,7 @@ let attach_host ?ecn_threshold_bytes ?queue_limit_bytes ?collect_rx_links sim
       Switch.attach switch ~port ~mac ~out:to_host;
       nic)
 
-let make_stack sim ~spec ~host_id ~ip ~nics ~seed ~linux_costs =
+let make_stack sim ~spec ~host_id ~ip ~nics ~metrics ~seed ~linux_costs =
   match spec.kind with
   | Ix ->
       let options =
@@ -111,16 +114,18 @@ let make_stack sim ~spec ~host_id ~ip ~nics ~seed ~linux_costs =
         }
       in
       let host =
-        Ix_host.create ~sim ~host_id ~ip ~nics ~threads:spec.threads ~options ~seed ()
+        Ix_host.create ~sim ~host_id ~ip ~nics ~threads:spec.threads ~options
+          ~metrics ~seed ()
       in
       (Apps.Ix_adapter.stack_of_host host, Some host)
   | Linux ->
       ( Baselines.Linux_stack.create ~sim ~host_id ~ip ~nics ~threads:spec.threads
           ~costs:linux_costs
-          ?config:spec.tcp_config ?cache:spec.cache ~seed (),
+          ?config:spec.tcp_config ?cache:spec.cache ~metrics ~seed (),
         None )
   | Mtcp ->
-      ( Baselines.Mtcp_stack.create ~sim ~host_id ~ip ~nics ~threads:spec.threads ~seed (),
+      ( Baselines.Mtcp_stack.create ~sim ~host_id ~ip ~nics ~threads:spec.threads
+          ~metrics ~seed (),
         None )
 
 let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
@@ -132,16 +137,20 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
   (* Server: host id 1, switch ports [0, nic_ports). *)
   let server_ip = Ixnet.Ip_addr.of_host_id 1 in
   let rx_links = ref [] in
+  (* One registry per host: the NICs and the stack share it, so a
+     stack's [metrics] snapshot covers its hardware too. *)
+  let server_metrics = Ixtelemetry.Metrics.create () in
   let server_nics =
     attach_host ?ecn_threshold_bytes:server_ecn_threshold_bytes
-      ?queue_limit_bytes:server_queue_limit_bytes ~collect_rx_links:rx_links sim
-      switch ~first_port:0 ~ports:server.nic_ports ~queues:server.threads
-      ~host_id:1
+      ?queue_limit_bytes:server_queue_limit_bytes ~collect_rx_links:rx_links
+      ~metrics:server_metrics sim switch ~first_port:0 ~ports:server.nic_ports
+      ~queues:server.threads ~host_id:1
   in
   if server.nic_ports > 1 then
     Switch.bond switch ~ports:(List.init server.nic_ports Fun.id);
   let server_stack, server_ix =
-    make_stack sim ~spec:server ~host_id:1 ~ip:server_ip ~nics:server_nics ~seed
+    make_stack sim ~spec:server ~host_id:1 ~ip:server_ip ~nics:server_nics
+      ~metrics:server_metrics ~seed
       ~linux_costs:Baselines.Linux_stack.default_costs
   in
   (* Clients: host ids 2.., one switch port each. *)
@@ -149,9 +158,10 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
     List.init client_hosts (fun i ->
         let host_id = 2 + i in
         let ip = Ixnet.Ip_addr.of_host_id host_id in
+        let metrics = Ixtelemetry.Metrics.create () in
         let nics =
-          attach_host sim switch ~first_port:(server.nic_ports + i) ~ports:1
-            ~queues:client_threads ~host_id
+          attach_host ~metrics sim switch ~first_port:(server.nic_ports + i)
+            ~ports:1 ~queues:client_threads ~host_id
         in
         let spec =
           {
@@ -167,7 +177,7 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
           }
         in
         let stack, ix =
-          make_stack sim ~spec ~host_id ~ip ~nics ~seed:(seed + host_id)
+          make_stack sim ~spec ~host_id ~ip ~nics ~metrics ~seed:(seed + host_id)
             ~linux_costs:fast_client_costs
         in
         (stack, ip, ix))

@@ -1,5 +1,7 @@
 module Sim = Engine.Sim
 module Net_api = Netapi.Net_api
+module Metrics = Ixtelemetry.Metrics
+module Tracer = Ixtelemetry.Tracer
 
 type echo_point = {
   label : string;
@@ -40,6 +42,78 @@ let kind_name = function
   | Cluster.Mtcp -> "mTCP"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry output (--metrics / --trace on the CLIs)                  *)
+
+let emit_metrics = ref false
+let trace_to : string option ref = ref None
+
+let set_stats_output ?(metrics = false) ?trace () =
+  emit_metrics := metrics;
+  trace_to := trace
+
+let merge_breakdowns tracers =
+  List.map
+    (fun stage ->
+      List.fold_left
+        (fun (s, ns, n) tr ->
+          match
+            List.find_opt (fun (s', _, _) -> s' = stage) (Tracer.breakdown tr)
+          with
+          | Some (_, ns', n') -> (s, ns + ns', n + n')
+          | None -> (s, ns, n))
+        (stage, 0, 0) tracers)
+    Tracer.stages
+
+let print_breakdown ~label rows =
+  let busy = List.fold_left (fun acc (_, ns, _) -> acc + ns) 0 rows in
+  let table_rows =
+    List.map
+      (fun (stage, ns, n) ->
+        [
+          Tracer.stage_name stage;
+          string_of_int ns;
+          string_of_int n;
+          (if n = 0 then "-" else Printf.sprintf "%.0f" (float_of_int ns /. float_of_int n));
+          Report.pct (if busy = 0 then 0. else float_of_int ns /. float_of_int busy);
+        ])
+      rows
+    @ [ [ "total busy"; string_of_int busy; ""; ""; "" ] ]
+  in
+  Report.table
+    ~title:(Printf.sprintf "Cycle breakdown (cf. Table 2): %s" label)
+    ~headers:[ "stage"; "ns"; "spans"; "avg ns"; "share" ]
+    table_rows
+
+let dump_trace path tracers =
+  try
+    Ixtelemetry.Trace_export.write_file path tracers;
+    Printf.printf "Chrome trace written to %s\n%!" path
+  with Sys_error msg -> Printf.eprintf "cannot write trace: %s\n%!" msg
+
+(* Emit whatever telemetry output was requested for a finished run:
+   Table-2-style per-stage breakdown (IX servers), the server's metric
+   snapshot through the portable stack interface, and a Chrome
+   trace_event dump of the retained spans. *)
+let emit_server_stats ~label cluster =
+  (match cluster.Cluster.server_ix with
+  | Some host when !emit_metrics ->
+      print_breakdown ~label (merge_breakdowns (Ix_core.Ix_host.tracers host))
+  | _ -> ());
+  if !emit_metrics then begin
+    let rows =
+      List.map
+        (fun (name, v) -> [ name; Format.asprintf "%a" Metrics.pp_value v ])
+        (cluster.Cluster.server.Net_api.metrics ())
+    in
+    Report.table
+      ~title:(Printf.sprintf "Server metrics: %s" label)
+      ~headers:[ "metric"; "value" ] rows
+  end;
+  match (!trace_to, cluster.Cluster.server_ix) with
+  | Some path, Some host -> dump_trace path (Ix_core.Ix_host.tracers host)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Echo runner (Figs. 3a/3b/3c and the ablations)                      *)
 
 let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
@@ -71,18 +145,9 @@ let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
              ~thread ~server_ip:cluster.Cluster.server_ip ~port:7000 ~msg_size
              ~msgs_per_conn ~stats ~stop_after))
   done;
-  let server_busy () =
-    match cluster.Cluster.server_ix with
-    | Some host ->
-        let total = ref 0 in
-        Ix_core.Ix_host.iter_threads host (fun dp ->
-            total := !total + Ixhw.Cpu_core.busy_ns_total (Ix_core.Dataplane.core dp));
-        !total
-    | None ->
-        (* The baseline stacks report through kernel_share only; derive
-           busy time from the aggregate instead. *)
-        0
-  in
+  (* All three stacks publish a "busy_ns" gauge; read it through the
+     portable interface instead of reaching into IX internals. *)
+  let server_busy () = Net_api.busy_ns cluster.Cluster.server in
   Sim.run ~until:warmup cluster.Cluster.sim;
   let warm_msgs = stats.Apps.Echo.messages in
   let warm_conns = stats.Apps.Echo.connects in
@@ -100,6 +165,9 @@ let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
     if label <> "" then label
     else Printf.sprintf "%s-%dG" (kind_name kind) (10 * ports)
   in
+  emit_server_stats
+    ~label:(Printf.sprintf "%s echo s=%dB n=%d, %d cores" label msg_size msgs_per_conn cores)
+    cluster;
   {
     label;
     cores;
@@ -112,6 +180,43 @@ let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
     cpu_utilization;
     polling;
   }
+
+(* Table-2-style per-stage accounting for a 64 B echo run on IX: the
+   per-stage ns across all elastic threads, plus the total busy time
+   the cores accounted (kernel + user).  The tracer attributes every
+   charged nanosecond to exactly one stage, so the breakdown sums to
+   the busy total — the acceptance check in test_telemetry. *)
+let echo_breakdown ?(cores = 1) ?(msg_size = 64) () =
+  let server = Cluster.server_spec ~threads:cores ~nic_ports:1 Cluster.Ix in
+  let cluster = Cluster.build ~client_hosts:2 ~client_threads:4 ~server () in
+  Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size ~app_ns:150;
+  let stats = Apps.Echo.new_stats () in
+  let stop_after = Engine.Sim_time.ms (scaled_ms 6) in
+  let clients = Array.of_list cluster.Cluster.clients in
+  let sessions = 64 in
+  for s = 0 to sessions - 1 do
+    let client = clients.(s mod Array.length clients) in
+    let thread = s / Array.length clients mod 4 in
+    ignore
+      (Sim.at cluster.Cluster.sim (s * 1_000) (fun () ->
+           Apps.Echo.client client
+             ~now:(Cluster.now cluster)
+             ~thread ~server_ip:cluster.Cluster.server_ip ~port:7000 ~msg_size
+             ~msgs_per_conn:32 ~stats ~stop_after))
+  done;
+  Sim.run ~until:stop_after cluster.Cluster.sim;
+  let host = Option.get cluster.Cluster.server_ix in
+  let rows = merge_breakdowns (Ix_core.Ix_host.tracers host) in
+  let busy =
+    Ix_core.Ix_host.total_kernel_ns host + Ix_core.Ix_host.total_user_ns host
+  in
+  print_breakdown
+    ~label:(Printf.sprintf "IX echo s=%dB, %d cores" msg_size cores)
+    rows;
+  (match !trace_to with
+  | Some path -> dump_trace path (Ix_core.Ix_host.tracers host)
+  | None -> ());
+  (rows, busy)
 
 let fig3_systems =
   [
@@ -306,7 +411,7 @@ let run_connection_scaling ~kind ~conns ~workers =
           (fun conn ~ok -> if ok then slot_conn.(slot) <- Some conn);
         on_data = (fun _ _data -> on_slot_response slot);
         on_sent = (fun _ _ -> ());
-        on_closed = (fun _ -> ());
+        on_closed = (fun _ _ -> ());
       }
     in
     ignore
@@ -370,7 +475,12 @@ let run_memcached ~kind ~server_threads ?(batch_bound = 64) ~profile ~target_rps
       ~duration_ms:(scaled_ms 40)
       ~seed:11 ()
   in
-  (result, cluster.Cluster.server.Net_api.kernel_share ())
+  emit_server_stats
+    ~label:
+      (Printf.sprintf "%s memcached %s @ %.0fK" (kind_name kind)
+         profile.Workloads.Size_dist.name (target_rps /. 1e3))
+    cluster;
+  (result, Net_api.kernel_share cluster.Cluster.server)
 
 let fig5_targets = [ 100e3; 250e3; 500e3; 750e3; 1000e3; 1250e3; 1500e3; 1800e3; 2000e3 ]
 

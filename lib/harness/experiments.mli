@@ -36,6 +36,27 @@ val scale : unit -> float
 (** Duration multiplier from the [IX_BENCH_SCALE] environment variable
     (default 1.0; smaller = faster, noisier). *)
 
+val set_stats_output : ?metrics:bool -> ?trace:string -> unit -> unit
+(** Configure telemetry emission for subsequent runs (the CLIs'
+    [--metrics]/[--trace] flags).  With [metrics:true] every runner
+    prints a Table-2-style per-stage cycle breakdown (IX servers) and
+    the server's metric snapshot — read through the portable
+    {!Netapi.Net_api.stack} interface — next to its throughput/latency
+    table.  With [trace:path] runners additionally dump the server's
+    retained cycle spans as Chrome [trace_event] JSON to [path]
+    (load via chrome://tracing or Perfetto). *)
+
+val echo_breakdown :
+  ?cores:int ->
+  ?msg_size:int ->
+  unit ->
+  (Ixtelemetry.Tracer.stage * int * int) list * int
+(** Run a short 64 B echo on IX and print its Table-2-style cycle
+    breakdown.  Returns the per-stage [(stage, total_ns, spans)] rows
+    aggregated over all elastic threads plus the total busy time
+    (kernel + user ns) the cores accounted; the rows sum exactly to
+    the busy total. *)
+
 val run_echo :
   ?label:string ->
   ?client_hosts:int ->

@@ -1,5 +1,6 @@
 module Mbuf = Ixmem.Mbuf
 module Mempool = Ixmem.Mempool
+module Metrics = Ixtelemetry.Metrics
 
 let indirection_entries = 128
 
@@ -10,6 +11,8 @@ type rx_queue = {
   ring_size : int;
   pool : Mempool.t;
   mutable notify : unit -> unit;
+  q_rx : Metrics.counter;
+  q_doorbells : Metrics.counter;
 }
 
 type t = {
@@ -18,13 +21,17 @@ type t = {
   mutable indirection : int array;
   rss_key : string;
   tx_link : Link.t;
-  mutable drops : int;
-  mutable rx_count : int;
-  mutable tx_count : int;
+  c_drops : Metrics.counter;
+  c_rx : Metrics.counter;
+  c_tx : Metrics.counter;
 }
 
 let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key)
-    ~tx () =
+    ?metrics ?(name = "nic") ~tx () =
+  let registry =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let c fmt = Printf.ksprintf (Metrics.counter registry) fmt in
   let make_queue index =
     {
       index;
@@ -36,6 +43,8 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
           ~name:(Printf.sprintf "nic-rxq%d" index)
           ();
       notify = ignore;
+      q_rx = c "%s.q%d.rx_frames" name index;
+      q_doorbells = c "%s.q%d.doorbells" name index;
     }
   in
   {
@@ -44,9 +53,9 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
     indirection = Array.init indirection_entries (fun i -> i mod queues);
     rss_key;
     tx_link = tx;
-    drops = 0;
-    rx_count = 0;
-    tx_count = 0;
+    c_drops = c "%s.rx_drops" name;
+    c_rx = c "%s.rx_frames" name;
+    c_tx = c "%s.tx_frames" name;
   }
 
 let mac t = t.mac_addr
@@ -77,15 +86,16 @@ let receive t frame =
   if dst <> t.mac_addr && not (Ixnet.Mac_addr.is_broadcast dst) then ()
   else begin
     let q = t.queues.(classify t frame) in
-    if q.avail_descs = 0 then t.drops <- t.drops + 1
+    if q.avail_descs = 0 then Metrics.incr t.c_drops
     else begin
       match Mempool.alloc q.pool with
-      | None -> t.drops <- t.drops + 1
+      | None -> Metrics.incr t.c_drops
       | Some mbuf ->
           q.avail_descs <- q.avail_descs - 1;
           Frame.to_mbuf frame ~into:mbuf;
           Queue.push mbuf q.ring;
-          t.rx_count <- t.rx_count + 1;
+          Metrics.incr t.c_rx;
+          Metrics.incr q.q_rx;
           q.notify ()
     end
   end
@@ -101,12 +111,19 @@ let rx_burst q ~max =
   in
   take [] max
 
-let replenish q n = q.avail_descs <- min q.ring_size (q.avail_descs + n)
+(* Posting descriptors writes the queue's tail register — one doorbell
+   per non-empty batch. *)
+let replenish q n =
+  if n > 0 then begin
+    q.avail_descs <- min q.ring_size (q.avail_descs + n);
+    Metrics.incr q.q_doorbells
+  end
+
 let free_descriptors q = q.avail_descs
 
 let transmit_at t mbuf ~earliest ~on_complete =
   let frame = Frame.of_mbuf mbuf in
-  t.tx_count <- t.tx_count + 1;
+  Metrics.incr t.c_tx;
   (* The frame contents are snapshotted here (DMA read), so the driver
      may reclaim the buffer immediately. *)
   Link.send_at t.tx_link frame ~earliest;
@@ -114,7 +131,7 @@ let transmit_at t mbuf ~earliest ~on_complete =
 
 let transmit t mbuf ~on_complete = transmit_at t mbuf ~earliest:0 ~on_complete
 
-let rx_drops t = t.drops
-let rx_frames t = t.rx_count
-let tx_frames t = t.tx_count
+let rx_drops t = Metrics.value t.c_drops
+let rx_frames t = Metrics.value t.c_rx
+let tx_frames t = Metrics.value t.c_tx
 let pool_of q = q.pool

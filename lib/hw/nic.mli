@@ -19,9 +19,16 @@ val create :
   queues:int ->
   ?ring_size:int ->
   ?rss_key:string ->
+  ?metrics:Ixtelemetry.Metrics.t ->
+  ?name:string ->
   tx:Link.t ->
   unit ->
   t
+(** [metrics]/[name] place the NIC's counters in a telemetry registry
+    under [<name>.rx_frames], [<name>.rx_drops], [<name>.tx_frames] and
+    per-queue [<name>.q<i>.rx_frames] / [<name>.q<i>.doorbells]
+    ([name] defaults to ["nic"]; a private registry is used when
+    [metrics] is omitted). *)
 
 val mac : t -> Ixnet.Mac_addr.t
 val queue_count : t -> int
@@ -52,7 +59,8 @@ val rx_burst : rx_queue -> max:int -> Ixmem.Mbuf.t list
     Ownership transfers to the caller. *)
 
 val replenish : rx_queue -> int -> unit
-(** Post [n] fresh RX descriptors. *)
+(** Post [n] fresh RX descriptors; each non-empty batch counts one
+    tail-register doorbell. *)
 
 val free_descriptors : rx_queue -> int
 

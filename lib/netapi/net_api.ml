@@ -1,3 +1,11 @@
+type close_reason = Normal | Reset | Timeout | Refused
+
+let close_reason_name = function
+  | Normal -> "normal"
+  | Reset -> "reset"
+  | Timeout -> "timeout"
+  | Refused -> "refused"
+
 type conn = {
   id : int;
   send : string -> bool;
@@ -10,7 +18,7 @@ type handlers = {
   on_connected : conn -> ok:bool -> unit;
   on_data : conn -> string -> unit;
   on_sent : conn -> int -> unit;
-  on_closed : conn -> unit;
+  on_closed : conn -> close_reason -> unit;
 }
 
 let null_handlers =
@@ -18,7 +26,7 @@ let null_handlers =
     on_connected = (fun _ ~ok:_ -> ());
     on_data = (fun _ _ -> ());
     on_sent = (fun _ _ -> ());
-    on_closed = (fun _ -> ());
+    on_closed = (fun _ _ -> ());
   }
 
 type stack = {
@@ -28,6 +36,12 @@ type stack = {
   listen : port:int -> (thread:int -> conn -> handlers) -> unit;
   run_app : thread:int -> (unit -> unit) -> unit;
   charge_app : thread:int -> int -> unit;
-  kernel_share : unit -> float;
+  metrics : unit -> Ixtelemetry.Metrics.snapshot;
   conn_count : unit -> int;
 }
+
+let kernel_share stack =
+  Ixtelemetry.Metrics.snap_gauge (stack.metrics ()) "kernel_share"
+
+let busy_ns stack =
+  int_of_float (Ixtelemetry.Metrics.snap_gauge (stack.metrics ()) "busy_ns")

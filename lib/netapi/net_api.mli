@@ -9,6 +9,13 @@
     (and where) is each stack's own business, which is exactly the
     zero-copy-vs-copying distinction under study. *)
 
+type close_reason = Normal | Reset | Timeout | Refused
+(** Why a connection died, mirroring [Ixtcp.Tcb.close_reason] without
+    depending on the IX stack: orderly FIN exchange, peer RST,
+    retransmission-limit timeout, or connection refused. *)
+
+val close_reason_name : close_reason -> string
+
 type conn = {
   id : int;  (** unique within the stack *)
   send : string -> bool;
@@ -22,7 +29,7 @@ type handlers = {
   on_connected : conn -> ok:bool -> unit;
   on_data : conn -> string -> unit;
   on_sent : conn -> int -> unit;  (** bytes acknowledged end-to-end *)
-  on_closed : conn -> unit;
+  on_closed : conn -> close_reason -> unit;
 }
 
 val null_handlers : handlers
@@ -42,7 +49,19 @@ type stack = {
           client actions (open-loop senders) go through this *)
   charge_app : thread:int -> int -> unit;
       (** account [ns] of application compute time *)
-  kernel_share : unit -> float;
-      (** fraction of busy CPU time spent in the kernel/dataplane domain *)
+  metrics : unit -> Ixtelemetry.Metrics.snapshot;
+      (** snapshot of the stack's telemetry registry — the portable way
+          to read counters and CPU accounting.  Every stack publishes at
+          least the gauges ["kernel_share"] (fraction of busy CPU time in
+          the kernel/dataplane domain) and ["busy_ns"] (total non-idle
+          CPU ns), plus its own hierarchical counters. *)
   conn_count : unit -> int;  (** live connections across all threads *)
 }
+
+val kernel_share : stack -> float
+(** The ["kernel_share"] gauge from a fresh {!field-stack.metrics}
+    snapshot — migration helper for the former [stack.kernel_share]
+    field. *)
+
+val busy_ns : stack -> int
+(** The ["busy_ns"] gauge from a fresh metrics snapshot. *)

@@ -1,5 +1,6 @@
 module Mbuf = Ixmem.Mbuf
 module Seg = Ixnet.Tcp_segment
+module Metrics = Ixtelemetry.Metrics
 
 type listener = { on_accept : Tcb.t -> unit }
 
@@ -12,10 +13,14 @@ type t = {
   ports : Port_alloc.t;
   output_raw : remote_ip:Ixnet.Ip_addr.t -> Mbuf.t -> unit;
   alloc : unit -> Mbuf.t option;
-  mutable rst_count : int;
+  c_rx_segs : Metrics.counter;
+  c_connects : Metrics.counter;
+  c_accepts : Metrics.counter;
+  c_rsts : Metrics.counter;
 }
 
-let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config () =
+let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
+    ?(metrics_prefix = "tcp") () =
   let tcb_env =
     {
       Tcb.now;
@@ -27,6 +32,10 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config () =
       on_established = ignore;
     }
   in
+  let registry =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let c name = Metrics.counter registry (metrics_prefix ^ "." ^ name) in
   let t =
     {
       tcb_env;
@@ -37,7 +46,10 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config () =
       ports = Port_alloc.create ();
       output_raw;
       alloc;
-      rst_count = 0;
+      c_rx_segs = c "rx_segs";
+      c_connects = c "connects";
+      c_accepts = c "accepts";
+      c_rsts = c "rsts";
     }
   in
   tcb_env.Tcb.on_teardown <-
@@ -71,6 +83,7 @@ let connect t ~remote_ip ~remote_port ?(port_suitable = fun _ -> true) ~cookie (
         Tcp_conn.connect t.tcb_env t.cfg ~local_ip:t.ip ~local_port ~remote_ip
           ~remote_port ~cookie
       in
+      Metrics.incr t.c_connects;
       Flow_table.add t.flows ~local_port ~remote_ip ~remote_port tcb;
       Some tcb
 
@@ -123,11 +136,12 @@ let send_rst t ~src_ip (seg : Seg.t) =
             }
         in
         Seg.prepend mbuf ~src:t.ip ~dst:src_ip rst;
-        t.rst_count <- t.rst_count + 1;
+        Metrics.incr t.c_rsts;
         t.output_raw ~remote_ip:src_ip mbuf
   end
 
 let rx_segment ?(ce = false) t ~src_ip (seg : Seg.t) mbuf =
+  Metrics.incr t.c_rx_segs;
   match
     Flow_table.find t.flows ~local_port:seg.Seg.dst_port ~remote_ip:src_ip
       ~remote_port:seg.Seg.src_port
@@ -141,6 +155,7 @@ let rx_segment ?(ce = false) t ~src_ip (seg : Seg.t) mbuf =
               Tcp_conn.accept_syn t.tcb_env t.cfg ~local_ip:t.ip ~remote_ip:src_ip
                 ~segment:seg ~cookie:0
             in
+            Metrics.incr t.c_accepts;
             Flow_table.add t.flows ~local_port:seg.Seg.dst_port ~remote_ip:src_ip
               ~remote_port:seg.Seg.src_port tcb
         | None -> send_rst t ~src_ip seg
@@ -157,4 +172,4 @@ let evict t tcb =
 
 let connection_count t = Flow_table.count t.flows
 let iter_connections t f = Flow_table.iter t.flows f
-let rsts_sent t = t.rst_count
+let rsts_sent t = Metrics.value t.c_rsts

@@ -13,8 +13,15 @@ val create :
   rng:Engine.Rng.t ->
   local_ip:Ixnet.Ip_addr.t ->
   config:Tcb.config ->
+  ?metrics:Ixtelemetry.Metrics.t ->
+  ?metrics_prefix:string ->
   unit ->
   t
+(** [metrics]/[metrics_prefix] place the endpoint's counters
+    ([<prefix>.rx_segs], [<prefix>.connects], [<prefix>.accepts],
+    [<prefix>.rsts]) in a telemetry registry ([metrics_prefix] defaults
+    to ["tcp"]; a private registry is used when [metrics] is
+    omitted). *)
 
 val local_ip : t -> Ixnet.Ip_addr.t
 val config : t -> Tcb.config

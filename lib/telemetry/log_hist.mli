@@ -1,0 +1,34 @@
+(** Log-linear histograms for latency-style distributions.
+
+    Values (nanoseconds, or any non-negative integer unit) land in
+    buckets whose width doubles every power of two, each split into 32
+    sub-buckets, bounding the relative quantile error by 1/32 across
+    the whole 1 ns .. ~2^62 range with a few KB per histogram.  This is
+    the distribution type behind {!Metrics} histograms; it carries no
+    dependencies so the registry can sit below the simulation engine. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Add one sample (negative values clamp to 0). *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n h v n] adds [n] samples of value [v]. *)
+
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> float
+val min_value : t -> int
+val max_value : t -> int
+
+val quantile : t -> float -> int
+(** [quantile h q], [q] in [\[0,1\]]: upper bound of the q-quantile
+    with relative error bounded by 1/32.  0 if empty. *)
+
+val percentile : t -> float -> int
+(** [percentile h p] = [quantile h (p /. 100.)]. *)
+
+val merge_into : src:t -> dst:t -> unit
+val clear : t -> unit

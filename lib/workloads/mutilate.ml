@@ -113,7 +113,7 @@ let run ~sim ~clients ~server_ip ~port ~profile ~connections ~target_rps
               in
               pump ());
           on_sent = (fun _ _ -> ());
-          on_closed = (fun _ -> ());
+          on_closed = (fun _ _ -> ());
         }
       in
       let delay = Engine.Rng.int rng ramp in

@@ -165,7 +165,7 @@ let test_memcached_get_set_over_wire () =
           in
           pump ());
       on_sent = (fun _ _ -> ());
-      on_closed = (fun _ -> ());
+      on_closed = (fun _ _ -> ());
     }
   in
   client.Net_api.connect ~thread:0 ~ip:cluster.Cluster.server_ip ~port:11211 handlers;
