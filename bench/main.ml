@@ -10,10 +10,28 @@
 
 module H = Harness.Experiments
 
+let gc_report = ref false
+
+let print_gc_line name ~events (g0 : Gc.stat) (g1 : Gc.stat) =
+  let per_m x = if events = 0 then 0. else x /. (float_of_int events /. 1e6) in
+  let minor_m = (g1.Gc.minor_words -. g0.Gc.minor_words) /. 1e6 in
+  let major_m = (g1.Gc.major_words -. g0.Gc.major_words) /. 1e6 in
+  Printf.printf
+    "[%s gc: %.2fM minor words (%.2fM/Mevent), %.2fM major words (%.2fM/Mevent), \
+     %d minor collections (%.0f/Mevent), %d events]\n%!"
+    name minor_m (per_m minor_m) major_m (per_m major_m)
+    (g1.Gc.minor_collections - g0.Gc.minor_collections)
+    (per_m (float_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections)))
+    events
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
+  let e0 = Engine.Sim.global_events () in
   let result = f () in
   Printf.printf "[%s finished in %.1fs wall clock]\n%!" name (Unix.gettimeofday () -. t0);
+  if !gc_report then
+    print_gc_line name ~events:(Engine.Sim.global_events () - e0) g0 (Gc.quick_stat ());
   result
 
 (* ------------------------------------------------------------------ *)
@@ -44,7 +62,7 @@ let micro () =
     Test.make ~name:"timer_wheel_schedule_cancel"
       (Staged.stage (fun () ->
            let t = Timerwheel.Timer_wheel.schedule wheel ~deadline:1_000_000 ignore in
-           Timerwheel.Timer_wheel.cancel t))
+           Timerwheel.Timer_wheel.cancel wheel t))
   in
   let pool = Ixmem.Mempool.create ~name:"bench" () in
   let test_mempool =
@@ -119,19 +137,269 @@ let micro () =
       | Some [] | None -> Printf.printf "%-40s (no estimate)\n" name)
     (List.sort compare results)
 
+(* ------------------------------------------------------------------ *)
+(* perf: fixed-seed regression slices -> BENCH_PERF.json                *)
+
+(* A minimal JSON reader — just enough for the perf-smoke check that
+   the emitted file is well-formed (no JSON library in the tree). *)
+let json_parses (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = Some c then advance () else raise Exit in
+  let literal lit =
+    String.iter (fun c -> if peek () = Some c then advance () else raise Exit) lit
+  in
+  let str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some _ ->
+              advance ();
+              go ()
+          | None -> raise Exit)
+      | Some _ ->
+          advance ();
+          go ()
+      | None -> raise Exit
+    in
+    go ()
+  in
+  let number () =
+    let is_num = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+    let rec go () =
+      match peek () with
+      | Some c when is_num c ->
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> raise Exit
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elems ()
+        | Some ']' -> advance ()
+        | _ -> raise Exit
+      in
+      elems ()
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+type perf_row = {
+  row_name : string;
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+  minor_words_per_event : float;
+  snapshot : string;
+}
+
+let run_slice f =
+  Gc.compact ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let slice = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let events = slice.H.perf_events in
+  {
+    row_name = slice.H.perf_name;
+    wall_s = wall;
+    events;
+    events_per_sec = (if wall > 0. then float_of_int events /. wall else 0.);
+    minor_words_per_event =
+      (if events > 0 then minor /. float_of_int events else 0.);
+    snapshot = slice.H.perf_snapshot;
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let perf_json ~scale rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"ix-bench-perf/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"scale\": %g,\n" scale);
+  Buffer.add_string b "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_s\": %.3f, \"events\": %d, \
+            \"events_per_sec\": %.0f, \"minor_words_per_event\": %.2f, \
+            \"snapshot\": \"%s\"}%s\n"
+           r.row_name r.wall_s r.events r.events_per_sec r.minor_words_per_event
+           (json_escape r.snapshot)
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let perf ~smoke ~out () =
+  (* Pin the measurement windows so rows are comparable across runs
+     regardless of the caller's IX_BENCH_SCALE. *)
+  Unix.putenv "IX_BENCH_SCALE" (if smoke then "0.05" else "0.2");
+  let slices =
+    if smoke then
+      [
+        (fun () -> H.perf_fig2_slice ~sizes:[ 1_024 ] ());
+        (fun () -> H.perf_fig4_slice ~conns:1_000 ());
+      ]
+    else
+      [
+        (fun () -> H.perf_fig2_slice ());
+        (fun () -> H.perf_fig4_slice ());
+        (fun () -> H.perf_fig5_slice ());
+      ]
+  in
+  let rows = List.map run_slice slices in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "perf %-6s %7.2fs wall  %10d events  %12.0f events/s  %6.2f minor words/event\n%!"
+        r.row_name r.wall_s r.events r.events_per_sec r.minor_words_per_event)
+    rows;
+  (* Same-seed determinism: the first slice re-run must reproduce its
+     metric snapshot bit-for-bit. *)
+  let again = run_slice (List.hd slices) in
+  let first = List.hd rows in
+  if again.snapshot <> first.snapshot then begin
+    Printf.eprintf "perf: NONDETERMINISTIC snapshot for %s:\n  run 1: %s\n  run 2: %s\n%!"
+      first.row_name first.snapshot again.snapshot;
+    exit 1
+  end;
+  Printf.printf "perf: same-seed snapshot stable across two runs (%s)\n%!"
+    first.row_name;
+  let json = perf_json ~scale:(H.scale ()) rows in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if smoke then begin
+    List.iter
+      (fun r ->
+        if r.events <= 0 || r.events_per_sec <= 0. then begin
+          Printf.eprintf "perf-smoke: %s ran zero events/sec\n%!" r.row_name;
+          exit 1
+        end)
+      rows;
+    let content = read_file out in
+    if not (json_parses content) then begin
+      Printf.eprintf "perf-smoke: %s is not valid JSON\n%!" out;
+      exit 1
+    end;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+      at 0
+    in
+    if not (List.for_all (contains content) [ "events_per_sec"; "snapshot" ]) then begin
+      Printf.eprintf "perf-smoke: %s missing expected keys\n%!" out;
+      exit 1
+    end;
+    print_endline "perf-smoke: ok"
+  end
+
 let usage () =
   print_endline
-    "usage: main.exe [--metrics] [--trace=FILE] \
-     [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|micro|all]";
+    "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--out=FILE] \
+     [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|micro|perf|all]";
   exit 1
 
 let () =
   let metrics = ref false and trace = ref None in
+  let smoke = ref false and out = ref None in
   let targets =
     List.filter
       (fun arg ->
         if arg = "--metrics" then begin
           metrics := true;
+          false
+        end
+        else if arg = "--gc" then begin
+          gc_report := true;
+          false
+        end
+        else if arg = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else if String.length arg > 6 && String.sub arg 0 6 = "--out=" then begin
+          out := Some (String.sub arg 6 (String.length arg - 6));
           false
         end
         else if String.length arg > 8 && String.sub arg 0 8 = "--trace=" then begin
@@ -144,6 +412,10 @@ let () =
   H.set_stats_output ~metrics:!metrics ?trace:!trace ();
   let target = match targets with t :: _ -> t | [] -> "all" in
   match target with
+  | "perf" ->
+      perf ~smoke:!smoke
+        ~out:(Option.value !out ~default:"BENCH_PERF.json")
+        ()
   | "fig2" -> ignore (timed "fig2" H.fig2)
   | "fig3a" -> ignore (timed "fig3a" H.fig3a)
   | "fig3b" -> ignore (timed "fig3b" H.fig3b)

@@ -14,6 +14,37 @@ let setup_logs level =
 let log_term =
   Term.(const setup_logs $ Logs_cli.level ())
 
+(* --gc: report GC pressure per simulated event at exit, in the same
+   shape as bench/main.exe. *)
+let setup_gc enabled =
+  if enabled then begin
+    let g0 = Gc.quick_stat () in
+    let e0 = Engine.Sim.global_events () in
+    at_exit (fun () ->
+        let g1 = Gc.quick_stat () in
+        let events = Engine.Sim.global_events () - e0 in
+        let per_m x = if events = 0 then 0. else x /. (float_of_int events /. 1e6) in
+        let minor_m = (g1.Gc.minor_words -. g0.Gc.minor_words) /. 1e6 in
+        let major_m = (g1.Gc.major_words -. g0.Gc.major_words) /. 1e6 in
+        Printf.printf
+          "[gc: %.2fM minor words (%.2fM/Mevent), %.2fM major words \
+           (%.2fM/Mevent), %d minor collections (%.0f/Mevent), %d events]\n%!"
+          minor_m (per_m minor_m) major_m (per_m major_m)
+          (g1.Gc.minor_collections - g0.Gc.minor_collections)
+          (per_m (float_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections)))
+          events)
+  end
+
+let gc_term =
+  Term.(
+    const setup_gc
+    $ Arg.(
+        value & flag
+        & info [ "gc" ]
+            ~doc:
+              "Print GC counters (minor/major words, minor collections) per \
+               million simulated events at exit."))
+
 let kind_conv =
   let parse = function
     | "ix" -> Ok Harness.Cluster.Ix
@@ -62,7 +93,7 @@ let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connect
 let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
 
 let echo_cmd =
-  let run () () kind cores ports size n batch =
+  let run () () () kind cores ports size n batch =
     let p =
       Harness.Experiments.run_echo ~kind ~ports ~cores ~msg_size:size
         ~msgs_per_conn:n ~batch_bound:batch ()
@@ -74,11 +105,11 @@ let echo_cmd =
   in
   Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
     Term.(
-      const run $ log_term $ stats_term $ kind_arg $ cores_arg $ ports_arg
-      $ size_arg $ n_arg $ batch_arg)
+      const run $ log_term $ stats_term $ gc_term $ kind_arg $ cores_arg
+      $ ports_arg $ size_arg $ n_arg $ batch_arg)
 
 let breakdown_cmd =
-  let run () () cores size =
+  let run () () () cores size =
     ignore (Harness.Experiments.echo_breakdown ~cores ~msg_size:size ())
   in
   Cmd.v
@@ -86,7 +117,7 @@ let breakdown_cmd =
        ~doc:
          "Run a short IX echo and print its Table-2-style per-stage cycle \
           breakdown (combine with --trace for a Chrome trace).")
-    Term.(const run $ log_term $ stats_term $ cores_arg $ size_arg)
+    Term.(const run $ log_term $ stats_term $ gc_term $ cores_arg $ size_arg)
 
 let memcached_cmd =
   let workload_arg =
@@ -95,7 +126,7 @@ let memcached_cmd =
   let rps_arg =
     Arg.(value & opt float 500_000. & info [ "r"; "rps" ] ~doc:"Target requests/second.")
   in
-  let run () () kind cores workload rps batch =
+  let run () () () kind cores workload rps batch =
     let profile = Workloads.Size_dist.by_name workload in
     let r, kshare =
       Harness.Experiments.run_memcached ~kind ~server_threads:cores
@@ -114,21 +145,21 @@ let memcached_cmd =
   in
   Cmd.v (Cmd.info "memcached" ~doc:"Run one memcached load point (§5.5).")
     Term.(
-      const run $ log_term $ stats_term $ kind_arg $ cores_arg $ workload_arg
-      $ rps_arg $ batch_arg)
+      const run $ log_term $ stats_term $ gc_term $ kind_arg $ cores_arg
+      $ workload_arg $ rps_arg $ batch_arg)
 
 let netpipe_cmd =
-  let run () kind size =
+  let run () () kind size =
     let p = Harness.Experiments.netpipe_once ~kind ~size in
     Printf.printf "%s %dB: one-way %.1f us, goodput %.2f Gbps\n"
       p.Harness.Experiments.system p.Harness.Experiments.size
       p.Harness.Experiments.one_way_us p.Harness.Experiments.gbps
   in
   Cmd.v (Cmd.info "netpipe" ~doc:"Run one NetPIPE ping-pong point (§5.2).")
-    Term.(const run $ log_term $ kind_arg $ size_arg)
+    Term.(const run $ log_term $ gc_term $ kind_arg $ size_arg)
 
 let ping_cmd =
-  let run () =
+  let run () () =
     (* A 2-host IX cluster; thread 0 of the server pings the client. *)
     let server = Harness.Cluster.server_spec ~threads:1 Harness.Cluster.Ix in
     let cluster = Harness.Cluster.build ~client_hosts:1 ~client_threads:1
@@ -148,7 +179,7 @@ let ping_cmd =
   in
   Cmd.v
     (Cmd.info "ping" ~doc:"ICMP echo across the simulated fabric (dataplane ICMP).")
-    Term.(const run $ log_term)
+    Term.(const run $ log_term $ gc_term)
 
 let main =
   Cmd.group

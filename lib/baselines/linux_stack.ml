@@ -367,7 +367,7 @@ and process_arp ctx mbuf =
 and arm_timer_wakeup ctx =
   (match ctx.timer_wakeup with
   | Some handle ->
-      Sim.cancel handle;
+      Sim.cancel ctx.sim handle;
       ctx.timer_wakeup <- None
   | None -> ());
   match Wheel.next_expiry ctx.wheel with

@@ -292,7 +292,7 @@ and stack_poll ctx =
 and arm_timer_wakeup ctx =
   (match ctx.timer_wakeup with
   | Some handle ->
-      Sim.cancel handle;
+      Sim.cancel ctx.sim handle;
       ctx.timer_wakeup <- None
   | None -> ());
   match Wheel.next_expiry ctx.wheel with

@@ -80,7 +80,13 @@ type t = {
   mutable staged_events : staged_event list; (* reversed *)
   mutable unaccepted : (int, staged_event list ref) Hashtbl.t;
   mutable staged_syscalls : (Ix_api.syscall * (int -> unit)) list; (* reversed *)
-  mutable tx_staged : Mbuf.t list; (* reversed *)
+  (* RX batch scratch and staged-TX vector: reused cycle to cycle so the
+     per-packet path builds no lists.  [scratch_seed] is an inert mbuf
+     used only to fill empty array slots. *)
+  scratch_seed : Mbuf.t;
+  mutable rx_scratch : Mbuf.t array;
+  mutable tx_buf : Mbuf.t array;
+  mutable tx_len : int;
   mutable kernel_ns_acc : int;
   mutable user_ns_acc : int;
   mutable state : state;
@@ -116,7 +122,14 @@ let charge_user t ns = t.user_ns_acc <- t.user_ns_acc + ns
 (* Outbound path: TCP segment -> IP -> ARP -> Ethernet -> staged TX    *)
 
 let stage_tx t mbuf =
-  t.tx_staged <- mbuf :: t.tx_staged;
+  if t.tx_len = Array.length t.tx_buf then begin
+    let capacity' = max 64 (2 * t.tx_len) in
+    let buf' = Array.make capacity' mbuf in
+    Array.blit t.tx_buf 0 buf' 0 t.tx_len;
+    t.tx_buf <- buf'
+  end;
+  t.tx_buf.(t.tx_len) <- mbuf;
+  t.tx_len <- t.tx_len + 1;
   Metrics.incr t.c_tx_pkts
 
 let ethernet_to t ~dst_mac mbuf =
@@ -430,7 +443,7 @@ let rec run_cycle t =
   t.state <- Running;
   (match t.idle_wakeup with
   | Some handle ->
-      Sim.cancel handle;
+      Sim.cancel t.sim handle;
       t.idle_wakeup <- None
   | None -> ());
   Metrics.incr t.c_cycles;
@@ -451,27 +464,35 @@ let rec run_cycle t =
   (* --- (1) poll RX rings, take a bounded batch, replenish --- *)
   charge_kernel t t.costs.poll_ns;
   let budget = Batch.next_batch t.batcher ~pending:(rx_pending t) in
-  let batch =
-    let rec gather acc remaining = function
-      | [] -> acc
+  if Array.length t.rx_scratch < budget then begin
+    let scratch = Array.make (max 64 budget) t.scratch_seed in
+    Array.blit t.rx_scratch 0 scratch 0 (Array.length t.rx_scratch);
+    t.rx_scratch <- scratch
+  end;
+  let n_rx =
+    let rec gather filled remaining = function
+      | [] -> filled
       | (_, q) :: rest ->
-          if remaining = 0 then acc
+          if remaining = 0 then filled
           else begin
-            let taken = Nic.rx_burst q ~max:remaining in
-            Nic.replenish q (List.length taken);
+            let taken =
+              Nic.rx_burst_into q ~into:t.rx_scratch ~off:filled ~max:remaining
+            in
+            Nic.replenish q taken;
             charge_kernel t
-              (Ixhw.Pcie_model.replenish_cost_ns t.pcie ~descriptors:(List.length taken));
-            gather (acc @ taken) (remaining - List.length taken) rest
+              (Ixhw.Pcie_model.replenish_cost_ns t.pcie ~descriptors:taken);
+            gather (filled + taken) (remaining - taken) rest
           end
     in
-    gather [] budget t.queues
+    gather 0 budget t.queues
   in
-  let n_rx = List.length batch in
   Metrics.add t.c_rx_pkts n_rx;
   charge_kernel t (t.costs.rx_pkt_ns * n_rx);
   mark Tracer.Rx_driver;
   (* --- (2) protocol processing, generating event conditions --- *)
-  List.iter (process_frame t) batch;
+  for i = 0 to n_rx - 1 do
+    process_frame t t.rx_scratch.(i)
+  done;
   mark Tracer.Tcp_in;
   (* --- (3) user phase: deliver event conditions to the app --- *)
   let staged = List.rev t.staged_events in
@@ -504,20 +525,27 @@ let rec run_cycle t =
   Wheel.advance t.wheel ~now:(now t);
   mark Tracer.Timer;
   (* --- (6) transmit --- *)
-  let frames = List.rev t.tx_staged in
-  t.tx_staged <- [];
-  charge_kernel t (t.costs.tx_pkt_ns * List.length frames);
-  if frames <> [] then
+  let n_tx = t.tx_len in
+  charge_kernel t (t.costs.tx_pkt_ns * n_tx);
+  if n_tx > 0 then
     charge_kernel t (Ixhw.Pcie_model.doorbell_cost_ns t.pcie);
   mark Tracer.Tx_driver;
   (* Commit costs to the core; effects land at cycle end. *)
   let t_mid = Cpu_core.charge t.cpu ~now:start Cpu_core.Kernel t.kernel_ns_acc in
   let t_end = Cpu_core.charge t.cpu ~now:t_mid Cpu_core.User t.user_ns_acc in
-  List.iter
-    (fun mbuf ->
-      Nic.transmit_at t.tx_nic mbuf ~earliest:t_end ~on_complete:(fun () ->
-          Mbuf.decref mbuf))
-    frames;
+  for i = 0 to n_tx - 1 do
+    let mbuf = t.tx_buf.(i) in
+    t.tx_buf.(i) <- t.scratch_seed;
+    Nic.transmit_at t.tx_nic mbuf ~earliest:t_end ~on_complete:(fun () ->
+        Mbuf.decref mbuf)
+  done;
+  (* Frames staged while transmitting (none today) slide to the front
+     for the next cycle. *)
+  if t.tx_len > n_tx then begin
+    Array.blit t.tx_buf n_tx t.tx_buf 0 (t.tx_len - n_tx);
+    Array.fill t.tx_buf (t.tx_len - n_tx) n_tx t.scratch_seed
+  end;
+  t.tx_len <- t.tx_len - n_tx;
   (* RCU quiescent point. *)
   Rcu.quiescent t.rcu ~thread:t.id;
   (* Loop or go idle. *)
@@ -543,7 +571,7 @@ and maybe_background t earliest =
         t.state <- Scheduled;
         (match t.idle_wakeup with
         | Some handle ->
-            Sim.cancel handle;
+            Sim.cancel t.sim handle;
             t.idle_wakeup <- None
         | None -> ());
         let at = max (now t) earliest in
@@ -584,7 +612,7 @@ and kick t =
       t.state <- Scheduled;
       (match t.idle_wakeup with
       | Some handle ->
-          Sim.cancel handle;
+          Sim.cancel t.sim handle;
           t.idle_wakeup <- None
       | None -> ());
       let wakeup_cost = if t.polling then 0 else t.interrupt_latency_ns in
@@ -697,7 +725,10 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       staged_events = [];
       unaccepted = Hashtbl.create 64;
       staged_syscalls = [];
-      tx_staged = [];
+      scratch_seed = Mbuf.create ~size:1 ();
+      rx_scratch = [||];
+      tx_buf = [||];
+      tx_len = 0;
       kernel_ns_acc = 0;
       user_ns_acc = 0;
       state = Idle;

@@ -1,73 +1,138 @@
-type 'a entry = { time : Sim_time.t; seq : int; value : 'a }
+(* A structure-of-arrays binary min-heap.
+
+   The heap state lives in three parallel arrays — unboxed [times] and
+   [seqs] plus a payload array — so [push]/[pop] touch flat int arrays
+   and allocate nothing in steady state (the old representation boxed a
+   3-field entry record per event).  Sifting is hole-based: the moving
+   element is held in locals and written exactly once, instead of
+   swapping three cells per level. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array; (* length 0 until the first push *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { times = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 let is_empty q = q.size = 0
 let length q = q.size
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow q entry =
-  let capacity = Array.length q.heap in
+let grow q v =
+  let capacity = Array.length q.times in
   if q.size = capacity then begin
     let capacity' = if capacity = 0 then 64 else capacity * 2 in
-    let heap' = Array.make capacity' entry in
-    Array.blit q.heap 0 heap' 0 q.size;
-    q.heap <- heap'
+    let times' = Array.make capacity' 0 in
+    let seqs' = Array.make capacity' 0 in
+    let vals' = Array.make capacity' v in
+    Array.blit q.times 0 times' 0 q.size;
+    Array.blit q.seqs 0 seqs' 0 q.size;
+    Array.blit q.vals 0 vals' 0 q.size;
+    q.times <- times';
+    q.seqs <- seqs';
+    q.vals <- vals'
   end
 
-let rec sift_up heap i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if precedes heap.(i) heap.(parent) then begin
-      let tmp = heap.(i) in
-      heap.(i) <- heap.(parent);
-      heap.(parent) <- tmp;
-      sift_up heap parent
-    end
-  end
-
-let rec sift_down heap size i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = if left < size && precedes heap.(left) heap.(i) then left else i in
-  let smallest =
-    if right < size && precedes heap.(right) heap.(smallest) then right
-    else smallest
-  in
-  if smallest <> i then begin
-    let tmp = heap.(i) in
-    heap.(i) <- heap.(smallest);
-    heap.(smallest) <- tmp;
-    sift_down heap size smallest
-  end
-
-let push q ~time value =
-  let entry = { time; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.size) <- entry;
+let push q ~time v =
+  grow q v;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  let times = q.times and seqs = q.seqs and vals = q.vals in
+  let i = ref q.size in
   q.size <- q.size + 1;
-  sift_up q.heap (q.size - 1)
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pt = times.(parent) in
+    if time < pt || (time = pt && seq < seqs.(parent)) then begin
+      times.(!i) <- pt;
+      seqs.(!i) <- seqs.(parent);
+      vals.(!i) <- vals.(parent);
+      i := parent
+    end
+    else sifting := false
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  vals.(!i) <- v
+
+(* Sift the element (time, seq, v) down from the hole at [start]. *)
+let sift_down q start ~time ~seq ~v =
+  let times = q.times and seqs = q.seqs and vals = q.vals in
+  let size = q.size in
+  let i = ref start in
+  let sifting = ref true in
+  while !sifting do
+    let left = (2 * !i) + 1 in
+    if left >= size then sifting := false
+    else begin
+      let right = left + 1 in
+      let child =
+        if
+          right < size
+          && (times.(right) < times.(left)
+             || (times.(right) = times.(left) && seqs.(right) < seqs.(left)))
+        then right
+        else left
+      in
+      if times.(child) < time || (times.(child) = time && seqs.(child) < seq) then begin
+        times.(!i) <- times.(child);
+        seqs.(!i) <- seqs.(child);
+        vals.(!i) <- vals.(child);
+        i := child
+      end
+      else sifting := false
+    end
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  vals.(!i) <- v
+
+let min_time_exn q =
+  if q.size = 0 then invalid_arg "Event_queue.min_time_exn: empty";
+  q.times.(0)
+
+let pop_min_exn q =
+  if q.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty";
+  let root = q.vals.(0) in
+  let n = q.size - 1 in
+  q.size <- n;
+  if n > 0 then
+    sift_down q 0 ~time:q.times.(n) ~seq:q.seqs.(n) ~v:q.vals.(n);
+  root
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let root = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q.heap q.size 0
-    end;
-    Some (root.time, root.value)
+    let time = q.times.(0) in
+    let v = pop_min_exn q in
+    Some (time, v)
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some q.times.(0)
+
+let compact q ~keep =
+  (* Drop entries rejected by [keep], preserving their (time, seq) keys,
+     then restore the heap invariant bottom-up (Floyd).  Stability is
+     free: keys are untouched and seq numbers are unique. *)
+  let n = q.size in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if keep q.vals.(i) then begin
+      q.times.(!m) <- q.times.(i);
+      q.seqs.(!m) <- q.seqs.(i);
+      q.vals.(!m) <- q.vals.(i);
+      incr m
+    end
+  done;
+  q.size <- !m;
+  for i = (!m / 2) - 1 downto 0 do
+    sift_down q i ~time:q.times.(i) ~seq:q.seqs.(i) ~v:q.vals.(i)
+  done
 
 let clear q =
-  q.heap <- [||];
+  q.times <- [||];
+  q.seqs <- [||];
+  q.vals <- [||];
   q.size <- 0

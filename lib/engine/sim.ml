@@ -1,11 +1,42 @@
-type event = { mutable cancelled : bool; action : unit -> unit }
-type handle = event
+(* The hot path of the whole simulator: every packet delivery, timer
+   and dataplane cycle goes through [at]/[step].
+
+   Event cells are pooled and reused.  The queue itself stores only the
+   unboxed cell index, so a schedule/execute round trip in steady state
+   allocates nothing beyond the caller's closure: the cell comes off a
+   free stack, the heap entry is three flat-array writes, and the
+   handle is an immediate int packing (cell index, generation).  The
+   generation makes cancellation of an already-fired (hence reused)
+   handle a no-op, as before.
+
+   Cancellation is lazy: [cancel] only marks the cell and drops its
+   closure.  Dead entries are skipped at pop time, and once more than
+   half the heap is dead it is compacted in O(n) — so cancel-heavy TCP
+   runs (every retransmit timer that gets answered) stop paying heap
+   space and sift depth for tombstones. *)
+
+type cell = {
+  mutable action : unit -> unit;
+  mutable cancelled : bool;
+  mutable gen : int;
+}
+
+type handle = int
+
+let gen_bits = 30
+let gen_mask = (1 lsl gen_bits) - 1
+let no_action () = ()
 
 type t = {
   mutable clock : Sim_time.t;
-  queue : event Event_queue.t;
+  queue : int Event_queue.t;
   root_rng : Rng.t;
   mutable executed : int;
+  mutable cells : cell array;
+  mutable cell_count : int; (* cells.(0 .. cell_count-1) are initialized *)
+  mutable free : int array; (* stack of free cell indices *)
+  mutable free_top : int;
+  mutable dead : int; (* cancelled entries still in the queue *)
 }
 
 let create ?(seed = 42) () =
@@ -14,30 +45,120 @@ let create ?(seed = 42) () =
     queue = Event_queue.create ();
     root_rng = Rng.create ~seed;
     executed = 0;
+    cells = [||];
+    cell_count = 0;
+    free = [||];
+    free_top = 0;
+    dead = 0;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 
+let push_free t idx =
+  if t.free_top = Array.length t.free then begin
+    let capacity' = max 64 (2 * Array.length t.free) in
+    let free' = Array.make capacity' 0 in
+    Array.blit t.free 0 free' 0 t.free_top;
+    t.free <- free'
+  end;
+  t.free.(t.free_top) <- idx;
+  t.free_top <- t.free_top + 1
+
+(* Recycle a cell: bump the generation so stale handles go inert, drop
+   the closure so the GC can reclaim its environment. *)
+let release_cell t idx =
+  let c = t.cells.(idx) in
+  c.action <- no_action;
+  c.cancelled <- false;
+  c.gen <- (c.gen + 1) land gen_mask;
+  push_free t idx
+
+let alloc_cell t action =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    let idx = t.free.(t.free_top) in
+    t.cells.(idx).action <- action;
+    idx
+  end
+  else begin
+    if t.cell_count = Array.length t.cells then begin
+      let capacity' = if t.cell_count = 0 then 64 else 2 * t.cell_count in
+      let cells' =
+        Array.init capacity' (fun i ->
+            if i < t.cell_count then t.cells.(i)
+            else { action = no_action; cancelled = false; gen = 0 })
+      in
+      t.cells <- cells'
+    end;
+    let idx = t.cell_count in
+    t.cell_count <- idx + 1;
+    t.cells.(idx).action <- action;
+    idx
+  end
+
 let at t time action =
   assert (time >= t.clock);
-  let event = { cancelled = false; action } in
-  Event_queue.push t.queue ~time event;
-  event
+  let idx = alloc_cell t action in
+  Event_queue.push t.queue ~time idx;
+  (idx lsl gen_bits) lor t.cells.(idx).gen
 
 let after t delay action = at t (Sim_time.add t.clock delay) action
-let cancel handle = handle.cancelled <- true
 
-let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, event) ->
+let maybe_compact t =
+  let len = Event_queue.length t.queue in
+  if len >= 128 && 2 * t.dead > len then begin
+    Event_queue.compact t.queue ~keep:(fun idx ->
+        let c = t.cells.(idx) in
+        if c.cancelled then begin
+          release_cell t idx;
+          false
+        end
+        else true);
+    t.dead <- 0
+  end
+
+let cancel t handle =
+  let idx = handle lsr gen_bits in
+  if idx < t.cell_count then begin
+    let c = t.cells.(idx) in
+    if c.gen = handle land gen_mask && not c.cancelled then begin
+      c.cancelled <- true;
+      c.action <- no_action;
+      t.dead <- t.dead + 1;
+      maybe_compact t
+    end
+  end
+
+(* Process-wide count of executed events, across every [t] — lets the
+   benchmark harness meter events/sec for a run without threading the
+   simulation handle through each experiment. *)
+let global_executed = ref 0
+let global_events () = !global_executed
+
+let rec step t =
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let time = Event_queue.min_time_exn t.queue in
+    let idx = Event_queue.pop_min_exn t.queue in
+    let c = t.cells.(idx) in
+    if c.cancelled then begin
+      t.dead <- t.dead - 1;
+      release_cell t idx;
+      step t
+    end
+    else begin
       t.clock <- time;
-      if not event.cancelled then begin
-        t.executed <- t.executed + 1;
-        event.action ()
-      end;
+      let action = c.action in
+      (* Release before running: the action may schedule (and so reuse
+         the cell); the bumped generation keeps old handles inert. *)
+      release_cell t idx;
+      t.executed <- t.executed + 1;
+      incr global_executed;
+      action ();
       true
+    end
+  end
 
 let run ?until t =
   let continue () =

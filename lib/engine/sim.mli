@@ -7,8 +7,10 @@
 
 type t
 
-type handle
-(** A cancellation handle for a scheduled event. *)
+type handle = private int
+(** A cancellation handle for a scheduled event: an immediate int
+    packing (pooled cell index, generation), so scheduling allocates
+    nothing for the handle itself. *)
 
 val create : ?seed:int -> unit -> t
 
@@ -25,9 +27,11 @@ val at : t -> Sim_time.t -> (unit -> unit) -> handle
 val after : t -> Sim_time.t -> (unit -> unit) -> handle
 (** [after sim delay f] runs [f] [delay] from now. *)
 
-val cancel : handle -> unit
+val cancel : t -> handle -> unit
 (** Cancel a scheduled event.  Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+    already-cancelled event is a no-op.  Cancellation is lazy: the
+    entry is tombstoned and skipped at pop time; once more than half
+    the queue is dead it is compacted in O(n). *)
 
 val run : ?until:Sim_time.t -> t -> unit
 (** Drain the event queue.  With [~until], stop once the clock would
@@ -39,3 +43,8 @@ val step : t -> bool
 
 val events_executed : t -> int
 (** Total number of events executed so far (for reporting). *)
+
+val global_events : unit -> int
+(** Process-wide count of events executed across every simulation ever
+    created — a monotonic meter the benchmark harness differences to
+    compute events/sec and GC words/event for a run. *)

@@ -798,6 +798,50 @@ let ablations () =
     ~headers:[ "configuration"; "msgs/s"; "loaded p99 us"; "unloaded p99 us" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Perf regression slices (bench/main.exe perf)                        *)
+
+(* Fixed-seed single points of the heaviest experiments, instrumented
+   with the engine's global event meter.  The snapshot string captures
+   every metric the slice produces at full precision: the same seed
+   must reproduce it bit-for-bit, which is what lets BENCH_PERF.json
+   track pure engine speed without re-validating model behaviour. *)
+type perf_slice = {
+  perf_name : string;
+  perf_events : int;  (** sim events executed by the slice *)
+  perf_snapshot : string;  (** full-precision metric snapshot *)
+}
+
+let metered name f =
+  let e0 = Sim.global_events () in
+  let snapshot = f () in
+  { perf_name = name; perf_events = Sim.global_events () - e0; perf_snapshot = snapshot }
+
+let perf_fig2_slice ?(sizes = [ 1_024; 16_384; 65_536 ]) () =
+  metered "fig2" (fun () ->
+      String.concat " "
+        (List.map
+           (fun size ->
+             let p = netpipe_once ~kind:Cluster.Ix ~size in
+             Printf.sprintf "s%d:one_way_us=%.17g,gbps=%.17g" size p.one_way_us
+               p.gbps)
+           sizes))
+
+let perf_fig4_slice ?(conns = 10_000) () =
+  metered "fig4" (fun () ->
+      let rate = run_connection_scaling ~kind:Cluster.Ix ~conns ~workers:384 in
+      Printf.sprintf "msgs_per_sec=%.17g" rate)
+
+let perf_fig5_slice ?(target_krps = 500.) () =
+  metered "fig5" (fun () ->
+      let r, kshare =
+        run_memcached ~kind:Cluster.Ix ~server_threads:6
+          ~profile:Workloads.Size_dist.usr ~target_rps:(target_krps *. 1e3) ()
+      in
+      Printf.sprintf "achieved_rps=%.17g avg_us=%.17g p99_us=%.17g kernel_share=%.17g"
+        r.Workloads.Mutilate.achieved_rps r.Workloads.Mutilate.avg_us
+        r.Workloads.Mutilate.p99_us kshare)
+
 let run_all () =
   ignore (fig2 ());
   ignore (fig3a ());

@@ -146,4 +146,24 @@ val ablations : unit -> unit
     instead of polling, copying instead of zero-copy, uncoalesced PCIe
     doorbells, and broken flow steering. *)
 
+type perf_slice = {
+  perf_name : string;
+  perf_events : int;  (** sim events executed by the slice *)
+  perf_snapshot : string;  (** full-precision metric snapshot *)
+}
+(** One fixed-seed perf-regression run (the [perf] subcommand of
+    [bench/main.exe]).  [perf_snapshot] is deterministic: the same seed
+    must reproduce it bit-for-bit across runs and engine versions, so
+    BENCH_PERF.json tracks pure engine speed. *)
+
+val perf_fig2_slice : ?sizes:int list -> unit -> perf_slice
+(** An IX NetPIPE ping-pong sweep over [sizes] (Fig. 2 slice). *)
+
+val perf_fig4_slice : ?conns:int -> unit -> perf_slice
+(** Connection scalability at [conns] live connections (Fig. 4 slice);
+    the cancellation-heavy engine workload. *)
+
+val perf_fig5_slice : ?target_krps:float -> unit -> perf_slice
+(** One memcached USR load point on IX (Fig. 5 slice). *)
+
 val run_all : unit -> unit

@@ -4,9 +4,20 @@ module Metrics = Ixtelemetry.Metrics
 
 let indirection_entries = 128
 
+(* The RX ring is a fixed circular array of descriptors, like the
+   hardware's: [ring.(head .. head+count-1 mod ring_size)] are the
+   DMA-ed frames awaiting the driver.  Push/pop are index arithmetic —
+   no queue cells.  Since a frame only lands by consuming a posted
+   descriptor ([avail_descs]) and replenishment is capped so that
+   [avail_descs + count <= ring_size], the array can never overflow.
+   The array is allocated lazily at the first received frame (it needs
+   an mbuf to seed the slots; popped slots keep their last mbuf, which
+   is harmless — pool mbufs are permanent). *)
 type rx_queue = {
   index : int;
-  ring : Mbuf.t Queue.t;
+  mutable ring : Mbuf.t array; (* length 0 until the first frame *)
+  mutable head : int;
+  mutable count : int;
   mutable avail_descs : int;
   ring_size : int;
   pool : Mempool.t;
@@ -35,7 +46,9 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
   let make_queue index =
     {
       index;
-      ring = Queue.create ();
+      ring = [||];
+      head = 0;
+      count = 0;
       avail_descs = ring_size;
       ring_size;
       pool =
@@ -93,7 +106,11 @@ let receive t frame =
       | Some mbuf ->
           q.avail_descs <- q.avail_descs - 1;
           Frame.to_mbuf frame ~into:mbuf;
-          Queue.push mbuf q.ring;
+          if Array.length q.ring = 0 then q.ring <- Array.make q.ring_size mbuf;
+          let slot = q.head + q.count in
+          let slot = if slot >= q.ring_size then slot - q.ring_size else slot in
+          q.ring.(slot) <- mbuf;
+          q.count <- q.count + 1;
           Metrics.incr t.c_rx;
           Metrics.incr q.q_rx;
           q.notify ()
@@ -102,20 +119,31 @@ let receive t frame =
 
 let set_notify q f = q.notify <- f
 let queue_index q = q.index
-let rx_pending q = Queue.length q.ring
+let rx_pending q = q.count
+
+let pop_exn q =
+  let mbuf = q.ring.(q.head) in
+  q.head <- (if q.head + 1 >= q.ring_size then 0 else q.head + 1);
+  q.count <- q.count - 1;
+  mbuf
 
 let rx_burst q ~max =
-  let rec take acc n =
-    if n = 0 || Queue.is_empty q.ring then List.rev acc
-    else take (Queue.pop q.ring :: acc) (n - 1)
-  in
-  take [] max
+  let n = min max q.count in
+  let rec take acc k = if k = 0 then acc else take (pop_exn q :: acc) (k - 1) in
+  List.rev (take [] n)
+
+let rx_burst_into q ~into ~off ~max =
+  let n = min (min max q.count) (Array.length into - off) in
+  for i = off to off + n - 1 do
+    into.(i) <- pop_exn q
+  done;
+  n
 
 (* Posting descriptors writes the queue's tail register — one doorbell
    per non-empty batch. *)
 let replenish q n =
   if n > 0 then begin
-    q.avail_descs <- min q.ring_size (q.avail_descs + n);
+    q.avail_descs <- min (q.ring_size - q.count) (q.avail_descs + n);
     Metrics.incr q.q_doorbells
   end
 

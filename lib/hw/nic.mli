@@ -58,6 +58,12 @@ val rx_burst : rx_queue -> max:int -> Ixmem.Mbuf.t list
 (** Take up to [max] received mbufs (step 1 of the paper's Fig. 1b).
     Ownership transfers to the caller. *)
 
+val rx_burst_into :
+  rx_queue -> into:Ixmem.Mbuf.t array -> off:int -> max:int -> int
+(** Allocation-free variant of {!rx_burst}: fill [into.(off..off+n-1)]
+    with up to [max] received mbufs (bounded by the array) and return
+    [n].  The run-to-completion dataplane polls with this. *)
+
 val replenish : rx_queue -> int -> unit
 (** Post [n] fresh RX descriptors; each non-empty batch counts one
     tail-register doorbell. *)

@@ -1,6 +1,13 @@
 (* The hash XORs, for every set bit i of the input (MSB first), the
-   32-bit window of the key starting at bit i.  We slide the window one
-   bit at a time, which is plenty fast for a simulator. *)
+   32-bit window of the key starting at bit i.
+
+   [hash_tuple] runs once per simulated packet (RSS steering), so it
+   uses a per-byte lookup table: tab.(p).(v) is the XOR of the key
+   windows for the set bits of byte value [v] at byte position [p],
+   collapsing 8 window slides into one array read.  The table is built
+   once per key and cached (the NIC hashes with one fixed key), and the
+   tuple bytes are fed straight from the unboxed ints — no Bytes
+   staging buffer.  The generic [hash] keeps the bit-sliding loop. *)
 
 let default_key =
   "\x6d\x5a\x56\xda\x25\x5b\x0e\xc2\x41\x67\x25\x3d\x43\xa3\x8f\xb0\
@@ -36,10 +43,43 @@ let hash ?(key = default_key) input =
     input;
   !result
 
-let hash_tuple ?key ~src_ip ~dst_ip ~src_port ~dst_port () =
-  let input = Bytes.create 12 in
-  Ixnet.Ip_addr.write input 0 src_ip;
-  Ixnet.Ip_addr.write input 4 dst_ip;
-  Bytes.set_uint16_be input 8 src_port;
-  Bytes.set_uint16_be input 10 dst_port;
-  hash ?key (Bytes.unsafe_to_string input)
+(* Per-byte tables for the 12-byte TCPv4 tuple input. *)
+type lut = { lut_key : string; tab : int array array }
+
+let build_lut lut_key =
+  let tab =
+    Array.init 12 (fun p ->
+        let windows = Array.init 8 (fun b -> key_window lut_key ((8 * p) + b)) in
+        Array.init 256 (fun v ->
+            let acc = ref 0 in
+            for b = 0 to 7 do
+              if v land (0x80 lsr b) <> 0 then acc := !acc lxor windows.(b)
+            done;
+            !acc))
+  in
+  { lut_key; tab }
+
+let lut_cache = ref None
+
+let lut_for key =
+  match !lut_cache with
+  | Some l when l.lut_key == key || String.equal l.lut_key key -> l.tab
+  | _ ->
+      let l = build_lut key in
+      lut_cache := Some l;
+      l.tab
+
+let hash_tuple ?(key = default_key) ~src_ip ~dst_ip ~src_port ~dst_port () =
+  let tab = lut_for key in
+  tab.(0).((src_ip lsr 24) land 0xFF)
+  lxor tab.(1).((src_ip lsr 16) land 0xFF)
+  lxor tab.(2).((src_ip lsr 8) land 0xFF)
+  lxor tab.(3).(src_ip land 0xFF)
+  lxor tab.(4).((dst_ip lsr 24) land 0xFF)
+  lxor tab.(5).((dst_ip lsr 16) land 0xFF)
+  lxor tab.(6).((dst_ip lsr 8) land 0xFF)
+  lxor tab.(7).(dst_ip land 0xFF)
+  lxor tab.(8).((src_port lsr 8) land 0xFF)
+  lxor tab.(9).(src_port land 0xFF)
+  lxor tab.(10).((dst_port lsr 8) land 0xFF)
+  lxor tab.(11).(dst_port land 0xFF)

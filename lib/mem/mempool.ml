@@ -1,6 +1,10 @@
 (* Objects are provisioned in blocks sized to a 2 MB large page, matching
    the paper's large-page-only allocation policy.  A block of n mbufs is
-   created at once and pushed onto the free list. *)
+   created at once and pushed onto the free stack.
+
+   The free stack is an array of mbufs (top-of-stack index), not a
+   list: release/alloc are two array writes, with no cons cell per
+   recycled buffer — the per-packet path allocates nothing. *)
 
 let large_page = 2 * 1024 * 1024
 
@@ -10,7 +14,8 @@ type t = {
   max_objects : int;
   block_objects : int;
   mutable provisioned : int;
-  mutable free_list : Mbuf.t list;
+  mutable free : Mbuf.t array; (* free.(0 .. free_top-1) are idle mbufs *)
+  mutable free_top : int;
   mutable live : int;
   mutable allocs : int;
   mutable failures : int;
@@ -24,17 +29,28 @@ let create ?(mbuf_size = Mbuf.default_size) ?(capacity = 16384) ~name () =
     max_objects = capacity;
     block_objects;
     provisioned = 0;
-    free_list = [];
+    free = [||];
+    free_top = 0;
     live = 0;
     allocs = 0;
     failures = 0;
   }
 
+let push_free t mbuf =
+  if t.free_top = Array.length t.free then begin
+    let capacity' = min t.max_objects (max t.block_objects (2 * t.free_top)) in
+    let free' = Array.make capacity' mbuf in
+    Array.blit t.free 0 free' 0 t.free_top;
+    t.free <- free'
+  end;
+  t.free.(t.free_top) <- mbuf;
+  t.free_top <- t.free_top + 1
+
 let release t mbuf =
   Mbuf.reset mbuf;
-  (* reset sets refcount to 1; hold it in the free list at 0 live refs by
+  (* reset sets refcount to 1; hold it in the free stack at 0 live refs by
      convention — the next alloc hands it out fresh. *)
-  t.free_list <- mbuf :: t.free_list;
+  push_free t mbuf;
   t.live <- t.live - 1
 
 let provision_block t =
@@ -43,38 +59,29 @@ let provision_block t =
   for _ = 1 to n do
     let mbuf = Mbuf.create ~size:t.mbuf_size () in
     mbuf.Mbuf.on_free <- release t;
-    t.free_list <- mbuf :: t.free_list
+    push_free t mbuf
   done;
   t.provisioned <- t.provisioned + n
 
-let alloc t =
-  match t.free_list with
-  | mbuf :: rest ->
-      t.free_list <- rest;
-      t.live <- t.live + 1;
-      t.allocs <- t.allocs + 1;
-      Mbuf.reset mbuf;
-      Some mbuf
-  | [] ->
-      if t.provisioned < t.max_objects then begin
-        provision_block t;
-        match t.free_list with
-        | mbuf :: rest ->
-            t.free_list <- rest;
-            t.live <- t.live + 1;
-            t.allocs <- t.allocs + 1;
-            Mbuf.reset mbuf;
-            Some mbuf
-        | [] ->
-            t.failures <- t.failures + 1;
-            None
-      end
-      else begin
-        t.failures <- t.failures + 1;
-        None
-      end
+let rec alloc t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    let mbuf = t.free.(t.free_top) in
+    t.live <- t.live + 1;
+    t.allocs <- t.allocs + 1;
+    Mbuf.reset mbuf;
+    Some mbuf
+  end
+  else if t.provisioned < t.max_objects then begin
+    provision_block t;
+    alloc t
+  end
+  else begin
+    t.failures <- t.failures + 1;
+    None
+  end
 
-let free_count t = List.length t.free_list
+let free_count t = t.free_top
 let live_count t = t.live
 let capacity t = t.max_objects
 let stat_allocs t = t.allocs

@@ -1,18 +1,138 @@
-type t = (int, Tcb.t) Hashtbl.t
+(* Open-addressing table keyed by the (local_port, remote_ip,
+   remote_port) 3-tuple, probed linearly.
 
-(* Pack the 3-tuple into one int key: 16 + 32 + 16 bits. *)
-let key ~local_port ~remote_ip ~remote_port =
-  (local_port lsl 48) lor ((remote_ip land 0xFFFFFFFF) lsl 16) lor remote_port
+   The tuple is 16 + 32 + 16 = 64 bits, one too many for OCaml's native
+   int (the old single-int packing shifted local_port into the sign bit,
+   colliding ports 0x8000+p with port p).  The key is therefore split
+   across two parallel unboxed int arrays: [krem] holds
+   (remote_ip << 16 | remote_port) — 48 bits — and [kloc] the local
+   port, with [krem] doubling as the slot state via negative sentinels.
 
-let create () : t = Hashtbl.create 1024
+   [find] runs once per RX segment, so it must not allocate: values are
+   stored as the [Some tcb] built once at [add] time and returned as-is
+   (misses return the static [None]). *)
+
+type t = {
+  mutable krem : int array; (* remote_ip lsl 16 | remote_port, or sentinel *)
+  mutable kloc : int array;
+  mutable vals : Tcb.t option array;
+  mutable count : int; (* live entries *)
+  mutable used : int; (* live + tombstones *)
+}
+
+let empty = -1
+let tombstone = -2
+let initial_capacity = 1024
+
+(* splitmix64-style finisher over both key halves; capacity is a power
+   of two, so the multiply must scramble low bits well. *)
+let hash ~krem ~kloc =
+  let h = krem lxor (kloc * 0x3779B97F4A7C15) in
+  let h = (h lxor (h lsr 30)) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 27)
+
+let create () =
+  {
+    krem = Array.make initial_capacity empty;
+    kloc = Array.make initial_capacity 0;
+    vals = Array.make initial_capacity None;
+    count = 0;
+    used = 0;
+  }
+
+let key_rem ~remote_ip ~remote_port =
+  ((remote_ip land 0xFFFF_FFFF) lsl 16) lor (remote_port land 0xFFFF)
+
+(* Find the slot holding (krem, kloc), or -1. *)
+let probe t ~krem ~kloc =
+  let mask = Array.length t.krem - 1 in
+  let i = ref (hash ~krem ~kloc land mask) in
+  let slot = ref (-1) in
+  let searching = ref true in
+  while !searching do
+    let k = t.krem.(!i) in
+    if k = empty then searching := false
+    else begin
+      if k = krem && t.kloc.(!i) = kloc then begin
+        slot := !i;
+        searching := false
+      end
+      else i := (!i + 1) land mask
+    end
+  done;
+  !slot
+
+let rec insert t ~krem ~kloc v =
+  let mask = Array.length t.krem - 1 in
+  let i = ref (hash ~krem ~kloc land mask) in
+  let slot = ref (-1) in
+  let searching = ref true in
+  while !searching do
+    let k = t.krem.(!i) in
+    if k = empty then begin
+      if !slot = -1 then slot := !i;
+      searching := false
+    end
+    else if k = tombstone then begin
+      if !slot = -1 then slot := !i;
+      i := (!i + 1) land mask
+    end
+    else if k = krem && t.kloc.(!i) = kloc then begin
+      slot := !i;
+      searching := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  let i = !slot in
+  (match t.krem.(i) with
+  | k when k = empty ->
+      t.count <- t.count + 1;
+      t.used <- t.used + 1
+  | k when k = tombstone -> t.count <- t.count + 1
+  | _ -> ());
+  t.krem.(i) <- krem;
+  t.kloc.(i) <- kloc;
+  t.vals.(i) <- v;
+  (* Resize on 3/4 occupancy (live + tombstones) to keep probes short;
+     rehashing also clears accumulated tombstones. *)
+  let capacity = Array.length t.krem in
+  if 4 * t.used >= 3 * capacity then rehash t (2 * capacity)
+
+and rehash t capacity' =
+  let krem = t.krem and kloc = t.kloc and vals = t.vals in
+  t.krem <- Array.make capacity' empty;
+  t.kloc <- Array.make capacity' 0;
+  t.vals <- Array.make capacity' None;
+  t.count <- 0;
+  t.used <- 0;
+  Array.iteri
+    (fun i k -> if k >= 0 then insert t ~krem:k ~kloc:kloc.(i) vals.(i))
+    krem
+
 let add t ~local_port ~remote_ip ~remote_port tcb =
-  Hashtbl.replace t (key ~local_port ~remote_ip ~remote_port) tcb
+  insert t ~krem:(key_rem ~remote_ip ~remote_port) ~kloc:(local_port land 0xFFFF)
+    (Some tcb)
 
 let find t ~local_port ~remote_ip ~remote_port =
-  Hashtbl.find_opt t (key ~local_port ~remote_ip ~remote_port)
+  let slot =
+    probe t ~krem:(key_rem ~remote_ip ~remote_port) ~kloc:(local_port land 0xFFFF)
+  in
+  if slot = -1 then None else t.vals.(slot)
 
 let remove t ~local_port ~remote_ip ~remote_port =
-  Hashtbl.remove t (key ~local_port ~remote_ip ~remote_port)
+  let slot =
+    probe t ~krem:(key_rem ~remote_ip ~remote_port) ~kloc:(local_port land 0xFFFF)
+  in
+  if slot >= 0 then begin
+    t.krem.(slot) <- tombstone;
+    t.vals.(slot) <- None;
+    t.count <- t.count - 1
+  end
 
-let count t = Hashtbl.length t
-let iter t f = Hashtbl.iter (fun _ tcb -> f tcb) t
+let count t = t.count
+
+let iter t f =
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then match t.vals.(i) with Some tcb -> f tcb | None -> ())
+    t.krem

@@ -9,25 +9,25 @@ let max_rexmit_shots = 12
 (* ------------------------------------------------------------------ *)
 (* Timer plumbing                                                      *)
 
-let cancel_timer slot =
+let cancel_timer wheel slot =
   match slot with
-  | Some timer -> Wheel.cancel timer
+  | Some timer -> Wheel.cancel wheel timer
   | None -> ()
 
 let set_rexmit tcb f =
-  cancel_timer tcb.rexmit_timer;
+  cancel_timer tcb.env.wheel tcb.rexmit_timer;
   let deadline = tcb.env.now () + Rtt.rto_ns tcb.rtt in
   tcb.rexmit_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline f)
 
 let clear_rexmit tcb =
-  cancel_timer tcb.rexmit_timer;
+  cancel_timer tcb.env.wheel tcb.rexmit_timer;
   tcb.rexmit_timer <- None
 
 let cancel_all_timers tcb =
-  cancel_timer tcb.rexmit_timer;
-  cancel_timer tcb.persist_timer;
-  cancel_timer tcb.delack_timer;
-  cancel_timer tcb.time_wait_timer;
+  cancel_timer tcb.env.wheel tcb.rexmit_timer;
+  cancel_timer tcb.env.wheel tcb.persist_timer;
+  cancel_timer tcb.env.wheel tcb.delack_timer;
+  cancel_timer tcb.env.wheel tcb.time_wait_timer;
   tcb.rexmit_timer <- None;
   tcb.persist_timer <- None;
   tcb.delack_timer <- None;
@@ -146,7 +146,7 @@ let emit tcb kind =
       | Seg_syn | Seg_syn_ack | Seg_fin | Seg_fin_rexmit | Seg_ack | Seg_rst -> ());
       tcb.rcv_adv_wnd <- Tcb.rcv_window tcb;
       tcb.delack_count <- 0;
-      cancel_timer tcb.delack_timer;
+      cancel_timer tcb.env.wheel tcb.delack_timer;
       tcb.delack_timer <- None;
       tcb.env.output tcb mbuf
 
@@ -405,7 +405,7 @@ let close tcb =
 let enter_time_wait tcb =
   tcb.state <- Tcp_state.Time_wait;
   clear_rexmit tcb;
-  cancel_timer tcb.time_wait_timer;
+  cancel_timer tcb.env.wheel tcb.time_wait_timer;
   let deadline = tcb.env.now () + tcb.cfg.time_wait_ns in
   tcb.time_wait_timer <-
     Some (Wheel.schedule tcb.env.wheel ~deadline (fun () -> teardown tcb Tcb.Normal))
@@ -436,7 +436,7 @@ let update_send_window tcb (seg : Seg.t) =
   let scale = if tcb.ws_enabled then tcb.snd_wscale else 0 in
   tcb.snd_wnd <- seg.Seg.window lsl scale;
   if tcb.snd_wnd > 0 then begin
-    cancel_timer tcb.persist_timer;
+    cancel_timer tcb.env.wheel tcb.persist_timer;
     tcb.persist_timer <- None
   end
 

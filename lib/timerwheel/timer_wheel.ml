@@ -14,7 +14,21 @@ type t = {
   wheel : timer list array array; (* level -> slot -> timers (unordered) *)
   mutable current : int; (* wheel time, in ticks *)
   mutable armed : int;
+  (* [next_expiry] runs once per dataplane cycle when idle, so it must
+     not walk 256 slot lists of armed timers.  Level-0 bookkeeping kept
+     alongside the lists makes it O(occupied slots):
+     - [l0_mask]: occupancy bitmap (8 × 32-bit words), bit set = the
+       slot's list may be non-empty;
+     - [l0_min]: per-slot minimum armed deadline (max_int when empty),
+       maintained exactly on placement;
+     - [l0_dirty]: set when a cancellation may have removed the slot's
+       minimum, forcing a rescan of that one list on the next query. *)
+  l0_mask : int array;
+  l0_min : int array;
+  l0_dirty : Bytes.t;
 }
+
+let mask_words = slots / 32
 
 let create ?(tick_ns = default_tick_ns) ~now () =
   {
@@ -22,6 +36,9 @@ let create ?(tick_ns = default_tick_ns) ~now () =
     wheel = Array.init levels (fun _ -> Array.make slots []);
     current = now / tick_ns;
     armed = 0;
+    l0_mask = Array.make mask_words 0;
+    l0_min = Array.make slots max_int;
+    l0_dirty = Bytes.make slots '\000';
   }
 
 let now t = t.current * t.tick_ns
@@ -37,6 +54,11 @@ let place t timer =
   in
   let l = level 0 1 in
   let slot = (timer.deadline_tick lsr (slot_bits * l)) land (slots - 1) in
+  if l = 0 then begin
+    t.l0_mask.(slot lsr 5) <- t.l0_mask.(slot lsr 5) lor (1 lsl (slot land 31));
+    if timer.deadline_tick < t.l0_min.(slot) then
+      t.l0_min.(slot) <- timer.deadline_tick
+  end;
   t.wheel.(l).(slot) <- timer :: t.wheel.(l).(slot)
 
 let schedule t ~deadline action =
@@ -49,13 +71,27 @@ let schedule t ~deadline action =
   t.armed <- t.armed + 1;
   timer
 
-let cancel timer = if timer.state = `Armed then timer.state <- `Cancelled
+let cancel t timer =
+  if timer.state = `Armed then begin
+    timer.state <- `Cancelled;
+    (* If this timer defined its level-0 slot's minimum, that slot
+       needs a rescan.  (If it lives at a higher level — or another
+       slot's timer merely shares the deadline — this is a spurious
+       but harmless rescan of one list.) *)
+    let slot = timer.deadline_tick land (slots - 1) in
+    if t.l0_min.(slot) = timer.deadline_tick then
+      Bytes.unsafe_set t.l0_dirty slot '\001'
+  end
 
 (* Visit a level-0 slot: fire timers due at exactly [current]. *)
 let fire_slot t =
   let slot = t.current land (slots - 1) in
   let entries = t.wheel.(0).(slot) in
   t.wheel.(0).(slot) <- [];
+  t.l0_mask.(slot lsr 5) <-
+    t.l0_mask.(slot lsr 5) land lnot (1 lsl (slot land 31));
+  t.l0_min.(slot) <- max_int;
+  Bytes.unsafe_set t.l0_dirty slot '\000';
   (* Entries were pushed in LIFO order; restore arming order so equal
      deadlines fire FIFO. *)
   let entries = List.rev entries in
@@ -107,20 +143,33 @@ let advance t ~now =
   done;
   if t.current < target then t.current <- target
 
+let rescan_slot t slot =
+  let min_deadline = ref max_int in
+  List.iter
+    (fun timer ->
+      if timer.state = `Armed && timer.deadline_tick < !min_deadline then
+        min_deadline := timer.deadline_tick)
+    t.wheel.(0).(slot);
+  t.l0_min.(slot) <- !min_deadline;
+  Bytes.unsafe_set t.l0_dirty slot '\000'
+
 let next_expiry t =
   if t.armed = 0 then None
   else begin
-    (* Earliest live deadline in level 0 within the current window. *)
+    (* Earliest live deadline in level 0: the tracked per-slot minima
+       of the occupied slots, rescanning only slots whose minimum was
+       cancelled since the last query. *)
     let best = ref max_int in
-    for i = 1 to slots do
-      let tick = t.current + i in
-      let slot = tick land (slots - 1) in
-      let check timer =
-        if timer.state = `Armed && timer.deadline_tick > t.current
-           && timer.deadline_tick < !best
-        then best := timer.deadline_tick
-      in
-      List.iter check t.wheel.(0).(slot)
+    for w = 0 to mask_words - 1 do
+      let m = ref t.l0_mask.(w) in
+      while !m <> 0 do
+        let bit = !m land - !m in
+        m := !m lxor bit;
+        let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1) in
+        let slot = (w lsl 5) + bit_index bit 0 in
+        if Bytes.unsafe_get t.l0_dirty slot = '\001' then rescan_slot t slot;
+        if t.l0_min.(slot) < !best then best := t.l0_min.(slot)
+      done
     done;
     (* Next level boundary where a cascade could reveal earlier timers. *)
     let boundary = ((t.current lsr slot_bits) + 1) lsl slot_bits in

@@ -24,7 +24,7 @@ val schedule : t -> deadline:Engine.Sim_time.t -> (unit -> unit) -> timer
 (** Arm a timer.  Deadlines in the past (or less than one tick away)
     fire at the next [advance].  The callback runs at most once. *)
 
-val cancel : timer -> unit
+val cancel : t -> timer -> unit
 (** Disarm; a no-op if already fired or cancelled. *)
 
 val advance : t -> now:Engine.Sim_time.t -> unit

@@ -63,6 +63,132 @@ let prop_queue_sorted =
       let popped = drain [] in
       popped = List.sort compare times)
 
+(* Model-based properties: the SoA heap (and the Sim free-list/lazy
+   purge built on it) against a naive sorted-list reference. *)
+
+let prop_queue_model =
+  (* Random push/pop interleavings vs a reference list ordered by
+     (time, insertion seq). *)
+  QCheck.Test.make ~name:"event_queue matches sorted-list model" ~count:300
+    QCheck.(list (pair bool (int_bound 1_000)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] (* (time, seq, payload), sorted *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, time) ->
+          if is_push then begin
+            let payload = !seq in
+            Event_queue.push q ~time payload;
+            let entry = (time, !seq, payload) in
+            incr seq;
+            model := List.merge compare !model [ entry ]
+          end
+          else begin
+            match (Event_queue.pop q, !model) with
+            | None, [] -> ()
+            | Some (t, v), (mt, _, mv) :: rest ->
+                if t <> mt || v <> mv then ok := false;
+                model := rest
+            | Some _, [] | None, _ :: _ -> ok := false
+          end)
+        ops;
+      (* Drain and compare the remainder. *)
+      List.iter
+        (fun (mt, _, mv) ->
+          match Event_queue.pop q with
+          | Some (t, v) when t = mt && v = mv -> ()
+          | _ -> ok := false)
+        !model;
+      !ok && Event_queue.is_empty q)
+
+let prop_queue_compact =
+  (* Dropping a random subset via [compact ~keep] must preserve the pop
+     order of the survivors. *)
+  QCheck.Test.make ~name:"event_queue compact preserves survivor order" ~count:300
+    QCheck.(pair (list (pair (int_bound 1_000) bool)) (int_bound 500))
+    (fun (entries, pops_before) ->
+      let q = Event_queue.create () in
+      List.iteri (fun i (time, keep) -> Event_queue.push q ~time (i, keep)) entries;
+      (* Pop a random prefix first so compact also runs on heaps whose
+         arrays hold stale popped values. *)
+      let pops = min pops_before (Event_queue.length q) in
+      let popped = ref [] in
+      for _ = 1 to pops do
+        match Event_queue.pop q with
+        | Some (_, v) -> popped := v :: !popped
+        | None -> ()
+      done;
+      let expected =
+        (* Reference: kept entries still in the heap, in (time, seq) order. *)
+        List.mapi (fun i (time, keep) -> (time, i, keep)) entries
+        |> List.filter (fun (_, i, keep) ->
+               keep && not (List.exists (fun (j, _) -> j = i) !popped))
+        |> List.sort compare
+        |> List.map (fun (time, i, _) -> (time, i))
+      in
+      Event_queue.compact q ~keep:(fun (_, keep) -> keep);
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (time, (i, _)) -> drain ((time, i) :: acc)
+      in
+      drain [] = expected)
+
+let prop_sim_cancel_model =
+  (* Random schedule/cancel interleavings: exactly the uncancelled
+     actions fire, in (time, schedule-order) sequence — including when
+     enough cancellations pile up to trigger heap compaction. *)
+  QCheck.Test.make ~name:"sim fires exactly the uncancelled events in order"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 400) (pair (int_bound 5_000) (int_bound 3)))
+    (fun specs ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      (* cancel 3 in 4: enough dead entries to cross the >50% lazy-purge
+         compaction threshold on larger heaps. *)
+      List.iteri
+        (fun i (time, cancel_mod) ->
+          let handle = Sim.at sim time (fun () -> fired := i :: !fired) in
+          if cancel_mod < 3 then begin
+            Sim.cancel sim handle;
+            (* Double-cancel must be a no-op. *)
+            Sim.cancel sim handle
+          end)
+        specs;
+      let live =
+        List.mapi (fun i (time, cancel_mod) -> (time, i, cancel_mod >= 3)) specs
+        |> List.filter (fun (_, _, keep) -> keep)
+        |> List.sort compare
+        |> List.map (fun (_, i, _) -> i)
+      in
+      Sim.run sim;
+      List.rev !fired = live)
+
+let prop_sim_cancel_after_fire_inert =
+  (* A handle whose event already ran must stay inert even after its
+     pooled cell is reused by later schedules. *)
+  QCheck.Test.make ~name:"stale sim handles are no-ops" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_bound 100))
+    (fun times ->
+      let sim = Sim.create () in
+      let stale = ref [] in
+      List.iter
+        (fun time -> stale := Sim.at sim time (fun () -> ()) :: !stale)
+        times;
+      Sim.run sim;
+      (* All fired; cells are back on the free list.  Schedule a second
+         wave reusing the cells, then cancel every stale handle. *)
+      let fired = ref 0 in
+      let wave2 =
+        List.map (fun time -> Sim.at sim (200 + time) (fun () -> incr fired)) times
+      in
+      List.iter (fun h -> Sim.cancel sim h) !stale;
+      Sim.run sim;
+      ignore wave2;
+      !fired = List.length times)
+
 (* ---------------- Sim ---------------- *)
 
 let test_sim_ordering () =
@@ -79,7 +205,7 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let handle = Sim.at sim 10 (fun () -> fired := true) in
-  Sim.cancel handle;
+  Sim.cancel sim handle;
   Sim.run sim;
   check_bool "cancelled event did not fire" false !fired
 
@@ -243,6 +369,8 @@ let () =
           Alcotest.test_case "FIFO on equal times" `Quick test_queue_fifo_ties;
           Alcotest.test_case "peek/length/clear" `Quick test_queue_peek_len;
           qt prop_queue_sorted;
+          qt prop_queue_model;
+          qt prop_queue_compact;
         ] );
       ( "sim",
         [
@@ -250,6 +378,8 @@ let () =
           Alcotest.test_case "cancel suppresses event" `Quick test_sim_cancel;
           Alcotest.test_case "run ~until stops at horizon" `Quick test_sim_until;
           Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+          qt prop_sim_cancel_model;
+          qt prop_sim_cancel_after_fire_inert;
         ] );
       ( "rng",
         [

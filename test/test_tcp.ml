@@ -487,6 +487,81 @@ let transfer_roundtrip ~loss ~size ~seed =
   run net ~ms:20_000;
   Buffer.contents received = data
 
+(* --- flow table ----------------------------------------------------- *)
+
+let make_tcb ~local_port ~remote_ip ~remote_port =
+  let env =
+    {
+      Tcb.now = (fun () -> 0);
+      wheel = Wheel.create ~now:0 ();
+      alloc = (fun () -> None);
+      output = (fun _ _ -> ());
+      rng = Engine.Rng.create ~seed:7;
+      on_teardown = (fun _ -> ());
+      on_established = (fun _ -> ());
+    }
+  in
+  Tcb.create env Tcb.default_config ~local_ip:ip_a ~local_port ~remote_ip
+    ~remote_port ~cookie:0
+
+let test_flow_table_high_local_port () =
+  (* Regression: the old single-int key packed local_port lsl 48 into a
+     63-bit int, so any local port with bit 15 set (>= 0x8000) spilled
+     into the sign bit and aliased local_port land 0x7FFF for the same
+     remote endpoint. *)
+  let ft = Flow_table.create () in
+  let remote_ip = ip_b and remote_port = 7777 in
+  let hi = make_tcb ~local_port:0x8000 ~remote_ip ~remote_port in
+  let lo = make_tcb ~local_port:0x0000 ~remote_ip ~remote_port in
+  Flow_table.add ft ~local_port:0x8000 ~remote_ip ~remote_port hi;
+  Flow_table.add ft ~local_port:0x0000 ~remote_ip ~remote_port lo;
+  check_int "two distinct flows" 2 (Flow_table.count ft);
+  (match Flow_table.find ft ~local_port:0x8000 ~remote_ip ~remote_port with
+  | Some t -> check_int "port 0x8000 finds its own tcb" (Tcb.handle hi) (Tcb.handle t)
+  | None -> Alcotest.fail "port 0x8000 flow missing");
+  (match Flow_table.find ft ~local_port:0x0000 ~remote_ip ~remote_port with
+  | Some t -> check_int "port 0x0000 finds its own tcb" (Tcb.handle lo) (Tcb.handle t)
+  | None -> Alcotest.fail "port 0x0000 flow missing");
+  Flow_table.remove ft ~local_port:0x8000 ~remote_ip ~remote_port;
+  check_int "only the high-port flow removed" 1 (Flow_table.count ft);
+  check_bool "high-port flow gone" true
+    (Flow_table.find ft ~local_port:0x8000 ~remote_ip ~remote_port = None);
+  check_bool "low-port flow survives" true
+    (Flow_table.find ft ~local_port:0x0000 ~remote_ip ~remote_port <> None)
+
+let test_flow_table_growth_and_tombstones () =
+  (* Push the open-addressing table through several resizes with
+     interleaved removals, then verify every surviving flow resolves. *)
+  let ft = Flow_table.create () in
+  let tcbs = Hashtbl.create 64 in
+  for i = 0 to 4_999 do
+    let local_port = 0x8000 lor (i land 0x7FFF) in
+    let remote_ip = Ixnet.Ip_addr.of_octets 10 1 (i lsr 8) (i land 0xFF) in
+    let remote_port = 1000 + (i mod 50) in
+    let tcb = make_tcb ~local_port ~remote_ip ~remote_port in
+    Flow_table.add ft ~local_port ~remote_ip ~remote_port tcb;
+    Hashtbl.replace tcbs i (local_port, remote_ip, remote_port, tcb)
+  done;
+  for i = 0 to 4_999 do
+    if i mod 3 = 0 then begin
+      let local_port, remote_ip, remote_port, _ = Hashtbl.find tcbs i in
+      Flow_table.remove ft ~local_port ~remote_ip ~remote_port;
+      Hashtbl.remove tcbs i
+    end
+  done;
+  check_int "count tracks removals" (Hashtbl.length tcbs) (Flow_table.count ft);
+  Hashtbl.iter
+    (fun _ (local_port, remote_ip, remote_port, tcb) ->
+      match Flow_table.find ft ~local_port ~remote_ip ~remote_port with
+      | Some t ->
+          if Tcb.handle t <> Tcb.handle tcb then
+            Alcotest.fail "lookup returned the wrong tcb"
+      | None -> Alcotest.fail "surviving flow missing after growth")
+    tcbs;
+  let seen = ref 0 in
+  Flow_table.iter ft (fun _ -> incr seen);
+  check_int "iter visits each live flow once" (Hashtbl.length tcbs) !seen
+
 let prop_exactly_once_under_loss =
   QCheck.Test.make ~name:"exactly-once in-order delivery under random loss" ~count:15
     QCheck.(pair (int_bound 120) (int_bound 1000))
@@ -525,6 +600,13 @@ let () =
         [
           Alcotest.test_case "predicate" `Quick test_port_alloc_respects_predicate;
           Alcotest.test_case "exhaustion" `Quick test_port_alloc_exhaustion;
+        ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "high local port no collision" `Quick
+            test_flow_table_high_local_port;
+          Alcotest.test_case "growth and tombstones" `Quick
+            test_flow_table_growth_and_tombstones;
         ] );
       ( "lifecycle",
         [

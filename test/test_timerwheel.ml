@@ -19,7 +19,7 @@ let test_cancel () =
   let w = Wheel.create ~now:0 () in
   let fired = ref false in
   let timer = Wheel.schedule w ~deadline:(5 * tick) (fun () -> fired := true) in
-  Wheel.cancel timer;
+  Wheel.cancel w timer;
   check_int "pending counts cancelled until visited" 1 (Wheel.pending w);
   Wheel.advance w ~now:(6 * tick);
   check_bool "cancelled did not fire" false !fired;
@@ -115,7 +115,7 @@ let prop_cancelled_never_fire =
           let timer =
             Wheel.schedule w ~deadline:(d * tick) (fun () -> if cancel then bad := true)
           in
-          if cancel then Wheel.cancel timer)
+          if cancel then Wheel.cancel w timer)
         specs;
       Wheel.advance w ~now:(20_000 * tick);
       not !bad)
