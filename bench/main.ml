@@ -283,7 +283,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let perf_json ~scale rows =
+let perf_json ~scale ?parallel rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"ix-bench-perf/1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"scale\": %g,\n" scale);
@@ -299,7 +299,18 @@ let perf_json ~scale rows =
            (json_escape r.snapshot)
            (if i < List.length rows - 1 then "," else "")))
     rows;
-  Buffer.add_string b "  ]\n}\n";
+  Buffer.add_string b "  ]";
+  (match parallel with
+  | None -> ()
+  | Some (jobs, wall, seq_wall) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n  \"parallel\": {\"jobs\": %d, \"wall_s\": %.3f, \
+            \"sequential_wall_s\": %.3f, \"speedup\": %.2f, \
+            \"snapshots_match_sequential\": true}"
+           jobs wall seq_wall
+           (if wall > 0. then seq_wall /. wall else 0.)));
+  Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 let read_file path =
@@ -309,7 +320,7 @@ let read_file path =
   close_in ic;
   s
 
-let perf ~smoke ~out () =
+let perf ~smoke ~jobs ~out () =
   (* Pin the measurement windows so rows are comparable across runs
      regardless of the caller's IX_BENCH_SCALE. *)
   Unix.putenv "IX_BENCH_SCALE" (if smoke then "0.05" else "0.2");
@@ -344,7 +355,38 @@ let perf ~smoke ~out () =
   end;
   Printf.printf "perf: same-seed snapshot stable across two runs (%s)\n%!"
     first.row_name;
-  let json = perf_json ~scale:(H.scale ()) rows in
+  (* Parallel leg: the same slices fanned over a domain pool must
+     reproduce every sequential snapshot bit-for-bit — simulations share
+     no mutable state, so domain scheduling cannot leak into results.
+     (Event counts are metered sequentially above; concurrent slices
+     share the engine-wide meter, so only snapshots are compared.) *)
+  let parallel =
+    if jobs <= 1 then None
+    else begin
+      let seq_wall = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
+      let thunks = List.map (fun f () -> (f ()).H.perf_snapshot) slices in
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let snaps = Engine.Domain_pool.map_jobs ~jobs thunks in
+      let wall = Unix.gettimeofday () -. t0 in
+      List.iter2
+        (fun r snap ->
+          if snap <> r.snapshot then begin
+            Printf.eprintf
+              "perf: PARALLEL DIVERGENCE (jobs=%d) for %s:\n  seq: %s\n  par: %s\n%!"
+              jobs r.row_name r.snapshot snap;
+            exit 1
+          end)
+        rows snaps;
+      Printf.printf
+        "perf parallel jobs=%d %7.2fs wall (sequential %.2fs, speedup %.2fx); \
+         snapshots identical to sequential\n%!"
+        jobs wall seq_wall
+        (if wall > 0. then seq_wall /. wall else 0.);
+      Some (jobs, wall, seq_wall)
+    end
+  in
+  let json = perf_json ~scale:(H.scale ()) ?parallel rows in
   let oc = open_out out in
   output_string oc json;
   close_out oc;
@@ -376,13 +418,16 @@ let perf ~smoke ~out () =
 
 let usage () =
   print_endline
-    "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--out=FILE] \
+    "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--jobs=N] \
+     [--out=FILE] \
      [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|micro|perf|all]";
   exit 1
 
 let () =
   let metrics = ref false and trace = ref None in
   let smoke = ref false and out = ref None in
+  (* IX_BENCH_JOBS sets the default; --jobs=N overrides it. *)
+  let jobs = ref (H.default_jobs ()) in
   let targets =
     List.filter
       (fun arg ->
@@ -402,6 +447,14 @@ let () =
           out := Some (String.sub arg 6 (String.length arg - 6));
           false
         end
+        else if String.length arg > 7 && String.sub arg 0 7 = "--jobs=" then begin
+          (match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+          | Some n when n >= 1 -> jobs := n
+          | Some _ | None ->
+              Printf.eprintf "--jobs expects a positive integer\n";
+              exit 1);
+          false
+        end
         else if String.length arg > 8 && String.sub arg 0 8 = "--trace=" then begin
           trace := Some (String.sub arg 8 (String.length arg - 8));
           false
@@ -409,29 +462,30 @@ let () =
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
-  H.set_stats_output ~metrics:!metrics ?trace:!trace ();
+  let output = { H.metrics = !metrics; trace = !trace } in
+  let jobs = !jobs in
   let target = match targets with t :: _ -> t | [] -> "all" in
   match target with
   | "perf" ->
-      perf ~smoke:!smoke
+      perf ~smoke:!smoke ~jobs
         ~out:(Option.value !out ~default:"BENCH_PERF.json")
         ()
-  | "fig2" -> ignore (timed "fig2" H.fig2)
-  | "fig3a" -> ignore (timed "fig3a" H.fig3a)
-  | "fig3b" -> ignore (timed "fig3b" H.fig3b)
-  | "fig3c" -> ignore (timed "fig3c" H.fig3c)
-  | "fig4" -> ignore (timed "fig4" H.fig4)
-  | "fig5" -> ignore (timed "fig5" H.fig5)
-  | "fig6" -> ignore (timed "fig6" H.fig6)
+  | "fig2" -> ignore (timed "fig2" (fun () -> H.fig2 ~jobs ()))
+  | "fig3a" -> ignore (timed "fig3a" (fun () -> H.fig3a ~output ~jobs ()))
+  | "fig3b" -> ignore (timed "fig3b" (fun () -> H.fig3b ~output ~jobs ()))
+  | "fig3c" -> ignore (timed "fig3c" (fun () -> H.fig3c ~output ~jobs ()))
+  | "fig4" -> ignore (timed "fig4" (fun () -> H.fig4 ~jobs ()))
+  | "fig5" -> ignore (timed "fig5" (fun () -> H.fig5 ~output ~jobs ()))
+  | "fig6" -> ignore (timed "fig6" (fun () -> H.fig6 ~output ~jobs ()))
   | "table2" ->
-      let f5 = timed "fig5 (for table 2)" H.fig5 in
-      timed "table2" (fun () -> H.table2 f5)
-  | "ablations" -> timed "ablations" H.ablations
-  | "incast" -> timed "incast" H.incast
-  | "energy" -> timed "energy" H.energy
-  | "breakdown" -> ignore (timed "breakdown" (fun () -> H.echo_breakdown ()))
+      let f5 = timed "fig5 (for table 2)" (fun () -> H.fig5 ~output ~jobs ()) in
+      timed "table2" (fun () -> H.table2 ~output ~jobs f5)
+  | "ablations" -> timed "ablations" (fun () -> H.ablations ~output ~jobs ())
+  | "incast" -> timed "incast" (fun () -> H.incast ~jobs ())
+  | "energy" -> timed "energy" (fun () -> H.energy ~output ~jobs ())
+  | "breakdown" -> ignore (timed "breakdown" (fun () -> H.echo_breakdown ~output ()))
   | "micro" -> micro ()
   | "all" ->
-      timed "all experiments" H.run_all;
+      timed "all experiments" (fun () -> H.run_all ~output ~jobs ());
       micro ()
   | _ -> usage ()

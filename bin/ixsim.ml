@@ -79,12 +79,22 @@ let trace_arg =
           "Write the server's retained cycle spans as Chrome trace_event JSON \
            to $(docv) (open in chrome://tracing or Perfetto).")
 
-(* Evaluated before the experiment runs: flips the harness's telemetry
-   output switches. *)
-let stats_term =
+(* The telemetry-output record threaded into each runner. *)
+let output_term =
   Term.(
-    const (fun metrics trace -> Harness.Experiments.set_stats_output ~metrics ?trace ())
+    const (fun metrics trace -> { Harness.Experiments.metrics; trace })
     $ metrics_arg $ trace_arg)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.Experiments.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan independent simulations over $(docv) worker domains \
+           (default from IX_BENCH_JOBS, else 1).  Results are collected \
+           in submission order and are bit-identical to a sequential \
+           run with the same seeds.")
 
 let cores_arg = Arg.(value & opt int 8 & info [ "c"; "cores" ] ~doc:"Server cores.")
 let ports_arg = Arg.(value & opt int 1 & info [ "p"; "ports" ] ~doc:"Server NIC ports (1 or 4).")
@@ -93,9 +103,9 @@ let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connect
 let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
 
 let echo_cmd =
-  let run () () () kind cores ports size n batch =
+  let run () output () kind cores ports size n batch =
     let p =
-      Harness.Experiments.run_echo ~kind ~ports ~cores ~msg_size:size
+      Harness.Experiments.run_echo ~output ~kind ~ports ~cores ~msg_size:size
         ~msgs_per_conn:n ~batch_bound:batch ()
     in
     Printf.printf "%s: %.2f M msgs/s, %.2f Gbps goodput, p99 %.1f us\n"
@@ -105,19 +115,19 @@ let echo_cmd =
   in
   Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
     Term.(
-      const run $ log_term $ stats_term $ gc_term $ kind_arg $ cores_arg
+      const run $ log_term $ output_term $ gc_term $ kind_arg $ cores_arg
       $ ports_arg $ size_arg $ n_arg $ batch_arg)
 
 let breakdown_cmd =
-  let run () () () cores size =
-    ignore (Harness.Experiments.echo_breakdown ~cores ~msg_size:size ())
+  let run () output () cores size =
+    ignore (Harness.Experiments.echo_breakdown ~output ~cores ~msg_size:size ())
   in
   Cmd.v
     (Cmd.info "breakdown"
        ~doc:
          "Run a short IX echo and print its Table-2-style per-stage cycle \
           breakdown (combine with --trace for a Chrome trace).")
-    Term.(const run $ log_term $ stats_term $ gc_term $ cores_arg $ size_arg)
+    Term.(const run $ log_term $ output_term $ gc_term $ cores_arg $ size_arg)
 
 let memcached_cmd =
   let workload_arg =
@@ -126,10 +136,10 @@ let memcached_cmd =
   let rps_arg =
     Arg.(value & opt float 500_000. & info [ "r"; "rps" ] ~doc:"Target requests/second.")
   in
-  let run () () () kind cores workload rps batch =
+  let run () output () kind cores workload rps batch =
     let profile = Workloads.Size_dist.by_name workload in
     let r, kshare =
-      Harness.Experiments.run_memcached ~kind ~server_threads:cores
+      Harness.Experiments.run_memcached ~output ~kind ~server_threads:cores
         ~batch_bound:batch ~profile ~target_rps:rps ()
     in
     Printf.printf
@@ -145,7 +155,7 @@ let memcached_cmd =
   in
   Cmd.v (Cmd.info "memcached" ~doc:"Run one memcached load point (§5.5).")
     Term.(
-      const run $ log_term $ stats_term $ gc_term $ kind_arg $ cores_arg
+      const run $ log_term $ output_term $ gc_term $ kind_arg $ cores_arg
       $ workload_arg $ rps_arg $ batch_arg)
 
 let netpipe_cmd =
@@ -157,6 +167,44 @@ let netpipe_cmd =
   in
   Cmd.v (Cmd.info "netpipe" ~doc:"Run one NetPIPE ping-pong point (§5.2).")
     Term.(const run $ log_term $ gc_term $ kind_arg $ size_arg)
+
+let fig_cmd =
+  let module E = Harness.Experiments in
+  let fig_names =
+    "fig2, fig3a, fig3b, fig3c, fig4, fig5, fig6, table2, ablations, incast, \
+     energy, all"
+  in
+  let fig_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE"
+          ~doc:(Printf.sprintf "Which sweep to regenerate: %s." fig_names))
+  in
+  let run () output () jobs name =
+    match name with
+    | "fig2" -> ignore (E.fig2 ~jobs ())
+    | "fig3a" -> ignore (E.fig3a ~output ~jobs ())
+    | "fig3b" -> ignore (E.fig3b ~output ~jobs ())
+    | "fig3c" -> ignore (E.fig3c ~output ~jobs ())
+    | "fig4" -> ignore (E.fig4 ~jobs ())
+    | "fig5" -> ignore (E.fig5 ~output ~jobs ())
+    | "fig6" -> ignore (E.fig6 ~output ~jobs ())
+    | "table2" -> E.table2 ~output ~jobs (E.fig5 ~output ~jobs ())
+    | "ablations" -> E.ablations ~output ~jobs ()
+    | "incast" -> E.incast ~jobs ()
+    | "energy" -> E.energy ~output ~jobs ()
+    | "all" -> E.run_all ~output ~jobs ()
+    | other ->
+        Printf.eprintf "unknown figure %S (expected one of: %s)\n" other fig_names;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fig"
+       ~doc:
+         "Regenerate one of the paper's figure/table sweeps; independent \
+          data points fan out over --jobs worker domains.")
+    Term.(const run $ log_term $ output_term $ gc_term $ jobs_arg $ fig_arg)
 
 let ping_cmd =
   let run () () =
@@ -185,6 +233,6 @@ let main =
   Cmd.group
     (Cmd.info "ixsim" ~version:"1.0"
        ~doc:"Simulated reproduction of IX (OSDI '14): dataplane OS experiments.")
-    [ echo_cmd; breakdown_cmd; memcached_cmd; netpipe_cmd; ping_cmd ]
+    [ echo_cmd; breakdown_cmd; memcached_cmd; netpipe_cmd; fig_cmd; ping_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -9,15 +9,16 @@ module Ix_host = Ix_core.Ix_host
 let in_user_context lib f =
   if Dataplane.in_app_context (Libix.dataplane lib) then f () else Libix.run lib f
 
-let conn_seq = ref 0
-
 let net_reason : Ixtcp.Tcb.close_reason -> Net_api.close_reason = function
   | Ixtcp.Tcb.Normal -> Net_api.Normal
   | Ixtcp.Tcb.Reset -> Net_api.Reset
   | Ixtcp.Tcb.Timeout -> Net_api.Timeout
   | Ixtcp.Tcb.Refused -> Net_api.Refused
 
-let wrap_conn lib (c : Libix.conn) ~peer : Net_api.conn =
+(* [conn_seq] is the per-adapter connection-id source.  One ref per
+   [stack_of_host] call (not a module global): ids stay deterministic
+   per sim when simulations run on concurrent domains. *)
+let wrap_conn ~conn_seq lib (c : Libix.conn) ~peer : Net_api.conn =
   incr conn_seq;
   {
     Net_api.id = !conn_seq;
@@ -33,14 +34,14 @@ let wrap_conn lib (c : Libix.conn) ~peer : Net_api.conn =
     peer;
   }
 
-let wrap_handlers lib (h : Net_api.handlers) ~peer =
+let wrap_handlers ~conn_seq lib (h : Net_api.handlers) ~peer =
   (* One Net_api.conn per libix conn, built lazily at first event. *)
   let wrapped : (Libix.conn * Net_api.conn) option ref = ref None in
   let net_conn c =
     match !wrapped with
     | Some (c', nc) when c' == c -> nc
     | Some _ | None ->
-        let nc = wrap_conn lib c ~peer in
+        let nc = wrap_conn ~conn_seq lib c ~peer in
         wrapped := Some (c, nc);
         nc
   in
@@ -54,17 +55,19 @@ let wrap_handlers lib (h : Net_api.handlers) ~peer =
 
 let stack_of_host host =
   let threads = Ix_host.thread_count host in
+  let conn_seq = ref 0 in
   let connect ~thread ~ip ~port handlers =
     let lib = Ix_host.libix host thread in
     in_user_context lib (fun () ->
-        Libix.connect lib ~ip ~port (wrap_handlers lib handlers ~peer:(ip, port)))
+        Libix.connect lib ~ip ~port
+          (wrap_handlers ~conn_seq lib handlers ~peer:(ip, port)))
   in
   let listen ~port acceptor =
     for thread = 0 to threads - 1 do
       let lib = Ix_host.libix host thread in
       in_user_context lib (fun () ->
           Libix.listen lib ~port ~on_accept:(fun c ->
-              let nc = wrap_conn lib c ~peer:(Libix.peer c) in
+              let nc = wrap_conn ~conn_seq lib c ~peer:(Libix.peer c) in
               let h = acceptor ~thread nc in
               {
                 Libix.on_connected = (fun _ ~ok -> h.Net_api.on_connected nc ~ok);

@@ -420,6 +420,9 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           c_api_calls = c "api_calls";
         })
   in
+  (* One flow-handle allocator per stack, shared across its contexts,
+     owned by this sim. *)
+  let handle_alloc = ref 0 in
   Array.iter
     (fun ctx ->
       let ep =
@@ -429,7 +432,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           ~alloc:(fun () -> Mempool.alloc ctx.pool)
           ~output_raw:(fun ~remote_ip mbuf -> output_raw ctx ~remote_ip mbuf)
           ~rng:(Engine.Rng.split rng) ~local_ip:ip ~config ~metrics:registry
-          ~metrics_prefix:(Printf.sprintf "tcp.%d" ctx.idx) ()
+          ~metrics_prefix:(Printf.sprintf "tcp.%d" ctx.idx) ~handle_alloc ()
       in
       ctx.ep <- Some ep;
       List.iter (fun (_, q) -> Nic.set_notify q (fun () -> on_nic_notify ctx)) ctx.queues)

@@ -692,8 +692,8 @@ let tracer t = t.tracer
 let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
     ?(costs = default_costs) ?(batch_bound = 64) ?(config = Tcb.default_config)
     ?(zero_copy = true) ?(polling = true) ?cache ?(conn_count = ref 0)
-    ?(pcie = Ixhw.Pcie_model.create ()) ?metrics ?(tracer_capacity = 4096) ~rng
-    () =
+    ?(pcie = Ixhw.Pcie_model.create ()) ?metrics ?(tracer_capacity = 4096)
+    ?handle_alloc ~rng () =
   let pool = Mempool.create ~capacity:65536 ~name:(Printf.sprintf "dp%d" thread_id) () in
   let wheel = Wheel.create ~now:(Sim.now sim) () in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
@@ -757,7 +757,7 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       ~alloc:(fun () -> Mempool.alloc pool)
       ~output_raw:(fun ~remote_ip mbuf -> output_raw t ~remote_ip mbuf)
       ~rng ~local_ip ~config ~metrics
-      ~metrics_prefix:(Printf.sprintf "tcp.%d" thread_id) ()
+      ~metrics_prefix:(Printf.sprintf "tcp.%d" thread_id) ?handle_alloc ()
   in
   t.ep <- Some ep;
   (* Chain teardown: the endpoint unhooks flow tables; we additionally

@@ -53,6 +53,7 @@ val create :
   ?pcie:Ixhw.Pcie_model.t ->
   ?metrics:Ixtelemetry.Metrics.t ->
   ?tracer_capacity:int ->
+  ?handle_alloc:int ref ->
   rng:Engine.Rng.t ->
   unit ->
   t
@@ -64,7 +65,9 @@ val create :
     the Fig. 4 experiment.  [metrics] is the registry where the thread
     registers its [dataplane.<id>.*] counters (a private registry is
     created when omitted); [tracer_capacity] sizes the cycle tracer's
-    span ring (default 4096). *)
+    span ring (default 4096).  [handle_alloc] is the flow-handle
+    allocator shared by the host's elastic threads, so migrated flows
+    keep unique handles (a private allocator is used when omitted). *)
 
 val thread_id : t -> int
 val core : t -> Ixhw.Cpu_core.t

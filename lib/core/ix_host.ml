@@ -56,6 +56,11 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options)
   let rcu_mgr = Rcu.create_manager ~threads in
   let arp_cache = Arp_cache.create rcu_mgr in
   let conn_count = ref 0 in
+  (* One flow-handle allocator per host: handles stay unique across the
+     host's elastic threads (flow migration keeps its handle), and the
+     counter is owned by this sim, so concurrently running simulations
+     don't share allocation state. *)
+  let handle_alloc = ref 0 in
   let rng = Engine.Rng.create ~seed:(seed + (host_id * 7919)) in
   let make_thread i =
     let queues = Array.to_list (Array.map (fun nic -> (nic, Nic.queue nic i)) nics) in
@@ -65,7 +70,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options)
       ~local_ip:ip ~queues ~tx_nic ~arp:arp_cache ~rcu:rcu_mgr ~costs:options.costs
       ~batch_bound:options.batch_bound ~config:options.config
       ~zero_copy:options.zero_copy ~polling:options.polling ?cache:options.cache
-      ~conn_count ?pcie:options.pcie ~metrics:registry
+      ~conn_count ?pcie:options.pcie ~metrics:registry ~handle_alloc
       ~rng:(Engine.Rng.split rng) ()
   in
   let thread_array = Array.init threads make_thread in

@@ -130,13 +130,17 @@ let cancel t handle =
     end
   end
 
-(* Process-wide count of executed events, across every [t] — lets the
-   benchmark harness meter events/sec for a run without threading the
-   simulation handle through each experiment. *)
-let global_executed = ref 0
-let global_events () = !global_executed
+(* Process-wide count of executed events, across every [t] and every
+   domain — lets the benchmark harness meter events/sec for a run
+   without threading the simulation handle through each experiment.
+   It is an [Atomic.t] so concurrent sims (Domain_pool fan-out) can
+   share the meter; the hot loop in [run] stays atomic-free by
+   counting into the per-sim [executed] field and flushing the delta
+   once per [run] call. *)
+let global_executed = Atomic.make 0
+let global_events () = Atomic.get global_executed
 
-let rec step t =
+let rec step_unmetered t =
   if Event_queue.is_empty t.queue then false
   else begin
     let time = Event_queue.min_time_exn t.queue in
@@ -145,7 +149,7 @@ let rec step t =
     if c.cancelled then begin
       t.dead <- t.dead - 1;
       release_cell t idx;
-      step t
+      step_unmetered t
     end
     else begin
       t.clock <- time;
@@ -154,11 +158,15 @@ let rec step t =
          the cell); the bumped generation keeps old handles inert. *)
       release_cell t idx;
       t.executed <- t.executed + 1;
-      incr global_executed;
       action ();
       true
     end
   end
+
+let step t =
+  let ran = step_unmetered t in
+  if ran then Atomic.incr global_executed;
+  ran
 
 let run ?until t =
   let continue () =
@@ -169,9 +177,15 @@ let run ?until t =
         | None -> false
         | Some next -> next <= horizon)
   in
-  while continue () do
-    ignore (step t)
-  done;
+  let e0 = t.executed in
+  Fun.protect
+    ~finally:(fun () ->
+      let delta = t.executed - e0 in
+      if delta > 0 then ignore (Atomic.fetch_and_add global_executed delta))
+    (fun () ->
+      while continue () do
+        ignore (step_unmetered t)
+      done);
   match until with
   | Some horizon when t.clock < horizon -> t.clock <- horizon
   | Some _ | None -> ()

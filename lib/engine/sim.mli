@@ -46,5 +46,9 @@ val events_executed : t -> int
 
 val global_events : unit -> int
 (** Process-wide count of events executed across every simulation ever
-    created — a monotonic meter the benchmark harness differences to
-    compute events/sec and GC words/event for a run. *)
+    created, in any domain — a monotonic meter the benchmark harness
+    differences to compute events/sec and GC words/event for a run.
+    Backed by an [Atomic.t]; sims running inside a {!Domain_pool}
+    flush their per-sim counts into it at the end of each [run] call
+    (and [step] adds immediately), so sample it only around completed
+    runs. *)

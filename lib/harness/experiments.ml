@@ -42,14 +42,28 @@ let kind_name = function
   | Cluster.Mtcp -> "mTCP"
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry output (--metrics / --trace on the CLIs)                  *)
+(* Run configuration: telemetry output and parallelism                 *)
 
-let emit_metrics = ref false
-let trace_to : string option ref = ref None
+type output = { metrics : bool; trace : string option }
 
-let set_stats_output ?(metrics = false) ?trace () =
-  emit_metrics := metrics;
-  trace_to := trace
+let default_output = { metrics = false; trace = None }
+
+let default_jobs () =
+  match Sys.getenv_opt "IX_BENCH_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* Telemetry prints from inside runners while they execute, so
+   requesting it forces the sequential path — interleaved tables would
+   be useless.  [jobs <= 1] is the plain [List.map] code path: a
+   parallel run with the same seeds must match it bit-for-bit (the
+   determinism invariant), so sequential is the reference. *)
+let resolve_jobs ~output jobs =
+  if output.metrics || output.trace <> None then 1 else max 1 jobs
+
+(* Fan independent, self-contained simulation thunks over [jobs]
+   domains; results come back in submission order. *)
+let par_map ~jobs fs = Engine.Domain_pool.map_jobs ~jobs fs
 
 let merge_breakdowns tracers =
   List.map
@@ -94,12 +108,12 @@ let dump_trace path tracers =
    Table-2-style per-stage breakdown (IX servers), the server's metric
    snapshot through the portable stack interface, and a Chrome
    trace_event dump of the retained spans. *)
-let emit_server_stats ~label cluster =
+let emit_server_stats ~output ~label cluster =
   (match cluster.Cluster.server_ix with
-  | Some host when !emit_metrics ->
+  | Some host when output.metrics ->
       print_breakdown ~label (merge_breakdowns (Ix_core.Ix_host.tracers host))
   | _ -> ());
-  if !emit_metrics then begin
+  if output.metrics then begin
     let rows =
       List.map
         (fun (name, v) -> [ name; Format.asprintf "%a" Metrics.pp_value v ])
@@ -109,16 +123,17 @@ let emit_server_stats ~label cluster =
       ~title:(Printf.sprintf "Server metrics: %s" label)
       ~headers:[ "metric"; "value" ] rows
   end;
-  match (!trace_to, cluster.Cluster.server_ix) with
+  match (output.trace, cluster.Cluster.server_ix) with
   | Some path, Some host -> dump_trace path (Ix_core.Ix_host.tracers host)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Echo runner (Figs. 3a/3b/3c and the ablations)                      *)
 
-let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
-    ?(sessions = 768) ?cache ?pcie ?(zero_copy = true) ?(polling = true)
-    ?(batch_bound = 64) ~kind ~ports ~cores ~msg_size ~msgs_per_conn () =
+let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
+    ?(client_threads = 8) ?(sessions = 768) ?cache ?pcie ?(zero_copy = true)
+    ?(polling = true) ?(batch_bound = 64) ~kind ~ports ~cores ~msg_size
+    ~msgs_per_conn () =
   let server =
     Cluster.server_spec ~threads:cores ~nic_ports:ports ~batch_bound
       ~zero_copy ~polling ?cache ?pcie kind
@@ -165,7 +180,7 @@ let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
     if label <> "" then label
     else Printf.sprintf "%s-%dG" (kind_name kind) (10 * ports)
   in
-  emit_server_stats
+  emit_server_stats ~output
     ~label:(Printf.sprintf "%s echo s=%dB n=%d, %d cores" label msg_size msgs_per_conn cores)
     cluster;
   {
@@ -186,7 +201,7 @@ let run_echo ?(label = "") ?(client_hosts = 6) ?(client_threads = 8)
    the cores accounted (kernel + user).  The tracer attributes every
    charged nanosecond to exactly one stage, so the breakdown sums to
    the busy total — the acceptance check in test_telemetry. *)
-let echo_breakdown ?(cores = 1) ?(msg_size = 64) () =
+let echo_breakdown ?(output = default_output) ?(cores = 1) ?(msg_size = 64) () =
   let server = Cluster.server_spec ~threads:cores ~nic_ports:1 Cluster.Ix in
   let cluster = Cluster.build ~client_hosts:2 ~client_threads:4 ~server () in
   Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size ~app_ns:150;
@@ -213,7 +228,7 @@ let echo_breakdown ?(cores = 1) ?(msg_size = 64) () =
   print_breakdown
     ~label:(Printf.sprintf "IX echo s=%dB, %d cores" msg_size cores)
     rows;
-  (match !trace_to with
+  (match output.trace with
   | Some path -> dump_trace path (Ix_core.Ix_host.tracers host)
   | None -> ());
   (rows, busy)
@@ -227,16 +242,19 @@ let fig3_systems =
     ("IX-40G", Cluster.Ix, 4);
   ]
 
-let fig3a () =
+let fig3a ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
   let cores_list = [ 1; 2; 3; 4; 6; 8 ] in
   let points =
-    List.concat_map
-      (fun (label, kind, ports) ->
-        List.map
-          (fun cores ->
-            run_echo ~label ~kind ~ports ~cores ~msg_size:64 ~msgs_per_conn:1 ())
-          cores_list)
-      fig3_systems
+    par_map ~jobs
+      (List.concat_map
+         (fun (label, kind, ports) ->
+           List.map
+             (fun cores () ->
+               run_echo ~output ~label ~kind ~ports ~cores ~msg_size:64
+                 ~msgs_per_conn:1 ())
+             cores_list)
+         fig3_systems)
   in
   let rows =
     List.map
@@ -254,15 +272,19 @@ let fig3a () =
     rows;
   points
 
-let fig3b () =
+let fig3b ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
   let ns = [ 1; 8; 32; 128; 512; 1024 ] in
   let points =
-    List.concat_map
-      (fun (label, kind, ports) ->
-        List.map
-          (fun n -> run_echo ~label ~kind ~ports ~cores:8 ~msg_size:64 ~msgs_per_conn:n ())
-          ns)
-      fig3_systems
+    par_map ~jobs
+      (List.concat_map
+         (fun (label, kind, ports) ->
+           List.map
+             (fun n () ->
+               run_echo ~output ~label ~kind ~ports ~cores:8 ~msg_size:64
+                 ~msgs_per_conn:n ())
+             ns)
+         fig3_systems)
   in
   let rows =
     List.map
@@ -274,15 +296,19 @@ let fig3b () =
     ~headers:[ "system"; "n"; "msgs/s" ] rows;
   points
 
-let fig3c () =
+let fig3c ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
   let sizes = [ 64; 256; 1024; 4096; 8192 ] in
   let points =
-    List.concat_map
-      (fun (label, kind, ports) ->
-        List.map
-          (fun s -> run_echo ~label ~kind ~ports ~cores:8 ~msg_size:s ~msgs_per_conn:1 ())
-          sizes)
-      fig3_systems
+    par_map ~jobs
+      (List.concat_map
+         (fun (label, kind, ports) ->
+           List.map
+             (fun s () ->
+               run_echo ~output ~label ~kind ~ports ~cores:8 ~msg_size:s
+                 ~msgs_per_conn:1 ())
+             sizes)
+         fig3_systems)
   in
   let rows =
     List.map
@@ -328,12 +354,14 @@ let netpipe_once ~kind ~size =
   | None ->
       ({ system = kind_name kind; size; one_way_us = nan; gbps = nan } : netpipe_point)
 
-let fig2 () =
-  let sizes = [ 64; 1024; 4096; 16_384; 65_536; 131_072; 262_144; 393_216; 524_288 ] in
+let fig2 ?(jobs = default_jobs ())
+    ?(sizes = [ 64; 1024; 4096; 16_384; 65_536; 131_072; 262_144; 393_216; 524_288 ])
+    () =
   let points =
-    List.concat_map
-      (fun kind -> List.map (fun size -> netpipe_once ~kind ~size) sizes)
-      [ Cluster.Linux; Cluster.Mtcp; Cluster.Ix ]
+    par_map ~jobs
+      (List.concat_map
+         (fun kind -> List.map (fun size () -> netpipe_once ~kind ~size) sizes)
+         [ Cluster.Linux; Cluster.Mtcp; Cluster.Ix ])
   in
   let rows =
     List.map
@@ -432,16 +460,17 @@ let run_connection_scaling ~kind ~conns ~workers =
   Sim.run ~until:(warmup + measure) sim;
   float_of_int (!completed - base) /. Engine.Sim_time.to_float_s measure
 
-let fig4 () =
-  let conn_counts = [ 100; 1_000; 10_000; 50_000; 100_000; 250_000 ] in
+let fig4 ?(jobs = default_jobs ())
+    ?(conn_counts = [ 100; 1_000; 10_000; 50_000; 100_000; 250_000 ]) () =
   let points =
-    List.concat_map
-      (fun (name, kind) ->
-        List.map
-          (fun conns ->
-            (name, conns, run_connection_scaling ~kind ~conns ~workers:384))
-          conn_counts)
-      [ ("IX-40G", Cluster.Ix); ("Linux-40G", Cluster.Linux) ]
+    par_map ~jobs
+      (List.concat_map
+         (fun (name, kind) ->
+           List.map
+             (fun conns () ->
+               (name, conns, run_connection_scaling ~kind ~conns ~workers:384))
+             conn_counts)
+         [ ("IX-40G", Cluster.Ix); ("Linux-40G", Cluster.Linux) ])
   in
   let rows =
     List.map (fun (name, conns, rate) -> [ name; string_of_int conns; Report.mps rate ]) points
@@ -454,7 +483,8 @@ let fig4 () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 5 / Fig. 6 / Table 2: memcached                                *)
 
-let run_memcached ~kind ~server_threads ?(batch_bound = 64) ~profile ~target_rps () =
+let run_memcached ?(output = default_output) ~kind ~server_threads
+    ?(batch_bound = 64) ~profile ~target_rps () =
   let server =
     Cluster.server_spec ~threads:server_threads ~nic_ports:1 ~batch_bound
       kind
@@ -475,7 +505,7 @@ let run_memcached ~kind ~server_threads ?(batch_bound = 64) ~profile ~target_rps
       ~duration_ms:(scaled_ms 40)
       ~seed:11 ()
   in
-  emit_server_stats
+  emit_server_stats ~output
     ~label:
       (Printf.sprintf "%s memcached %s @ %.0fK" (kind_name kind)
          profile.Workloads.Size_dist.name (target_rps /. 1e3))
@@ -484,7 +514,10 @@ let run_memcached ~kind ~server_threads ?(batch_bound = 64) ~profile ~target_rps
 
 let fig5_targets = [ 100e3; 250e3; 500e3; 750e3; 1000e3; 1250e3; 1500e3; 1800e3; 2000e3 ]
 
-let fig5 () =
+let fig5 ?(output = default_output) ?(jobs = default_jobs ())
+    ?(targets = fig5_targets)
+    ?(profiles = [ Workloads.Size_dist.etc; Workloads.Size_dist.usr ]) () =
+  let jobs = resolve_jobs ~output jobs in
   let configs =
     [
       ("Linux", Cluster.Linux, 8);
@@ -492,27 +525,29 @@ let fig5 () =
     ]
   in
   let points =
-    List.concat_map
-      (fun profile ->
-        List.concat_map
-          (fun (name, kind, threads) ->
-            List.map
-              (fun target_rps ->
-                let r, kshare =
-                  run_memcached ~kind ~server_threads:threads ~profile ~target_rps ()
-                in
-                {
-                  system = name;
-                  workload = profile.Workloads.Size_dist.name;
-                  target_krps = target_rps /. 1e3;
-                  achieved_krps = r.Workloads.Mutilate.achieved_rps /. 1e3;
-                  avg_us = r.Workloads.Mutilate.avg_us;
-                  p99 = r.Workloads.Mutilate.p99_us;
-                  kernel_share = kshare;
-                })
-              fig5_targets)
-          configs)
-      [ Workloads.Size_dist.etc; Workloads.Size_dist.usr ]
+    par_map ~jobs
+      (List.concat_map
+         (fun profile ->
+           List.concat_map
+             (fun (name, kind, threads) ->
+               List.map
+                 (fun target_rps () ->
+                   let r, kshare =
+                     run_memcached ~output ~kind ~server_threads:threads
+                       ~profile ~target_rps ()
+                   in
+                   {
+                     system = name;
+                     workload = profile.Workloads.Size_dist.name;
+                     target_krps = target_rps /. 1e3;
+                     achieved_krps = r.Workloads.Mutilate.achieved_rps /. 1e3;
+                     avg_us = r.Workloads.Mutilate.avg_us;
+                     p99 = r.Workloads.Mutilate.p99_us;
+                     kernel_share = kshare;
+                   })
+                 targets)
+             configs)
+         profiles)
   in
   let rows =
     List.map
@@ -534,7 +569,8 @@ let fig5 () =
     rows;
   points
 
-let table2 fig5_points =
+let table2 ?(output = default_output) ?(jobs = default_jobs ()) fig5_points =
+  let jobs = resolve_jobs ~output jobs in
   let sla = 500. in
   let best workload system =
     List.fold_left
@@ -544,49 +580,66 @@ let table2 fig5_points =
         else acc)
       0. fig5_points
   in
-  let unloaded workload kind threads =
+  let unloaded workload kind threads () =
     let profile = Workloads.Size_dist.by_name workload in
-    let r, _ = run_memcached ~kind ~server_threads:threads ~profile ~target_rps:20e3 () in
+    let r, _ =
+      run_memcached ~output ~kind ~server_threads:threads ~profile
+        ~target_rps:20e3 ()
+    in
     r.Workloads.Mutilate.p99_us
   in
+  let latencies =
+    par_map ~jobs
+      (List.concat_map
+         (fun w -> [ unloaded w Cluster.Linux 8; unloaded w Cluster.Ix 6 ])
+         [ "ETC"; "USR" ])
+  in
   let rows =
-    List.concat_map
-      (fun workload ->
-        [
-          [
-            workload ^ "-Linux";
-            Report.us (unloaded workload Cluster.Linux 8);
-            Printf.sprintf "%.0fK" (best workload "Linux");
-          ];
-          [
-            workload ^ "-IX";
-            Report.us (unloaded workload Cluster.Ix 6);
-            Printf.sprintf "%.0fK" (best workload "IX");
-          ];
-        ])
-      [ "ETC"; "USR" ]
+    List.concat
+      (List.map2
+         (fun workload (linux_p99, ix_p99) ->
+           [
+             [
+               workload ^ "-Linux";
+               Report.us linux_p99;
+               Printf.sprintf "%.0fK" (best workload "Linux");
+             ];
+             [
+               workload ^ "-IX";
+               Report.us ix_p99;
+               Printf.sprintf "%.0fK" (best workload "IX");
+             ];
+           ])
+         [ "ETC"; "USR" ]
+         (match latencies with
+         | [ a; b; c; d ] -> [ (a, b); (c, d) ]
+         | _ -> assert false))
   in
   Report.table
     ~title:"Table 2: unloaded p99 latency and max RPS under 500us p99 SLA"
     ~headers:[ "configuration"; "min latency p99 us"; "RPS for SLA" ]
     rows
 
-let fig6 () =
+let fig6 ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
   let bounds = [ 1; 2; 8; 16; 64 ] in
   let profile = Workloads.Size_dist.usr in
   let points =
-    List.map
-      (fun b ->
-        let high, _ =
-          run_memcached ~kind:Cluster.Ix ~server_threads:6 ~batch_bound:b
-            ~profile ~target_rps:2400e3 ()
-        in
-        let low, _ =
-          run_memcached ~kind:Cluster.Ix ~server_threads:6 ~batch_bound:b
-            ~profile ~target_rps:200e3 ()
-        in
-        (b, high.Workloads.Mutilate.achieved_rps /. 1e3, low.Workloads.Mutilate.p99_us))
-      bounds
+    par_map ~jobs
+      (List.map
+         (fun b () ->
+           let high, _ =
+             run_memcached ~output ~kind:Cluster.Ix ~server_threads:6
+               ~batch_bound:b ~profile ~target_rps:2400e3 ()
+           in
+           let low, _ =
+             run_memcached ~output ~kind:Cluster.Ix ~server_threads:6
+               ~batch_bound:b ~profile ~target_rps:200e3 ()
+           in
+           ( b,
+             high.Workloads.Mutilate.achieved_rps /. 1e3,
+             low.Workloads.Mutilate.p99_us ))
+         bounds)
   in
   let rows =
     List.map
@@ -657,7 +710,7 @@ let run_incast ~senders ~block ~config ~ecn =
   let goodput, _, _ = run_incast_stats ~senders ~block ~config ~ecn in
   goodput
 
-let incast () =
+let incast ?(jobs = default_jobs ()) () =
   let block = 256 * 1024 in
   let coarse =
     { Ix_core.Ix_host.ix_tcp_config with Ixtcp.Tcb.min_rto_ns = 200_000_000 }
@@ -665,28 +718,29 @@ let incast () =
   let fine = Ix_core.Ix_host.ix_tcp_config (* 1 ms RTO via the timing wheel *) in
   let dctcp = { fine with Ixtcp.Tcb.dctcp = true } in
   let rows =
-    List.map
-      (fun senders ->
-        let coarse_g, _, coarse_d =
-          run_incast_stats ~senders ~block ~config:coarse ~ecn:false
-        in
-        let fine_g, _, fine_d =
-          run_incast_stats ~senders ~block ~config:fine ~ecn:false
-        in
-        let dctcp_g, dctcp_m, dctcp_d =
-          run_incast_stats ~senders ~block ~config:dctcp ~ecn:true
-        in
-        [
-          string_of_int senders;
-          Report.gbps coarse_g;
-          string_of_int coarse_d;
-          Report.gbps fine_g;
-          string_of_int fine_d;
-          Report.gbps dctcp_g;
-          string_of_int dctcp_d;
-          string_of_int dctcp_m;
-        ])
-      [ 4; 8; 16; 32; 48 ]
+    par_map ~jobs
+      (List.map
+         (fun senders () ->
+           let coarse_g, _, coarse_d =
+             run_incast_stats ~senders ~block ~config:coarse ~ecn:false
+           in
+           let fine_g, _, fine_d =
+             run_incast_stats ~senders ~block ~config:fine ~ecn:false
+           in
+           let dctcp_g, dctcp_m, dctcp_d =
+             run_incast_stats ~senders ~block ~config:dctcp ~ecn:true
+           in
+           [
+             string_of_int senders;
+             Report.gbps coarse_g;
+             string_of_int coarse_d;
+             Report.gbps fine_g;
+             string_of_int fine_d;
+             Report.gbps dctcp_g;
+             string_of_int dctcp_d;
+             string_of_int dctcp_m;
+           ])
+         [ 4; 8; 16; 32; 48 ])
   in
   Report.table
     ~title:
@@ -715,20 +769,22 @@ let incast () =
 let active_w_per_core = 25.5
 let idle_w_per_core = 8.0
 
-let energy () =
+let energy ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
   let point ~polling ~sessions =
-    run_echo
+    run_echo ~output
       ~label:(if polling then "IX-poll" else "IX-intr")
       ~polling ~sessions ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64
       ~msgs_per_conn:64 ()
   in
   let rows =
-    List.concat_map
-      (fun sessions ->
-        List.map
-          (fun polling ->
-            let p = point ~polling ~sessions in
-            let util = Float.min 1.0 p.cpu_utilization in
+    par_map ~jobs
+      (List.concat_map
+         (fun sessions ->
+           List.map
+             (fun polling () ->
+               let p = point ~polling ~sessions in
+               let util = Float.min 1.0 p.cpu_utilization in
             let watts =
               if polling then float_of_int p.cores *. active_w_per_core
               else
@@ -738,17 +794,17 @@ let energy () =
             let uj_per_msg =
               if p.msgs_per_sec <= 0. then 0. else watts /. p.msgs_per_sec *. 1e6
             in
-            [
-              string_of_int sessions;
-              p.label;
-              Report.mps p.msgs_per_sec;
-              Report.us p.p99_us;
-              Report.pct util;
-              Printf.sprintf "%.0f" watts;
-              Printf.sprintf "%.2f" uj_per_msg;
-            ])
-          [ true; false ])
-      [ 8; 96; 768 ]
+               [
+                 string_of_int sessions;
+                 p.label;
+                 Report.mps p.msgs_per_sec;
+                 Report.us p.p99_us;
+                 Report.pct util;
+                 Printf.sprintf "%.0f" watts;
+                 Printf.sprintf "%.2f" uj_per_msg;
+               ])
+             [ true; false ])
+         [ 8; 96; 768 ])
   in
   Report.table
     ~title:
@@ -759,29 +815,38 @@ let energy () =
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
-let ablations () =
+let ablations ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
   (* Each configuration runs twice: fully loaded (throughput, loaded
      p99) and nearly unloaded (path latency). *)
-  let run ?pcie ?(zero_copy = true) ?(polling = true) ?(batch_bound = 64) label =
+  let run ?(zero_copy = true) ?(polling = true) ?(batch_bound = 64)
+      ?(uncoalesced_pcie = false) label () =
+    (* The PCIe model is mutable per run; build a fresh one inside the
+       task so concurrent configurations never share it. *)
+    let pcie () =
+      if uncoalesced_pcie then Some (Ixhw.Pcie_model.create ~replenish_batch:1 ())
+      else None
+    in
     let loaded =
-      run_echo ~label ?pcie ~zero_copy ~polling ~batch_bound ~kind:Cluster.Ix
-        ~ports:1 ~cores:4 ~msg_size:64 ~msgs_per_conn:64 ()
+      run_echo ~output ~label ?pcie:(pcie ()) ~zero_copy ~polling ~batch_bound
+        ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64 ~msgs_per_conn:64 ()
     in
     let unloaded =
-      run_echo ~label ?pcie ~zero_copy ~polling ~batch_bound ~sessions:8
-        ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64 ~msgs_per_conn:64 ()
+      run_echo ~output ~label ?pcie:(pcie ()) ~zero_copy ~polling ~batch_bound
+        ~sessions:8 ~kind:Cluster.Ix ~ports:1 ~cores:4 ~msg_size:64
+        ~msgs_per_conn:64 ()
     in
     (loaded, unloaded)
   in
   let points =
-    [
-      run "IX baseline";
-      run ~batch_bound:1 "batch bound B=1";
-      run ~polling:false "interrupts (no polling)";
-      run ~zero_copy:false "copying API (no zero-copy)";
-      run ~pcie:(Ixhw.Pcie_model.create ~replenish_batch:1 ())
-        "uncoalesced PCIe doorbells";
-    ]
+    par_map ~jobs
+      [
+        run "IX baseline";
+        run ~batch_bound:1 "batch bound B=1";
+        run ~polling:false "interrupts (no polling)";
+        run ~zero_copy:false "copying API (no zero-copy)";
+        run ~uncoalesced_pcie:true "uncoalesced PCIe doorbells";
+      ]
   in
   let rows =
     List.map
@@ -812,6 +877,11 @@ type perf_slice = {
   perf_snapshot : string;  (** full-precision metric snapshot *)
 }
 
+(* [perf_events] is a delta of the engine-wide event meter, so it is
+   only meaningful when nothing else simulates concurrently; the bench
+   harness meters slices sequentially and reuses those counts when it
+   re-runs the same slices on a domain pool (where only the snapshots
+   are compared). *)
 let metered name f =
   let e0 = Sim.global_events () in
   let snapshot = f () in
@@ -842,15 +912,15 @@ let perf_fig5_slice ?(target_krps = 500.) () =
         r.Workloads.Mutilate.achieved_rps r.Workloads.Mutilate.avg_us
         r.Workloads.Mutilate.p99_us kshare)
 
-let run_all () =
-  ignore (fig2 ());
-  ignore (fig3a ());
-  ignore (fig3b ());
-  ignore (fig3c ());
-  ignore (fig4 ());
-  let f5 = fig5 () in
-  ignore (fig6 ());
-  table2 f5;
-  ablations ();
-  incast ();
-  energy ()
+let run_all ?(output = default_output) ?(jobs = default_jobs ()) () =
+  ignore (fig2 ~jobs ());
+  ignore (fig3a ~output ~jobs ());
+  ignore (fig3b ~output ~jobs ());
+  ignore (fig3c ~output ~jobs ());
+  ignore (fig4 ~jobs ());
+  let f5 = fig5 ~output ~jobs () in
+  ignore (fig6 ~output ~jobs ());
+  table2 ~output ~jobs f5;
+  ablations ~output ~jobs ();
+  incast ~jobs ();
+  energy ~output ~jobs ()

@@ -36,17 +36,31 @@ val scale : unit -> float
 (** Duration multiplier from the [IX_BENCH_SCALE] environment variable
     (default 1.0; smaller = faster, noisier). *)
 
-val set_stats_output : ?metrics:bool -> ?trace:string -> unit -> unit
-(** Configure telemetry emission for subsequent runs (the CLIs'
-    [--metrics]/[--trace] flags).  With [metrics:true] every runner
-    prints a Table-2-style per-stage cycle breakdown (IX servers) and
-    the server's metric snapshot — read through the portable
-    {!Netapi.Net_api.stack} interface — next to its throughput/latency
-    table.  With [trace:path] runners additionally dump the server's
-    retained cycle spans as Chrome [trace_event] JSON to [path]
-    (load via chrome://tracing or Perfetto). *)
+type output = { metrics : bool; trace : string option }
+(** Telemetry emission for a run (the CLIs' [--metrics]/[--trace]
+    flags), threaded explicitly into each runner.  With [metrics=true]
+    every runner prints a Table-2-style per-stage cycle breakdown (IX
+    servers) and the server's metric snapshot — read through the
+    portable {!Netapi.Net_api.stack} interface — next to its
+    throughput/latency table.  With [trace=Some path] runners
+    additionally dump the server's retained cycle spans as Chrome
+    [trace_event] JSON to [path] (load via chrome://tracing or
+    Perfetto). *)
+
+val default_output : output
+(** [{ metrics = false; trace = None }]. *)
+
+val default_jobs : unit -> int
+(** Worker-domain count from the [IX_BENCH_JOBS] environment variable
+    (default 1 = sequential); the CLIs' [--jobs] flag overrides it.
+    Sweep runners fan their independent simulations over this many
+    domains via {!Engine.Domain_pool}; results are collected in
+    submission order, and a parallel run is bit-identical to [jobs=1]
+    with the same seeds.  Requesting telemetry output forces a runner
+    back to the sequential path so tables don't interleave. *)
 
 val echo_breakdown :
+  ?output:output ->
   ?cores:int ->
   ?msg_size:int ->
   unit ->
@@ -58,6 +72,7 @@ val echo_breakdown :
     the busy total. *)
 
 val run_echo :
+  ?output:output ->
   ?label:string ->
   ?client_hosts:int ->
   ?client_threads:int ->
@@ -80,6 +95,7 @@ val run_echo :
 val netpipe_once : kind:Cluster.kind -> size:int -> netpipe_point
 
 val run_memcached :
+  ?output:output ->
   kind:Cluster.kind ->
   server_threads:int ->
   ?batch_bound:int ->
@@ -90,33 +106,43 @@ val run_memcached :
 (** One memcached load point; also returns the server's kernel-time
     share. *)
 
-val fig2 : unit -> netpipe_point list
-(** NetPIPE goodput vs message size, Linux/mTCP/IX on both ends. *)
+val fig2 : ?jobs:int -> ?sizes:int list -> unit -> netpipe_point list
+(** NetPIPE goodput vs message size, Linux/mTCP/IX on both ends.
+    [sizes] narrows the sweep (the determinism tests run a reduced
+    slice). *)
 
-val fig3a : unit -> echo_point list
+val fig3a : ?output:output -> ?jobs:int -> unit -> echo_point list
 (** Multi-core scalability, 64 B echo, n=1 connection per message. *)
 
-val fig3b : unit -> echo_point list
+val fig3b : ?output:output -> ?jobs:int -> unit -> echo_point list
 (** Round trips per connection (n sweep) at 8 cores. *)
 
-val fig3c : unit -> echo_point list
+val fig3c : ?output:output -> ?jobs:int -> unit -> echo_point list
 (** Message-size sweep (n=1) at 8 cores. *)
 
 val run_connection_scaling : kind:Cluster.kind -> conns:int -> workers:int -> float
 (** One Fig. 4 point: messages/sec with [conns] live connections and
     [workers] concurrent closed-loop requesters. *)
 
-val fig4 : unit -> (string * int * float) list
-(** Connection scalability: (system, connection count, messages/sec). *)
+val fig4 : ?jobs:int -> ?conn_counts:int list -> unit -> (string * int * float) list
+(** Connection scalability: (system, connection count, messages/sec).
+    [conn_counts] narrows the sweep. *)
 
-val fig5 : unit -> memcached_point list
-(** memcached ETC/USR throughput-vs-latency sweeps, Linux vs IX. *)
+val fig5 :
+  ?output:output ->
+  ?jobs:int ->
+  ?targets:float list ->
+  ?profiles:Workloads.Size_dist.profile list ->
+  unit ->
+  memcached_point list
+(** memcached ETC/USR throughput-vs-latency sweeps, Linux vs IX.
+    [targets]/[profiles] narrow the sweep. *)
 
-val fig6 : unit -> (int * float * float) list
+val fig6 : ?output:output -> ?jobs:int -> unit -> (int * float * float) list
 (** Batch bound B sweep on USR: (B, achieved kRPS at high load,
     low-load p99 µs). *)
 
-val table2 : memcached_point list -> unit
+val table2 : ?output:output -> ?jobs:int -> memcached_point list -> unit
 (** Derive Table 2 (unloaded p99 latency; max RPS under the 500 µs p99
     SLA) from the fig5 sweep plus dedicated unloaded runs. *)
 
@@ -131,17 +157,17 @@ val run_incast_stats :
 (** Like {!run_incast} but also returns (CE marks, tail drops) at the
     receiver's switch port. *)
 
-val incast : unit -> unit
+val incast : ?jobs:int -> unit -> unit
 (** Extension experiment (paper §6): incast goodput under a coarse RTO,
     the fine-grained RTO the 16 µs timing wheel enables [64], and
     DCTCP over an ECN-marking switch queue. *)
 
-val energy : unit -> unit
+val energy : ?output:output -> ?jobs:int -> unit -> unit
 (** Extension experiment (§4.3): the polling-vs-C-state trade-off —
     power and energy per message across load levels for polling and
     interrupt-driven IX. *)
 
-val ablations : unit -> unit
+val ablations : ?output:output -> ?jobs:int -> unit -> unit
 (** Design-choice ablations from DESIGN.md §5: batching off, interrupts
     instead of polling, copying instead of zero-copy, uncoalesced PCIe
     doorbells, and broken flow steering. *)
@@ -166,4 +192,4 @@ val perf_fig4_slice : ?conns:int -> unit -> perf_slice
 val perf_fig5_slice : ?target_krps:float -> unit -> perf_slice
 (** One memcached USR load point on IX (Fig. 5 slice). *)
 
-val run_all : unit -> unit
+val run_all : ?output:output -> ?jobs:int -> unit -> unit

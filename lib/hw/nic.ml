@@ -30,7 +30,7 @@ type t = {
   mac_addr : Ixnet.Mac_addr.t;
   queues : rx_queue array;
   mutable indirection : int array;
-  rss_key : string;
+  rss_lut : Toeplitz.lut;  (** per-key hash tables owned by this NIC *)
   tx_link : Link.t;
   c_drops : Metrics.counter;
   c_rx : Metrics.counter;
@@ -64,7 +64,7 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
     mac_addr = mac;
     queues = Array.init queues make_queue;
     indirection = Array.init indirection_entries (fun i -> i mod queues);
-    rss_key;
+    rss_lut = Toeplitz.lut_of_key rss_key;
     tx_link = tx;
     c_drops = c "%s.rx_drops" name;
     c_rx = c "%s.rx_frames" name;
@@ -84,7 +84,7 @@ let set_indirection t f =
 
 let rss_queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
   let hash =
-    Toeplitz.hash_tuple ~key:t.rss_key ~src_ip ~dst_ip ~src_port ~dst_port ()
+    Toeplitz.hash_tuple ~lut:t.rss_lut ~src_ip ~dst_ip ~src_port ~dst_port ()
   in
   t.indirection.(hash land (indirection_entries - 1))
 

@@ -43,34 +43,35 @@ let hash ?(key = default_key) input =
     input;
   !result
 
-(* Per-byte tables for the 12-byte TCPv4 tuple input. *)
-type lut = { lut_key : string; tab : int array array }
+(* Per-byte tables for the 12-byte TCPv4 tuple input.
+
+   A LUT belongs to whoever hashes with its key — each [Nic] builds
+   (or shares) one at creation and passes it in per call, so there is
+   no process-global cache to thrash when two NICs poll with different
+   RSS keys, and no module-level mutable state to race when sims run
+   in concurrent domains.  The table for the ubiquitous default key is
+   built eagerly once at module initialisation (immutable afterwards,
+   hence domain-safe) and shared. *)
+type lut = int array array
 
 let build_lut lut_key =
-  let tab =
-    Array.init 12 (fun p ->
-        let windows = Array.init 8 (fun b -> key_window lut_key ((8 * p) + b)) in
-        Array.init 256 (fun v ->
-            let acc = ref 0 in
-            for b = 0 to 7 do
-              if v land (0x80 lsr b) <> 0 then acc := !acc lxor windows.(b)
-            done;
-            !acc))
-  in
-  { lut_key; tab }
+  Array.init 12 (fun p ->
+      let windows = Array.init 8 (fun b -> key_window lut_key ((8 * p) + b)) in
+      Array.init 256 (fun v ->
+          let acc = ref 0 in
+          for b = 0 to 7 do
+            if v land (0x80 lsr b) <> 0 then acc := !acc lxor windows.(b)
+          done;
+          !acc))
 
-let lut_cache = ref None
+let default_lut = build_lut default_key
 
-let lut_for key =
-  match !lut_cache with
-  | Some l when l.lut_key == key || String.equal l.lut_key key -> l.tab
-  | _ ->
-      let l = build_lut key in
-      lut_cache := Some l;
-      l.tab
+let lut_of_key key =
+  if key == default_key || String.equal key default_key then default_lut
+  else build_lut key
 
-let hash_tuple ?(key = default_key) ~src_ip ~dst_ip ~src_port ~dst_port () =
-  let tab = lut_for key in
+let hash_tuple ?(lut = default_lut) ~src_ip ~dst_ip ~src_port ~dst_port () =
+  let tab = lut in
   tab.(0).((src_ip lsr 24) land 0xFF)
   lxor tab.(1).((src_ip lsr 16) land 0xFF)
   lxor tab.(2).((src_ip lsr 8) land 0xFF)

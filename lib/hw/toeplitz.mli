@@ -10,15 +10,30 @@ val default_key : string
 val symmetric_key : string
 (** A repeating 2-byte key making hash(src,dst) = hash(dst,src). *)
 
+type lut
+(** Per-byte lookup tables for the 12-byte TCPv4 tuple input,
+    specialised to one key.  Immutable once built, hence safe to share
+    across domains.  Whoever hashes owns its LUT (each {!Nic} keeps
+    the one for its RSS key) — there is no process-global cache. *)
+
+val default_lut : lut
+(** The table for {!default_key}, built once at module initialisation
+    and shared. *)
+
+val lut_of_key : string -> lut
+(** Build the table for an arbitrary 40-byte key ([default_key] maps
+    to {!default_lut} without rebuilding). *)
+
 val hash_tuple :
-  ?key:string ->
+  ?lut:lut ->
   src_ip:Ixnet.Ip_addr.t ->
   dst_ip:Ixnet.Ip_addr.t ->
   src_port:int ->
   dst_port:int ->
   unit ->
   int
-(** 32-bit Toeplitz hash of the TCPv4 12-byte input. *)
+(** 32-bit Toeplitz hash of the TCPv4 12-byte input under [lut]
+    (default {!default_lut}). *)
 
 val hash : ?key:string -> string -> int
 (** Toeplitz hash of an arbitrary input string. *)

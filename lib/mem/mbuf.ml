@@ -9,17 +9,21 @@ type t = {
 
 let default_size = 2048
 let headroom = 128
-let next_id = ref 0
+
+(* Debug/accounting ids only — an [Atomic.t] keeps allocation safe when
+   independent sims provision pools from concurrent domains.  Ids are
+   unique but their numeric values depend on domain interleaving, so
+   nothing behavioural may key off them. *)
+let next_id = Atomic.make 0
 
 let create ?(size = default_size) () =
-  incr next_id;
   {
     buf = Bytes.create size;
     off = headroom;
     len = 0;
     refcount = 1;
     on_free = ignore;
-    id = !next_id;
+    id = 1 + Atomic.fetch_and_add next_id 1;
   }
 
 let reset t =

@@ -14,7 +14,11 @@ type t = {
   mutable len : int;  (** length of valid payload *)
   mutable refcount : int;
   mutable on_free : t -> unit;  (** invoked when refcount reaches 0 *)
-  id : int;  (** unique id, for debugging and pool accounting *)
+  id : int;
+      (** unique id, for debugging and pool accounting only.  Allocated
+          from a process-wide [Atomic.t], so values depend on domain
+          interleaving when sims run in parallel — nothing behavioural
+          may key off them. *)
 }
 
 val default_size : int

@@ -130,6 +130,11 @@ and env = {
       (** a finished TCP segment; the stack adds IP/Ethernet and owns
           the mbuf from here *)
   rng : Engine.Rng.t;
+  handle_alloc : int ref;
+      (** flow-handle allocator; shared by all envs of one host so
+          handles stay unique across its elastic threads (migration
+          rekeys nothing), and owned per host/sim so concurrent sims
+          allocate deterministically *)
   mutable on_teardown : t -> unit;
       (** connection fully closed: flow tables unhook it here *)
   mutable on_established : t -> unit;
@@ -137,10 +142,8 @@ and env = {
           turns this into the IX [knock] event / an accept) *)
 }
 
-let next_handle = ref 0
-
 let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
-  incr next_handle;
+  incr env.handle_alloc;
   let iss = Engine.Rng.int env.rng 0x3FFFFFFF in
   {
     env;
@@ -150,7 +153,7 @@ let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
     remote_ip;
     remote_port;
     cookie;
-    handle = !next_handle;
+    handle = !(env.handle_alloc);
     state = Tcp_state.Closed;
     iss;
     snd_una = iss;

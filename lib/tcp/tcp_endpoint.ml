@@ -20,7 +20,13 @@ type t = {
 }
 
 let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
-    ?(metrics_prefix = "tcp") () =
+    ?(metrics_prefix = "tcp") ?handle_alloc () =
+  let handle_alloc =
+    (* Default: a private allocator.  Multi-threaded stacks pass one
+       shared ref per host so flow handles stay unique across their
+       elastic threads (flow migration keeps its key). *)
+    match handle_alloc with Some r -> r | None -> ref 0
+  in
   let tcb_env =
     {
       Tcb.now;
@@ -28,6 +34,7 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
       alloc;
       output = (fun tcb mbuf -> output_raw ~remote_ip:tcb.Tcb.remote_ip mbuf);
       rng;
+      handle_alloc;
       on_teardown = ignore;
       on_established = ignore;
     }

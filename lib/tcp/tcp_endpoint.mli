@@ -15,13 +15,17 @@ val create :
   config:Tcb.config ->
   ?metrics:Ixtelemetry.Metrics.t ->
   ?metrics_prefix:string ->
+  ?handle_alloc:int ref ->
   unit ->
   t
 (** [metrics]/[metrics_prefix] place the endpoint's counters
     ([<prefix>.rx_segs], [<prefix>.connects], [<prefix>.accepts],
     [<prefix>.rsts]) in a telemetry registry ([metrics_prefix] defaults
     to ["tcp"]; a private registry is used when [metrics] is
-    omitted). *)
+    omitted).  [handle_alloc] is the flow-handle allocator: the stacks
+    pass one ref per host so handles are unique across its elastic
+    threads — and owned per sim, so concurrently running simulations
+    allocate deterministically (default: a private allocator). *)
 
 val local_ip : t -> Ixnet.Ip_addr.t
 val config : t -> Tcb.config

@@ -1,0 +1,169 @@
+(* Repository lint: no module-level mutable state in lib/.
+
+   The parallel experiment harness (Engine.Domain_pool) runs whole
+   simulations concurrently on separate domains; a top-level [ref],
+   [Hashtbl], or stray [Atomic] in lib/ is cross-simulation shared
+   state — a data race at worst, nondeterminism at best.  This walks
+   every .ml under the given roots and flags column-0 *value* bindings
+   whose right-hand side allocates mutable state.
+
+   Heuristic, not a typechecker: a binding is a column-0 [let] whose
+   name is followed directly by [:] or [=] (parameters mean it's a
+   function, whose body allocates per call — fine).  The header (up to
+   and including the first line of the right-hand side) is scanned for
+   the tokens [ref], [Hashtbl.create] and [Atomic.make] at word
+   boundaries.  Deliberate, documented exceptions go on the allowlist
+   below. *)
+
+let allowlist =
+  [
+    (* The engine-wide event meter: a deliberate Atomic aggregate,
+       flushed per completed run. *)
+    ("engine/sim.ml", "global_executed");
+    (* Debug-only mbuf ids: Atomic so concurrent sims don't race; ids
+       are documented as interleaving-dependent. *)
+    ("mem/mbuf.ml", "next_id");
+    (* Domain-local by construction (Domain.DLS). *)
+    ("engine/domain_pool.ml", "in_task_key");
+  ]
+
+let forbidden_tokens = [ "ref"; "Hashtbl.create"; "Atomic.make" ]
+
+let is_word_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' | '.' -> true
+  | _ -> false
+
+(* [tok] present in [line] with non-identifier characters (and no '.')
+   on both sides, so "ref" does not match "prefix" or "Mbuf.decref". *)
+let contains_token line tok =
+  let nl = String.length line and nt = String.length tok in
+  let rec at i =
+    if i + nt > nl then false
+    else if
+      String.sub line i nt = tok
+      && (i = 0 || not (is_word_char line.[i - 1]))
+      && (i + nt = nl || not (is_word_char line.[i + nt]))
+    then true
+    else at (i + 1)
+  in
+  at 0
+
+let is_ident_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Parse "let [rec] <name>" at column 0 and return the binding name iff
+   the next non-space character is ':' or '=' — i.e. a value binding
+   with no parameters.  "let () = ..." and function bindings return
+   None. *)
+let value_binding_name line =
+  let n = String.length line in
+  let skip_ws i =
+    let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+    go i
+  in
+  let starts_with_at pre i =
+    i + String.length pre <= n && String.sub line i (String.length pre) = pre
+  in
+  if not (starts_with_at "let " 0) then None
+  else
+    let i = skip_ws 4 in
+    let i = if starts_with_at "rec " i then skip_ws (i + 4) else i in
+    let j =
+      let rec go j = if j < n && is_ident_char line.[j] then go (j + 1) else j in
+      go i
+    in
+    if j = i then None
+    else
+      let name = String.sub line i (j - i) in
+      let k = skip_ws j in
+      if k < n && (line.[k] = ':' || line.[k] = '=') then Some name else None
+
+(* The binding "header": the let-line, extended while no '=' has
+   appeared yet, plus one more line when '=' ends the line (the
+   right-hand side starts on the next). *)
+let binding_header lines i =
+  let n = Array.length lines in
+  let buf = Buffer.create 128 in
+  let rec collect i seen_eq =
+    if i >= n then Buffer.contents buf
+    else begin
+      Buffer.add_string buf lines.(i);
+      Buffer.add_char buf ' ';
+      let line = lines.(i) in
+      let has_eq = seen_eq || String.contains line '=' in
+      let rhs_started =
+        has_eq
+        &&
+        match String.rindex_opt line '=' with
+        | Some p -> String.trim (String.sub line (p + 1) (String.length line - p - 1)) <> ""
+        | None -> true
+      in
+      if rhs_started then Buffer.contents buf
+      else collect (i + 1) has_eq
+    end
+  in
+  collect i false
+
+let failures = ref []
+
+let lint_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  Array.iteri
+    (fun i line ->
+      match value_binding_name line with
+      | None -> ()
+      | Some name ->
+          let allowed =
+            List.exists
+              (fun (suffix, n) ->
+                n = name
+                && String.length path >= String.length suffix
+                && String.sub path
+                     (String.length path - String.length suffix)
+                     (String.length suffix)
+                   = suffix)
+              allowlist
+          in
+          if not allowed then
+            let header = binding_header lines i in
+            List.iter
+              (fun tok ->
+                if contains_token header tok then
+                  failures :=
+                    Printf.sprintf "%s:%d: top-level `%s` binds mutable state (%s)"
+                      path (i + 1) name tok
+                    :: !failures)
+              forbidden_tokens)
+    lines
+
+let rec walk dir =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path
+      else if Filename.check_suffix path ".ml" then lint_file path)
+    (Sys.readdir dir)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: rest -> rest
+  in
+  List.iter walk roots;
+  match List.rev !failures with
+  | [] -> print_endline "lint-globals: no module-level mutable state in lib/"
+  | fs ->
+      List.iter prerr_endline fs;
+      Printf.eprintf
+        "lint-globals: %d top-level mutable binding(s).  Thread state through \
+         the simulation instead (see DESIGN.md, \"parallel harness\"), or add \
+         a documented allowlist entry in test/lint_globals.ml.\n"
+        (List.length fs);
+      exit 1

@@ -144,6 +144,7 @@ let test_ece_echoed_on_ce () =
           | Error _ -> ());
           Mbuf.decref mbuf);
       rng = Engine.Rng.create ~seed:1;
+      handle_alloc = ref 0;
       on_teardown = ignore;
       on_established = ignore;
     }

@@ -1,0 +1,150 @@
+(* Domain_pool: the multicore fan-out primitive behind the parallel
+   experiment harness.  The property under test is the determinism
+   contract — [map] returns exactly what [List.map (fun f -> f ()) fs]
+   would, in submission order, no matter which domain runs which task
+   or how long each takes — plus the error paths: lowest-index
+   exception propagation, nested-submit rejection, and shutdown. *)
+
+module Pool = Engine.Domain_pool
+
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+(* Data-dependent busy work so tasks finish out of submission order. *)
+let burn n =
+  let acc = ref 0 in
+  for i = 1 to n * 1_000 do
+    acc := !acc + (i land 7)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let test_map_ordered () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 32 in
+      let fs =
+        List.init n (fun i () ->
+            (* Earlier tasks burn longer, so completion order inverts
+               submission order when domains run them concurrently. *)
+            burn (n - i);
+            i * i)
+      in
+      check_ints "results in submission order" (List.init n (fun i -> i * i))
+        (Pool.map pool fs))
+
+let test_map_empty () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check_ints "empty batch" [] (Pool.map pool []))
+
+let test_pool_reuse () =
+  (* Several batches through one pool; each must be independent. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      for round = 1 to 5 do
+        let fs = List.init 8 (fun i () -> (round * 100) + i) in
+        check_ints
+          (Printf.sprintf "round %d" round)
+          (List.init 8 (fun i -> (round * 100) + i))
+          (Pool.map pool fs)
+      done)
+
+let test_jobs1_inline () =
+  (* jobs = 1 spawns no domains: tasks run inline on the caller, in
+     order — observable via shared (domain-local) state. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check_int "jobs" 1 (Pool.jobs pool);
+      let trace = ref [] in
+      let fs = List.init 5 (fun i () -> trace := i :: !trace; i) in
+      check_ints "results" [ 0; 1; 2; 3; 4 ] (Pool.map pool fs);
+      check_ints "executed in submission order" [ 0; 1; 2; 3; 4 ]
+        (List.rev !trace))
+
+exception Task_failed of int
+
+let test_exception_lowest_index () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let fs =
+        List.init 16 (fun i () ->
+            burn (16 - i);
+            if i = 11 || i = 3 || i = 7 then raise (Task_failed i);
+            i)
+      in
+      match Pool.map pool fs with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Task_failed i ->
+          check_int "lowest failing index wins" 3 i;
+          (* The pool survives a failed batch. *)
+          check_ints "next batch runs" [ 7 ]
+            (Pool.map pool [ (fun () -> 7) ]))
+
+let test_nested_submit_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match Pool.map pool [ (fun () -> Pool.map pool [ (fun () -> 0) ]) ] with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_map_after_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  match Pool.map pool [ (fun () -> 0) ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_with_pool_shuts_down_on_exception () =
+  (* Fun.protect must shut the pool down even when the body raises;
+     the raise must come through untranslated. *)
+  match Pool.with_pool ~jobs:2 (fun _ -> raise (Task_failed 42)) with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Task_failed i -> check_int "body exception surfaces" 42 i
+
+let test_create_invalid_jobs () =
+  match Pool.create ~jobs:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_map_jobs_matches_sequential () =
+  let fs = List.init 20 (fun i () -> burn (i mod 5); (i * 17) mod 23) in
+  let sequential = List.map (fun f -> f ()) fs in
+  check_ints "map_jobs ~jobs:1" sequential (Pool.map_jobs ~jobs:1 fs);
+  check_ints "map_jobs ~jobs:4" sequential (Pool.map_jobs ~jobs:4 fs)
+
+(* The determinism property, under randomized task counts, durations
+   and pool widths: parallel map ≡ sequential List.map. *)
+let prop_map_is_list_map =
+  QCheck.Test.make ~name:"map ≡ List.map under random durations/jobs" ~count:25
+    QCheck.(pair (int_bound 3) (small_list (int_bound 40)))
+    (fun (extra_jobs, work) ->
+      let jobs = 1 + extra_jobs in
+      let mk w i () =
+        burn w;
+        (i * 31) + w
+      in
+      let fs = List.mapi (fun i w -> mk w i) work in
+      Pool.map_jobs ~jobs fs = List.map (fun f -> f ()) fs)
+
+let () =
+  Alcotest.run "domain_pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "submission-order results" `Quick test_map_ordered;
+          Alcotest.test_case "empty batch" `Quick test_map_empty;
+          Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+          Alcotest.test_case "jobs=1 runs inline in order" `Quick
+            test_jobs1_inline;
+          Alcotest.test_case "map_jobs matches sequential" `Quick
+            test_map_jobs_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_map_is_list_map;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "lowest-index exception propagates" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "nested submit rejected" `Quick
+            test_nested_submit_rejected;
+          Alcotest.test_case "map after shutdown rejected" `Quick
+            test_map_after_shutdown;
+          Alcotest.test_case "with_pool cleans up on exception" `Quick
+            test_with_pool_shuts_down_on_exception;
+          Alcotest.test_case "jobs < 1 rejected" `Quick test_create_invalid_jobs;
+        ] );
+    ]

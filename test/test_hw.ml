@@ -53,12 +53,12 @@ let prop_toeplitz_symmetric_key =
   QCheck.Test.make ~name:"symmetric key gives direction-independent hash" ~count:200
     QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 0xFFFF) (int_bound 0xFFFF))
     (fun (a, b, pa, pb) ->
-      let key = Toeplitz.symmetric_key in
+      let lut = Toeplitz.lut_of_key Toeplitz.symmetric_key in
       let h1 =
-        Toeplitz.hash_tuple ~key ~src_ip:(ip a) ~dst_ip:(ip b) ~src_port:pa ~dst_port:pb ()
+        Toeplitz.hash_tuple ~lut ~src_ip:(ip a) ~dst_ip:(ip b) ~src_port:pa ~dst_port:pb ()
       in
       let h2 =
-        Toeplitz.hash_tuple ~key ~src_ip:(ip b) ~dst_ip:(ip a) ~src_port:pb ~dst_port:pa ()
+        Toeplitz.hash_tuple ~lut ~src_ip:(ip b) ~dst_ip:(ip a) ~src_port:pb ~dst_port:pa ()
       in
       h1 = h2)
 

@@ -497,6 +497,7 @@ let make_tcb ~local_port ~remote_ip ~remote_port =
       alloc = (fun () -> None);
       output = (fun _ _ -> ());
       rng = Engine.Rng.create ~seed:7;
+      handle_alloc = ref 0;
       on_teardown = (fun _ -> ());
       on_established = (fun _ -> ());
     }
