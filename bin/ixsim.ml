@@ -96,6 +96,27 @@ let jobs_arg =
            in submission order and are bit-identical to a sequential \
            run with the same seeds.")
 
+(* --fast-path=off: the escape hatch disabling TCP header prediction on
+   every stack in the cluster; results must not change, only the
+   fast/slow hit counters. *)
+let fast_path_conv =
+  let parse = function
+    | "on" -> Ok true
+    | "off" -> Ok false
+    | s -> Error (`Msg (Printf.sprintf "expected on or off, got %S" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (if b then "on" else "off") in
+  Arg.conv (parse, print)
+
+let fast_path_arg =
+  Arg.(
+    value & opt fast_path_conv true
+    & info [ "fast-path" ] ~docv:"on|off"
+        ~doc:
+          "Enable ($(b,on), default) or disable ($(b,off)) the TCP \
+           header-prediction receive fast path on every stack.  A pure \
+           optimization: $(b,off) must reproduce identical results.")
+
 let cores_arg = Arg.(value & opt int 8 & info [ "c"; "cores" ] ~doc:"Server cores.")
 let ports_arg = Arg.(value & opt int 1 & info [ "p"; "ports" ] ~doc:"Server NIC ports (1 or 4).")
 let size_arg = Arg.(value & opt int 64 & info [ "m"; "msg-size" ] ~doc:"Message size in bytes.")
@@ -103,10 +124,10 @@ let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connect
 let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
 
 let echo_cmd =
-  let run () output () kind cores ports size n batch =
+  let run () output () kind fast_path cores ports size n batch =
     let p =
-      Harness.Experiments.run_echo ~output ~kind ~ports ~cores ~msg_size:size
-        ~msgs_per_conn:n ~batch_bound:batch ()
+      Harness.Experiments.run_echo ~output ~fast_path ~kind ~ports ~cores
+        ~msg_size:size ~msgs_per_conn:n ~batch_bound:batch ()
     in
     Printf.printf "%s: %.2f M msgs/s, %.2f Gbps goodput, p99 %.1f us\n"
       p.Harness.Experiments.label
@@ -115,8 +136,8 @@ let echo_cmd =
   in
   Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
     Term.(
-      const run $ log_term $ output_term $ gc_term $ kind_arg $ cores_arg
-      $ ports_arg $ size_arg $ n_arg $ batch_arg)
+      const run $ log_term $ output_term $ gc_term $ kind_arg $ fast_path_arg
+      $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg)
 
 let breakdown_cmd =
   let run () output () cores size =
@@ -136,11 +157,11 @@ let memcached_cmd =
   let rps_arg =
     Arg.(value & opt float 500_000. & info [ "r"; "rps" ] ~doc:"Target requests/second.")
   in
-  let run () output () kind cores workload rps batch =
+  let run () output () kind fast_path cores workload rps batch =
     let profile = Workloads.Size_dist.by_name workload in
     let r, kshare =
-      Harness.Experiments.run_memcached ~output ~kind ~server_threads:cores
-        ~batch_bound:batch ~profile ~target_rps:rps ()
+      Harness.Experiments.run_memcached ~output ~fast_path ~kind
+        ~server_threads:cores ~batch_bound:batch ~profile ~target_rps:rps ()
     in
     Printf.printf
       "%s/%s @%.0fK target: achieved %.0fK RPS, avg %.1f us, p99 %.1f us, kernel %.0f%%\n"
@@ -155,18 +176,18 @@ let memcached_cmd =
   in
   Cmd.v (Cmd.info "memcached" ~doc:"Run one memcached load point (§5.5).")
     Term.(
-      const run $ log_term $ output_term $ gc_term $ kind_arg $ cores_arg
-      $ workload_arg $ rps_arg $ batch_arg)
+      const run $ log_term $ output_term $ gc_term $ kind_arg $ fast_path_arg
+      $ cores_arg $ workload_arg $ rps_arg $ batch_arg)
 
 let netpipe_cmd =
-  let run () () kind size =
-    let p = Harness.Experiments.netpipe_once ~kind ~size in
+  let run () () kind fast_path size =
+    let p = Harness.Experiments.netpipe_once ~fast_path ~kind ~size () in
     Printf.printf "%s %dB: one-way %.1f us, goodput %.2f Gbps\n"
       p.Harness.Experiments.system p.Harness.Experiments.size
       p.Harness.Experiments.one_way_us p.Harness.Experiments.gbps
   in
   Cmd.v (Cmd.info "netpipe" ~doc:"Run one NetPIPE ping-pong point (§5.2).")
-    Term.(const run $ log_term $ gc_term $ kind_arg $ size_arg)
+    Term.(const run $ log_term $ gc_term $ kind_arg $ fast_path_arg $ size_arg)
 
 let fig_cmd =
   let module E = Harness.Experiments in

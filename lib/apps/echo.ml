@@ -29,11 +29,16 @@ let server stack ~port ~msg_size ~app_ns =
             (* Hold off the echo until a full message has arrived. *)
             while Buffer.length buffered >= msg_size do
               let msg = Buffer.sub buffered 0 msg_size in
-              let rest =
-                Buffer.sub buffered msg_size (Buffer.length buffered - msg_size)
-              in
-              Buffer.clear buffered;
-              Buffer.add_string buffered rest;
+              (* Common case: exactly one message buffered — skip the
+                 empty-tail copy. *)
+              if Buffer.length buffered = msg_size then Buffer.clear buffered
+              else begin
+                let rest =
+                  Buffer.sub buffered msg_size (Buffer.length buffered - msg_size)
+                in
+                Buffer.clear buffered;
+                Buffer.add_string buffered rest
+              end;
               stack.Net_api.charge_app ~thread app_ns;
               ignore (conn.Net_api.send msg)
             done);

@@ -10,13 +10,20 @@ let stored = 2
 let request_header = 11
 let response_header = 9
 
+(* 32-bit fields are written/read as two 16-bit halves: the Int32
+   spellings box a fresh Int32 per call, and these run on every
+   simulated request and response. *)
+let set_u32 buf off v =
+  Bytes.set_uint16_be buf off ((v lsr 16) land 0xFFFF);
+  Bytes.set_uint16_be buf (off + 2) (v land 0xFFFF)
+
 let encode_request r =
   let keylen = String.length r.key and vallen = String.length r.value in
   let buf = Bytes.create (request_header + keylen + vallen) in
   Bytes.set_uint8 buf 0 (match r.op with Get -> 0 | Set -> 1);
-  Bytes.set_int32_be buf 1 (Int32.of_int r.reqid);
+  set_u32 buf 1 r.reqid;
   Bytes.set_uint16_be buf 5 keylen;
-  Bytes.set_int32_be buf 7 (Int32.of_int vallen);
+  set_u32 buf 7 vallen;
   Bytes.blit_string r.key 0 buf request_header keylen;
   Bytes.blit_string r.value 0 buf (request_header + keylen) vallen;
   Bytes.unsafe_to_string buf
@@ -25,8 +32,8 @@ let encode_response r =
   let vallen = String.length r.value in
   let buf = Bytes.create (response_header + vallen) in
   Bytes.set_uint8 buf 0 r.status;
-  Bytes.set_int32_be buf 1 (Int32.of_int r.reqid);
-  Bytes.set_int32_be buf 5 (Int32.of_int vallen);
+  set_u32 buf 1 r.reqid;
+  set_u32 buf 5 vallen;
   Bytes.blit_string r.value 0 buf response_header vallen;
   Bytes.unsafe_to_string buf
 
@@ -71,7 +78,11 @@ module Parser = struct
 
   let u8 t off = Bytes.get_uint8 t.buf (t.start + off)
   let u16 t off = Bytes.get_uint16_be t.buf (t.start + off)
-  let i32 t off = Int32.to_int (Bytes.get_int32_be t.buf (t.start + off))
+
+  (* Unsigned 32-bit read without boxing an Int32.  A negative length
+     written by a hostile peer reads back as a value above the protocol
+     maxima, so the corruption checks below still poison the stream. *)
+  let i32 t off = (u16 t off lsl 16) lor u16 t (off + 2)
   let str t off len = Bytes.sub_string t.buf (t.start + off) len
 
   let next_request t =

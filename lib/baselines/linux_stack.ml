@@ -62,7 +62,7 @@ type socket = {
   tcb : Tcb.t;
   conn : Net_api.conn;
   mutable handlers : Net_api.handlers;
-  mutable rx_chunks : string list; (* reversed *)
+  rx_buf : Buffer.t; (* socket receive queue, drained at read(2) time *)
   mutable rx_bytes : int;
   mutable backlog : Iovec.t list; (* bytes send() took beyond the TCP budget *)
   mutable in_ready : bool;
@@ -99,27 +99,30 @@ type core_ctx = {
   c_pkts : Metrics.counter;
   c_wakeups : Metrics.counter;
   c_syscalls : Metrics.counter;
+  (* NAPI polls through this reusable array ([Nic.rx_burst_into]); the
+     seed mbuf is inert filler for unclaimed slots. *)
+  rx_scratch : Mbuf.t array;
+  (* Per-core decoded-header scratch records (see lib/net decode_into):
+     valid only while the current frame is inside [process_frame]. *)
+  eth_scratch : Ixnet.Ethernet.t;
+  ip_scratch : Ixnet.Ipv4_packet.t;
+  seg_scratch : Seg.t;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Outbound path                                                       *)
 
 let ethernet_frame ctx ~remote_ip mbuf =
-  Ixnet.Ipv4_packet.prepend mbuf
-    {
-      Ixnet.Ipv4_packet.src = Tcp_endpoint.local_ip (Option.get ctx.ep);
-      dst = remote_ip;
-      protocol = Ixnet.Ipv4_packet.Tcp;
-      ttl = 64;
-      ecn = 0;
-      payload_len = mbuf.Mbuf.len;
-    };
-  match Hashtbl.find_opt ctx.arp remote_ip with
-  | Some mac ->
-      Ixnet.Ethernet.prepend mbuf
-        { Ixnet.Ethernet.dst = mac; src = Nic.mac ctx.tx_nic; ethertype = Ixnet.Ethernet.Ipv4 };
+  Ixnet.Ipv4_packet.prepend_fields mbuf
+    ~src:(Tcp_endpoint.local_ip (Option.get ctx.ep))
+    ~dst:remote_ip ~protocol:Ixnet.Ipv4_packet.Tcp ~ttl:64 ~ecn:0
+    ~payload_len:mbuf.Mbuf.len;
+  match Hashtbl.find ctx.arp remote_ip with
+  | mac ->
+      Ixnet.Ethernet.prepend_fields mbuf ~dst:mac ~src:(Nic.mac ctx.tx_nic)
+        ~ethertype:Ixnet.Ethernet.Ipv4;
       Some mbuf
-  | None ->
+  | exception Not_found ->
       (* Kernel ARP: park the datagram, broadcast a request. *)
       let parked = Option.value ~default:[] (Hashtbl.find_opt ctx.arp_parked remote_ip) in
       Hashtbl.replace ctx.arp_parked remote_ip (mbuf :: parked);
@@ -200,8 +203,8 @@ and app_run ctx =
         charge_k ctx.costs.epoll_event_ns;
         (* read(2): copy the receive queue out to user space. *)
         if socket.rx_bytes > 0 then begin
-          let data = String.concat "" (List.rev socket.rx_chunks) in
-          socket.rx_chunks <- [];
+          let data = Buffer.contents socket.rx_buf in
+          Buffer.clear socket.rx_buf;
           socket.rx_bytes <- 0;
           Metrics.incr ctx.c_syscalls;
           charge_k ctx.costs.syscall_ns;
@@ -252,35 +255,52 @@ let rec do_irq ctx =
      GRO: consecutive in-order segments of the same flow aggregate, so
      follow-up packets of a bulk stream cost a fraction of the first
      (this is what lets 2014-era Linux stream at several Gbit/s). *)
-  let tuple_of mbuf =
-    if mbuf.Mbuf.len >= 38 then
-      Some (Bytes.sub_string mbuf.Mbuf.buf (mbuf.Mbuf.off + 26) 12)
-    else None
+  (* The GRO flow key is the 12 bytes (src ip, dst ip, ports) starting
+     at the IPv4 source address; packed into two immediate ints so the
+     per-packet comparison allocates nothing. *)
+  let key_a mbuf =
+    let b = mbuf.Mbuf.buf and o = mbuf.Mbuf.off in
+    (Bytes.get_uint16_be b (o + 26) lsl 32)
+    lor (Bytes.get_uint16_be b (o + 28) lsl 16)
+    lor Bytes.get_uint16_be b (o + 30)
+  and key_b mbuf =
+    let b = mbuf.Mbuf.buf and o = mbuf.Mbuf.off in
+    (Bytes.get_uint16_be b (o + 32) lsl 32)
+    lor (Bytes.get_uint16_be b (o + 34) lsl 16)
+    lor Bytes.get_uint16_be b (o + 36)
   in
   let rec napi () =
     let processed = ref 0 in
     List.iter
       (fun (_, q) ->
-        let burst = Nic.rx_burst q ~max:64 in
-        Nic.replenish q (List.length burst);
-        let prev = ref None in
-        List.iter
-          (fun mbuf ->
-            incr processed;
-            Metrics.incr ctx.c_pkts;
-            let tuple = tuple_of mbuf in
-            if Option.is_some tuple && tuple = !prev then
+        let n = Nic.rx_burst_into q ~into:ctx.rx_scratch ~off:0 ~max:64 in
+        Nic.replenish q n;
+        let prev_valid = ref false and prev_a = ref 0 and prev_b = ref 0 in
+        for i = 0 to n - 1 do
+          let mbuf = ctx.rx_scratch.(i) in
+          incr processed;
+          Metrics.incr ctx.c_pkts;
+          if mbuf.Mbuf.len >= 38 then begin
+            let a = key_a mbuf and b = key_b mbuf in
+            if !prev_valid && a = !prev_a && b = !prev_b then
               charge (ctx.costs.softirq_pkt_ns / 3)
             else charge ctx.costs.softirq_pkt_ns;
-            prev := tuple;
-            (match ctx.cache with
-            | Some cm ->
-                charge
-                  (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(ctx.conn_count)
-                  / 2)
-            | None -> ());
-            process_frame ctx mbuf)
-          burst)
+            prev_valid := true;
+            prev_a := a;
+            prev_b := b
+          end
+          else begin
+            charge ctx.costs.softirq_pkt_ns;
+            prev_valid := false
+          end;
+          (match ctx.cache with
+          | Some cm ->
+              charge
+                (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(ctx.conn_count)
+                / 2)
+          | None -> ());
+          process_frame ctx mbuf
+        done)
       ctx.queues;
     if !processed > 0 then napi ()
   in
@@ -291,31 +311,29 @@ let rec do_irq ctx =
   if ctx.ready <> [] then schedule_app ctx
 
 and process_frame ctx mbuf =
-  (match Ixnet.Ethernet.decode mbuf with
-  | Error _ -> ()
-  | Ok eth -> (
-      match eth.Ixnet.Ethernet.ethertype with
-      | Ixnet.Ethernet.Arp -> process_arp ctx mbuf
-      | Ixnet.Ethernet.Ipv4 -> (
-          match Ixnet.Ipv4_packet.decode mbuf with
-          | Error _ -> ()
-          | Ok ip -> (
-              match ip.Ixnet.Ipv4_packet.protocol with
-              | Ixnet.Ipv4_packet.Tcp -> (
-                  match
-                    Seg.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src
-                      ~dst:ip.Ixnet.Ipv4_packet.dst
-                  with
-                  | Error _ -> ()
-                  | Ok seg ->
-                      Tcp_endpoint.rx_segment
-                        ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
-                        (Option.get ctx.ep) ~src_ip:ip.Ixnet.Ipv4_packet.src seg
-                        mbuf)
-              | Ixnet.Ipv4_packet.Udp | Ixnet.Ipv4_packet.Icmp
-              | Ixnet.Ipv4_packet.Other _ ->
-                  ()))
-      | Ixnet.Ethernet.Other _ -> ()));
+  (* Scratch-record decode: the records are per-core and only valid
+     until the next frame; rx_segment reads, never retains, them. *)
+  (if Ixnet.Ethernet.decode_into mbuf ctx.eth_scratch then
+     match ctx.eth_scratch.Ixnet.Ethernet.ethertype with
+     | Ixnet.Ethernet.Arp -> process_arp ctx mbuf
+     | Ixnet.Ethernet.Ipv4 ->
+         let ip = ctx.ip_scratch in
+         if Ixnet.Ipv4_packet.decode_into mbuf ip then begin
+           match ip.Ixnet.Ipv4_packet.protocol with
+           | Ixnet.Ipv4_packet.Tcp ->
+               if
+                 Seg.decode_into mbuf ~src:ip.Ixnet.Ipv4_packet.src
+                   ~dst:ip.Ixnet.Ipv4_packet.dst ctx.seg_scratch
+               then
+                 Tcp_endpoint.rx_segment
+                   ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
+                   (Option.get ctx.ep) ~src_ip:ip.Ixnet.Ipv4_packet.src
+                   ctx.seg_scratch mbuf
+           | Ixnet.Ipv4_packet.Udp | Ixnet.Ipv4_packet.Icmp
+           | Ixnet.Ipv4_packet.Other _ ->
+               ()
+         end
+     | Ixnet.Ethernet.Other _ -> ());
   Mbuf.decref mbuf
 
 and process_arp ctx mbuf =
@@ -434,7 +452,7 @@ let make_socket ctx tcb =
          tcb;
          conn;
          handlers = Net_api.null_handlers;
-         rx_chunks = [];
+         rx_buf = Buffer.create 64;
          rx_bytes = 0;
          backlog = [];
          in_ready = false;
@@ -450,7 +468,7 @@ let make_socket ctx tcb =
     (fun mbuf off len ->
       (* skb chain appended to the socket receive queue (no user copy
          yet — that happens at read(2) time). *)
-      s.rx_chunks <- Bytes.sub_string mbuf.Mbuf.buf off len :: s.rx_chunks;
+      Buffer.add_subbytes s.rx_buf mbuf.Mbuf.buf off len;
       s.rx_bytes <- s.rx_bytes + len;
       Mbuf.decref mbuf;
       mark_ready ctx s;
@@ -513,6 +531,10 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           c_pkts = c "pkts";
           c_wakeups = c "wakeups";
           c_syscalls = c "syscalls";
+          rx_scratch = Array.make 64 (Mbuf.create ~size:1 ());
+          eth_scratch = Ixnet.Ethernet.scratch ();
+          ip_scratch = Ixnet.Ipv4_packet.scratch ();
+          seg_scratch = Seg.scratch ();
         })
   in
   (* One flow-handle allocator per stack, shared across its contexts,

@@ -55,7 +55,7 @@ type socket = {
   tcb : Tcb.t;
   conn : Net_api.conn;
   mutable handlers : Net_api.handlers;
-  mutable rx_chunks : string list;
+  rx_buf : Buffer.t; (* receive queue, drained at mtcp_read time *)
   mutable rx_bytes : int;
   mutable backlog : Iovec.t list;
   mutable in_ready : bool;
@@ -85,6 +85,14 @@ type core_ctx = {
   c_rounds : Metrics.counter;
   c_pkts : Metrics.counter;
   c_api_calls : Metrics.counter;
+  (* Stack-thread poll fills this reusable array ([Nic.rx_burst_into]);
+     the seed mbuf is inert filler for unclaimed slots. *)
+  rx_scratch : Mbuf.t array;
+  (* Per-core decoded-header scratch records (see lib/net decode_into):
+     valid only while the current frame is inside [process_frame]. *)
+  eth_scratch : Ixnet.Ethernet.t;
+  ip_scratch : Ixnet.Ipv4_packet.t;
+  seg_scratch : Seg.t;
 }
 
 let charge_k ctx ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns)
@@ -99,21 +107,16 @@ let tx_frame ctx frame =
 
 let output_raw ctx ~remote_ip mbuf =
   charge_k ctx ctx.costs.proto_tx_ns;
-  Ixnet.Ipv4_packet.prepend mbuf
-    {
-      Ixnet.Ipv4_packet.src = Tcp_endpoint.local_ip (Option.get ctx.ep);
-      dst = remote_ip;
-      protocol = Ixnet.Ipv4_packet.Tcp;
-      ttl = 64;
-      ecn = 0;
-      payload_len = mbuf.Mbuf.len;
-    };
-  match Hashtbl.find_opt ctx.arp remote_ip with
-  | Some mac ->
-      Ixnet.Ethernet.prepend mbuf
-        { Ixnet.Ethernet.dst = mac; src = Nic.mac ctx.tx_nic; ethertype = Ixnet.Ethernet.Ipv4 };
+  Ixnet.Ipv4_packet.prepend_fields mbuf
+    ~src:(Tcp_endpoint.local_ip (Option.get ctx.ep))
+    ~dst:remote_ip ~protocol:Ixnet.Ipv4_packet.Tcp ~ttl:64 ~ecn:0
+    ~payload_len:mbuf.Mbuf.len;
+  match Hashtbl.find ctx.arp remote_ip with
+  | mac ->
+      Ixnet.Ethernet.prepend_fields mbuf ~dst:mac ~src:(Nic.mac ctx.tx_nic)
+        ~ethertype:Ixnet.Ethernet.Ipv4;
       tx_frame ctx mbuf
-  | None ->
+  | exception Not_found ->
       let parked = Option.value ~default:[] (Hashtbl.find_opt ctx.arp_parked remote_ip) in
       Hashtbl.replace ctx.arp_parked remote_ip (mbuf :: parked);
       (match Mempool.alloc ctx.pool with
@@ -168,8 +171,8 @@ and app_round ctx =
           s.handlers.Net_api.on_connected s.conn ~ok
       | None -> ());
       if s.rx_bytes > 0 then begin
-        let data = String.concat "" (List.rev s.rx_chunks) in
-        s.rx_chunks <- [];
+        let data = Buffer.contents s.rx_buf in
+        Buffer.clear s.rx_buf;
         s.rx_bytes <- 0;
         Metrics.incr ctx.c_api_calls;
                charge_u ctx ctx.costs.api_call_ns;
@@ -207,30 +210,29 @@ and app_round ctx =
 let rec process_frame ctx mbuf =
   Metrics.incr ctx.c_pkts;
   charge_k ctx ctx.costs.stack_pkt_ns;
-  (match Ixnet.Ethernet.decode mbuf with
-  | Error _ -> ()
-  | Ok eth -> (
-      match eth.Ixnet.Ethernet.ethertype with
-      | Ixnet.Ethernet.Arp -> process_arp ctx mbuf
-      | Ixnet.Ethernet.Ipv4 -> (
-          match Ixnet.Ipv4_packet.decode mbuf with
-          | Error _ -> ()
-          | Ok ip -> (
-              match ip.Ixnet.Ipv4_packet.protocol with
-              | Ixnet.Ipv4_packet.Tcp -> (
-                  match
-                    Seg.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src ~dst:ip.Ixnet.Ipv4_packet.dst
-                  with
-                  | Error _ -> ()
-                  | Ok seg ->
-                      Tcp_endpoint.rx_segment
-                        ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
-                        (Option.get ctx.ep) ~src_ip:ip.Ixnet.Ipv4_packet.src seg
-                        mbuf)
-              | Ixnet.Ipv4_packet.Udp | Ixnet.Ipv4_packet.Icmp
-              | Ixnet.Ipv4_packet.Other _ ->
-                  ()))
-      | Ixnet.Ethernet.Other _ -> ()));
+  (* Scratch-record decode: the records are per-core and only valid
+     until the next frame; rx_segment reads, never retains, them. *)
+  (if Ixnet.Ethernet.decode_into mbuf ctx.eth_scratch then
+     match ctx.eth_scratch.Ixnet.Ethernet.ethertype with
+     | Ixnet.Ethernet.Arp -> process_arp ctx mbuf
+     | Ixnet.Ethernet.Ipv4 ->
+         let ip = ctx.ip_scratch in
+         if Ixnet.Ipv4_packet.decode_into mbuf ip then begin
+           match ip.Ixnet.Ipv4_packet.protocol with
+           | Ixnet.Ipv4_packet.Tcp ->
+               if
+                 Seg.decode_into mbuf ~src:ip.Ixnet.Ipv4_packet.src
+                   ~dst:ip.Ixnet.Ipv4_packet.dst ctx.seg_scratch
+               then
+                 Tcp_endpoint.rx_segment
+                   ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
+                   (Option.get ctx.ep) ~src_ip:ip.Ixnet.Ipv4_packet.src
+                   ctx.seg_scratch mbuf
+           | Ixnet.Ipv4_packet.Udp | Ixnet.Ipv4_packet.Icmp
+           | Ixnet.Ipv4_packet.Other _ ->
+               ()
+         end
+     | Ixnet.Ethernet.Other _ -> ());
   Mbuf.decref mbuf
 
 and process_arp ctx mbuf =
@@ -281,9 +283,11 @@ and stack_poll ctx =
   ctx.stack_scheduled <- false;
   List.iter
     (fun (_, q) ->
-      let burst = Nic.rx_burst q ~max:256 in
-      Nic.replenish q (List.length burst);
-      List.iter (process_frame ctx) burst)
+      let n = Nic.rx_burst_into q ~into:ctx.rx_scratch ~off:0 ~max:256 in
+      Nic.replenish q n;
+      for i = 0 to n - 1 do
+        process_frame ctx ctx.rx_scratch.(i)
+      done)
     ctx.queues;
   Wheel.advance ctx.wheel ~now:(Sim.now ctx.sim);
   arm_timer_wakeup ctx;
@@ -352,7 +356,7 @@ let make_socket ctx tcb =
          tcb;
          conn;
          handlers = Net_api.null_handlers;
-         rx_chunks = [];
+         rx_buf = Buffer.create 64;
          rx_bytes = 0;
          backlog = [];
          in_ready = false;
@@ -365,7 +369,7 @@ let make_socket ctx tcb =
   let cbs = tcb.Tcb.callbacks in
   cbs.Tcb.on_recv <-
     (fun mbuf off len ->
-      s.rx_chunks <- Bytes.sub_string mbuf.Mbuf.buf off len :: s.rx_chunks;
+      Buffer.add_subbytes s.rx_buf mbuf.Mbuf.buf off len;
       s.rx_bytes <- s.rx_bytes + len;
       Mbuf.decref mbuf;
       mark_ready ctx s;
@@ -418,6 +422,10 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           c_rounds = c "rounds";
           c_pkts = c "pkts";
           c_api_calls = c "api_calls";
+          rx_scratch = Array.make 256 (Mbuf.create ~size:1 ());
+          eth_scratch = Ixnet.Ethernet.scratch ();
+          ip_scratch = Ixnet.Ipv4_packet.scratch ();
+          seg_scratch = Seg.scratch ();
         })
   in
   (* One flow-handle allocator per stack, shared across its contexts,

@@ -1,6 +1,19 @@
-type t = { mutable limit : int; mutable cycle_count : int; mutable packet_count : int }
+type t = {
+  mutable limit : int;
+  mutable cycle_count : int;
+  mutable packet_count : int;
+  mutable tx_burst_count : int;
+  mutable tx_packet_count : int;
+}
 
-let create ?(bound = 64) () = { limit = bound; cycle_count = 0; packet_count = 0 }
+let create ?(bound = 64) () =
+  {
+    limit = bound;
+    cycle_count = 0;
+    packet_count = 0;
+    tx_burst_count = 0;
+    tx_packet_count = 0;
+  }
 let bound t = t.limit
 let set_bound t b = t.limit <- max 1 b
 
@@ -18,3 +31,16 @@ let packets t = t.packet_count
 let mean_batch t =
   if t.cycle_count = 0 then 0.
   else float_of_int t.packet_count /. float_of_int t.cycle_count
+
+let note_tx t n =
+  if n > 0 then begin
+    t.tx_burst_count <- t.tx_burst_count + 1;
+    t.tx_packet_count <- t.tx_packet_count + n
+  end
+
+let tx_bursts t = t.tx_burst_count
+let tx_packets t = t.tx_packet_count
+
+let mean_tx_burst t =
+  if t.tx_burst_count = 0 then 0.
+  else float_of_int t.tx_packet_count /. float_of_int t.tx_burst_count

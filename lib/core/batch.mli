@@ -28,3 +28,15 @@ val packets : t -> int
 val mean_batch : t -> float
 (** Average admitted batch size (a congestion signal the control plane
     can read). *)
+
+val note_tx : t -> int -> unit
+(** Record one TX burst of [n] segments leaving the cycle ([n = 0] is
+    ignored).  Each burst costs exactly one PCIe doorbell write no
+    matter how many segments it carries; these statistics make that
+    amortization observable. *)
+
+val tx_bursts : t -> int
+val tx_packets : t -> int
+
+val mean_tx_burst : t -> float
+(** Average segments per TX doorbell write. *)

@@ -87,6 +87,13 @@ type t = {
   mutable rx_scratch : Mbuf.t array;
   mutable tx_buf : Mbuf.t array;
   mutable tx_len : int;
+  (* Per-dataplane decoded-header scratch records, refilled by
+     [decode_into] for every frame of the RX batch.  Ownership rule:
+     valid only while the current frame is being processed — nothing
+     may hold one across a yield or into the staged-event phase. *)
+  eth_scratch : Ixnet.Ethernet.t;
+  ip_scratch : Ixnet.Ipv4_packet.t;
+  seg_scratch : Seg.t;
   mutable kernel_ns_acc : int;
   mutable user_ns_acc : int;
   mutable state : state;
@@ -133,8 +140,8 @@ let stage_tx t mbuf =
   Metrics.incr t.c_tx_pkts
 
 let ethernet_to t ~dst_mac mbuf =
-  Ixnet.Ethernet.prepend mbuf
-    { Ixnet.Ethernet.dst = dst_mac; src = Nic.mac t.tx_nic; ethertype = Ixnet.Ethernet.Ipv4 }
+  Ixnet.Ethernet.prepend_fields mbuf ~dst:dst_mac ~src:(Nic.mac t.tx_nic)
+    ~ethertype:Ixnet.Ethernet.Ipv4
 
 let send_arp t ~op ~target_ip ~target_mac =
   match Mempool.alloc t.pool with
@@ -172,15 +179,8 @@ let output_raw t ~remote_ip mbuf =
   charge_kernel t t.costs.proto_tx_ns;
   if not t.zero_copy then
     charge_kernel t (t.costs.copy_ns_per_kb * mbuf.Mbuf.len / 1024);
-  Ixnet.Ipv4_packet.prepend mbuf
-    {
-      Ixnet.Ipv4_packet.src = t.local_ip;
-      dst = remote_ip;
-      protocol = Ixnet.Ipv4_packet.Tcp;
-      ttl = 64;
-      ecn = 0;
-      payload_len = mbuf.Mbuf.len;
-    };
+  Ixnet.Ipv4_packet.prepend_fields mbuf ~src:t.local_ip ~dst:remote_ip
+    ~protocol:Ixnet.Ipv4_packet.Tcp ~ttl:64 ~ecn:0 ~payload_len:mbuf.Mbuf.len;
   resolve_and_frame t ~remote_ip mbuf
 
 (* ------------------------------------------------------------------ *)
@@ -311,15 +311,9 @@ let exec_syscall t (sc, on_result) =
           Ixnet.Udp_packet.prepend mbuf ~src:t.local_ip ~dst:dst_ip ~src_port
             ~dst_port;
           charge_kernel t t.costs.proto_tx_ns;
-          Ixnet.Ipv4_packet.prepend mbuf
-            {
-              Ixnet.Ipv4_packet.src = t.local_ip;
-              dst = dst_ip;
-              protocol = Ixnet.Ipv4_packet.Udp;
-              ttl = 64;
-              ecn = 0;
-              payload_len = mbuf.Mbuf.len;
-            };
+          Ixnet.Ipv4_packet.prepend_fields mbuf ~src:t.local_ip ~dst:dst_ip
+            ~protocol:Ixnet.Ipv4_packet.Udp ~ttl:64 ~ecn:0
+            ~payload_len:mbuf.Mbuf.len;
           resolve_and_frame t ~remote_ip:dst_ip mbuf;
           on_result total)
 
@@ -367,24 +361,26 @@ let process_icmp t ~src_ip mbuf =
   | Ok reply -> t.ping_handler ~src_ip reply
 
 let process_ipv4 t mbuf =
-  match Ixnet.Ipv4_packet.decode mbuf with
-  | Error _ -> ()
-  | Ok ip -> (
+  (* Scratch-record decode: [ip]/[seg] are the dataplane's reusable
+     records, valid only for this frame (rx_segment and everything
+     below it reads, never retains, them). *)
+  let ip = t.ip_scratch in
+  if Ixnet.Ipv4_packet.decode_into mbuf ip then begin
       if ip.Ixnet.Ipv4_packet.dst = t.local_ip then begin
         match ip.Ixnet.Ipv4_packet.protocol with
-        | Ixnet.Ipv4_packet.Tcp -> (
-            match
-              Seg.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src ~dst:ip.Ixnet.Ipv4_packet.dst
-            with
-            | Error _ -> ()
-            | Ok seg ->
-                if
-                  Policy.admit t.pol ~now:(now t) ~src_ip:ip.Ixnet.Ipv4_packet.src
-                    ~dst_port:seg.Seg.dst_port ~len:mbuf.Mbuf.len
-                then
-                  Tcp_endpoint.rx_segment
-                    ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
-                    (endpoint t) ~src_ip:ip.Ixnet.Ipv4_packet.src seg mbuf)
+        | Ixnet.Ipv4_packet.Tcp ->
+            let seg = t.seg_scratch in
+            if
+              Seg.decode_into mbuf ~src:ip.Ixnet.Ipv4_packet.src
+                ~dst:ip.Ixnet.Ipv4_packet.dst seg
+            then
+              if
+                Policy.admit t.pol ~now:(now t) ~src_ip:ip.Ixnet.Ipv4_packet.src
+                  ~dst_port:seg.Seg.dst_port ~len:mbuf.Mbuf.len
+              then
+                Tcp_endpoint.rx_segment
+                  ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
+                  (endpoint t) ~src_ip:ip.Ixnet.Ipv4_packet.src seg mbuf
         | Ixnet.Ipv4_packet.Icmp -> process_icmp t ~src_ip:ip.Ixnet.Ipv4_packet.src mbuf
         | Ixnet.Ipv4_packet.Udp -> (
             match
@@ -411,7 +407,8 @@ let process_ipv4 t mbuf =
                     :: t.staged_events
                 end)
         | Ixnet.Ipv4_packet.Other _ -> ()
-      end)
+      end
+  end
 
 let process_frame t mbuf =
   charge_kernel t t.costs.proto_rx_ns;
@@ -421,13 +418,11 @@ let process_frame t mbuf =
       charge_kernel t
         (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(t.conn_count) / 2)
   | None -> ());
-  (match Ixnet.Ethernet.decode mbuf with
-  | Error _ -> ()
-  | Ok eth -> (
-      match eth.Ixnet.Ethernet.ethertype with
-      | Ixnet.Ethernet.Arp -> process_arp t mbuf
-      | Ixnet.Ethernet.Ipv4 -> process_ipv4 t mbuf
-      | Ixnet.Ethernet.Other _ -> ()));
+  if Ixnet.Ethernet.decode_into mbuf t.eth_scratch then
+    (match t.eth_scratch.Ixnet.Ethernet.ethertype with
+    | Ixnet.Ethernet.Arp -> process_arp t mbuf
+    | Ixnet.Ethernet.Ipv4 -> process_ipv4 t mbuf
+    | Ixnet.Ethernet.Other _ -> ());
   Mbuf.decref mbuf
 
 (* ------------------------------------------------------------------ *)
@@ -479,13 +474,15 @@ let rec run_cycle t =
               Nic.rx_burst_into q ~into:t.rx_scratch ~off:filled ~max:remaining
             in
             Nic.replenish q taken;
-            charge_kernel t
-              (Ixhw.Pcie_model.replenish_cost_ns t.pcie ~descriptors:taken);
             gather (filled + taken) (remaining - taken) rest
           end
     in
     gather 0 budget t.queues
   in
+  (* Replenish doorbells are coalesced across queues: one charge for
+     the burst's descriptor total, not one partial-batch write per
+     queue (adaptive batching, §4.2 — doorbells are per burst). *)
+  charge_kernel t (Ixhw.Pcie_model.replenish_cost_ns t.pcie ~descriptors:n_rx);
   Metrics.add t.c_rx_pkts n_rx;
   charge_kernel t (t.costs.rx_pkt_ns * n_rx);
   mark Tracer.Rx_driver;
@@ -526,7 +523,11 @@ let rec run_cycle t =
   mark Tracer.Timer;
   (* --- (6) transmit --- *)
   let n_tx = t.tx_len in
+  Batch.note_tx t.batcher n_tx;
   charge_kernel t (t.costs.tx_pkt_ns * n_tx);
+  (* One doorbell write per TX burst, regardless of how many segments
+     the burst carries (tracked by [Batch] so the amortization is
+     observable in the batch statistics). *)
   if n_tx > 0 then
     charge_kernel t (Ixhw.Pcie_model.doorbell_cost_ns t.pcie);
   mark Tracer.Tx_driver;
@@ -729,6 +730,9 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       rx_scratch = [||];
       tx_buf = [||];
       tx_len = 0;
+      eth_scratch = Ixnet.Ethernet.scratch ();
+      ip_scratch = Ixnet.Ipv4_packet.scratch ();
+      seg_scratch = Seg.scratch ();
       kernel_ns_acc = 0;
       user_ns_acc = 0;
       state = Idle;

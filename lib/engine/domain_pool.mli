@@ -12,7 +12,16 @@
     Tasks must be independent — in particular they must not touch
     module-level mutable state (the repository lint enforces that none
     exists in [lib/]) and must not submit work to a pool themselves;
-    nested submission raises [Invalid_argument]. *)
+    nested submission raises [Invalid_argument].
+
+    Requested widths are clamped to
+    [Domain.recommended_domain_count ()]: in OCaml 5 every minor
+    collection is a stop-the-world rendezvous across running domains,
+    so oversubscribing cores turns the fan-out into a GC convoy that is
+    strictly slower than sequential execution.  Clamping keeps the
+    batch profitable (or at worst neutral) on any machine while
+    preserving the determinism contract — results never depend on the
+    effective width. *)
 
 type t
 
@@ -20,9 +29,12 @@ val create : ?name:string -> jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
     domain participates in every batch, so total parallelism is
     [jobs]).  [jobs = 1] spawns nothing: {!map} then runs every task
-    inline on the caller.  Raises [Invalid_argument] if [jobs < 1]. *)
+    inline on the caller.  Raises [Invalid_argument] if [jobs < 1].
+    The width is clamped to [Domain.recommended_domain_count ()]; see
+    the module comment. *)
 
 val jobs : t -> int
+(** Effective (post-clamp) width of the pool. *)
 
 val map : t -> (unit -> 'a) list -> 'a list
 (** Run the tasks to completion across the pool and return their
@@ -41,6 +53,8 @@ val with_pool : ?name:string -> jobs:int -> (t -> 'a) -> 'a
     the way out (also on exception). *)
 
 val map_jobs : jobs:int -> (unit -> 'a) list -> 'a list
-(** One-shot convenience: [jobs <= 1] is a guaranteed plain [List.map]
-    on the calling domain (the exact sequential code path — no pool, no
-    domains); otherwise a temporary pool runs the batch. *)
+(** One-shot convenience: when the effective (post-clamp) width is 1
+    this is a guaranteed plain [List.map] on the calling domain (the
+    exact sequential code path — no pool, no domains); otherwise a
+    temporary pool runs the batch.  Raises [Invalid_argument] if
+    [jobs < 1]. *)

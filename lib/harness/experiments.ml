@@ -41,6 +41,46 @@ let kind_name = function
   | Cluster.Linux -> "Linux"
   | Cluster.Mtcp -> "mTCP"
 
+(* [--fast-path=off] support: a per-kind TCP config override that
+   disables the header-prediction receive fast path
+   ([Tcb.config.fast_path]).  [None] keeps the stack's own default
+   config, i.e. fast path on. *)
+let tcp_override ~fast_path kind =
+  if fast_path then None
+  else
+    let base =
+      match kind with
+      | Cluster.Ix -> Ix_core.Ix_host.ix_tcp_config
+      | Cluster.Linux -> Baselines.Linux_stack.linux_tcp_config
+      | Cluster.Mtcp -> Baselines.Mtcp_stack.mtcp_tcp_config
+    in
+    Some { base with Ixtcp.Tcb.fast_path = false }
+
+(* Sum the header-prediction hit counters (tcp.<core>.fast_path_hits /
+   slow_path_hits) over every stack in a cluster into the caller's
+   accumulators.  Read after the measurement window; deliberately kept
+   out of metric snapshot strings so fast-on and fast-off runs can be
+   compared bit-for-bit. *)
+let accumulate_fast_path_hits ?hits (cluster : Cluster.t) =
+  match hits with
+  | None -> ()
+  | Some (fast_acc, slow_acc) ->
+      let tally stack =
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Metrics.Counter n
+              when String.ends_with ~suffix:"fast_path_hits" name ->
+                fast_acc := !fast_acc + n
+            | Metrics.Counter n
+              when String.ends_with ~suffix:"slow_path_hits" name ->
+                slow_acc := !slow_acc + n
+            | _ -> ())
+          (stack.Net_api.metrics ())
+      in
+      tally cluster.Cluster.server;
+      List.iter tally cluster.Cluster.clients
+
 (* ------------------------------------------------------------------ *)
 (* Run configuration: telemetry output and parallelism                 *)
 
@@ -132,13 +172,19 @@ let emit_server_stats ~output ~label cluster =
 
 let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
     ?(client_threads = 8) ?(sessions = 768) ?cache ?pcie ?(zero_copy = true)
-    ?(polling = true) ?(batch_bound = 64) ~kind ~ports ~cores ~msg_size
-    ~msgs_per_conn () =
+    ?(polling = true) ?(batch_bound = 64) ?(fast_path = true) ?hits ~kind
+    ~ports ~cores ~msg_size ~msgs_per_conn () =
   let server =
     Cluster.server_spec ~threads:cores ~nic_ports:ports ~batch_bound
-      ~zero_copy ~polling ?cache ?pcie kind
+      ~zero_copy ~polling ?cache ?pcie
+      ?tcp_config:(tcp_override ~fast_path kind)
+      kind
   in
-  let cluster = Cluster.build ~client_hosts ~client_threads ~server () in
+  let cluster =
+    Cluster.build ~client_hosts ~client_threads
+      ?client_tcp_config:(tcp_override ~fast_path Cluster.Linux)
+      ~server ()
+  in
   let echo_app_ns = 150 in
   Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size
     ~app_ns:echo_app_ns;
@@ -168,6 +214,7 @@ let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
   let warm_conns = stats.Apps.Echo.connects in
   let warm_busy = server_busy () in
   Sim.run ~until:stop_after cluster.Cluster.sim;
+  accumulate_fast_path_hits ?hits cluster;
   let busy_delta = server_busy () - warm_busy in
   let cpu_utilization =
     float_of_int busy_delta /. float_of_int (cores * measure)
@@ -324,13 +371,14 @@ let fig3c ?(output = default_output) ?(jobs = default_jobs ()) () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 2: NetPIPE                                                     *)
 
-let netpipe_once ~kind ~size =
+let netpipe_once ?(fast_path = true) ?hits ~kind ~size () =
+  let tcp = tcp_override ~fast_path kind in
   let server =
-    Cluster.server_spec ~threads:1 ~nic_ports:1 kind
+    Cluster.server_spec ~threads:1 ~nic_ports:1 ?tcp_config:tcp kind
   in
   let cluster =
     Cluster.build ~client_hosts:1 ~client_threads:1 ~client_kind:kind
-      ~server ()
+      ?client_tcp_config:tcp ~server ()
   in
   Apps.Netpipe.server cluster.Cluster.server ~port:7410 ~msg_size:size;
   let result = ref None in
@@ -342,6 +390,7 @@ let netpipe_once ~kind ~size =
     ~iterations
     ~on_done:(fun r -> result := Some r);
   Sim.run ~until:(Engine.Sim_time.s 30) cluster.Cluster.sim;
+  accumulate_fast_path_hits ?hits cluster;
   match !result with
   | Some r ->
       ({
@@ -360,7 +409,7 @@ let fig2 ?(jobs = default_jobs ())
   let points =
     par_map ~jobs
       (List.concat_map
-         (fun kind -> List.map (fun size () -> netpipe_once ~kind ~size) sizes)
+         (fun kind -> List.map (fun size () -> netpipe_once ~kind ~size ()) sizes)
          [ Cluster.Linux; Cluster.Mtcp; Cluster.Ix ])
   in
   let rows =
@@ -377,12 +426,19 @@ let fig2 ?(jobs = default_jobs ())
 (* ------------------------------------------------------------------ *)
 (* Fig. 4: connection scalability                                      *)
 
-let run_connection_scaling ~kind ~conns ~workers =
+let run_connection_scaling ?(fast_path = true) ?hits ~kind ~conns ~workers
+    () =
   let cache = Ixhw.Cache_model.create () in
   let server =
-    Cluster.server_spec ~threads:8 ~nic_ports:4 ~cache kind
+    Cluster.server_spec ~threads:8 ~nic_ports:4 ~cache
+      ?tcp_config:(tcp_override ~fast_path kind)
+      kind
   in
-  let cluster = Cluster.build ~client_hosts:6 ~client_threads:8 ~server () in
+  let cluster =
+    Cluster.build ~client_hosts:6 ~client_threads:8
+      ?client_tcp_config:(tcp_override ~fast_path Cluster.Linux)
+      ~server ()
+  in
   Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size:64
     ~app_ns:150;
   let sim = cluster.Cluster.sim in
@@ -458,6 +514,7 @@ let run_connection_scaling ~kind ~conns ~workers =
   let base = !completed in
   let measure = Engine.Sim_time.ms (scaled_ms 10) in
   Sim.run ~until:(warmup + measure) sim;
+  accumulate_fast_path_hits ?hits cluster;
   float_of_int (!completed - base) /. Engine.Sim_time.to_float_s measure
 
 let fig4 ?(jobs = default_jobs ())
@@ -468,7 +525,7 @@ let fig4 ?(jobs = default_jobs ())
          (fun (name, kind) ->
            List.map
              (fun conns () ->
-               (name, conns, run_connection_scaling ~kind ~conns ~workers:384))
+               (name, conns, run_connection_scaling ~kind ~conns ~workers:384 ()))
              conn_counts)
          [ ("IX-40G", Cluster.Ix); ("Linux-40G", Cluster.Linux) ])
   in
@@ -483,13 +540,18 @@ let fig4 ?(jobs = default_jobs ())
 (* ------------------------------------------------------------------ *)
 (* Fig. 5 / Fig. 6 / Table 2: memcached                                *)
 
-let run_memcached ?(output = default_output) ~kind ~server_threads
-    ?(batch_bound = 64) ~profile ~target_rps () =
+let run_memcached ?(output = default_output) ?(fast_path = true) ?hits ~kind
+    ~server_threads ?(batch_bound = 64) ~profile ~target_rps () =
   let server =
     Cluster.server_spec ~threads:server_threads ~nic_ports:1 ~batch_bound
+      ?tcp_config:(tcp_override ~fast_path kind)
       kind
   in
-  let cluster = Cluster.build ~client_hosts:6 ~client_threads:8 ~server () in
+  let cluster =
+    Cluster.build ~client_hosts:6 ~client_threads:8
+      ?client_tcp_config:(tcp_override ~fast_path Cluster.Linux)
+      ~server ()
+  in
   let mc =
     Apps.Memcached.server cluster.Cluster.server
       ~now:(Cluster.now cluster)
@@ -505,6 +567,7 @@ let run_memcached ?(output = default_output) ~kind ~server_threads
       ~duration_ms:(scaled_ms 40)
       ~seed:11 ()
   in
+  accumulate_fast_path_hits ?hits cluster;
   emit_server_stats ~output
     ~label:
       (Printf.sprintf "%s memcached %s @ %.0fK" (kind_name kind)
@@ -875,6 +938,8 @@ type perf_slice = {
   perf_name : string;
   perf_events : int;  (** sim events executed by the slice *)
   perf_snapshot : string;  (** full-precision metric snapshot *)
+  perf_fast_hits : int;  (** header-prediction fast-path deliveries *)
+  perf_slow_hits : int;  (** segments that took the full TCP input path *)
 }
 
 (* [perf_events] is a delta of the engine-wide event meter, so it is
@@ -882,31 +947,51 @@ type perf_slice = {
    harness meters slices sequentially and reuses those counts when it
    re-runs the same slices on a domain pool (where only the snapshots
    are compared). *)
-let metered name f =
+(* The hit counters ride alongside the snapshot (never inside it): a
+   fast-path-off run must produce a bit-identical snapshot, which is
+   the regression proof that header prediction is a pure optimization. *)
+let metered ?hits name f =
   let e0 = Sim.global_events () in
   let snapshot = f () in
-  { perf_name = name; perf_events = Sim.global_events () - e0; perf_snapshot = snapshot }
+  let fast, slow = match hits with None -> (0, 0) | Some (f, s) -> (!f, !s) in
+  {
+    perf_name = name;
+    perf_events = Sim.global_events () - e0;
+    perf_snapshot = snapshot;
+    perf_fast_hits = fast;
+    perf_slow_hits = slow;
+  }
 
-let perf_fig2_slice ?(sizes = [ 1_024; 16_384; 65_536 ]) () =
-  metered "fig2" (fun () ->
+let perf_fig2_slice ?(fast_path = true) ?(sizes = [ 1_024; 16_384; 65_536 ]) ()
+    =
+  let fh = ref 0 and sh = ref 0 in
+  metered ~hits:(fh, sh) "fig2" (fun () ->
       String.concat " "
         (List.map
            (fun size ->
-             let p = netpipe_once ~kind:Cluster.Ix ~size in
+             let p =
+               netpipe_once ~fast_path ~hits:(fh, sh) ~kind:Cluster.Ix ~size ()
+             in
              Printf.sprintf "s%d:one_way_us=%.17g,gbps=%.17g" size p.one_way_us
                p.gbps)
            sizes))
 
-let perf_fig4_slice ?(conns = 10_000) () =
-  metered "fig4" (fun () ->
-      let rate = run_connection_scaling ~kind:Cluster.Ix ~conns ~workers:384 in
+let perf_fig4_slice ?(fast_path = true) ?(conns = 10_000) () =
+  let fh = ref 0 and sh = ref 0 in
+  metered ~hits:(fh, sh) "fig4" (fun () ->
+      let rate =
+        run_connection_scaling ~fast_path ~hits:(fh, sh) ~kind:Cluster.Ix
+          ~conns ~workers:384 ()
+      in
       Printf.sprintf "msgs_per_sec=%.17g" rate)
 
-let perf_fig5_slice ?(target_krps = 500.) () =
-  metered "fig5" (fun () ->
+let perf_fig5_slice ?(fast_path = true) ?(target_krps = 500.) () =
+  let fh = ref 0 and sh = ref 0 in
+  metered ~hits:(fh, sh) "fig5" (fun () ->
       let r, kshare =
-        run_memcached ~kind:Cluster.Ix ~server_threads:6
-          ~profile:Workloads.Size_dist.usr ~target_rps:(target_krps *. 1e3) ()
+        run_memcached ~fast_path ~hits:(fh, sh) ~kind:Cluster.Ix
+          ~server_threads:6 ~profile:Workloads.Size_dist.usr
+          ~target_rps:(target_krps *. 1e3) ()
       in
       Printf.sprintf "achieved_rps=%.17g avg_us=%.17g p99_us=%.17g kernel_share=%.17g"
         r.Workloads.Mutilate.achieved_rps r.Workloads.Mutilate.avg_us

@@ -82,6 +82,8 @@ val run_echo :
   ?zero_copy:bool ->
   ?polling:bool ->
   ?batch_bound:int ->
+  ?fast_path:bool ->
+  ?hits:int ref * int ref ->
   kind:Cluster.kind ->
   ports:int ->
   cores:int ->
@@ -90,12 +92,27 @@ val run_echo :
   unit ->
   echo_point
 (** One echo measurement on a fresh cluster (the primitive behind the
-    Fig. 3 sweeps, also exposed for the CLI). *)
+    Fig. 3 sweeps, also exposed for the CLI).
 
-val netpipe_once : kind:Cluster.kind -> size:int -> netpipe_point
+    All runners take [?fast_path] (default [true]): [false] disables
+    the TCP header-prediction receive fast path on every stack in the
+    cluster — the [--fast-path=off] escape hatch, which must not change
+    any result.  [?hits] is a [(fast, slow)] pair of accumulators the
+    runner adds the cluster-wide [fast_path_hits]/[slow_path_hits]
+    counters into after its measurement window. *)
+
+val netpipe_once :
+  ?fast_path:bool ->
+  ?hits:int ref * int ref ->
+  kind:Cluster.kind ->
+  size:int ->
+  unit ->
+  netpipe_point
 
 val run_memcached :
   ?output:output ->
+  ?fast_path:bool ->
+  ?hits:int ref * int ref ->
   kind:Cluster.kind ->
   server_threads:int ->
   ?batch_bound:int ->
@@ -120,7 +137,14 @@ val fig3b : ?output:output -> ?jobs:int -> unit -> echo_point list
 val fig3c : ?output:output -> ?jobs:int -> unit -> echo_point list
 (** Message-size sweep (n=1) at 8 cores. *)
 
-val run_connection_scaling : kind:Cluster.kind -> conns:int -> workers:int -> float
+val run_connection_scaling :
+  ?fast_path:bool ->
+  ?hits:int ref * int ref ->
+  kind:Cluster.kind ->
+  conns:int ->
+  workers:int ->
+  unit ->
+  float
 (** One Fig. 4 point: messages/sec with [conns] live connections and
     [workers] concurrent closed-loop requesters. *)
 
@@ -176,20 +200,25 @@ type perf_slice = {
   perf_name : string;
   perf_events : int;  (** sim events executed by the slice *)
   perf_snapshot : string;  (** full-precision metric snapshot *)
+  perf_fast_hits : int;  (** header-prediction fast-path deliveries *)
+  perf_slow_hits : int;  (** segments that took the full TCP input path *)
 }
 (** One fixed-seed perf-regression run (the [perf] subcommand of
     [bench/main.exe]).  [perf_snapshot] is deterministic: the same seed
     must reproduce it bit-for-bit across runs and engine versions, so
-    BENCH_PERF.json tracks pure engine speed. *)
+    BENCH_PERF.json tracks pure engine speed.  The hit counters live
+    beside the snapshot, never inside it: a [~fast_path:false] run of
+    the same slice must produce a bit-identical snapshot (header
+    prediction is a pure optimization). *)
 
-val perf_fig2_slice : ?sizes:int list -> unit -> perf_slice
+val perf_fig2_slice : ?fast_path:bool -> ?sizes:int list -> unit -> perf_slice
 (** An IX NetPIPE ping-pong sweep over [sizes] (Fig. 2 slice). *)
 
-val perf_fig4_slice : ?conns:int -> unit -> perf_slice
+val perf_fig4_slice : ?fast_path:bool -> ?conns:int -> unit -> perf_slice
 (** Connection scalability at [conns] live connections (Fig. 4 slice);
     the cancellation-heavy engine workload. *)
 
-val perf_fig5_slice : ?target_krps:float -> unit -> perf_slice
+val perf_fig5_slice : ?fast_path:bool -> ?target_krps:float -> unit -> perf_slice
 (** One memcached USR load point on IX (Fig. 5 slice). *)
 
 val run_all : ?output:output -> ?jobs:int -> unit -> unit

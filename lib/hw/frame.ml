@@ -24,35 +24,45 @@ let read_ip t off =
   lor (Char.code t.data.[off + 2] lsl 8)
   lor Char.code t.data.[off + 3]
 
+(* The RSS 4-tuple reads are split into a validity test plus four
+   fixed-offset field reads so the NIC's per-frame classify and the
+   switch's LAG hash allocate nothing (an option-of-tuple here costs
+   seven minor words on every frame on the wire). *)
+let has_rss_tuple t =
+  length t >= 38
+  && read_u16 t 12 = 0x0800
+  && (let protocol = Char.code t.data.[23] in
+      protocol = 6 || protocol = 17)
+  && Char.code t.data.[14] = 0x45
+
+let rss_src_ip t = read_ip t 26
+let rss_dst_ip t = read_ip t 30
+let rss_src_port t = read_u16 t 34
+let rss_dst_port t = read_u16 t 36
+
 let rss_tuple t =
-  if length t < 38 then None
-  else if read_u16 t 12 <> 0x0800 then None
-  else begin
-    let protocol = Char.code t.data.[23] in
-    if protocol <> 6 && protocol <> 17 then None
-    else if Char.code t.data.[14] <> 0x45 then None
-    else
-      Some (read_ip t 26, read_ip t 30, read_u16 t 34, read_u16 t 36)
-  end
+  if has_rss_tuple t then
+    Some (rss_src_ip t, rss_dst_ip t, rss_src_port t, rss_dst_port t)
+  else None
 
 let l3l4_hash t =
-  match rss_tuple t with
-  | None -> 0
-  | Some (src_ip, dst_ip, src_port, dst_port) ->
-      (* A simple mixing of the 4-tuple; real switches use a vendor
-         hash, only uniformity matters here. *)
-      let h = ref 0x9E3779B9 in
-      let mix v = h := (!h lxor v) * 0x01000193 land max_int in
-      mix src_ip;
-      mix dst_ip;
-      mix ((src_port lsl 16) lor 1);
-      mix ((dst_port lsl 16) lor 1);
-      (* Murmur-style avalanche so the low bits (used for [mod n]
-         member selection) depend on every input bit. *)
-      let x = !h in
-      let x = (x lxor (x lsr 16)) * 0x85EBCA6B land max_int in
-      let x = (x lxor (x lsr 13)) * 0xC2B2AE35 land max_int in
-      x lxor (x lsr 16)
+  if not (has_rss_tuple t) then 0
+  else begin
+    (* A simple mixing of the 4-tuple; real switches use a vendor
+       hash, only uniformity matters here. *)
+    let h = ref 0x9E3779B9 in
+    let mix v = h := (!h lxor v) * 0x01000193 land max_int in
+    mix (rss_src_ip t);
+    mix (rss_dst_ip t);
+    mix ((rss_src_port t lsl 16) lor 1);
+    mix ((rss_dst_port t lsl 16) lor 1);
+    (* Murmur-style avalanche so the low bits (used for [mod n]
+       member selection) depend on every input bit. *)
+    let x = !h in
+    let x = (x lxor (x lsr 16)) * 0x85EBCA6B land max_int in
+    let x = (x lxor (x lsr 13)) * 0xC2B2AE35 land max_int in
+    x lxor (x lsr 16)
+  end
 
 let is_ce t =
   length t >= 34 && read_u16 t 12 = 0x0800 && Char.code t.data.[15] land 3 = 3

@@ -20,6 +20,18 @@ val rss_tuple : t -> (Ixnet.Ip_addr.t * Ixnet.Ip_addr.t * int * int) option
 (** (src ip, dst ip, src port, dst port) for TCP/UDP-over-IPv4 frames;
     [None] for anything else (steered to queue 0). *)
 
+val has_rss_tuple : t -> bool
+(** Whether {!rss_tuple} would return [Some].  Together with the field
+    reads below this is the allocation-free spelling used on the
+    per-frame classify path. *)
+
+val rss_src_ip : t -> Ixnet.Ip_addr.t
+val rss_dst_ip : t -> Ixnet.Ip_addr.t
+val rss_src_port : t -> int
+val rss_dst_port : t -> int
+(** Fixed-offset 4-tuple field reads; meaningful only when
+    [has_rss_tuple] is [true]. *)
+
 val l3l4_hash : t -> int
 (** The switch's LAG member-selection hash (bonding, §5.1). *)
 

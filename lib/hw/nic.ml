@@ -88,11 +88,15 @@ let rss_queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
   in
   t.indirection.(hash land (indirection_entries - 1))
 
+(* Allocation-free: this runs once per received frame, so it reads the
+   4-tuple fields directly rather than materializing the option. *)
 let classify t frame =
-  match Frame.rss_tuple frame with
-  | None -> 0
-  | Some (src_ip, dst_ip, src_port, dst_port) ->
-      rss_queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port
+  if not (Frame.has_rss_tuple frame) then 0
+  else
+    rss_queue_of_tuple t ~src_ip:(Frame.rss_src_ip frame)
+      ~dst_ip:(Frame.rss_dst_ip frame)
+      ~src_port:(Frame.rss_src_port frame)
+      ~dst_port:(Frame.rss_dst_port frame)
 
 let receive t frame =
   let dst = Frame.dst_mac frame in

@@ -6,6 +6,11 @@ type t = {
   ports : port array;
   mac_table : (Ixnet.Mac_addr.t, int) Hashtbl.t;
   mutable bonds : int list list;
+  (* Per-port LAG membership, precomputed by [bond]: [bond_member.(p)]
+     is the member array of the group containing port [p], or [[||]]
+     when [p] is unbonded.  [forward] runs once per frame and must not
+     allocate, so the list scan happens at bonding time, not here. *)
+  mutable bond_member : int array array;
   mutable forwarded_count : int;
   mutable flooded_count : int;
 }
@@ -17,6 +22,7 @@ let create sim ?(crossing_ns = 300) ~ports () =
     ports = Array.init ports (fun _ -> { mac = Ixnet.Mac_addr.zero; out = None });
     mac_table = Hashtbl.create 64;
     bonds = [];
+    bond_member = Array.make ports [||];
     forwarded_count = 0;
     flooded_count = 0;
   }
@@ -26,21 +32,15 @@ let attach t ~port ~mac ~out =
   t.ports.(port).out <- Some out;
   Hashtbl.replace t.mac_table mac port
 
-let bond t ~ports = t.bonds <- ports :: t.bonds
-
-let bond_of t port_idx =
-  List.find_opt (fun group -> List.mem port_idx group) t.bonds
+let bond t ~ports =
+  t.bonds <- ports :: t.bonds;
+  let members = Array.of_list ports in
+  List.iter (fun p -> t.bond_member.(p) <- members) ports
 
 let egress t port_idx frame =
   match t.ports.(port_idx).out with
   | Some link -> Link.send link frame
   | None -> () (* unattached port: frame dropped *)
-
-(* Pick the LAG member carrying this frame's flow. *)
-let lag_member group frame =
-  let members = Array.of_list group in
-  let n = Array.length members in
-  members.(Frame.l3l4_hash frame mod n)
 
 let forward t ~ingress_port frame =
   let dst = Frame.dst_mac frame in
@@ -52,14 +52,16 @@ let forward t ~ingress_port frame =
       t.ports
   end
   else begin
-    match Hashtbl.find_opt t.mac_table dst with
-    | None -> () (* unknown unicast: drop (hosts are statically attached) *)
-    | Some port_idx ->
+    match Hashtbl.find t.mac_table dst with
+    | exception Not_found ->
+        () (* unknown unicast: drop (hosts are statically attached) *)
+    | port_idx ->
         t.forwarded_count <- t.forwarded_count + 1;
+        (* Pick the LAG member carrying this frame's flow. *)
+        let members = t.bond_member.(port_idx) in
         let port_idx =
-          match bond_of t port_idx with
-          | Some group -> lag_member group frame
-          | None -> port_idx
+          if Array.length members = 0 then port_idx
+          else members.(Frame.l3l4_hash frame mod Array.length members)
         in
         egress t port_idx frame
   end

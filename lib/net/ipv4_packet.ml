@@ -3,13 +3,16 @@ module Mbuf = Ixmem.Mbuf
 type protocol = Tcp | Udp | Icmp | Other of int
 
 type t = {
-  src : Ip_addr.t;
-  dst : Ip_addr.t;
-  protocol : protocol;
-  ttl : int;
-  ecn : int;
-  payload_len : int;
+  mutable src : Ip_addr.t;
+  mutable dst : Ip_addr.t;
+  mutable protocol : protocol;
+  mutable ttl : int;
+  mutable ecn : int;
+  mutable payload_len : int;
 }
+
+let scratch () =
+  { src = 0; dst = 0; protocol = Tcp; ttl = 0; ecn = 0; payload_len = 0 }
 
 let header_size = 20
 let ce = 3
@@ -21,50 +24,68 @@ let protocol_of_code = function
   | 17 -> Udp
   | n -> Other n
 
-let prepend mbuf t =
+(* Labeled-argument encode twin of [decode_into]: the hot TX paths call
+   this directly so no throwaway header record is built per packet. *)
+let prepend_fields mbuf ~src ~dst ~protocol ~ttl ~ecn ~payload_len =
   let off = Mbuf.prepend mbuf header_size in
   let buf = mbuf.Mbuf.buf in
   Bytes.set_uint8 buf off 0x45 (* version 4, ihl 5 *);
-  Bytes.set_uint8 buf (off + 1) (t.ecn land 3) (* dscp/ecn *);
-  Bytes.set_uint16_be buf (off + 2) (header_size + t.payload_len);
+  Bytes.set_uint8 buf (off + 1) (ecn land 3) (* dscp/ecn *);
+  Bytes.set_uint16_be buf (off + 2) (header_size + payload_len);
   Bytes.set_uint16_be buf (off + 4) 0 (* identification *);
   Bytes.set_uint16_be buf (off + 6) 0x4000 (* don't fragment *);
-  Bytes.set_uint8 buf (off + 8) t.ttl;
-  Bytes.set_uint8 buf (off + 9) (protocol_code t.protocol);
+  Bytes.set_uint8 buf (off + 8) ttl;
+  Bytes.set_uint8 buf (off + 9) (protocol_code protocol);
   Bytes.set_uint16_be buf (off + 10) 0 (* checksum placeholder *);
-  Ip_addr.write buf (off + 12) t.src;
-  Ip_addr.write buf (off + 16) t.dst;
+  Ip_addr.write buf (off + 12) src;
+  Ip_addr.write buf (off + 16) dst;
   let csum = Checksum.compute buf ~off ~len:header_size in
   Bytes.set_uint16_be buf (off + 10) csum
 
+let prepend mbuf t =
+  prepend_fields mbuf ~src:t.src ~dst:t.dst ~protocol:t.protocol ~ttl:t.ttl
+    ~ecn:t.ecn ~payload_len:t.payload_len
+
+(* Allocation-free decode into a caller-owned scratch record.  On
+   success the mbuf is advanced past the header and trimmed to the IP
+   payload length (exactly like [decode]); on failure the mbuf is left
+   untouched and the scratch contents are unspecified. *)
+let decode_into mbuf t =
+  mbuf.Mbuf.len >= header_size
+  && begin
+       let off = mbuf.Mbuf.off in
+       let buf = mbuf.Mbuf.buf in
+       Bytes.get_uint8 buf off = 0x45
+       && Checksum.verify buf ~off ~len:header_size ~init:0
+       &&
+       let total_len = Bytes.get_uint16_be buf (off + 2) in
+       total_len >= header_size
+       && total_len <= mbuf.Mbuf.len
+       && begin
+            t.src <- Ip_addr.read buf (off + 12);
+            t.dst <- Ip_addr.read buf (off + 16);
+            t.protocol <- protocol_of_code (Bytes.get_uint8 buf (off + 9));
+            t.ttl <- Bytes.get_uint8 buf (off + 8);
+            t.ecn <- Bytes.get_uint8 buf (off + 1) land 3;
+            t.payload_len <- total_len - header_size;
+            Mbuf.adjust mbuf header_size;
+            (* Trim Ethernet minimum-frame padding. *)
+            mbuf.Mbuf.len <- t.payload_len;
+            true
+          end
+     end
+
 let decode mbuf =
-  if mbuf.Mbuf.len < header_size then Error "ipv4: packet too short"
+  let t = scratch () in
+  if decode_into mbuf t then Ok t
+  else if mbuf.Mbuf.len < header_size then Error "ipv4: packet too short"
   else begin
+    (* Cold path: re-derive which check failed for the error message. *)
     let off = mbuf.Mbuf.off in
     let buf = mbuf.Mbuf.buf in
-    let vihl = Bytes.get_uint8 buf off in
-    if vihl <> 0x45 then Error "ipv4: bad version or options present"
+    if Bytes.get_uint8 buf off <> 0x45 then
+      Error "ipv4: bad version or options present"
     else if not (Checksum.verify buf ~off ~len:header_size ~init:0) then
       Error "ipv4: bad header checksum"
-    else begin
-      let total_len = Bytes.get_uint16_be buf (off + 2) in
-      if total_len < header_size || total_len > mbuf.Mbuf.len then
-        Error "ipv4: bad total length"
-      else begin
-        let t =
-          {
-            src = Ip_addr.read buf (off + 12);
-            dst = Ip_addr.read buf (off + 16);
-            protocol = protocol_of_code (Bytes.get_uint8 buf (off + 9));
-            ttl = Bytes.get_uint8 buf (off + 8);
-            ecn = Bytes.get_uint8 buf (off + 1) land 3;
-            payload_len = total_len - header_size;
-          }
-        in
-        Mbuf.adjust mbuf header_size;
-        (* Trim Ethernet minimum-frame padding. *)
-        mbuf.Mbuf.len <- t.payload_len;
-        Ok t
-      end
-    end
+    else Error "ipv4: bad total length"
   end

@@ -1,25 +1,45 @@
 module Mbuf = Ixmem.Mbuf
 
 type t = {
-  src_port : int;
-  dst_port : int;
-  seq : int;
-  ack : int;
-  syn : bool;
-  ack_flag : bool;
-  fin : bool;
-  rst : bool;
-  psh : bool;
-  ece : bool;
-  cwr : bool;
-  window : int;
-  mss : int option;
-  wscale : int option;
-  payload_off : int;
-  payload_len : int;
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable seq : int;
+  mutable ack : int;
+  mutable syn : bool;
+  mutable ack_flag : bool;
+  mutable fin : bool;
+  mutable rst : bool;
+  mutable psh : bool;
+  mutable ece : bool;
+  mutable cwr : bool;
+  mutable window : int;
+  mutable mss : int option;
+  mutable wscale : int option;
+  mutable payload_off : int;
+  mutable payload_len : int;
 }
 
 let header_size = 20
+
+let scratch () =
+  {
+    src_port = 0;
+    dst_port = 0;
+    seq = 0;
+    ack = 0;
+    syn = false;
+    ack_flag = false;
+    fin = false;
+    rst = false;
+    psh = false;
+    ece = false;
+    cwr = false;
+    window = 0;
+    mss = None;
+    wscale = None;
+    payload_off = 0;
+    payload_len = 0;
+  }
 
 let options_size t =
   let mss = match t.mss with Some _ -> 4 | None -> 0 in
@@ -104,51 +124,72 @@ let parse_options buf ~off ~len =
   scan off;
   (!mss, !wscale)
 
+(* Allocation-free decode: fills a caller-owned scratch record.  The
+   scratch is only valid until the next [decode_into] on it — nothing
+   downstream may retain it across packets (see DESIGN.md, "receive
+   fast path").  Returns [false] (scratch contents unspecified) on a
+   malformed or corrupt segment. *)
+let decode_into mbuf ~src ~dst t =
+  mbuf.Mbuf.len >= header_size
+  && begin
+       let off = mbuf.Mbuf.off in
+       let buf = mbuf.Mbuf.buf in
+       let data_off = (Bytes.get_uint8 buf (off + 12) lsr 4) * 4 in
+       data_off >= header_size
+       && data_off <= mbuf.Mbuf.len
+       &&
+       let seg_len = mbuf.Mbuf.len in
+       let init =
+         Checksum.pseudo_header_sum ~src ~dst
+           ~protocol:(Ipv4_packet.protocol_code Ipv4_packet.Tcp)
+           ~length:seg_len
+       in
+       Checksum.verify buf ~off ~len:seg_len ~init
+       && begin
+            let flags = Bytes.get_uint8 buf (off + 13) in
+            (* Options appear on SYNs only in practice; the common data
+               segment takes the [else] branch and allocates nothing. *)
+            if data_off > header_size then begin
+              let mss, wscale =
+                parse_options buf ~off:(off + header_size)
+                  ~len:(data_off - header_size)
+              in
+              t.mss <- mss;
+              t.wscale <- wscale
+            end
+            else begin
+              t.mss <- None;
+              t.wscale <- None
+            end;
+            t.src_port <- Bytes.get_uint16_be buf off;
+            t.dst_port <- Bytes.get_uint16_be buf (off + 2);
+            t.seq <- Int32.to_int (Bytes.get_int32_be buf (off + 4)) land 0xFFFFFFFF;
+            t.ack <- Int32.to_int (Bytes.get_int32_be buf (off + 8)) land 0xFFFFFFFF;
+            t.fin <- flags land 0x01 <> 0;
+            t.syn <- flags land 0x02 <> 0;
+            t.rst <- flags land 0x04 <> 0;
+            t.psh <- flags land 0x08 <> 0;
+            t.ack_flag <- flags land 0x10 <> 0;
+            t.ece <- flags land 0x40 <> 0;
+            t.cwr <- flags land 0x80 <> 0;
+            t.window <- Bytes.get_uint16_be buf (off + 14);
+            t.payload_off <- off + data_off;
+            t.payload_len <- seg_len - data_off;
+            true
+          end
+     end
+
 let decode mbuf ~src ~dst =
-  if mbuf.Mbuf.len < header_size then Error "tcp: segment too short"
+  let t = scratch () in
+  if decode_into mbuf ~src ~dst t then Ok t
+  else if mbuf.Mbuf.len < header_size then Error "tcp: segment too short"
   else begin
+    (* Cold path: re-derive which check failed for the error message. *)
     let off = mbuf.Mbuf.off in
-    let buf = mbuf.Mbuf.buf in
-    let data_off = (Bytes.get_uint8 buf (off + 12) lsr 4) * 4 in
+    let data_off = (Bytes.get_uint8 mbuf.Mbuf.buf (off + 12) lsr 4) * 4 in
     if data_off < header_size || data_off > mbuf.Mbuf.len then
       Error "tcp: bad data offset"
-    else begin
-      let seg_len = mbuf.Mbuf.len in
-      let init =
-        Checksum.pseudo_header_sum ~src ~dst
-          ~protocol:(Ipv4_packet.protocol_code Ipv4_packet.Tcp)
-          ~length:seg_len
-      in
-      if not (Checksum.verify buf ~off ~len:seg_len ~init) then
-        Error "tcp: bad checksum"
-      else begin
-        let flags = Bytes.get_uint8 buf (off + 13) in
-        let mss, wscale =
-          if data_off > header_size then
-            parse_options buf ~off:(off + header_size) ~len:(data_off - header_size)
-          else (None, None)
-        in
-        Ok
-          {
-            src_port = Bytes.get_uint16_be buf off;
-            dst_port = Bytes.get_uint16_be buf (off + 2);
-            seq = Int32.to_int (Bytes.get_int32_be buf (off + 4)) land 0xFFFFFFFF;
-            ack = Int32.to_int (Bytes.get_int32_be buf (off + 8)) land 0xFFFFFFFF;
-            fin = flags land 0x01 <> 0;
-            syn = flags land 0x02 <> 0;
-            rst = flags land 0x04 <> 0;
-            psh = flags land 0x08 <> 0;
-            ack_flag = flags land 0x10 <> 0;
-            ece = flags land 0x40 <> 0;
-            cwr = flags land 0x80 <> 0;
-            window = Bytes.get_uint16_be buf (off + 14);
-            mss;
-            wscale;
-            payload_off = off + data_off;
-            payload_len = seg_len - data_off;
-          }
-      end
-    end
+    else Error "tcp: bad checksum"
   end
 
 let pp fmt t =

@@ -3,23 +3,25 @@
     (NetPIPE, Fig. 2) depend on. *)
 
 type t = {
-  src_port : int;
-  dst_port : int;
-  seq : int;  (** 32-bit sequence number (low 32 bits used) *)
-  ack : int;
-  syn : bool;
-  ack_flag : bool;
-  fin : bool;
-  rst : bool;
-  psh : bool;
-  ece : bool;  (** ECN echo (RFC 3168), used by the DCTCP extension *)
-  cwr : bool;  (** congestion window reduced *)
-  window : int;  (** raw 16-bit window field (pre-scaling) *)
-  mss : int option;  (** SYN-only option *)
-  wscale : int option;  (** SYN-only option *)
-  payload_off : int;  (** payload position within the mbuf buffer *)
-  payload_len : int;
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable seq : int;  (** 32-bit sequence number (low 32 bits used) *)
+  mutable ack : int;
+  mutable syn : bool;
+  mutable ack_flag : bool;
+  mutable fin : bool;
+  mutable rst : bool;
+  mutable psh : bool;
+  mutable ece : bool;  (** ECN echo (RFC 3168), used by the DCTCP extension *)
+  mutable cwr : bool;  (** congestion window reduced *)
+  mutable window : int;  (** raw 16-bit window field (pre-scaling) *)
+  mutable mss : int option;  (** SYN-only option *)
+  mutable wscale : int option;  (** SYN-only option *)
+  mutable payload_off : int;  (** payload position within the mbuf buffer *)
+  mutable payload_len : int;
 }
+(** Fields are mutable so the receive path can reuse one scratch record
+    per packet ({!decode_into}); treat decoded records as read-only. *)
 
 val header_size : int
 (** Minimum header (20 bytes); options add to this. *)
@@ -33,6 +35,19 @@ val prepend :
 val decode :
   Ixmem.Mbuf.t -> src:Ip_addr.t -> dst:Ip_addr.t -> (t, string) result
 (** Parse and checksum-verify the segment at the mbuf's offset.  Does
-    not consume the mbuf: [payload_off]/[payload_len] point into it. *)
+    not consume the mbuf: [payload_off]/[payload_len] point into it.
+    Allocates a fresh record; hot paths use {!decode_into}. *)
+
+val scratch : unit -> t
+(** A zeroed segment record for use with {!decode_into}.  Allocate once
+    per dataplane/endpoint, never per packet. *)
+
+val decode_into :
+  Ixmem.Mbuf.t -> src:Ip_addr.t -> dst:Ip_addr.t -> t -> bool
+(** Allocation-free [decode]: validate the segment and fill the
+    caller-owned scratch record, returning [false] (scratch contents
+    unspecified) on a malformed or corrupt segment.  The scratch is
+    invalidated by the next [decode_into] on it — no one may hold a
+    decoded header across a yield or past the current packet. *)
 
 val pp : Format.formatter -> t -> unit

@@ -26,6 +26,11 @@ type config = {
   dctcp : bool;
       (** ECN/DCTCP mode: echo CE marks and reduce the window in
           proportion to the marked fraction (the §6 extension) *)
+  fast_path : bool;
+      (** header-prediction receive fast path (Van Jacobson gate); a
+          pure optimisation — behaviour is bit-identical either way.
+          [false] forces every segment through the full state machine
+          (the [--fast-path=off] A/B escape hatch). *)
 }
 
 (* Defaults follow a modern datacenter profile; stacks override the
@@ -44,6 +49,7 @@ let default_config =
     time_wait_ns = 1_000_000 (* scaled-down MSL for simulation *);
     buffered_send = false;
     dctcp = false;
+    fast_path = true;
   }
 
 type callbacks = {
@@ -114,6 +120,10 @@ type t = {
   mutable delack_timer : Timerwheel.Timer_wheel.timer option;
   mutable time_wait_timer : Timerwheel.Timer_wheel.timer option;
   callbacks : callbacks;
+  emit_scratch : Ixnet.Tcp_segment.t;
+      (** reused TX header record — all fields are rewritten by each
+          [Tcp_conn.emit] and consumed by [Tcp_segment.prepend] before
+          the call returns; nothing may retain it *)
   (* --- statistics --- *)
   mutable segs_in : int;
   mutable segs_out : int;
@@ -191,6 +201,7 @@ let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
     delack_timer = None;
     time_wait_timer = None;
     callbacks = null_callbacks ();
+    emit_scratch = Ixnet.Tcp_segment.scratch ();
     segs_in = 0;
     segs_out = 0;
     retransmits = 0;

@@ -79,66 +79,57 @@ let emit tcb kind =
   | None -> () (* transmit pool exhausted: behaves as loss; RTO recovers *)
   | Some mbuf ->
       let ack_flag = tcb.state <> Tcp_state.Syn_sent in
-      let base =
-        {
-          Seg.src_port = tcb.local_port;
-          dst_port = tcb.remote_port;
-          seq = tcb.snd_nxt;
-          ack = (if ack_flag then tcb.rcv_nxt else 0);
-          syn = false;
-          ack_flag;
-          fin = false;
-          rst = false;
-          psh = false;
-          ece = false;
-          cwr = false;
-          window = advertised_window tcb;
-          mss = None;
-          wscale = None;
-          payload_off = 0;
-          payload_len = 0;
-        }
-      in
-      let seg =
-        match kind with
-        | Seg_syn ->
-            {
-              base with
-              Seg.seq = tcb.iss;
-              syn = true;
-              ack_flag = false;
-              mss = Some tcb.cfg.mss;
-              wscale = Some tcb.cfg.wscale;
-              window = min (Tcb.rcv_window tcb) 0xFFFF;
-            }
-        | Seg_syn_ack ->
-            {
-              base with
-              Seg.seq = tcb.iss;
-              syn = true;
-              ack_flag = true;
-              mss = Some tcb.cfg.mss;
-              wscale = (if tcb.ws_enabled then Some tcb.cfg.wscale else None);
-              window = min (Tcb.rcv_window tcb) 0xFFFF;
-            }
-        | Seg_data { seq; len; psh } ->
-            gather_payload tcb mbuf ~seq ~len;
-            { base with Seg.seq; psh }
-        | Seg_fin -> { base with Seg.fin = true }
-        | Seg_fin_rexmit ->
-            (* The FIN occupies the sequence just below snd_nxt. *)
-            { base with Seg.fin = true; seq = Seqno.sub tcb.snd_nxt 1 }
-        | Seg_ack -> base
-        | Seg_rst -> { base with Seg.rst = true }
-      in
+      (* The per-TCB scratch header: every field is rewritten here and
+         the record is consumed by [Seg.prepend] below, before anything
+         can re-enter [emit] — no TX segment allocates a header. *)
+      let seg = tcb.emit_scratch in
+      seg.Seg.src_port <- tcb.local_port;
+      seg.Seg.dst_port <- tcb.remote_port;
+      seg.Seg.seq <- tcb.snd_nxt;
+      seg.Seg.ack <- (if ack_flag then tcb.rcv_nxt else 0);
+      seg.Seg.syn <- false;
+      seg.Seg.ack_flag <- ack_flag;
+      seg.Seg.fin <- false;
+      seg.Seg.rst <- false;
+      seg.Seg.psh <- false;
+      seg.Seg.ece <- false;
+      seg.Seg.cwr <- false;
+      seg.Seg.window <- advertised_window tcb;
+      seg.Seg.mss <- None;
+      seg.Seg.wscale <- None;
+      seg.Seg.payload_off <- 0;
+      seg.Seg.payload_len <- 0;
+      (match kind with
+      | Seg_syn ->
+          seg.Seg.seq <- tcb.iss;
+          seg.Seg.syn <- true;
+          seg.Seg.ack_flag <- false;
+          seg.Seg.mss <- Some tcb.cfg.mss;
+          seg.Seg.wscale <- Some tcb.cfg.wscale;
+          seg.Seg.window <- min (Tcb.rcv_window tcb) 0xFFFF
+      | Seg_syn_ack ->
+          seg.Seg.seq <- tcb.iss;
+          seg.Seg.syn <- true;
+          seg.Seg.ack_flag <- true;
+          seg.Seg.mss <- Some tcb.cfg.mss;
+          seg.Seg.wscale <- (if tcb.ws_enabled then Some tcb.cfg.wscale else None);
+          seg.Seg.window <- min (Tcb.rcv_window tcb) 0xFFFF
+      | Seg_data { seq; len; psh } ->
+          gather_payload tcb mbuf ~seq ~len;
+          seg.Seg.seq <- seq;
+          seg.Seg.psh <- psh
+      | Seg_fin -> seg.Seg.fin <- true
+      | Seg_fin_rexmit ->
+          (* The FIN occupies the sequence just below snd_nxt. *)
+          seg.Seg.fin <- true;
+          seg.Seg.seq <- Seqno.sub tcb.snd_nxt 1
+      | Seg_ack -> ()
+      | Seg_rst -> seg.Seg.rst <- true);
       (* DCTCP: echo congestion marks on outgoing ACK-bearing segments. *)
-      let seg =
-        if tcb.cfg.dctcp && tcb.ce_to_echo && seg.Seg.ack_flag then begin
-          tcb.ce_to_echo <- false;
-          { seg with Seg.ece = true }
-        end
-        else seg
-      in
+      if tcb.cfg.dctcp && tcb.ce_to_echo && seg.Seg.ack_flag then begin
+        tcb.ce_to_echo <- false;
+        seg.Seg.ece <- true
+      end;
       Seg.prepend mbuf ~src:tcb.local_ip ~dst:tcb.remote_ip seg;
       tcb.segs_out <- tcb.segs_out + 1;
       (match kind with
@@ -671,6 +662,86 @@ let input ?(ce = false) tcb (seg : Seg.t) mbuf =
           end
         end
       end
+
+(* ------------------------------------------------------------------ *)
+(* Receive fast path (Van Jacobson header prediction)                  *)
+
+(* [input_fast tcb seg mbuf] handles the common established-flow
+   segment — in-order, plausible ACK, no flags beyond ACK|PSH, window
+   unchanged — without walking the full [input] state machine.  It is a
+   pure optimisation: for every segment it accepts, the effects (TCB
+   mutations, timers, congestion state, emitted segments, callbacks)
+   are exactly those [input] would have produced; everything else
+   returns [false] untouched and the caller falls back to [input].
+   The qcheck equivalence suite (test/test_fastpath.ml) holds this to
+   random segment streams.
+
+   Gate conditions (all must hold):
+   - [cfg.fast_path] enabled (the [--fast-path=off] escape hatch);
+   - state = ESTABLISHED;
+   - ACK set; SYN/FIN/RST clear; ECE/CWR clear and DCTCP off (ECN
+     feedback takes the slow path);
+   - seq = rcv_nxt with no out-of-order backlog (delivery cannot
+     resequence);
+   - advertised window unchanged and open, no persist timer pending
+     (skipping [update_send_window] is then exact);
+   - ACK in (snd_una, snd_nxt] outside loss recovery — the common
+     piggybacked ACK — or ACK = snd_una carrying data (a pure
+     duplicate ACK has retransmit side effects and falls back). *)
+let input_fast tcb (seg : Seg.t) mbuf =
+  tcb.cfg.fast_path
+  && tcb.state = Tcp_state.Established
+  && seg.Seg.ack_flag
+  && (not seg.Seg.syn) && (not seg.Seg.fin) && (not seg.Seg.rst)
+  && (not tcb.cfg.dctcp) && (not seg.Seg.ece) && (not seg.Seg.cwr)
+  && seg.Seg.seq = tcb.rcv_nxt
+  && tcb.ooo == []
+  && tcb.snd_wnd > 0
+  && seg.Seg.window lsl (if tcb.ws_enabled then tcb.snd_wscale else 0)
+     = tcb.snd_wnd
+  && tcb.persist_timer = None
+  &&
+  let ack = seg.Seg.ack in
+  let ack_advances = Seqno.gt ack tcb.snd_una in
+  (if ack_advances then
+     Seqno.le ack tcb.snd_nxt && not (Congestion.in_recovery tcb.cong)
+   else ack = tcb.snd_una && seg.Seg.payload_len > 0)
+  && begin
+       (* Committed: replicate the slow path's effect sequence. *)
+       tcb.segs_in <- tcb.segs_in + 1;
+       if ack_advances then begin
+         (* [process_ack], new-data branch, with the gated-out cases
+            (leapfrog, DCTCP feedback, recovery, handshake/close
+            transitions, window change) removed. *)
+         let acked = Seqno.diff ack tcb.snd_una in
+         tcb.snd_una <- ack;
+         tcb.rexmit_shots <- 0;
+         Rtt.reset_backoff tcb.rtt;
+         if tcb.rtt_start >= 0 && Seqno.ge ack tcb.rtt_seq then begin
+           Rtt.observe tcb.rtt ~sample_ns:(tcb.env.now () - tcb.rtt_start);
+           tcb.rtt_start <- -1
+         end;
+         let data_acked = drop_acked_data tcb ack in
+         tcb.dupacks <- 0;
+         Congestion.on_ack tcb.cong ~acked_bytes:acked ~flight:(Tcb.flight tcb);
+         if Tcb.flight tcb = 0 then clear_rexmit tcb
+         else set_rexmit tcb (rexmit_timeout tcb);
+         if data_acked > 0 then tcb.callbacks.on_sent data_acked;
+         try_output tcb
+       end
+       else
+         (* [process_ack], duplicate branch: payload_len > 0 skips the
+            dup-ACK machinery, leaving only the output poke. *)
+         try_output tcb;
+       (* Payload + delayed-ACK accounting, exactly as [input]'s tail
+          ([process_fin] is a no-op here: FIN is gated out). *)
+       if tcb.state <> Tcp_state.Closed then begin
+         let delivered = process_payload tcb seg mbuf in
+         if tcb.state <> Tcp_state.Closed && delivered then
+           schedule_delack tcb
+       end;
+       true
+     end
 
 (* ------------------------------------------------------------------ *)
 (* Flow migration                                                      *)

@@ -41,6 +41,15 @@ val input : ?ce:bool -> Tcb.t -> Ixnet.Tcp_segment.t -> Ixmem.Mbuf.t -> unit
     the call; payload slices handed to the application carry their own
     references. *)
 
+val input_fast : Tcb.t -> Ixnet.Tcp_segment.t -> Ixmem.Mbuf.t -> bool
+(** Header-prediction receive fast path (Van Jacobson).  Accepts the
+    common established-flow segment — in-order seq, expected ACK, no
+    flags beyond ACK|PSH, window unchanged, DCTCP off — and applies
+    exactly the effects [input] would; returns [false] with the TCB
+    untouched otherwise, in which case the caller must fall back to
+    [input].  Disabled entirely when [cfg.fast_path] is [false].
+    Callers may pass a scratch segment record; it is not retained. *)
+
 val send : Tcb.t -> Ixmem.Iovec.t list -> int
 (** Queue application data, IX [sendv] style: returns the number of
     bytes *accepted*, as constrained by the send-buffer/window budget;

@@ -17,6 +17,8 @@ type t = {
   c_connects : Metrics.counter;
   c_accepts : Metrics.counter;
   c_rsts : Metrics.counter;
+  c_fast_hits : Metrics.counter;
+  c_slow_hits : Metrics.counter;
 }
 
 let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
@@ -57,6 +59,8 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
       c_connects = c "connects";
       c_accepts = c "accepts";
       c_rsts = c "rsts";
+      c_fast_hits = c "fast_path_hits";
+      c_slow_hits = c "slow_path_hits";
     }
   in
   tcb_env.Tcb.on_teardown <-
@@ -153,7 +157,15 @@ let rx_segment ?(ce = false) t ~src_ip (seg : Seg.t) mbuf =
     Flow_table.find t.flows ~local_port:seg.Seg.dst_port ~remote_ip:src_ip
       ~remote_port:seg.Seg.src_port
   with
-  | Some tcb -> Tcp_conn.input ~ce tcb seg mbuf
+  | Some tcb ->
+      (* Header prediction first; the full state machine is the
+         fallback.  The hit counters feed the Table-2-style breakdowns
+         and the BENCH_PERF fast/slow ratio. *)
+      if Tcp_conn.input_fast tcb seg mbuf then Metrics.incr t.c_fast_hits
+      else begin
+        Metrics.incr t.c_slow_hits;
+        Tcp_conn.input ~ce tcb seg mbuf
+      end
   | None ->
       if seg.Seg.syn && not seg.Seg.ack_flag then begin
         match Hashtbl.find_opt t.listeners seg.Seg.dst_port with
@@ -180,3 +192,5 @@ let evict t tcb =
 let connection_count t = Flow_table.count t.flows
 let iter_connections t f = Flow_table.iter t.flows f
 let rsts_sent t = Metrics.value t.c_rsts
+let fast_path_hits t = Metrics.value t.c_fast_hits
+let slow_path_hits t = Metrics.value t.c_slow_hits

@@ -20,7 +20,8 @@ val create :
   t
 (** [metrics]/[metrics_prefix] place the endpoint's counters
     ([<prefix>.rx_segs], [<prefix>.connects], [<prefix>.accepts],
-    [<prefix>.rsts]) in a telemetry registry ([metrics_prefix] defaults
+    [<prefix>.rsts], [<prefix>.fast_path_hits],
+    [<prefix>.slow_path_hits]) in a telemetry registry ([metrics_prefix] defaults
     to ["tcp"]; a private registry is used when [metrics] is
     omitted).  [handle_alloc] is the flow-handle allocator: the stacks
     pass one ref per host so handles are unique across its elastic
@@ -68,3 +69,11 @@ val evict : t -> Tcb.t -> unit
 val connection_count : t -> int
 val iter_connections : t -> (Tcb.t -> unit) -> unit
 val rsts_sent : t -> int
+
+val fast_path_hits : t -> int
+(** Segments taken by the header-prediction fast path
+    ([<prefix>.fast_path_hits]). *)
+
+val slow_path_hits : t -> int
+(** Segments that fell back to the full state machine
+    ([<prefix>.slow_path_hits]). *)

@@ -4,9 +4,19 @@ let key ~profile ~rank =
     match profile.Size_dist.name with "USR" -> (12, 19) | _ -> (20, 70)
   in
   let len = lo + (rank * 2654435761 mod (hi - lo + 1)) in
-  let base = Printf.sprintf "key-%08d-" rank in
-  let pad = max 0 (len - String.length base) in
-  base ^ String.make pad 'k'
+  (* "key-%08d-" spelled by hand: this runs once per simulated request,
+     and Printf costs two orders of magnitude more allocation than the
+     key itself. *)
+  let base_len = 13 in
+  let buf = Bytes.make (max base_len len) 'k' in
+  Bytes.blit_string "key-" 0 buf 0 4;
+  let r = ref rank in
+  for i = 11 downto 4 do
+    Bytes.unsafe_set buf i (Char.unsafe_chr (Char.code '0' + (!r mod 10)));
+    r := !r / 10
+  done;
+  Bytes.set buf 12 '-';
+  Bytes.unsafe_to_string buf
 
 let preload ~insert ~profile ~seed =
   let rng = Engine.Rng.create ~seed in

@@ -17,7 +17,7 @@ type conn_state = {
   mutable conn : Net_api.conn option;
   parser : Kv.Parser.t;
   mutable outstanding : int;
-  mutable backlog : Kv.request list; (* reversed *)
+  backlog : Kv.request Queue.t; (* FIFO; a list-append here is quadratic under load *)
   send_times : (int, int) Hashtbl.t; (* reqid -> intended arrival time *)
 }
 
@@ -51,14 +51,14 @@ let run ~sim ~clients ~server_ip ~port ~profile ~connections ~target_rps
           conn = None;
           parser = Kv.Parser.create ();
           outstanding = 0;
-          backlog = [];
+          backlog = Queue.create ();
           send_times = Hashtbl.create 8;
         })
   in
   let next_reqid = ref 0 in
   let transmit st (req : Kv.request) =
     match st.conn with
-    | None -> st.backlog <- req :: st.backlog (* not connected yet *)
+    | None -> Queue.add req st.backlog (* not connected yet *)
     | Some conn ->
         st.outstanding <- st.outstanding + 1;
         st.stack.Net_api.charge_app ~thread:st.thread 250 (* request build *);
@@ -67,21 +67,18 @@ let run ~sim ~clients ~server_ip ~port ~profile ~connections ~target_rps
   let on_response st (resp : Kv.response) =
     st.outstanding <- max 0 (st.outstanding - 1);
     incr completed;
-    (match Hashtbl.find_opt st.send_times resp.Kv.reqid with
-    | Some intended ->
+    (match Hashtbl.find st.send_times resp.Kv.reqid with
+    | exception Not_found -> ()
+    | intended ->
         Hashtbl.remove st.send_times resp.Kv.reqid;
         let t = now () in
         if t >= window_start && t <= window_end then begin
           incr completed_window;
           Engine.Histogram.record latency (t - intended)
-        end
-    | None -> ());
+        end);
     (* Pull queued work under the pipeline limit. *)
-    match st.backlog with
-    | req :: rest when st.outstanding < pipeline ->
-        st.backlog <- rest;
-        transmit st req
-    | _ -> ()
+    if st.outstanding < pipeline && not (Queue.is_empty st.backlog) then
+      transmit st (Queue.pop st.backlog)
   in
   (* Establish the persistent connections. *)
   Array.iter
@@ -92,14 +89,13 @@ let run ~sim ~clients ~server_ip ~port ~profile ~connections ~target_rps
             (fun conn ~ok ->
               if ok then begin
                 st.conn <- Some conn;
-                (* Drain anything queued while connecting. *)
-                let queued = List.rev st.backlog in
-                st.backlog <- [];
-                List.iter
-                  (fun req ->
-                    if st.outstanding < pipeline then transmit st req
-                    else st.backlog <- req :: st.backlog)
-                  queued
+                (* Drain anything queued while connecting, up to the
+                   pipeline limit; the rest stays queued in order. *)
+                while
+                  st.outstanding < pipeline && not (Queue.is_empty st.backlog)
+                do
+                  transmit st (Queue.pop st.backlog)
+                done
               end);
           on_data =
             (fun _conn data ->
@@ -143,7 +139,7 @@ let run ~sim ~clients ~server_ip ~port ~profile ~connections ~target_rps
       Hashtbl.replace st.send_times req.Kv.reqid (now ());
       st.stack.Net_api.run_app ~thread:st.thread (fun () ->
           if st.outstanding < pipeline && Option.is_some st.conn then transmit st req
-          else st.backlog <- st.backlog @ [ req ]);
+          else Queue.add req st.backlog);
       let gap = Engine.Rng.exponential rng ~mean:gap_mean_ns in
       ignore (Engine.Sim.after sim (max 1 (int_of_float gap)) arrival)
     end

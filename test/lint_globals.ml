@@ -1,4 +1,5 @@
-(* Repository lint: no module-level mutable state in lib/.
+(* Repository lint: no module-level mutable state in lib/, and no
+   allocating header decodes on the RX hot path (second pass below).
 
    The parallel experiment harness (Engine.Domain_pool) runs whole
    simulations concurrently on separate domains; a top-level [ref],
@@ -105,7 +106,42 @@ let binding_header lines i =
   in
   collect i false
 
+(* Second pass: the RX hot path must stay on the scratch-record decode
+   API.  [Tcp_segment.decode] / [Ipv4_packet.decode] allocate a fresh
+   header record per segment; inside the per-frame loop of the
+   dataplane or the TCP demux that is exactly the allocation the fast
+   path exists to avoid — use [decode_into] with the per-core scratch
+   instead (see DESIGN.md, "receive fast path"). *)
+
+let hot_path_files = [ "core/dataplane.ml"; "tcp/tcp_endpoint.ml" ]
+
+let allocating_decodes =
+  [
+    "Tcp_segment.decode";
+    "Ixnet.Tcp_segment.decode";
+    "Seg.decode";
+    "Ipv4_packet.decode";
+    "Ixnet.Ipv4_packet.decode";
+  ]
+
 let failures = ref []
+
+let lint_hot_path path lines =
+  if List.exists (fun suffix -> Filename.check_suffix path suffix) hot_path_files
+  then
+    Array.iteri
+      (fun i line ->
+        List.iter
+          (fun tok ->
+            if contains_token line tok then
+              failures :=
+                Printf.sprintf
+                  "%s:%d: `%s` allocates a header record on the RX hot path \
+                   (use decode_into with the per-core scratch)"
+                  path (i + 1) tok
+                :: !failures)
+          allocating_decodes)
+      lines
 
 let lint_file path =
   let ic = open_in path in
@@ -116,6 +152,7 @@ let lint_file path =
      done
    with End_of_file -> close_in ic);
   let lines = Array.of_list (List.rev !lines) in
+  lint_hot_path path lines;
   Array.iteri
     (fun i line ->
       match value_binding_name line with
@@ -162,8 +199,9 @@ let () =
   | fs ->
       List.iter prerr_endline fs;
       Printf.eprintf
-        "lint-globals: %d top-level mutable binding(s).  Thread state through \
-         the simulation instead (see DESIGN.md, \"parallel harness\"), or add \
-         a documented allowlist entry in test/lint_globals.ml.\n"
+        "lint-globals: %d violation(s).  Thread state through the simulation \
+         instead of module-level mutables (see DESIGN.md, \"parallel \
+         harness\"), keep the RX hot path on decode_into, or add a documented \
+         allowlist entry in test/lint_globals.ml.\n"
         (List.length fs);
       exit 1

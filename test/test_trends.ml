@@ -43,9 +43,9 @@ let test_ix_40g_scaling () =
 
 (* §5.2: unloaded one-way latency ordering (IX < Linux < mTCP). *)
 let test_latency_ordering () =
-  let ix = (E.netpipe_once ~kind:Cluster.Ix ~size:64).E.one_way_us in
-  let linux = (E.netpipe_once ~kind:Cluster.Linux ~size:64).E.one_way_us in
-  let mtcp = (E.netpipe_once ~kind:Cluster.Mtcp ~size:64).E.one_way_us in
+  let ix = (E.netpipe_once ~kind:Cluster.Ix ~size:64 ()).E.one_way_us in
+  let linux = (E.netpipe_once ~kind:Cluster.Linux ~size:64 ()).E.one_way_us in
+  let mtcp = (E.netpipe_once ~kind:Cluster.Mtcp ~size:64 ()).E.one_way_us in
   check_bool "ix < linux" true (ix < linux);
   check_bool "linux < mtcp" true (linux < mtcp);
   check_bool "ix at least 2.5x better than linux" true (linux > 2.5 *. ix);
@@ -81,8 +81,8 @@ let test_memcached_gap () =
 
 (* §5.4: throughput falls once connection state outgrows the L3. *)
 let test_connection_count_decline () =
-  let peak = E.run_connection_scaling ~kind:Cluster.Ix ~conns:1_000 ~workers:384 in
-  let big = E.run_connection_scaling ~kind:Cluster.Ix ~conns:100_000 ~workers:384 in
+  let peak = E.run_connection_scaling ~kind:Cluster.Ix ~conns:1_000 ~workers:384 () in
+  let big = E.run_connection_scaling ~kind:Cluster.Ix ~conns:100_000 ~workers:384 () in
   check_bool "decline at high connection counts" true (big < 0.85 *. peak);
   check_bool "but still a large fraction of peak" true (big > 0.3 *. peak)
 
