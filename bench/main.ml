@@ -492,7 +492,7 @@ let usage () =
   print_endline
     "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--jobs=N] \
      [--fast-path=on|off] [--out=FILE] \
-     [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|micro|perf|all]";
+     [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|chaos|micro|perf|all]";
   exit 1
 
 let () =
@@ -572,6 +572,11 @@ let () =
   | "incast" -> timed "incast" (fun () -> H.incast ~jobs ())
   | "energy" -> timed "energy" (fun () -> H.energy ~output ~jobs ())
   | "breakdown" -> ignore (timed "breakdown" (fun () -> H.echo_breakdown ~output ()))
+  | "chaos" ->
+      (* A longer soak than the runtest smoke: 20 simulated ms per leg
+         under the default fault plan, every leg audited.  Raises (and
+         exits nonzero) on any audit failure. *)
+      ignore (timed "chaos" (fun () -> H.chaos ~jobs ~soak_ms:20 ()))
   | "micro" -> micro ()
   | "all" ->
       timed "all experiments" (fun () -> H.run_all ~output ~jobs ());

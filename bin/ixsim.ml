@@ -227,6 +227,72 @@ let fig_cmd =
           data points fan out over --jobs worker domains.")
     Term.(const run $ log_term $ output_term $ gc_term $ jobs_arg $ fig_arg)
 
+let chaos_cmd =
+  let faults_conv =
+    let parse s =
+      match Ix_faults.Fault_plan.parse s with
+      | Ok spec -> Ok spec
+      | Error msg -> Error (`Msg msg)
+    in
+    let print fmt spec =
+      Format.pp_print_string fmt (Ix_faults.Fault_plan.to_string spec)
+    in
+    Arg.conv (parse, print)
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt faults_conv Ix_faults.Fault_plan.default
+      & info [ "f"; "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan, e.g. \
+             $(b,drop=0.003,corrupt=0.003,flap=4ms/300us,stall=3ms/200us,crash=0.0005) \
+             — or $(b,default) / $(b,none).  Keys: drop, corrupt, truncate, \
+             dup, reorder, crash (rates); reorder_delay, doorbell \
+             (durations); flap, stall, exhaust (PERIOD/WINDOW durations).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Base seed.  A plan is fully determined by (plan, seed): the \
+             same invocation reproduces every fault and every metric \
+             bit-for-bit, at any --jobs width.")
+  in
+  let soak_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "soak-ms" ] ~docv:"MS"
+          ~doc:"Simulated soak length per leg, with faults armed.")
+  in
+  let legs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "legs" ] ~docv:"N"
+          ~doc:"Echo legs on distinct seeds (plus one memcached leg).")
+  in
+  let run () () jobs spec seed soak_ms legs =
+    match
+      Harness.Experiments.chaos ~jobs ~seed ~spec ~soak_ms ~echo_legs:legs ()
+    with
+    | _ -> ()
+    | exception Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos soak: echo + memcached under a deterministic fault plan \
+          (wire mangling, link flaps, ring stalls, mempool exhaustion, \
+          handler crashes), ending in an end-of-run invariant audit \
+          (frame conservation, close-reason balance, zero leaks).  \
+          Exits nonzero if the audit fails.")
+    Term.(
+      const run $ log_term $ gc_term $ jobs_arg $ faults_arg $ seed_arg
+      $ soak_arg $ legs_arg)
+
 let ping_cmd =
   let run () () =
     (* A 2-host IX cluster; thread 0 of the server pings the client. *)
@@ -254,6 +320,7 @@ let main =
   Cmd.group
     (Cmd.info "ixsim" ~version:"1.0"
        ~doc:"Simulated reproduction of IX (OSDI '14): dataplane OS experiments.")
-    [ echo_cmd; breakdown_cmd; memcached_cmd; netpipe_cmd; fig_cmd; ping_cmd ]
+    [ echo_cmd; breakdown_cmd; memcached_cmd; netpipe_cmd; fig_cmd; chaos_cmd;
+      ping_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -33,3 +33,6 @@ let take_parked t ip =
 
 let entries t = Ip_map.cardinal (Rcu.read t.table)
 let retired_versions t = t.retired
+
+let parked_count t =
+  Hashtbl.fold (fun _ frames acc -> acc + List.length frames) t.parked 0

@@ -23,3 +23,7 @@ val entries : t -> int
 val retired_versions : t -> int
 (** How many superseded table versions RCU has reclaimed (observability
     for tests). *)
+
+val parked_count : t -> int
+(** Frames currently parked awaiting resolution — the chaos audit's
+    leak check expects this to drain to zero at quiescence. *)

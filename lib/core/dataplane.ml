@@ -109,6 +109,9 @@ type t = {
   c_events : Metrics.counter;
   c_syscalls : Metrics.counter;
   c_nonresponsive : Metrics.counter;
+  c_rx_csum_drops : Metrics.counter;
+  c_rx_other : Metrics.counter;
+  c_app_faults : Metrics.counter;
   user_timeout_ns : int;
   mutable ping_handler : src_ip:Ixnet.Ip_addr.t -> Ixnet.Icmp_packet.t -> unit;
   mutable background : (int * (unit -> unit)) option; (* slice_ns, work *)
@@ -360,54 +363,68 @@ let process_icmp t ~src_ip mbuf =
           resolve_and_frame t ~remote_ip:src_ip reply)
   | Ok reply -> t.ping_handler ~src_ip reply
 
+(* Every IPv4 frame lands in exactly one accounting bucket: delivered
+   to TCP (counted by the endpoint's [tcp.<i>.rx_segs]), dropped by
+   validation ([rx_csum_drops] — the IPv4 header and TCP checksums are
+   verified by [decode_into]; a frame corrupted on the wire dies here,
+   counted, instead of being accepted), or handled/dropped in the
+   kernel without a TCP delivery ([rx_other]: ARP, ICMP, UDP, firewall
+   rejects, wrong destination).  The chaos audit's frame-conservation
+   check ([Harness.Chaos]) relies on these buckets tiling [rx_pkts]. *)
 let process_ipv4 t mbuf =
   (* Scratch-record decode: [ip]/[seg] are the dataplane's reusable
      records, valid only for this frame (rx_segment and everything
      below it reads, never retains, them). *)
   let ip = t.ip_scratch in
-  if Ixnet.Ipv4_packet.decode_into mbuf ip then begin
-      if ip.Ixnet.Ipv4_packet.dst = t.local_ip then begin
-        match ip.Ixnet.Ipv4_packet.protocol with
-        | Ixnet.Ipv4_packet.Tcp ->
-            let seg = t.seg_scratch in
+  if not (Ixnet.Ipv4_packet.decode_into mbuf ip) then
+    Metrics.incr t.c_rx_csum_drops
+  else if ip.Ixnet.Ipv4_packet.dst <> t.local_ip then Metrics.incr t.c_rx_other
+  else begin
+    match ip.Ixnet.Ipv4_packet.protocol with
+    | Ixnet.Ipv4_packet.Tcp ->
+        let seg = t.seg_scratch in
+        if
+          not
+            (Seg.decode_into mbuf ~src:ip.Ixnet.Ipv4_packet.src
+               ~dst:ip.Ixnet.Ipv4_packet.dst seg)
+        then Metrics.incr t.c_rx_csum_drops
+        else if
+          Policy.admit t.pol ~now:(now t) ~src_ip:ip.Ixnet.Ipv4_packet.src
+            ~dst_port:seg.Seg.dst_port ~len:mbuf.Mbuf.len
+        then
+          Tcp_endpoint.rx_segment
+            ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
+            (endpoint t) ~src_ip:ip.Ixnet.Ipv4_packet.src seg mbuf
+        else Metrics.incr t.c_rx_other
+    | Ixnet.Ipv4_packet.Icmp ->
+        Metrics.incr t.c_rx_other;
+        process_icmp t ~src_ip:ip.Ixnet.Ipv4_packet.src mbuf
+    | Ixnet.Ipv4_packet.Udp ->
+        Metrics.incr t.c_rx_other;
+        (match
+           Ixnet.Udp_packet.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src
+             ~dst:ip.Ixnet.Ipv4_packet.dst
+         with
+        | Error _ -> ()
+        | Ok udp ->
             if
-              Seg.decode_into mbuf ~src:ip.Ixnet.Ipv4_packet.src
-                ~dst:ip.Ixnet.Ipv4_packet.dst seg
-            then
-              if
-                Policy.admit t.pol ~now:(now t) ~src_ip:ip.Ixnet.Ipv4_packet.src
-                  ~dst_port:seg.Seg.dst_port ~len:mbuf.Mbuf.len
-              then
-                Tcp_endpoint.rx_segment
-                  ~ce:(ip.Ixnet.Ipv4_packet.ecn = Ixnet.Ipv4_packet.ce)
-                  (endpoint t) ~src_ip:ip.Ixnet.Ipv4_packet.src seg mbuf
-        | Ixnet.Ipv4_packet.Icmp -> process_icmp t ~src_ip:ip.Ixnet.Ipv4_packet.src mbuf
-        | Ixnet.Ipv4_packet.Udp -> (
-            match
-              Ixnet.Udp_packet.decode mbuf ~src:ip.Ixnet.Ipv4_packet.src
-                ~dst:ip.Ixnet.Ipv4_packet.dst
-            with
-            | Error _ -> ()
-            | Ok udp ->
-                if
-                  Hashtbl.mem t.udp_binds udp.Ixnet.Udp_packet.dst_port
-                  && Policy.admit t.pol ~now:(now t)
-                       ~src_ip:ip.Ixnet.Ipv4_packet.src
-                       ~dst_port:udp.Ixnet.Udp_packet.dst_port ~len:mbuf.Mbuf.len
-                then begin
-                  Mbuf.incref mbuf;
-                  t.staged_events <-
-                    St_udp
-                      ( udp.Ixnet.Udp_packet.dst_port,
-                        ip.Ixnet.Ipv4_packet.src,
-                        udp.Ixnet.Udp_packet.src_port,
-                        mbuf,
-                        udp.Ixnet.Udp_packet.payload_off,
-                        udp.Ixnet.Udp_packet.payload_len )
-                    :: t.staged_events
-                end)
-        | Ixnet.Ipv4_packet.Other _ -> ()
-      end
+              Hashtbl.mem t.udp_binds udp.Ixnet.Udp_packet.dst_port
+              && Policy.admit t.pol ~now:(now t)
+                   ~src_ip:ip.Ixnet.Ipv4_packet.src
+                   ~dst_port:udp.Ixnet.Udp_packet.dst_port ~len:mbuf.Mbuf.len
+            then begin
+              Mbuf.incref mbuf;
+              t.staged_events <-
+                St_udp
+                  ( udp.Ixnet.Udp_packet.dst_port,
+                    ip.Ixnet.Ipv4_packet.src,
+                    udp.Ixnet.Udp_packet.src_port,
+                    mbuf,
+                    udp.Ixnet.Udp_packet.payload_off,
+                    udp.Ixnet.Udp_packet.payload_len )
+                :: t.staged_events
+            end)
+    | Ixnet.Ipv4_packet.Other _ -> Metrics.incr t.c_rx_other
   end
 
 let process_frame t mbuf =
@@ -418,11 +435,16 @@ let process_frame t mbuf =
       charge_kernel t
         (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(t.conn_count) / 2)
   | None -> ());
-  if Ixnet.Ethernet.decode_into mbuf t.eth_scratch then
+  if not (Ixnet.Ethernet.decode_into mbuf t.eth_scratch) then
+    (* Runt frame (e.g. truncated below the Ethernet header). *)
+    Metrics.incr t.c_rx_csum_drops
+  else
     (match t.eth_scratch.Ixnet.Ethernet.ethertype with
-    | Ixnet.Ethernet.Arp -> process_arp t mbuf
+    | Ixnet.Ethernet.Arp ->
+        Metrics.incr t.c_rx_other;
+        process_arp t mbuf
     | Ixnet.Ethernet.Ipv4 -> process_ipv4 t mbuf
-    | Ixnet.Ethernet.Other _ -> ());
+    | Ixnet.Ethernet.Other _ -> Metrics.incr t.c_rx_other);
   Mbuf.decref mbuf
 
 (* ------------------------------------------------------------------ *)
@@ -502,7 +524,18 @@ let rec run_cycle t =
     Metrics.add t.c_events (List.length events);
     charge_user t (t.costs.event_ns * List.length events);
     mark Tracer.Event_delivery;
-    t.app events;
+    (* §4.5 protection backstop: an exception escaping the user phase
+       must not take the elastic thread down — the kernel regains
+       control, counts the fault and keeps serving other flows.  (Libix
+       additionally contains handler faults per event, aborting only
+       the offending connection; this outer guard is the dataplane's
+       own guarantee for apps driving [set_app] directly.) *)
+    (try t.app events
+     with exn ->
+       Metrics.incr t.c_app_faults;
+       Log.debug (fun m ->
+           m "thread %d: user phase fault contained: %s" t.id
+             (Printexc.to_string exn)));
     mark Tracer.User_phase;
     t.in_user_phase <- false;
     charge_kernel t (Protection.enter_kernel t.prot);
@@ -641,6 +674,18 @@ let syscall t sc ~on_result =
 
 let flows t = Tcp_endpoint.connection_count (endpoint t)
 
+(* Control-plane drain: forcibly reset every connection this thread
+   still owns.  Collect first — [Tcp_conn.abort] unhooks the flow table
+   through [on_teardown], which must not race the iteration.  The RSTs
+   are staged TX frames, so kick a cycle to flush them. *)
+let abort_all_connections t =
+  let doomed = ref [] in
+  Tcp_endpoint.iter_connections (endpoint t) (fun tcb -> doomed := tcb :: !doomed);
+  List.iter Tcp_conn.abort !doomed;
+  let n = List.length !doomed in
+  if n > 0 then kick t;
+  n
+
 let migrate_flows_to t dst =
   let moving = ref [] in
   Tcp_endpoint.iter_connections (endpoint t) (fun tcb -> moving := tcb :: !moving);
@@ -683,6 +728,9 @@ let ping t ~dst ~ident ~seq =
       kick t
 
 let in_app_context t = t.in_user_phase
+let note_app_fault t = Metrics.incr t.c_app_faults
+let app_faults t = Metrics.value t.c_app_faults
+let pool t = t.pool
 let cycles_run t = Metrics.value t.c_cycles
 let events_delivered t = Metrics.value t.c_events
 let syscalls_processed t = Metrics.value t.c_syscalls
@@ -748,6 +796,9 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       c_events = c "events";
       c_syscalls = c "syscalls";
       c_nonresponsive = c "nonresponsive";
+      c_rx_csum_drops = c "rx_csum_drops";
+      c_rx_other = c "rx_other";
+      c_app_faults = c "app_faults";
       user_timeout_ns = 10_000_000;
       ping_handler = (fun ~src_ip:_ _ -> ());
       background = None;

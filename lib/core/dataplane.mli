@@ -116,6 +116,13 @@ val kick : t -> unit
 val flows : t -> int
 (** Connections owned by this elastic thread. *)
 
+val abort_all_connections : t -> int
+(** Control-plane drain: forcibly reset ([Tcp_conn.abort]) every
+    connection this elastic thread still owns and flush the resulting
+    RSTs; returns how many were aborted.  The chaos harness calls this
+    on every host at drain time so the end-of-run audit sees empty flow
+    tables regardless of what the fault plan destroyed. *)
+
 val migrate_flows_to : t -> t -> unit
 (** Control-plane flow migration when this thread is revoked: move every
     connection (flow-table entries and retransmission timers) to the
@@ -127,10 +134,24 @@ val cycles_run : t -> int
 val events_delivered : t -> int
 val syscalls_processed : t -> int
 
+val note_app_fault : t -> unit
+(** Count one contained application fault under
+    [dataplane.<id>.app_faults].  Libix bumps this when a handler
+    exception is caught and the offending connection aborted; the
+    dataplane's own user-phase backstop bumps it for exceptions that
+    escape the whole batch. *)
+
+val app_faults : t -> int
+
+val pool : t -> Ixmem.Mempool.t
+(** The thread's packet-buffer pool — exposed for the chaos audit's
+    leak check ([live_count] must return to the TX-queue baseline) and
+    for fault injection ([Mempool.set_alloc_gate]). *)
+
 val metrics : t -> Ixtelemetry.Metrics.t
 (** The registry holding this thread's [dataplane.<id>.*] counters
     ([cycles], [rx_pkts], [tx_pkts], [events], [syscalls],
-    [nonresponsive]). *)
+    [nonresponsive], [rx_csum_drops], [rx_other], [app_faults]). *)
 
 val tracer : t -> Ixtelemetry.Tracer.t
 (** The per-thread cycle tracer.  Each run-to-completion cycle records

@@ -159,6 +159,45 @@ let handle_event t ev =
           Mbuf.decref mbuf;
           handler ~src:(src_ip, src_port) data)
 
+(* §4.5 containment: an exception out of an application handler is the
+   app's fault, not the dataplane's — the offending connection is
+   aborted (RST to the peer, [close_reason = Reset]), the fault counted
+   under [dataplane.<id>.app_faults], and the rest of the event batch
+   is delivered normally.  Ev_recv's compatibility path releases the
+   event's mbuf *before* invoking [on_data] (see [handle_event]), so
+   containment leaks no buffers. *)
+let contain_fault t ev =
+  Dataplane.note_app_fault t.dp;
+  let abort_conn conn =
+    conn.dead <- true;
+    Hashtbl.remove t.conns conn.cookie;
+    if conn.handle >= 0 then
+      Dataplane.syscall t.dp
+        (Ix_api.Sys_abort { handle = conn.handle })
+        ~on_result:ignore
+  in
+  match ev with
+  | Ix_api.Ev_connected { cookie; _ }
+  | Ix_api.Ev_recv { cookie; _ }
+  | Ix_api.Ev_sent { cookie; _ } -> (
+      match Hashtbl.find_opt t.conns cookie with
+      | Some conn -> abort_conn conn
+      | None -> ())
+  | Ix_api.Ev_knock { handle; _ } ->
+      (* The acceptor raised; the conn was just registered under a fresh
+         cookie.  Find it by handle (cold path) and tear it down. *)
+      let found = ref None in
+      Hashtbl.iter
+        (fun _ conn -> if conn.handle = handle then found := Some conn)
+        t.conns;
+      (match !found with
+      | Some conn -> abort_conn conn
+      | None ->
+          Dataplane.syscall t.dp (Ix_api.Sys_abort { handle }) ~on_result:ignore)
+  | Ix_api.Ev_dead _ | Ix_api.Ev_udp_recv _ ->
+      (* Already dead, or connectionless: nothing to abort. *)
+      ()
+
 let create dp =
   let t =
     {
@@ -172,7 +211,10 @@ let create dp =
     }
   in
   Dataplane.set_app dp (fun events ->
-      List.iter (handle_event t) events;
+      List.iter
+        (fun ev ->
+          try handle_event t ev with _ -> contain_fault t ev)
+        events;
       flush t);
   t
 

@@ -44,6 +44,9 @@ type t = {
   clients : Net_api.stack list;
   client_ips : Ixnet.Ip_addr.t list;
   client_ix : Ix_host.t option list;  (** per client, when running IX *)
+  client_nics : Nic.t list;  (** one NIC per client host, in host order *)
+  client_rx_links : Link.t list;  (** switch output ports toward clients *)
+  client_metrics : Ixtelemetry.Metrics.t list;  (** per-client registries *)
 }
 
 (* Wire latencies: ~1.2 us per link hop plus the switch's 300 ns
@@ -154,14 +157,16 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
       ~linux_costs:Baselines.Linux_stack.default_costs
   in
   (* Clients: host ids 2.., one switch port each. *)
+  let client_links = ref [] in
   let client_triples =
     List.init client_hosts (fun i ->
         let host_id = 2 + i in
         let ip = Ixnet.Ip_addr.of_host_id host_id in
         let metrics = Ixtelemetry.Metrics.create () in
         let nics =
-          attach_host ~metrics sim switch ~first_port:(server.nic_ports + i)
-            ~ports:1 ~queues:client_threads ~host_id
+          attach_host ~metrics ~collect_rx_links:client_links sim switch
+            ~first_port:(server.nic_ports + i) ~ports:1 ~queues:client_threads
+            ~host_id
         in
         let spec =
           {
@@ -180,11 +185,13 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
           make_stack sim ~spec ~host_id ~ip ~nics ~metrics ~seed:(seed + host_id)
             ~linux_costs:fast_client_costs
         in
-        (stack, ip, ix))
+        (stack, ip, ix, nics.(0), metrics))
   in
-  let clients = List.map (fun (s, _, _) -> s) client_triples in
-  let client_ips = List.map (fun (_, ip, _) -> ip) client_triples in
-  let client_ix = List.map (fun (_, _, ix) -> ix) client_triples in
+  let clients = List.map (fun (s, _, _, _, _) -> s) client_triples in
+  let client_ips = List.map (fun (_, ip, _, _, _) -> ip) client_triples in
+  let client_ix = List.map (fun (_, _, ix, _, _) -> ix) client_triples in
+  let client_nics = List.map (fun (_, _, _, nic, _) -> nic) client_triples in
+  let client_metrics = List.map (fun (_, _, _, _, m) -> m) client_triples in
   {
     sim;
     switch;
@@ -196,6 +203,9 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
     clients;
     client_ips;
     client_ix;
+    client_nics;
+    client_rx_links = List.rev !client_links;
+    client_metrics;
   }
 
 let now t () = Sim.now t.sim

@@ -38,6 +38,14 @@ type t = {
   client_ix : Ix_core.Ix_host.t option list;
       (** per-client Ix hosts when [client_kind] is [Ix] (for direct
           dataplane access, e.g. the UDP API) *)
+  client_nics : Ixhw.Nic.t list;  (** one NIC per client host, in host order *)
+  client_rx_links : Ixhw.Link.t list;
+      (** switch ports toward the clients; together with
+          [server_rx_links] these cover every NIC-facing delivery path,
+          which is where the fault injector installs its wire taps *)
+  client_metrics : Ixtelemetry.Metrics.t list;
+      (** per-client telemetry registries (the server's is reachable as
+          [Netapi.Net_api.metrics server]) *)
 }
 
 val build :

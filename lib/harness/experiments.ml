@@ -997,6 +997,17 @@ let perf_fig5_slice ?(fast_path = true) ?(target_krps = 500.) () =
         r.Workloads.Mutilate.achieved_rps r.Workloads.Mutilate.avg_us
         r.Workloads.Mutilate.p99_us kshare)
 
+(* ------------------------------------------------------------------ *)
+(* Chaos soak (robustness): ixsim chaos / bench chaos leg              *)
+
+(* Legs are self-contained simulations, so they fan over the same
+   domain pool as the figure sweeps; a leg's snapshot is bit-identical
+   at any [jobs] width, which test_faults asserts. *)
+let chaos ?(jobs = default_jobs ()) ?(seed = 42)
+    ?(spec = Ix_faults.Fault_plan.default) ?(soak_ms = 8) ?(echo_legs = 3)
+    ?(quiet = false) () =
+  Chaos.run ~jobs ~seed ~spec ~soak_ms ~echo_legs ~quiet ()
+
 let run_all ?(output = default_output) ?(jobs = default_jobs ()) () =
   ignore (fig2 ~jobs ());
   ignore (fig3a ~output ~jobs ());

@@ -221,4 +221,18 @@ val perf_fig4_slice : ?fast_path:bool -> ?conns:int -> unit -> perf_slice
 val perf_fig5_slice : ?fast_path:bool -> ?target_krps:float -> unit -> perf_slice
 (** One memcached USR load point on IX (Fig. 5 slice). *)
 
+val chaos :
+  ?jobs:int ->
+  ?seed:int ->
+  ?spec:Ix_faults.Fault_plan.spec ->
+  ?soak_ms:int ->
+  ?echo_legs:int ->
+  ?quiet:bool ->
+  unit ->
+  Chaos.leg list
+(** The chaos soak (see {!Chaos}): echo + memcached legs under a
+    deterministic fault plan, each ending in an invariant audit.
+    Raises [Failure] if any audit fails.  The [ixsim chaos] subcommand
+    and the bench harness's [chaos] target call this. *)
+
 val run_all : ?output:output -> ?jobs:int -> unit -> unit

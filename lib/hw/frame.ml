@@ -88,5 +88,23 @@ let with_ce t =
     end
   end
 
+(* Fault-injection helpers: what a bad cable or a flaky PHY does to a
+   frame.  Checksums are deliberately NOT fixed up — the point is that
+   the receiver's RX validation must catch the damage. *)
+
+let corrupt t ~pos ~mask =
+  let n = length t in
+  if n = 0 then t
+  else begin
+    let pos = pos mod n and mask = if mask land 0xFF = 0 then 0x01 else mask land 0xFF in
+    let buf = Bytes.of_string t.data in
+    Bytes.set_uint8 buf pos (Char.code t.data.[pos] lxor mask);
+    { data = Bytes.unsafe_to_string buf }
+  end
+
+let truncate t ~keep =
+  let n = length t in
+  if keep >= n then t else { data = String.sub t.data 0 (max 1 keep) }
+
 let to_mbuf t ~into =
   Mbuf.append into t.data

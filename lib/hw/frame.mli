@@ -45,3 +45,13 @@ val with_ce : t -> t
     ECN-marking switch queue does to passing packets. *)
 
 val is_ce : t -> bool
+
+val corrupt : t -> pos:int -> mask:int -> t
+(** A copy with one byte XOR-flipped: byte [pos mod length] is XORed
+    with [mask land 0xFF] (coerced to [0x01] when zero so the copy
+    always differs).  No checksum fixup — wire damage the receiver's
+    RX validation is expected to catch. *)
+
+val truncate : t -> keep:int -> t
+(** A copy cut to the first [keep] bytes (at least 1; a [keep] at or
+    beyond the frame length returns it unchanged) — a runt frame. *)

@@ -5,6 +5,7 @@ type t = {
   ecn_threshold_bytes : int option;
   queue_limit_bytes : int option;
   deliver : Frame.t -> unit;
+  mutable tap : (Frame.t -> (Frame.t -> unit) -> unit) option;
   mutable busy : Engine.Sim_time.t;
   mutable total_bytes : int;
   mutable total_frames : int;
@@ -22,6 +23,7 @@ let create sim ~gbps ~propagation_ns ?ecn_threshold_bytes ?queue_limit_bytes
     ecn_threshold_bytes;
     queue_limit_bytes;
     deliver;
+    tap = None;
     busy = 0;
     total_bytes = 0;
     total_frames = 0;
@@ -63,7 +65,11 @@ let send_at t frame ~earliest =
     t.total_bytes <- t.total_bytes + Frame.wire_bytes frame;
     t.total_frames <- t.total_frames + 1;
     let arrival = start + duration + t.propagation_ns in
-    ignore (Engine.Sim.at t.sim arrival (fun () -> t.deliver frame))
+    ignore
+      (Engine.Sim.at t.sim arrival (fun () ->
+           match t.tap with
+           | None -> t.deliver frame
+           | Some tap -> tap frame t.deliver))
   end
 
 let send t frame = send_at t frame ~earliest:0
@@ -81,3 +87,4 @@ let utilization t ~over =
 
 let marked t = t.marked_count
 let dropped t = t.dropped_count
+let set_tap t tap = t.tap <- tap

@@ -44,3 +44,11 @@ val marked : t -> int
 
 val dropped : t -> int
 (** Frames tail-dropped at the queue limit. *)
+
+val set_tap : t -> (Frame.t -> (Frame.t -> unit) -> unit) option -> unit
+(** Install (or clear) a delivery tap.  At each frame's arrival time the
+    tap is called with the frame and the link's deliver function and
+    decides what reaches the far end: forward as-is, forward a mutated
+    copy, forward twice, delay, or swallow.  The hook for the fault
+    injector's wire faults ({!Ix_faults.Fault_plan}); links carry no tap
+    by default and the timing math above is unaffected either way. *)

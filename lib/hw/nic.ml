@@ -22,6 +22,9 @@ type rx_queue = {
   ring_size : int;
   pool : Mempool.t;
   mutable notify : unit -> unit;
+  mutable replenish_gate : (unit -> bool) option;
+  mutable deferred_descs : int;  (** descriptors swallowed by a stall *)
+  mutable doorbell_defer : ((unit -> unit) -> unit) option;
   q_rx : Metrics.counter;
   q_doorbells : Metrics.counter;
 }
@@ -33,6 +36,7 @@ type t = {
   rss_lut : Toeplitz.lut;  (** per-key hash tables owned by this NIC *)
   tx_link : Link.t;
   c_drops : Metrics.counter;
+  c_filtered : Metrics.counter;
   c_rx : Metrics.counter;
   c_tx : Metrics.counter;
 }
@@ -56,6 +60,9 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
           ~name:(Printf.sprintf "nic-rxq%d" index)
           ();
       notify = ignore;
+      replenish_gate = None;
+      deferred_descs = 0;
+      doorbell_defer = None;
       q_rx = c "%s.q%d.rx_frames" name index;
       q_doorbells = c "%s.q%d.doorbells" name index;
     }
@@ -67,6 +74,7 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
     rss_lut = Toeplitz.lut_of_key rss_key;
     tx_link = tx;
     c_drops = c "%s.rx_drops" name;
+    c_filtered = c "%s.rx_filtered" name;
     c_rx = c "%s.rx_frames" name;
     c_tx = c "%s.tx_frames" name;
   }
@@ -98,9 +106,23 @@ let classify t frame =
       ~src_port:(Frame.rss_src_port frame)
       ~dst_port:(Frame.rss_dst_port frame)
 
+(* Minimum frame the MAC will pass up: a complete Ethernet header.
+   (Real hardware enforces 64 B with the FCS; the simulation carries no
+   padding, so the header is the floor that matters.) *)
+let runt_limit = 14
+
 let receive t frame =
+  if Frame.length frame < runt_limit then
+    (* Runt (e.g. a wire fault truncated the frame mid-header): the MAC
+       discards it before parsing; counted with the filter drops so
+       frame conservation still closes. *)
+    Metrics.incr t.c_filtered
+  else
   let dst = Frame.dst_mac frame in
-  if dst <> t.mac_addr && not (Ixnet.Mac_addr.is_broadcast dst) then ()
+  if dst <> t.mac_addr && not (Ixnet.Mac_addr.is_broadcast dst) then
+    (* MAC filter: counted so frame conservation audits close — a wire
+       fault that flips a MAC byte ends up here, not in a black hole. *)
+    Metrics.incr t.c_filtered
   else begin
     let q = t.queues.(classify t frame) in
     if q.avail_descs = 0 then Metrics.incr t.c_drops
@@ -144,11 +166,30 @@ let rx_burst_into q ~into ~off ~max =
   n
 
 (* Posting descriptors writes the queue's tail register — one doorbell
-   per non-empty batch. *)
+   per non-empty batch.  The clamp keeps [avail_descs + count <=
+   ring_size] no matter when a deferred doorbell lands. *)
+let post_descs q n =
+  q.avail_descs <- min (q.ring_size - q.count) (q.avail_descs + n);
+  Metrics.incr q.q_doorbells
+
 let replenish q n =
   if n > 0 then begin
-    q.avail_descs <- min (q.ring_size - q.count) (q.avail_descs + n);
-    Metrics.incr q.q_doorbells
+    let stalled =
+      match q.replenish_gate with Some gate -> gate () | None -> false
+    in
+    if stalled then
+      (* RX-ring stall fault: the tail write is swallowed; the ring
+         drains and the NIC takes counted drops.  The descriptors are
+         remembered and posted with the first doorbell after recovery,
+         so the ring refills to its full complement. *)
+      q.deferred_descs <- q.deferred_descs + n
+    else begin
+      let n = n + q.deferred_descs in
+      q.deferred_descs <- 0;
+      match q.doorbell_defer with
+      | None -> post_descs q n
+      | Some defer -> defer (fun () -> post_descs q n)
+    end
   end
 
 let free_descriptors q = q.avail_descs
@@ -164,6 +205,10 @@ let transmit_at t mbuf ~earliest ~on_complete =
 let transmit t mbuf ~on_complete = transmit_at t mbuf ~earliest:0 ~on_complete
 
 let rx_drops t = Metrics.value t.c_drops
+let rx_filtered t = Metrics.value t.c_filtered
 let rx_frames t = Metrics.value t.c_rx
 let tx_frames t = Metrics.value t.c_tx
 let pool_of q = q.pool
+let set_replenish_gate q gate = q.replenish_gate <- gate
+let set_doorbell_defer q defer = q.doorbell_defer <- defer
+let iter_queues t f = Array.iter f t.queues

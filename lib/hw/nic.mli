@@ -83,6 +83,27 @@ val transmit_at :
 
 val rx_drops : t -> int
 val rx_frames : t -> int
+
+val rx_filtered : t -> int
+(** Frames rejected by the MAC filter (counted under
+    [<name>.rx_filtered] so frame-conservation audits close; a wire
+    fault that corrupts the destination MAC lands here). *)
+
 val tx_frames : t -> int
 
 val pool_of : rx_queue -> Ixmem.Mempool.t
+
+val set_replenish_gate : rx_queue -> (unit -> bool) option -> unit
+(** Fault hook: when the gate returns [true] a {!replenish} swallows
+    the tail write (an RX-ring stall) — the ring drains into counted
+    drops, and the swallowed descriptors are posted with the first
+    doorbell after the gate reopens, restoring the full complement.
+    [None] (the default) posts every doorbell immediately. *)
+
+val set_doorbell_defer : rx_queue -> ((unit -> unit) -> unit) option -> unit
+(** Fault hook: route each doorbell's descriptor posting through a
+    scheduler (the fault injector delays it by a bounded interval).
+    The posting thunk re-clamps against ring occupancy when it runs,
+    so late application can never overflow the ring. *)
+
+val iter_queues : t -> (rx_queue -> unit) -> unit

@@ -19,6 +19,7 @@ type t = {
   mutable live : int;
   mutable allocs : int;
   mutable failures : int;
+  mutable alloc_gate : (unit -> bool) option;
 }
 
 let create ?(mbuf_size = Mbuf.default_size) ?(capacity = 16384) ~name () =
@@ -34,6 +35,7 @@ let create ?(mbuf_size = Mbuf.default_size) ?(capacity = 16384) ~name () =
     live = 0;
     allocs = 0;
     failures = 0;
+    alloc_gate = None;
   }
 
 let push_free t mbuf =
@@ -64,6 +66,13 @@ let provision_block t =
   t.provisioned <- t.provisioned + n
 
 let rec alloc t =
+  match t.alloc_gate with
+  | Some gate when not (gate ()) ->
+      (* Injected exhaustion window: behave exactly like a full pool —
+         a counted failure, never a raise. *)
+      t.failures <- t.failures + 1;
+      None
+  | _ ->
   if t.free_top > 0 then begin
     t.free_top <- t.free_top - 1;
     let mbuf = t.free.(t.free_top) in
@@ -87,3 +96,4 @@ let capacity t = t.max_objects
 let stat_allocs t = t.allocs
 let stat_failures t = t.failures
 let name t = t.pool_name
+let set_alloc_gate t gate = t.alloc_gate <- gate

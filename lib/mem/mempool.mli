@@ -30,3 +30,9 @@ val stat_allocs : t -> int
 val stat_failures : t -> int
 
 val name : t -> string
+
+val set_alloc_gate : t -> (unit -> bool) option -> unit
+(** Fault hook: while the gate returns [false], {!alloc} behaves as if
+    the pool were exhausted — counted failure, [None], no raise — and
+    recovers the moment the gate reopens.  [None] (the default) removes
+    the gate. *)

@@ -115,6 +115,10 @@ type t = {
   mutable rcv_consumed : int;  (** bytes the application released *)
   mutable ooo : (Seqno.t * Mbuf.t * int * int) list;  (** seq, mbuf, off, len *)
   mutable close_notified : bool;  (** [on_closed] delivered exactly once *)
+  mutable last_close : close_reason option;
+      (** why the connection was torn down; recorded by
+          [Tcp_conn.teardown] before the flow table unhooks it, so
+          endpoints can count every close under an explicit reason *)
   mutable ce_to_echo : bool;  (** a CE-marked segment arrived; echo ECE *)
   mutable delack_count : int;
   mutable delack_timer : Timerwheel.Timer_wheel.timer option;
@@ -196,6 +200,7 @@ let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
     rcv_consumed = 0;
     ooo = [];
     close_notified = false;
+    last_close = None;
     ce_to_echo = false;
     delack_count = 0;
     delack_timer = None;

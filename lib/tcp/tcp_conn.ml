@@ -157,6 +157,7 @@ let teardown tcb reason =
     List.iter (fun (_, mbuf, _, _) -> Mbuf.decref mbuf) tcb.ooo;
     tcb.ooo <- [];
     tcb.state <- Tcp_state.Closed;
+    tcb.last_close <- Some reason;
     tcb.env.on_teardown tcb;
     if was_synchronized then begin
       if not tcb.close_notified then begin

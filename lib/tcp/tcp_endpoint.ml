@@ -19,6 +19,10 @@ type t = {
   c_rsts : Metrics.counter;
   c_fast_hits : Metrics.counter;
   c_slow_hits : Metrics.counter;
+  c_closed_normal : Metrics.counter;
+  c_closed_reset : Metrics.counter;
+  c_closed_timeout : Metrics.counter;
+  c_closed_refused : Metrics.counter;
 }
 
 let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
@@ -61,10 +65,22 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
       c_rsts = c "rsts";
       c_fast_hits = c "fast_path_hits";
       c_slow_hits = c "slow_path_hits";
+      c_closed_normal = c "closed_normal";
+      c_closed_reset = c "closed_reset";
+      c_closed_timeout = c "closed_timeout";
+      c_closed_refused = c "closed_refused";
     }
   in
   tcb_env.Tcb.on_teardown <-
     (fun tcb ->
+      (* Every connection leaves with an explicit close reason; the
+         chaos audit balances these against [connects + accepts]. *)
+      (match tcb.Tcb.last_close with
+      | Some Tcb.Normal -> Metrics.incr t.c_closed_normal
+      | Some Tcb.Reset -> Metrics.incr t.c_closed_reset
+      | Some Tcb.Timeout -> Metrics.incr t.c_closed_timeout
+      | Some Tcb.Refused -> Metrics.incr t.c_closed_refused
+      | None -> ());
       Flow_table.remove t.flows ~local_port:tcb.Tcb.local_port
         ~remote_ip:tcb.Tcb.remote_ip ~remote_port:tcb.Tcb.remote_port;
       Port_alloc.free t.ports tcb.Tcb.local_port);

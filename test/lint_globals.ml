@@ -181,7 +181,20 @@ let lint_file path =
               forbidden_tokens)
     lines
 
+(* Coverage guard: the subsystem directories the lint is expected to
+   scan under lib/.  If one goes missing from the walk (renamed, or
+   silently excluded), the lint would pass vacuously for that subsystem
+   — fail loudly instead.  New lib/ subdirectories belong here. *)
+let required_dirs =
+  [
+    "apps"; "baselines"; "core"; "engine"; "faults"; "harness"; "hw"; "mem";
+    "net"; "netapi"; "tcp"; "telemetry"; "timerwheel"; "workloads";
+  ]
+
+let visited_dirs = ref []
+
 let rec walk dir =
+  visited_dirs := Filename.basename dir :: !visited_dirs;
   Array.iter
     (fun entry ->
       let path = Filename.concat dir entry in
@@ -194,6 +207,18 @@ let () =
     match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: rest -> rest
   in
   List.iter walk roots;
+  if List.exists (fun r -> Filename.basename r = "lib") roots then begin
+    let missing =
+      List.filter (fun d -> not (List.mem d !visited_dirs)) required_dirs
+    in
+    if missing <> [] then begin
+      Printf.eprintf
+        "lint-globals: expected lib/ subsystem(s) not scanned: %s — renamed? \
+         Update required_dirs in test/lint_globals.ml.\n"
+        (String.concat ", " missing);
+      exit 1
+    end
+  end;
   match List.rev !failures with
   | [] -> print_endline "lint-globals: no module-level mutable state in lib/"
   | fs ->

@@ -31,7 +31,8 @@ type net = {
 
 (* Build two endpoints joined back-to-back.  [loss] drops each segment
    with the given probability; [delay_ns] is the one-way latency. *)
-let make_net ?(loss = 0.) ?(delay_ns = 10_000) ?(seed = 1) ?config () =
+let make_net ?(loss = 0.) ?(delay_ns = 10_000) ?(seed = 1) ?config
+    ?(wire_up = fun (_ : int) -> true) () =
   let sim = Engine.Sim.create ~seed () in
   let loss_rng = Engine.Rng.create ~seed:(seed + 100) in
   let cfg = match config with Some c -> c | None -> Tcb.default_config in
@@ -45,7 +46,11 @@ let make_net ?(loss = 0.) ?(delay_ns = 10_000) ?(seed = 1) ?config () =
         (let output_raw ~remote_ip mbuf =
            let this = Lazy.force host in
            ignore this;
-           if loss > 0. && Engine.Rng.float loss_rng 1.0 < loss then begin
+           (* The loss draw stays first (and gated on [loss > 0.]) so
+              seeds reproduce the same drop pattern whether or not a
+              flap window is configured. *)
+           let lost = loss > 0. && Engine.Rng.float loss_rng 1.0 < loss in
+           if lost || not (wire_up (Engine.Sim.now sim)) then begin
              (Option.get !net).drops <- (Option.get !net).drops + 1;
              Mbuf.decref mbuf
            end
@@ -182,6 +187,32 @@ let test_rtt_respects_min () =
   let r = Rtt.create ~min_rto_ns:200_000_000 ~max_rto_ns:60_000_000_000 in
   Rtt.observe r ~sample_ns:50_000 (* 50 us RTT *);
   check_int "Linux-style 200ms floor" 200_000_000 (Rtt.rto_ns r)
+
+let test_rtt_max_cap () =
+  (* During a long outage the exponential backoff must plateau at
+     max_rto, not keep doubling toward a multi-minute timer. *)
+  let r = Rtt.create ~min_rto_ns:1_000_000 ~max_rto_ns:8_000_000 in
+  Rtt.observe r ~sample_ns:5_000_000;
+  for _ = 1 to 10 do
+    Rtt.backoff r
+  done;
+  check_int "backoff plateaus at max_rto" 8_000_000 (Rtt.rto_ns r);
+  Rtt.backoff r;
+  check_int "stays capped" 8_000_000 (Rtt.rto_ns r)
+
+let test_rtt_reset_backoff () =
+  (* Forward progress (a cumulative ACK) ends the backoff even when
+     Karn's rule forbids taking an RTT sample from the retransmitted
+     segment — the link healed, so the next timeout uses the base RTO. *)
+  let r = Rtt.create ~min_rto_ns:1_000_000 ~max_rto_ns:60_000_000_000 in
+  Rtt.observe r ~sample_ns:5_000_000;
+  let base = Rtt.rto_ns r in
+  for _ = 1 to 4 do
+    Rtt.backoff r
+  done;
+  check_int "backed off 16x" (16 * base) (Rtt.rto_ns r);
+  Rtt.reset_backoff r;
+  check_int "heal returns rto to base" base (Rtt.rto_ns r)
 
 (* ---------------- Congestion ---------------- *)
 
@@ -353,6 +384,31 @@ let test_retransmit_counted () =
   run net ~ms:10_000;
   Alcotest.(check string) "delivered despite 20% loss" data (Buffer.contents received);
   check_bool "retransmissions happened" true (tcb.Tcb.retransmits > 0)
+
+let test_survives_flap () =
+  (* The wire goes fully down for 6 ms mid-transfer — shorter than the
+     retransmission budget — then heals.  The connection must ride out
+     the outage on RTO backoff and finish the transfer exactly once;
+     a reset or a stall would show up as missing bytes. *)
+  (* 40 us in: the handshake (3 x 10 us hops) is done and the transfer
+     is mid-flight — well before 60 KB can complete on a 10 us wire. *)
+  let down_start = 40_000 and down_end = 6_040_000 in
+  let net =
+    make_net ~wire_up:(fun now -> now < down_start || now >= down_end) ()
+  in
+  let received, _ = sink_server net.b ~port:80 in
+  let data = String.init 60_000 (fun i -> Char.chr ((i * 17) land 0xFF)) in
+  let tcb, _, refused, sent_acked =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data ()
+  in
+  run net ~ms:5000;
+  check_bool "the outage swallowed frames" true (net.drops > 0);
+  check_bool "connect not refused" false !refused;
+  check_int "everything acked after the heal" 60_000 !sent_acked;
+  Alcotest.(check string) "exactly-once delivery across the flap" data
+    (Buffer.contents received);
+  check_bool "rode out the outage on retransmissions" true
+    (tcb.Tcb.retransmits > 0)
 
 let test_bidirectional_echo () =
   let net = make_net () in
@@ -589,6 +645,8 @@ let () =
           Alcotest.test_case "converges" `Quick test_rtt_converges;
           Alcotest.test_case "backoff" `Quick test_rtt_backoff;
           Alcotest.test_case "min rto floor" `Quick test_rtt_respects_min;
+          Alcotest.test_case "max rto cap" `Quick test_rtt_max_cap;
+          Alcotest.test_case "reset backoff on heal" `Quick test_rtt_reset_backoff;
         ] );
       ( "congestion",
         [
@@ -634,6 +692,7 @@ let () =
           Alcotest.test_case "transfer under 5% loss" `Quick test_transfer_under_loss;
           Alcotest.test_case "retransmits under 20% loss" `Quick test_retransmit_counted;
           Alcotest.test_case "ooo flood under 30% loss" `Quick test_ooo_flood_recovers;
+          Alcotest.test_case "survives a 6ms link flap" `Quick test_survives_flap;
           qt prop_exactly_once_under_loss;
           qt prop_sizes_roundtrip;
         ] );
