@@ -342,12 +342,15 @@ let perf ~smoke ~jobs ~fast_path ~out () =
       [
         (fun () -> H.perf_fig2_slice ~fast_path ~sizes:[ 1_024 ] ());
         (fun () -> H.perf_fig4_slice ~fast_path ~conns:1_000 ());
+        (fun () -> H.perf_migration_slice ~fast_path ());
       ]
     else
       [
         (fun () -> H.perf_fig2_slice ~fast_path ());
         (fun () -> H.perf_fig4_slice ~fast_path ());
         (fun () -> H.perf_fig5_slice ~fast_path ());
+        (fun () -> H.perf_fig3a_slice ~fast_path ());
+        (fun () -> H.perf_migration_slice ~fast_path ());
       ]
   in
   let rows = List.map run_slice slices in
@@ -492,7 +495,7 @@ let usage () =
   print_endline
     "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--jobs=N] \
      [--fast-path=on|off] [--out=FILE] \
-     [fig2|fig3a|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|breakdown|chaos|micro|perf|all]";
+     [fig2|fig3a|fig3a-sim|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|elastic|breakdown|chaos|micro|perf|all]";
   exit 1
 
 let () =
@@ -560,6 +563,8 @@ let () =
         ()
   | "fig2" -> ignore (timed "fig2" (fun () -> H.fig2 ~jobs ()))
   | "fig3a" -> ignore (timed "fig3a" (fun () -> H.fig3a ~output ~jobs ()))
+  | "fig3a-sim" ->
+      ignore (timed "fig3a-sim" (fun () -> H.fig3a_sim ~output ~jobs ()))
   | "fig3b" -> ignore (timed "fig3b" (fun () -> H.fig3b ~output ~jobs ()))
   | "fig3c" -> ignore (timed "fig3c" (fun () -> H.fig3c ~output ~jobs ()))
   | "fig4" -> ignore (timed "fig4" (fun () -> H.fig4 ~jobs ()))
@@ -571,6 +576,8 @@ let () =
   | "ablations" -> timed "ablations" (fun () -> H.ablations ~output ~jobs ())
   | "incast" -> timed "incast" (fun () -> H.incast ~jobs ())
   | "energy" -> timed "energy" (fun () -> H.energy ~output ~jobs ())
+  | "elastic" ->
+      ignore (timed "elastic" (fun () -> H.elastic_scaling ~output ()))
   | "breakdown" -> ignore (timed "breakdown" (fun () -> H.echo_breakdown ~output ()))
   | "chaos" ->
       (* A longer soak than the runtest smoke: 20 simulated ms per leg

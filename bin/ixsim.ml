@@ -118,16 +118,25 @@ let fast_path_arg =
            optimization: $(b,off) must reproduce identical results.")
 
 let cores_arg = Arg.(value & opt int 8 & info [ "c"; "cores" ] ~doc:"Server cores.")
+
+let elastic_arg =
+  Arg.(
+    value & flag
+    & info [ "elastic" ]
+        ~doc:
+          "Arm the elastic core-allocation loop on an IX server: --cores \
+           becomes provisioned capacity, the dataplane starts on one live \
+           core and scales with load via no-drop flow-group migrations.")
 let ports_arg = Arg.(value & opt int 1 & info [ "p"; "ports" ] ~doc:"Server NIC ports (1 or 4).")
 let size_arg = Arg.(value & opt int 64 & info [ "m"; "msg-size" ] ~doc:"Message size in bytes.")
 let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connection.")
 let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
 
 let echo_cmd =
-  let run () output () kind fast_path cores ports size n batch =
+  let run () output () kind fast_path elastic cores ports size n batch =
     let p =
-      Harness.Experiments.run_echo ~output ~fast_path ~kind ~ports ~cores
-        ~msg_size:size ~msgs_per_conn:n ~batch_bound:batch ()
+      Harness.Experiments.run_echo ~output ~fast_path ~elastic ~kind ~ports
+        ~cores ~msg_size:size ~msgs_per_conn:n ~batch_bound:batch ()
     in
     Printf.printf "%s: %.2f M msgs/s, %.2f Gbps goodput, p99 %.1f us\n"
       p.Harness.Experiments.label
@@ -137,7 +146,7 @@ let echo_cmd =
   Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
     Term.(
       const run $ log_term $ output_term $ gc_term $ kind_arg $ fast_path_arg
-      $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg)
+      $ elastic_arg $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg)
 
 let breakdown_cmd =
   let run () output () cores size =
@@ -192,8 +201,8 @@ let netpipe_cmd =
 let fig_cmd =
   let module E = Harness.Experiments in
   let fig_names =
-    "fig2, fig3a, fig3b, fig3c, fig4, fig5, fig6, table2, ablations, incast, \
-     energy, all"
+    "fig2, fig3a, fig3a-sim, fig3b, fig3c, fig4, fig5, fig6, table2, \
+     ablations, incast, energy, elastic, all"
   in
   let fig_arg =
     Arg.(
@@ -206,6 +215,7 @@ let fig_cmd =
     match name with
     | "fig2" -> ignore (E.fig2 ~jobs ())
     | "fig3a" -> ignore (E.fig3a ~output ~jobs ())
+    | "fig3a-sim" -> ignore (E.fig3a_sim ~output ~jobs ())
     | "fig3b" -> ignore (E.fig3b ~output ~jobs ())
     | "fig3c" -> ignore (E.fig3c ~output ~jobs ())
     | "fig4" -> ignore (E.fig4 ~jobs ())
@@ -215,6 +225,7 @@ let fig_cmd =
     | "ablations" -> E.ablations ~output ~jobs ()
     | "incast" -> E.incast ~jobs ()
     | "energy" -> E.energy ~output ~jobs ()
+    | "elastic" -> ignore (E.elastic_scaling ~output ())
     | "all" -> E.run_all ~output ~jobs ()
     | other ->
         Printf.eprintf "unknown figure %S (expected one of: %s)\n" other fig_names;

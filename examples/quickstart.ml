@@ -26,8 +26,8 @@ let () =
     Libix.set_zero_copy_reader lib (fun conn mbuf off len ->
         incr echoed;
         let payload = Bytes.sub_string mbuf.Ixmem.Mbuf.buf off len in
-        ignore (Libix.send lib conn payload);
-        Libix.recv_done lib conn mbuf len);
+        ignore (Libix.send conn payload);
+        Libix.recv_done conn mbuf len);
     Libix.run lib (fun () ->
         Libix.listen lib ~port:7 ~on_accept:(fun _conn -> Libix.default_handlers))
   done;

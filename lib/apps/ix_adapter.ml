@@ -9,39 +9,44 @@ module Ix_host = Ix_core.Ix_host
 let in_user_context lib f =
   if Dataplane.in_app_context (Libix.dataplane lib) then f () else Libix.run lib f
 
+(* Like [in_user_context], but on the conn's *current* owner thread —
+   resolved at call time, so an operation issued after a flow-group
+   migration lands on the thread that now holds the TCB. *)
+let in_owner_context c f = in_user_context (Libix.owner c) f
+
 let net_reason : Ixtcp.Tcb.close_reason -> Net_api.close_reason = function
   | Ixtcp.Tcb.Normal -> Net_api.Normal
   | Ixtcp.Tcb.Reset -> Net_api.Reset
   | Ixtcp.Tcb.Timeout -> Net_api.Timeout
   | Ixtcp.Tcb.Refused -> Net_api.Refused
 
-(* [conn_seq] is the per-adapter connection-id source.  One ref per
-   [stack_of_host] call (not a module global): ids stay deterministic
-   per sim when simulations run on concurrent domains. *)
-let wrap_conn ~conn_seq lib (c : Libix.conn) ~peer : Net_api.conn =
-  incr conn_seq;
+(* The portable id is the libix cookie: host-unique (one allocator per
+   host) and stable across migration, exactly the contract
+   [Net_api.conn.id] promises. *)
+let wrap_conn (c : Libix.conn) ~peer : Net_api.conn =
   {
-    Net_api.id = !conn_seq;
+    Net_api.id = Libix.cookie c;
     send =
       (fun data ->
         (* Entering user context guarantees the queued write is flushed
            (coalesced into a sendv) even when the caller is a timer. *)
         let ok = ref false in
-        in_user_context lib (fun () -> ok := Libix.send lib c data);
+        in_owner_context c (fun () -> ok := Libix.send c data);
         !ok);
-    close = (fun () -> in_user_context lib (fun () -> Libix.close lib c));
-    abort = (fun () -> in_user_context lib (fun () -> Libix.abort lib c));
+    close = (fun () -> in_owner_context c (fun () -> Libix.close c));
+    abort = (fun () -> in_owner_context c (fun () -> Libix.abort c));
     peer;
+    home = (fun () -> Libix.home_thread c);
   }
 
-let wrap_handlers ~conn_seq lib (h : Net_api.handlers) ~peer =
+let wrap_handlers (h : Net_api.handlers) ~peer =
   (* One Net_api.conn per libix conn, built lazily at first event. *)
   let wrapped : (Libix.conn * Net_api.conn) option ref = ref None in
   let net_conn c =
     match !wrapped with
     | Some (c', nc) when c' == c -> nc
     | Some _ | None ->
-        let nc = wrap_conn ~conn_seq lib c ~peer in
+        let nc = wrap_conn c ~peer in
         wrapped := Some (c, nc);
         nc
   in
@@ -54,20 +59,20 @@ let wrap_handlers ~conn_seq lib (h : Net_api.handlers) ~peer =
   }
 
 let stack_of_host host =
-  let threads = Ix_host.thread_count host in
-  let conn_seq = ref 0 in
+  let capacity = Ix_host.thread_count host in
   let connect ~thread ~ip ~port handlers =
     let lib = Ix_host.libix host thread in
     in_user_context lib (fun () ->
-        Libix.connect lib ~ip ~port
-          (wrap_handlers ~conn_seq lib handlers ~peer:(ip, port)))
+        Libix.connect lib ~ip ~port (wrap_handlers handlers ~peer:(ip, port)))
   in
   let listen ~port acceptor =
-    for thread = 0 to threads - 1 do
+    (* Every provisioned slot gets an acceptor: a scale-up can steer
+       fresh connections to a thread that was parked at listen time. *)
+    for thread = 0 to capacity - 1 do
       let lib = Ix_host.libix host thread in
       in_user_context lib (fun () ->
           Libix.listen lib ~port ~on_accept:(fun c ->
-              let nc = wrap_conn ~conn_seq lib c ~peer:(Libix.peer c) in
+              let nc = wrap_conn c ~peer:(Libix.peer c) in
               let h = acceptor ~thread nc in
               {
                 Libix.on_connected = (fun _ ~ok -> h.Net_api.on_connected nc ~ok);
@@ -83,7 +88,9 @@ let stack_of_host host =
   let charge_app ~thread ns = Dataplane.charge_user (Ix_host.dataplane host thread) ns in
   {
     Net_api.name = "ix";
-    threads;
+    threads =
+      (fun () ->
+        { Net_api.capacity; live = Ix_host.live_threads host });
     connect;
     listen;
     run_app;

@@ -446,6 +446,8 @@ let make_socket ctx tcb =
                charge_syscall ();
                Tcp_conn.abort (Lazy.force socket).tcb);
            peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
+           (* Linux sockets never migrate: home is the owning thread. *)
+           home = (fun () -> ctx.idx);
          }
        in
        {
@@ -598,6 +600,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
               close = ignore;
               abort = ignore;
               peer = (dst_ip, port);
+              home = (fun () -> thread);
             }
           in
           handlers.Net_api.on_connected dead_conn ~ok:false
@@ -636,7 +639,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
   in
   {
     Net_api.name = "linux";
-    threads;
+    threads = Net_api.static_census threads;
     connect;
     listen;
     run_app;

@@ -350,6 +350,8 @@ let make_socket ctx tcb =
                charge_u ctx ctx.costs.api_call_ns;
                Tcp_conn.abort (Lazy.force socket).tcb);
            peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
+           (* mTCP pins flows to their accepting core: home never moves. *)
+           home = (fun () -> ctx.idx);
          }
        in
        {
@@ -479,6 +481,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
               close = ignore;
               abort = ignore;
               peer = (dst_ip, port);
+              home = (fun () -> thread);
             }
           in
           handlers.Net_api.on_connected dead_conn ~ok:false
@@ -514,7 +517,7 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
   in
   {
     Net_api.name = "mtcp";
-    threads;
+    threads = Net_api.static_census threads;
     connect;
     listen;
     run_app;

@@ -26,12 +26,41 @@ val host : t -> Ix_host.t
 
 val active_threads : t -> int
 
+val migrate_flow_group : t -> group:int -> dst:int -> unit
+(** Move one RSS flow group to thread [dst] without dropping,
+    misdelivering or reordering a frame: the destination parks the
+    group's arriving frames, the NIC indirection entry is retargeted
+    (counted [rss_retarget]) and the placement RCU-published, the
+    source drains every frame steered to it before the retarget, then
+    TCBs + pending timers + libix conns hand over in one step and the
+    parked frames replay in arrival order.  Asynchronous: completion is
+    observable via {!migrations_in_flight} / {!migrations_completed}.
+    A group already mid-migration is left alone.  Caveat: the handover
+    waits for the source's staged work to drain, so an application that
+    sits on an un-accepted knock forever stalls it (libix accepts
+    within the same cycle, so this only affects raw [set_app] apps). *)
+
 val set_elastic_threads : t -> int -> unit
 (** Elastically grow or shrink the dataplane to [n] threads (1 ≤ n ≤
-    thread_count): RSS flow groups are remapped onto the first [n]
-    queues and flows owned by revoked threads are migrated to the
-    surviving ones (§4.4).  Uses the Exokernel-style revocation
-    protocol: the dataplane adjusts its elastic thread count. *)
+    thread_count): every RSS flow group is rebalanced onto the live
+    prefix ([group mod n]) via {!migrate_flow_group} (§4.4).  Uses the
+    Exokernel-style revocation protocol: the dataplane adjusts its
+    elastic thread count. *)
+
+val add_core : t -> bool
+(** Grow by one elastic thread; [false] when already at capacity. *)
+
+val remove_core : t -> bool
+(** Shrink by one elastic thread; [false] when already at one. *)
+
+val migrations_in_flight : t -> int
+val migrations_completed : t -> int
+
+val last_migration_ns : t -> int
+(** Retarget-to-handover latency of the most recently completed
+    migration (simulated ns). *)
+
+val total_migration_ns : t -> int
 
 val monitor : t -> report list
 (** Poll per-thread health, as IXCP would. *)

@@ -80,6 +80,17 @@ type t = {
   mutable staged_events : staged_event list; (* reversed *)
   mutable unaccepted : (int, staged_event list ref) Hashtbl.t;
   mutable staged_syscalls : (Ix_api.syscall * (int -> unit)) list; (* reversed *)
+  (* Flow-group migration state.  While a group is inbound-parked the
+     destination thread holds arriving TCP frames of that group aside
+     (in arrival order) instead of delivering them to a flow table that
+     does not yet own the TCBs; [replay] carries them into the next
+     cycle once the handover lands.  [watchers] are drain predicates
+     polled at the end of every run-to-completion cycle (the source
+     side of a migration).  All three are empty outside migrations, so
+     the steady-state hot path pays one null check. *)
+  mutable parked_inbound : (int * Mbuf.t list ref) list; (* group -> reversed *)
+  mutable replay : Mbuf.t list; (* in order *)
+  mutable watchers : (unit -> bool) list;
   (* RX batch scratch and staged-TX vector: reused cycle to cycle so the
      per-packet path builds no lists.  [scratch_seed] is an inert mbuf
      used only to fill empty array slots. *)
@@ -371,6 +382,27 @@ let process_icmp t ~src_ip mbuf =
    kernel without a TCP delivery ([rx_other]: ARP, ICMP, UDP, firewall
    rejects, wrong destination).  The chaos audit's frame-conservation
    check ([Harness.Chaos]) relies on these buckets tiling [rx_pkts]. *)
+(* A TCP frame belonging to a group that is mid-migration to this
+   thread: hold it aside (in arrival order) until the TCBs arrive.  The
+   frame keeps its reference across the park ([process_frame] decrefs on
+   return; the replayed pass rebalances).  Bucket accounting is
+   deferred to the replay pass, where the frame is processed for real. *)
+let park_if_migrating t (ip : Ixnet.Ipv4_packet.t) (seg : Seg.t) mbuf =
+  match t.queues with
+  | [] -> false
+  | (nic, _) :: _ -> (
+      let group =
+        Nic.rss_group_of_tuple nic ~src_ip:ip.Ixnet.Ipv4_packet.src
+          ~dst_ip:ip.Ixnet.Ipv4_packet.dst ~src_port:seg.Seg.src_port
+          ~dst_port:seg.Seg.dst_port
+      in
+      match List.assoc_opt group t.parked_inbound with
+      | None -> false
+      | Some frames ->
+          Mbuf.incref mbuf;
+          frames := mbuf :: !frames;
+          true)
+
 let process_ipv4 t mbuf =
   (* Scratch-record decode: [ip]/[seg] are the dataplane's reusable
      records, valid only for this frame (rx_segment and everything
@@ -388,6 +420,7 @@ let process_ipv4 t mbuf =
             (Seg.decode_into mbuf ~src:ip.Ixnet.Ipv4_packet.src
                ~dst:ip.Ixnet.Ipv4_packet.dst seg)
         then Metrics.incr t.c_rx_csum_drops
+        else if t.parked_inbound <> [] && park_if_migrating t ip seg mbuf then ()
         else if
           Policy.admit t.pol ~now:(now t) ~src_ip:ip.Ixnet.Ipv4_packet.src
             ~dst_port:seg.Seg.dst_port ~len:mbuf.Mbuf.len
@@ -455,6 +488,7 @@ let rx_pending t =
 
 let has_work t =
   rx_pending t > 0 || t.staged_events <> [] || t.staged_syscalls <> []
+  || t.replay <> []
 
 let rec run_cycle t =
   t.state <- Running;
@@ -509,6 +543,15 @@ let rec run_cycle t =
   charge_kernel t (t.costs.rx_pkt_ns * n_rx);
   mark Tracer.Rx_driver;
   (* --- (2) protocol processing, generating event conditions --- *)
+  (* Frames parked during a flow-group migration replay first: they
+     arrived before anything polled this cycle, and their TCBs are home
+     now.  (They were counted into [rx_pkts] when originally polled;
+     this pass lands them in their accounting bucket.) *)
+  if t.replay <> [] then begin
+    let parked = t.replay in
+    t.replay <- [];
+    List.iter (process_frame t) parked
+  end;
   for i = 0 to n_rx - 1 do
     process_frame t t.rx_scratch.(i)
   done;
@@ -582,6 +625,13 @@ let rec run_cycle t =
   t.tx_len <- t.tx_len - n_tx;
   (* RCU quiescent point. *)
   Rcu.quiescent t.rcu ~thread:t.id;
+  (* Migration drain watchers: the source side of a flow-group
+     migration polls its drain predicate here, once per cycle, after
+     the quiescent point (so an RCU grace period that ended in this
+     cycle is visible).  A watcher returning true has completed its
+     handover and is dropped. *)
+  if t.watchers <> [] then
+    t.watchers <- List.filter (fun w -> not (w ())) t.watchers;
   (* Loop or go idle. *)
   if has_work t then begin
     t.state <- Scheduled;
@@ -686,19 +736,86 @@ let abort_all_connections t =
   if n > 0 then kick t;
   n
 
+(* Hand one TCB to [dst]: flow-table eviction, handle transfer, env
+   rebind (cancels and re-arms its timers on the destination wheel),
+   callback reinstall, adoption.  The order matters: the handle must
+   move with the TCB or a syscall staged against it would miss. *)
+let hand_over_tcb t dst tcb =
+  Tcp_endpoint.evict (endpoint t) tcb;
+  (* A mid-handshake flow has no handle yet (the accept callback counts
+     it in when the handshake completes, possibly on [dst]); inventing
+     one here would make its eventual teardown count out a connection
+     that was never counted in. *)
+  let had_handle = Hashtbl.mem t.handles (Tcb.handle tcb) in
+  Hashtbl.remove t.handles (Tcb.handle tcb);
+  Tcp_conn.rebind tcb (Tcp_endpoint.env (endpoint dst));
+  install_callbacks dst tcb;
+  if had_handle then Hashtbl.replace dst.handles (Tcb.handle tcb) tcb;
+  Tcp_endpoint.adopt (endpoint dst) tcb
+
 let migrate_flows_to t dst =
   let moving = ref [] in
   Tcp_endpoint.iter_connections (endpoint t) (fun tcb -> moving := tcb :: !moving);
-  List.iter
-    (fun tcb ->
-      Tcp_endpoint.evict (endpoint t) tcb;
-      Hashtbl.remove t.handles (Tcb.handle tcb);
-      Tcp_conn.rebind tcb (Tcp_endpoint.env (endpoint dst));
-      install_callbacks dst tcb;
-      Hashtbl.replace dst.handles (Tcb.handle tcb) tcb;
-      Tcp_endpoint.adopt (endpoint dst) tcb)
-    !moving;
+  List.iter (hand_over_tcb t dst) !moving;
   Log.debug (fun m -> m "thread %d migrated %d flows to thread %d" t.id (List.length !moving) dst.id)
+
+(* ------------------------------------------------------------------ *)
+(* Flow-group migration (the control plane drives this; see
+   [Control_plane.migrate_flow_group] for the full protocol).          *)
+
+let rss_group_of_flow t tcb =
+  match t.queues with
+  | [] -> -1
+  | (nic, _) :: _ ->
+      (* The group of the *receive* direction at this host; all NICs
+         share the RSS key, so the first one answers for all. *)
+      Nic.rss_group_of_tuple nic ~src_ip:tcb.Tcb.remote_ip ~dst_ip:t.local_ip
+        ~src_port:tcb.Tcb.remote_port ~dst_port:tcb.Tcb.local_port
+
+let migrate_group_to t dst ~group =
+  let moving = ref [] in
+  Tcp_endpoint.iter_connections (endpoint t) (fun tcb ->
+      if rss_group_of_flow t tcb = group then moving := tcb :: !moving);
+  let cookies =
+    List.rev_map
+      (fun tcb ->
+        hand_over_tcb t dst tcb;
+        Tcb.cookie tcb)
+      !moving
+  in
+  Log.debug (fun m ->
+      m "thread %d migrated group %d (%d flows) to thread %d" t.id group
+        (List.length cookies) dst.id);
+  cookies
+
+let park_inbound t ~group =
+  if not (List.mem_assoc group t.parked_inbound) then
+    t.parked_inbound <- (group, ref []) :: t.parked_inbound
+
+let unpark_inbound t ~group =
+  match List.assoc_opt group t.parked_inbound with
+  | None -> 0
+  | Some frames ->
+      t.parked_inbound <- List.remove_assoc group t.parked_inbound;
+      let ordered = List.rev !frames in
+      t.replay <- t.replay @ ordered;
+      kick t;
+      List.length ordered
+
+let rx_watermarks t =
+  List.map (fun (_, q) -> Nic.rx_popped q + Nic.rx_pending q) t.queues
+
+let drained_past t marks =
+  List.for_all2 (fun (_, q) m -> Nic.rx_popped q >= m) t.queues marks
+  && t.staged_events = []
+  && t.staged_syscalls = []
+  && Hashtbl.length t.unaccepted = 0
+
+let add_cycle_watcher t w =
+  t.watchers <- t.watchers @ [ w ];
+  (* Run at least one cycle so an already-satisfied predicate fires
+     even on an otherwise idle thread. *)
+  kick t
 
 let set_ping_handler t f = t.ping_handler <- f
 
@@ -774,6 +891,9 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       staged_events = [];
       unaccepted = Hashtbl.create 64;
       staged_syscalls = [];
+      parked_inbound = [];
+      replay = [];
+      watchers = [];
       scratch_seed = Mbuf.create ~size:1 ();
       rx_scratch = [||];
       tx_buf = [||];

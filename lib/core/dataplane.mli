@@ -130,6 +130,52 @@ val migrate_flows_to : t -> t -> unit
     corresponding network flows must be assigned to another elastic
     thread"). *)
 
+(** {2 Flow-group migration}
+
+    The mechanism below is driven by {!Control_plane.migrate_flow_group};
+    see DESIGN.md §8 for the full no-drop protocol.  In brief: the
+    destination {!park_inbound}s the group, the NIC indirection entry is
+    retargeted, the source waits (via {!add_cycle_watcher} +
+    {!drained_past}) until every frame steered to it before the
+    retarget has been processed, then hands the group's TCBs over
+    ({!migrate_group_to}) and the destination replays the parked frames
+    ({!unpark_inbound}) in arrival order. *)
+
+val rss_group_of_flow : t -> Ixtcp.Tcb.t -> int
+(** The RSS flow group of a connection's receive direction at this
+    host — the unit of migration.  [-1] for a thread with no queues. *)
+
+val migrate_group_to : t -> t -> group:int -> int list
+(** Hand every connection of [group] (flow-table entries, handles and
+    pending timers) to the destination thread; returns the cookies of
+    the moved conns so libix state can follow
+    ({!Libix.migrate_conns}). *)
+
+val park_inbound : t -> group:int -> unit
+(** Destination side: hold arriving TCP frames of [group] aside, in
+    arrival order, instead of delivering them to a flow table that does
+    not yet own the TCBs.  Idempotent. *)
+
+val unpark_inbound : t -> group:int -> int
+(** End of the handover: queue the group's parked frames for replay at
+    the head of the next cycle (before newly polled frames, preserving
+    arrival order) and kick the thread.  Returns how many frames were
+    parked. *)
+
+val rx_watermarks : t -> int list
+(** Per-queue totals of frames ever steered to this thread, captured at
+    retarget time; the source is drained once {!drained_past} these. *)
+
+val drained_past : t -> int list -> bool
+(** True when every frame counted by the watermarks has been processed
+    and nothing is staged (events, syscalls, unaccepted knocks) — i.e.
+    no in-flight state references the migrating group on this thread. *)
+
+val add_cycle_watcher : t -> (unit -> bool) -> unit
+(** Poll a predicate at the end of every run-to-completion cycle (after
+    the RCU quiescent point) until it returns true; kicks the thread so
+    an idle source still evaluates it. *)
+
 val cycles_run : t -> int
 val events_delivered : t -> int
 val syscalls_processed : t -> int

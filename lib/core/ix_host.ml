@@ -44,6 +44,11 @@ type t = {
   rcu_mgr : Rcu.manager;
   conn_count : int ref;
   registry : Ixtelemetry.Metrics.t;
+  placement : int array Rcu.t;
+      (* flow group -> home thread; the control plane publishes updates
+         through RCU and mirrors each one into the NICs' indirection
+         tables (the hardware write) *)
+  mutable active : int;  (* live elastic threads: the prefix [0, active) *)
 }
 
 let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options)
@@ -76,17 +81,22 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options)
   let thread_array = Array.init threads make_thread in
   (* Spread RSS flow groups across the active threads. *)
   Array.iter (fun nic -> Nic.set_indirection nic (fun group -> group mod threads)) nics;
+  let cookie_alloc = ref 1 in
   let t =
     {
       sim;
       host_ip = ip;
       nic_array = nics;
       threads = thread_array;
-      libs = Array.map Libix.create thread_array;
+      libs = Array.map (Libix.create ~cookie_alloc) thread_array;
       arp_cache;
       rcu_mgr;
       conn_count;
       registry;
+      placement =
+        Rcu.make rcu_mgr
+          (Array.init Nic.indirection_entries (fun g -> g mod threads));
+      active = threads;
     }
   in
   let fold f = Array.fold_left (fun acc dp -> acc + f (Dataplane.core dp)) 0 thread_array in
@@ -108,6 +118,33 @@ let rcu t = t.rcu_mgr
 let connections t = !(t.conn_count)
 let iter_threads t f = Array.iter f t.threads
 let metrics t = t.registry
+
+(* ---- elastic thread census & flow-group placement ---- *)
+
+let live_threads t = t.active
+let set_live_threads t n = t.active <- n
+let group_home t g = (Rcu.read t.placement).(g)
+
+let groups_homed_on t thread =
+  let placement = Rcu.read t.placement in
+  let acc = ref [] in
+  for g = Ixhw.Nic.indirection_entries - 1 downto 0 do
+    if placement.(g) = thread then acc := g :: !acc
+  done;
+  !acc
+
+(* Publish a new home for [group] through RCU; [retired] fires once
+   every elastic thread has passed a quiescent point (the end of a
+   run-to-completion cycle) since the swap.  Kick all threads so idle
+   ones run an (empty) cycle and the grace period is bounded. *)
+let publish_group_home t ~group ~thread ~retired =
+  Rcu.update t.placement
+    (fun old ->
+      let next = Array.copy old in
+      next.(group) <- thread;
+      next)
+    ~retired:(fun _old -> retired ());
+  Array.iter Dataplane.kick t.threads
 
 let tracers t =
   Array.to_list (Array.map Dataplane.tracer t.threads)

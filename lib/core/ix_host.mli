@@ -54,6 +54,30 @@ val rcu : t -> Rcu.manager
 val connections : t -> int
 (** Live connections across all elastic threads. *)
 
+val live_threads : t -> int
+(** Currently live elastic threads: the prefix [0, live) of the
+    provisioned [thread_count] slots.  Parked slots keep their
+    dataplane (and can run app code) but hold no flow groups. *)
+
+val set_live_threads : t -> int -> unit
+(** Control-plane hook behind {!Control_plane.add_core} /
+    [remove_core]; use those instead of calling this directly. *)
+
+val group_home : t -> int -> int
+(** The thread currently homing RSS flow group [g] (coherence-free
+    RCU read of the placement map). *)
+
+val groups_homed_on : t -> int -> int list
+(** All flow groups homed on a thread, ascending. *)
+
+val publish_group_home :
+  t -> group:int -> thread:int -> retired:(unit -> unit) -> unit
+(** RCU-publish a new home for [group]; [retired] fires once every
+    elastic thread has passed a quiescent point since the swap.  All
+    threads are kicked so idle ones quiesce promptly.  The caller is
+    responsible for mirroring the change into the NIC indirection
+    tables ({!Ixhw.Nic.set_indirection_entry}). *)
+
 val iter_threads : t -> (Dataplane.t -> unit) -> unit
 
 val metrics : t -> Ixtelemetry.Metrics.t

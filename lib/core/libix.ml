@@ -12,6 +12,10 @@ type handlers = {
 
 and conn = {
   cookie : int;
+  mutable owner : t;
+      (* current home thread's libix; flow-group migration retargets it,
+         and every conn-directed operation routes through it so syscalls
+         always reach the dataplane that owns the TCB *)
   mutable handle : int; (* -1 until the dataplane reports it *)
   mutable peer : Ixnet.Ip_addr.t * int;
   mutable handlers : handlers;
@@ -28,7 +32,9 @@ and t = {
   acceptors : (int, conn -> handlers) Hashtbl.t; (* by listening port *)
   udp_handlers :
     (int, src:Ixnet.Ip_addr.t * int -> string -> unit) Hashtbl.t; (* by port *)
-  mutable next_cookie : int;
+  cookie_alloc : int ref;
+      (* shared across a host's libs so cookies stay unique when a conn
+         migrates between threads (events route by cookie) *)
   mutable dirty_conns : conn list;
   mutable zc_reader : (conn -> Mbuf.t -> int -> int -> unit) option;
 }
@@ -45,16 +51,20 @@ let dataplane t = t.dp
 let peer conn = conn.peer
 let conn_count t = Hashtbl.length t.conns
 let pending_send_bytes conn = conn.queued_bytes
+let owner conn = conn.owner
+let home_thread conn = Dataplane.thread_id conn.owner.dp
+let cookie conn = conn.cookie
 
 let fresh_cookie t =
-  let c = t.next_cookie in
-  t.next_cookie <- t.next_cookie + 1;
+  let c = !(t.cookie_alloc) in
+  t.cookie_alloc := c + 1;
   c
 
-let mark_dirty t conn =
+let mark_dirty conn =
+  let o = conn.owner in
   if not conn.dirty then begin
     conn.dirty <- true;
-    t.dirty_conns <- conn :: t.dirty_conns
+    o.dirty_conns <- conn :: o.dirty_conns
   end
 
 (* Coalesce each dirty connection's queued writes into one sendv (the
@@ -97,6 +107,7 @@ let handle_event t ev =
           let conn =
             {
               cookie;
+              owner = t;
               handle;
               peer = (src_ip, src_port);
               handlers = default_handlers;
@@ -120,7 +131,7 @@ let handle_event t ev =
             Hashtbl.remove t.conns cookie
           end;
           conn.handlers.on_connected conn ~ok;
-          if ok && conn.write_queue <> [] then mark_dirty t conn)
+          if ok && conn.write_queue <> [] then mark_dirty conn)
   | Ix_api.Ev_recv { cookie; mbuf; off; len } -> (
       match Hashtbl.find_opt t.conns cookie with
       | None -> Mbuf.decref mbuf
@@ -141,7 +152,7 @@ let handle_event t ev =
       | None -> ()
       | Some conn ->
           conn.in_flight <- max 0 (conn.in_flight - bytes_sent);
-          if conn.write_queue <> [] then mark_dirty t conn;
+          if conn.write_queue <> [] then mark_dirty conn;
           conn.handlers.on_sent conn bytes_sent)
   | Ix_api.Ev_dead { cookie; reason } -> (
       match Hashtbl.find_opt t.conns cookie with
@@ -170,9 +181,9 @@ let contain_fault t ev =
   Dataplane.note_app_fault t.dp;
   let abort_conn conn =
     conn.dead <- true;
-    Hashtbl.remove t.conns conn.cookie;
+    Hashtbl.remove conn.owner.conns conn.cookie;
     if conn.handle >= 0 then
-      Dataplane.syscall t.dp
+      Dataplane.syscall conn.owner.dp
         (Ix_api.Sys_abort { handle = conn.handle })
         ~on_result:ignore
   in
@@ -198,14 +209,20 @@ let contain_fault t ev =
       (* Already dead, or connectionless: nothing to abort. *)
       ()
 
-let create dp =
+let create ?cookie_alloc dp =
+  let cookie_alloc =
+    (* Default: a private allocator.  Multi-threaded hosts pass one
+       shared ref so cookies stay unique across their elastic threads
+       (conn migration keeps its event-routing key). *)
+    match cookie_alloc with Some r -> r | None -> ref 1
+  in
   let t =
     {
       dp;
       conns = Hashtbl.create 1024;
       acceptors = Hashtbl.create 8;
       udp_handlers = Hashtbl.create 8;
-      next_cookie = 1;
+      cookie_alloc;
       dirty_conns = [];
       zc_reader = None;
     }
@@ -228,6 +245,7 @@ let connect t ~ip ~port handlers =
   let conn =
     {
       cookie;
+      owner = t;
       handle = -1;
       peer = (ip, port);
       handlers;
@@ -259,28 +277,62 @@ let udp_send t ~src_port ~dst_ip ~dst_port data =
 
 let set_zero_copy_reader t reader = t.zc_reader <- Some reader
 
-let recv_done t conn mbuf len =
-  Dataplane.syscall t.dp
+(* Conn-directed operations route through [conn.owner]: after a
+   flow-group migration the TCB (and its handle) lives on another
+   thread's dataplane, and a syscall staged on the old thread would be
+   rejected there.  The owner pointer is the one level of indirection
+   that makes the handle valid wherever the conn currently lives. *)
+
+let recv_done conn mbuf len =
+  Dataplane.syscall conn.owner.dp
     (Ix_api.Sys_recv_done { handle = conn.handle; bytes_acked = len })
     ~on_result:ignore;
   Mbuf.decref mbuf
 
-let sendv t conn iovs =
+let sendv conn iovs =
   let total = Iovec.total iovs in
   if conn.dead || conn.queued_bytes + total > max_pending_send then false
   else begin
     conn.write_queue <- conn.write_queue @ iovs;
     conn.queued_bytes <- conn.queued_bytes + total;
-    mark_dirty t conn;
+    mark_dirty conn;
     true
   end
 
-let send t conn data = sendv t conn [ Iovec.of_string data ]
+let send conn data = sendv conn [ Iovec.of_string data ]
 
-let close t conn =
+let close conn =
   if not conn.dead then
-    Dataplane.syscall t.dp (Ix_api.Sys_close { handle = conn.handle }) ~on_result:ignore
+    Dataplane.syscall conn.owner.dp
+      (Ix_api.Sys_close { handle = conn.handle })
+      ~on_result:ignore
 
-let abort t conn =
+let abort conn =
   if not conn.dead then
-    Dataplane.syscall t.dp (Ix_api.Sys_abort { handle = conn.handle }) ~on_result:ignore
+    Dataplane.syscall conn.owner.dp
+      (Ix_api.Sys_abort { handle = conn.handle })
+      ~on_result:ignore
+
+(* Flow-group migration, libix side: re-home the conns whose TCBs just
+   moved.  Dirty conns move lists too, so their queued writes flush on
+   the destination thread (where the handle is now valid). *)
+let migrate_conns ~src ~dst cookies =
+  let moved =
+    List.filter_map
+      (fun cookie ->
+        match Hashtbl.find_opt src.conns cookie with
+        | None -> None
+        | Some conn ->
+            Hashtbl.remove src.conns cookie;
+            Hashtbl.replace dst.conns cookie conn;
+            conn.owner <- dst;
+            Some conn)
+      cookies
+  in
+  let dirty_moved = List.filter (fun c -> c.dirty) moved in
+  if dirty_moved <> [] then begin
+    src.dirty_conns <-
+      List.filter (fun c -> not (List.memq c dirty_moved)) src.dirty_conns;
+    dst.dirty_conns <- dirty_moved @ dst.dirty_conns
+  end;
+  List.length moved

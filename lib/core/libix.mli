@@ -10,7 +10,14 @@
     paper's libevent-compatible interface) and a zero-copy read path.
 
     One [Libix.t] exists per elastic thread; everything here executes
-    in ring 3. *)
+    in ring 3.
+
+    Threads are elastic: a flow group (and every conn in it) can be
+    migrated between threads by the control plane.  A [conn] therefore
+    carries its current {e owner} — the libix of its home thread — and
+    all conn-directed operations ([send], [close], [recv_done], …)
+    route through it, so application code holds one stable [conn]
+    value across migrations and never names a thread explicitly. *)
 
 type t
 type conn
@@ -25,8 +32,11 @@ type handlers = {
 
 val default_handlers : handlers
 
-val create : Dataplane.t -> t
-(** Installs itself as the dataplane's application. *)
+val create : ?cookie_alloc:int ref -> Dataplane.t -> t
+(** Installs itself as the dataplane's application.  Multi-threaded
+    hosts pass one shared [cookie_alloc] per host so conn cookies (the
+    event-routing key) stay unique across elastic threads and survive
+    migration; the default is a private allocator. *)
 
 val dataplane : t -> Dataplane.t
 
@@ -46,17 +56,19 @@ val set_zero_copy_reader : t -> (conn -> Ixmem.Mbuf.t -> int -> int -> unit) -> 
     slices instead of [on_data] copies; the reader must eventually call
     [recv_done]. *)
 
-val recv_done : t -> conn -> Ixmem.Mbuf.t -> int -> unit
+val recv_done : conn -> Ixmem.Mbuf.t -> int -> unit
 (** Zero-copy reader acknowledgment: advances the receive window and
-    releases the buffer reference. *)
+    releases the buffer reference.  Routes through the conn's current
+    owner thread. *)
 
-val send : t -> conn -> string -> bool
+val send : conn -> string -> bool
 (** Queue data (copied into the transmit vector).  [false] if the
-    per-connection pending-send limit would be exceeded. *)
+    per-connection pending-send limit would be exceeded.  Routes
+    through the conn's current owner thread. *)
 
-val sendv : t -> conn -> Ixmem.Iovec.t list -> bool
+val sendv : conn -> Ixmem.Iovec.t list -> bool
 (** Zero-copy send: the slices must stay immutable until [on_sent]
-    covers them. *)
+    covers them.  Routes through the conn's current owner thread. *)
 
 val udp_bind : t -> port:int -> (src:Ixnet.Ip_addr.t * int -> string -> unit) -> unit
 (** Receive datagrams on a UDP port (§4.2's UDP support — the protocol
@@ -65,13 +77,29 @@ val udp_bind : t -> port:int -> (src:Ixnet.Ip_addr.t * int -> string -> unit) ->
 val udp_send :
   t -> src_port:int -> dst_ip:Ixnet.Ip_addr.t -> dst_port:int -> string -> unit
 
-val close : t -> conn -> unit
+val close : conn -> unit
 
-val abort : t -> conn -> unit
+val abort : conn -> unit
 (** Hard close with RST (benchmark clients' connection churn). *)
 
 val peer : conn -> Ixnet.Ip_addr.t * int
 (** Remote address (from the knock for passive connections). *)
+
+val owner : conn -> t
+(** The libix of the conn's current home thread — stable only between
+    migrations; do not cache it across simulated time. *)
+
+val home_thread : conn -> int
+(** The elastic-thread id the conn currently lives on. *)
+
+val cookie : conn -> int
+(** The conn's host-unique cookie — a stable, migration-safe id. *)
+
+val migrate_conns : src:t -> dst:t -> int list -> int
+(** Re-home the conns with the given cookies from [src] to [dst]
+    (control-plane side of a flow-group migration; the TCBs must move
+    in the same step).  Dirty conns carry their queued writes to the
+    destination's flush list.  Returns how many conns moved. *)
 
 val conn_count : t -> int
 val pending_send_bytes : conn -> int

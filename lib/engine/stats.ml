@@ -30,23 +30,3 @@ let clear t =
   t.m2 <- 0.;
   t.min_v <- infinity;
   t.max_v <- neg_infinity
-
-(* Deprecated shim: a [Counters.t] is now just an [Ixtelemetry.Metrics.t]
-   restricted to counters, so legacy callers and new telemetry share one
-   registry. *)
-module Counters = struct
-  module M = Ixtelemetry.Metrics
-
-  type t = M.t
-
-  let create () : t = M.create ()
-  let add t name n = M.add (M.counter t name) n
-  let incr t name = add t name 1
-  let get t name = M.counter_value t name
-
-  let to_list t =
-    List.filter_map
-      (fun (name, v) ->
-        match v with M.Counter n -> Some (name, n) | _ -> None)
-      (M.snapshot t)
-end

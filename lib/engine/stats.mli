@@ -1,4 +1,8 @@
-(** Streaming scalar statistics (Welford) and named counters. *)
+(** Streaming scalar statistics (Welford).
+
+    Named counters live in {!Ixtelemetry.Metrics}; the old
+    [Stats.Counters] shim is gone — register a counter cell once with
+    [Metrics.counter] and update it directly. *)
 
 type t
 (** A streaming mean/variance accumulator. *)
@@ -12,31 +16,3 @@ val stddev : t -> float
 val min_value : t -> float
 val max_value : t -> float
 val clear : t -> unit
-
-module Counters : sig
-  (** Deprecated counter bag, kept as a thin shim over
-      {!Ixtelemetry.Metrics} so existing callers keep compiling.
-
-      Mapping for migration:
-      - [Counters.create] = [Metrics.create] — a [Counters.t] {e is} a
-        [Metrics.t], so the same registry can also hold gauges and
-        histograms.
-      - [Counters.incr t name] / [Counters.add t name n] =
-        [Metrics.incr (Metrics.counter t name)] /
-        [Metrics.add (Metrics.counter t name) n].  New code should
-        register the counter cell once and update it directly, avoiding
-        the per-update name lookup this shim performs.
-      - [Counters.get] = [Metrics.counter_value] (0 when absent).
-      - [Counters.to_list] = [Metrics.snapshot] filtered to counters.
-
-      New code should use [Ixtelemetry.Metrics] directly. *)
-
-  type t = Ixtelemetry.Metrics.t
-
-  val create : unit -> t
-  val incr : t -> string -> unit
-  val add : t -> string -> int -> unit
-  val get : t -> string -> int
-  val to_list : t -> (string * int) list
-  (** Counters only, sorted by name. *)
-end

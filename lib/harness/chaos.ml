@@ -6,6 +6,7 @@ module Nic = Ixhw.Nic
 module Mempool = Ixmem.Mempool
 module Ix_host = Ix_core.Ix_host
 module Dataplane = Ix_core.Dataplane
+module Control_plane = Ix_core.Control_plane
 module Arp_cache = Ix_core.Arp_cache
 module Fault_plan = Ix_faults.Fault_plan
 
@@ -15,6 +16,7 @@ type leg = {
   aborted : int;
   app_crashes : int;
   wire_losses : int;
+  migrated : int;
   audit_failures : string list;
   snapshot : string;
 }
@@ -242,7 +244,7 @@ let chaos_echo_server stack fi ~port ~msg_size ~app_ns =
       })
 
 let echo_leg ?(seed = 42) ?(spec = Fault_plan.default) ?(soak_ms = 8)
-    ?(server_threads = 2) ?(sessions = 24) () =
+    ?(server_threads = 2) ?(sessions = 24) ?(elastic_steps = []) () =
   let msg_size = 64 and msgs_per_conn = 16 and client_threads = 2 in
   let server =
     Cluster.server_spec ~threads:server_threads ~nic_ports:1 Cluster.Ix
@@ -275,6 +277,25 @@ let echo_leg ?(seed = 42) ?(spec = Fault_plan.default) ?(soak_ms = 8)
              ~thread ~server_ip:cluster.Cluster.server_ip ~port:7000 ~msg_size
              ~msgs_per_conn ~stats ~stop_after:t_stop))
   done;
+  (* Flow-group migrations mid-soak: each step retargets the live
+     prefix while the fault plan is mangling the wire, so the audit
+     below doubles as the migrate-under-load invariant check. *)
+  let cp =
+    match (elastic_steps, cluster.Cluster.server_ix) with
+    | [], _ | _, None -> None
+    | steps, Some host ->
+        let cp = Control_plane.create host in
+        let n = List.length steps in
+        let window = Sim_time.ms soak_ms in
+        List.iteri
+          (fun i target ->
+            let at = t_fault + (window * (i + 1) / (n + 1)) in
+            ignore
+              (Sim.at sim at (fun () ->
+                   Control_plane.set_elastic_threads cp target)))
+          steps;
+        Some cp
+  in
   let offered_base = ref 0 in
   ignore
     (Sim.at sim t_fault (fun () ->
@@ -304,6 +325,10 @@ let echo_leg ?(seed = 42) ?(spec = Fault_plan.default) ?(soak_ms = 8)
     leg_name = Printf.sprintf "echo seed=%d" seed;
     messages = stats.Apps.Echo.messages;
     aborted = !aborted;
+    migrated =
+      (match cp with
+      | Some cp -> Control_plane.migrations_completed cp
+      | None -> 0);
     app_crashes = Fault_plan.app_crashes fi;
     wire_losses =
       Metrics.counter_value fm "faults.wire_drops"
@@ -371,6 +396,7 @@ let memcached_leg ?(seed = 42) ?(spec = Fault_plan.default) ?(soak_ms = 8)
     leg_name = Printf.sprintf "memcached seed=%d" seed;
     messages = result.Workloads.Mutilate.completed;
     aborted = !aborted;
+    migrated = 0;
     app_crashes = Fault_plan.app_crashes fi;
     wire_losses =
       Metrics.counter_value fm "faults.wire_drops"

@@ -31,6 +31,7 @@ type leg = {
   aborted : int;  (** connections force-reset by the drain sweep *)
   app_crashes : int;  (** injected handler faults (all contained) *)
   wire_losses : int;  (** frames destroyed on the wire (drops + flaps) *)
+  migrated : int;  (** flow-group migrations completed mid-soak *)
   audit_failures : string list;  (** empty iff the audit passed *)
   snapshot : string;
       (** canonical full-precision end state: every metric of every
@@ -44,12 +45,21 @@ val echo_leg :
   ?soak_ms:int ->
   ?server_threads:int ->
   ?sessions:int ->
+  ?elastic_steps:int list ->
   unit ->
   leg
 (** A 64 B echo soak: warm up fault-free (so ARP resolves and the
     working set establishes), arm the plan, soak for [soak_ms], stop
     the clients, force-abort every surviving connection on every host,
-    run to quiescence and audit. *)
+    run to quiescence and audit.
+
+    [elastic_steps] (default none) schedules live-core transitions
+    evenly across the fault window: each entry is a target elastic
+    thread count handed to {!Ix_core.Control_plane.set_elastic_threads}
+    while the plan is mangling the wire, so the end-of-run audit also
+    proves flow-group migration loses no frame, leaks no mbuf and
+    strands no connection under drops, reorders and link flaps
+    ([migrated] counts the completed migrations). *)
 
 val memcached_leg :
   ?seed:int ->

@@ -172,8 +172,8 @@ let emit_server_stats ~output ~label cluster =
 
 let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
     ?(client_threads = 8) ?(sessions = 768) ?cache ?pcie ?(zero_copy = true)
-    ?(polling = true) ?(batch_bound = 64) ?(fast_path = true) ?hits ~kind
-    ~ports ~cores ~msg_size ~msgs_per_conn () =
+    ?(polling = true) ?(batch_bound = 64) ?(fast_path = true) ?hits
+    ?(elastic = false) ~kind ~ports ~cores ~msg_size ~msgs_per_conn () =
   let server =
     Cluster.server_spec ~threads:cores ~nic_ports:ports ~batch_bound
       ~zero_copy ~polling ?cache ?pcie
@@ -184,6 +184,24 @@ let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
     Cluster.build ~client_hosts ~client_threads
       ?client_tcp_config:(tcp_override ~fast_path Cluster.Linux)
       ~server ()
+  in
+  (* --elastic: arm the core-allocation policy loop on an IX server
+     ([cores] becomes provisioned capacity; the loop starts at one live
+     core and scales with load).  Off by default — an elastic-off run
+     is byte-identical to a tree without the elastic machinery. *)
+  let elastic_state =
+    match (elastic, cluster.Cluster.server_ix) with
+    | true, Some host ->
+        let cp = Ix_core.Control_plane.create host in
+        Ix_core.Control_plane.set_elastic_threads cp 1;
+        let config =
+          {
+            Ix_core.Elastic.default_config with
+            Ix_core.Elastic.max_cores = cores;
+          }
+        in
+        Some (cp, Ix_core.Elastic.start ~sim:cluster.Cluster.sim ~cp ~config ())
+    | _ -> None
   in
   let echo_app_ns = 150 in
   Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size
@@ -215,6 +233,21 @@ let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
   let warm_busy = server_busy () in
   Sim.run ~until:stop_after cluster.Cluster.sim;
   accumulate_fast_path_hits ?hits cluster;
+  (match elastic_state with
+  | Some (cp, el) ->
+      Ix_core.Elastic.stop el;
+      let peak =
+        List.fold_left
+          (fun acc s -> max acc s.Ix_core.Elastic.cores)
+          1
+          (Ix_core.Elastic.samples el)
+      in
+      Printf.printf
+        "elastic: peak %d/%d cores, %d live at end, %d flow-group migrations\n%!"
+        peak cores
+        (Ix_core.Control_plane.active_threads cp)
+        (Ix_core.Control_plane.migrations_completed cp)
+  | None -> ());
   let busy_delta = server_busy () - warm_busy in
   let cpu_utilization =
     float_of_int busy_delta /. float_of_int (cores * measure)
@@ -316,6 +349,52 @@ let fig3a ?(output = default_output) ?(jobs = default_jobs ()) () =
   in
   Report.table ~title:"Fig 3a: multi-core scalability (echo s=64B, n=1)"
     ~headers:[ "system"; "cores"; "msgs/s"; "conns/s" ]
+    rows;
+  points
+
+(* The sharded-sim reading of Fig. 3a, IX only: every point is one
+   simulated host running N per-core dataplanes fed by the NIC's RSS
+   indirection table (flow groups are the unit of placement), and the
+   table makes the scaling factor explicit with a speedup-vs-1-core
+   column — the near-linear-scaling deliverable of DESIGN.md §8. *)
+let fig3a_sim ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
+  let cores_list = [ 1; 2; 3; 4; 6; 8 ] in
+  let points =
+    par_map ~jobs
+      (List.concat_map
+         (fun (label, ports) ->
+           List.map
+             (fun cores () ->
+               run_echo ~output ~label ~kind:Cluster.Ix ~ports ~cores
+                 ~msg_size:64 ~msgs_per_conn:1 ())
+             cores_list)
+         [ ("IX-10G", 1); ("IX-40G", 4) ])
+  in
+  let base label =
+    match
+      List.find_opt (fun p -> p.label = label && p.cores = 1) points
+    with
+    | Some p when p.msgs_per_sec > 0. -> p.msgs_per_sec
+    | _ -> 0.
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let b = base p.label in
+        [
+          p.label;
+          string_of_int p.cores;
+          Report.mps p.msgs_per_sec;
+          (if b <= 0. then "-"
+           else Printf.sprintf "%.2fx" (p.msgs_per_sec /. b));
+        ])
+      points
+  in
+  Report.table
+    ~title:
+      "Fig 3a (sharded sim): one host, N per-core dataplanes, RSS flow groups"
+    ~headers:[ "system"; "cores"; "msgs/s"; "speedup" ]
     rows;
   points
 
@@ -876,6 +955,165 @@ let energy ?(output = default_output) ?(jobs = default_jobs ()) () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Elastic core scaling (tentpole experiment, DESIGN.md §8)            *)
+
+type elastic_result = {
+  el_samples : Ix_core.Elastic.sample list;
+  el_decisions : Ix_core.Elastic.decision list;
+  el_peak_cores : int;
+  el_final_cores : int;
+  el_migrations : int;
+  el_parked_frames : int;
+  el_slo_p99_us : float;
+  el_burst_breaches : int;
+  el_energy_j : float;
+  el_static_energy_j : float;
+  el_msgs : int;
+}
+
+(* A bursty load trace against one IX host with [capacity] provisioned
+   dataplanes, starting on a single live core: a light base load runs
+   for the whole trace, then a burst of closed-loop sessions arrives
+   for the middle third.  The {!Ix_core.Elastic} loop watches
+   utilization plus a client-side windowed p99 probe and walks the
+   core count up into the burst and back down after it — every scale
+   decision is a set of no-drop flow-group migrations.  Reports the
+   cores-used curve, SLO hold, migration counts and the energy saved
+   vs statically provisioning all [capacity] cores. *)
+let elastic_scaling ?(output = default_output) ?(seed = 42) () =
+  let capacity = 4 in
+  let server = Cluster.server_spec ~threads:capacity ~nic_ports:1 Cluster.Ix in
+  let cluster = Cluster.build ~seed ~client_hosts:4 ~client_threads:4 ~server () in
+  let host = Option.get cluster.Cluster.server_ix in
+  let cp = Ix_core.Control_plane.create host in
+  (* Start small: one live core; the rest is parked capacity. *)
+  Ix_core.Control_plane.set_elastic_threads cp 1;
+  Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size:64 ~app_ns:150;
+  let stats = Apps.Echo.new_stats () in
+  let all_latency = Engine.Histogram.create () in
+  (* The probe drains the client latency histogram every controller
+     interval, turning it into a per-interval window; the drained
+     samples accumulate into [all_latency] for the end-of-run numbers. *)
+  let p99_probe () =
+    if Engine.Histogram.is_empty stats.Apps.Echo.latency then None
+    else begin
+      let p = Engine.Histogram.percentile stats.Apps.Echo.latency 99. in
+      Engine.Histogram.merge_into ~src:stats.Apps.Echo.latency ~dst:all_latency;
+      Engine.Histogram.clear stats.Apps.Echo.latency;
+      Some (float_of_int p)
+    end
+  in
+  let config =
+    { Ix_core.Elastic.default_config with Ix_core.Elastic.max_cores = capacity }
+  in
+  let el =
+    Ix_core.Elastic.start ~sim:cluster.Cluster.sim ~cp ~config ~p99_probe ()
+  in
+  let phase = Engine.Sim_time.ms (scaled_ms 4) in
+  let stop_after = 3 * phase in
+  let clients = Array.of_list cluster.Cluster.clients in
+  let spawn ~at ~until ~sessions ~offset =
+    for s = 0 to sessions - 1 do
+      let i = offset + s in
+      let client = clients.(i mod Array.length clients) in
+      let thread = i / Array.length clients mod 4 in
+      ignore
+        (Sim.at cluster.Cluster.sim
+           (at + (s * 2_000))
+           (fun () ->
+             Apps.Echo.client client
+               ~now:(Cluster.now cluster)
+               ~thread ~server_ip:cluster.Cluster.server_ip ~port:7000
+               ~msg_size:64 ~msgs_per_conn:64 ~stats ~stop_after:until))
+    done
+  in
+  spawn ~at:0 ~until:stop_after ~sessions:6 ~offset:0;
+  spawn ~at:phase ~until:(2 * phase) ~sessions:56 ~offset:6;
+  Sim.run ~until:stop_after cluster.Cluster.sim;
+  Ix_core.Elastic.stop el;
+  let samples = Ix_core.Elastic.samples el in
+  let decisions = Ix_core.Elastic.decisions el in
+  let slo_us = config.Ix_core.Elastic.slo_p99_ns /. 1e3 in
+  let peak =
+    List.fold_left (fun acc s -> max acc s.Ix_core.Elastic.cores) 1 samples
+  in
+  (* SLO hold over the burst: count windows inside the burst phase,
+     after the controller has had one hysteresis period to react, whose
+     windowed p99 still exceeded the target. *)
+  let settle =
+    config.Ix_core.Elastic.interval_ns * config.Ix_core.Elastic.settle_checks
+  in
+  let breaches =
+    List.length
+      (List.filter
+         (fun s ->
+           s.Ix_core.Elastic.at_ns > phase + (2 * settle)
+           && s.Ix_core.Elastic.at_ns <= 2 * phase
+           && (not (Float.is_nan s.Ix_core.Elastic.p99_ns))
+           && s.Ix_core.Elastic.p99_ns > config.Ix_core.Elastic.slo_p99_ns)
+         samples)
+  in
+  let energy_j =
+    Ix_core.Elastic.energy_joules el ~capacity ~active_w:active_w_per_core
+      ~idle_w:idle_w_per_core
+  in
+  let static_energy_j =
+    float_of_int capacity *. active_w_per_core
+    *. Engine.Sim_time.to_float_s stop_after
+  in
+  let stride = max 1 (List.length samples / 16) in
+  let rows =
+    List.filteri (fun i _ -> i mod stride = 0 || i = List.length samples - 1)
+      samples
+    |> List.map (fun s ->
+           [
+             Printf.sprintf "%.0f" (float_of_int s.Ix_core.Elastic.at_ns /. 1e3);
+             string_of_int s.Ix_core.Elastic.cores;
+             Report.pct s.Ix_core.Elastic.util;
+             (if Float.is_nan s.Ix_core.Elastic.p99_ns then "-"
+              else Report.us (s.Ix_core.Elastic.p99_ns /. 1e3));
+           ])
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Elastic scaling (burst trace, %d-core capacity, %.0f us p99 SLO)"
+         capacity slo_us)
+    ~headers:[ "t us"; "cores"; "util"; "p99 us" ]
+    rows;
+  let r =
+    {
+      el_samples = samples;
+      el_decisions = decisions;
+      el_peak_cores = peak;
+      el_final_cores = Ix_core.Control_plane.active_threads cp;
+      el_migrations = Ix_core.Control_plane.migrations_completed cp;
+      el_parked_frames =
+        Metrics.counter_value (Ix_core.Ix_host.metrics host) "cp.parked_frames";
+      el_slo_p99_us = slo_us;
+      el_burst_breaches = breaches;
+      el_energy_j = energy_j;
+      el_static_energy_j = static_energy_j;
+      el_msgs = stats.Apps.Echo.messages;
+    }
+  in
+  Report.table ~title:"Elastic scaling: summary"
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "scale decisions"; string_of_int (List.length r.el_decisions) ];
+      [ "peak cores"; string_of_int r.el_peak_cores ];
+      [ "final cores"; string_of_int r.el_final_cores ];
+      [ "flow-group migrations"; string_of_int r.el_migrations ];
+      [ "frames parked (all replayed)"; string_of_int r.el_parked_frames ];
+      [ "burst windows over SLO (post-settle)"; string_of_int r.el_burst_breaches ];
+      [ "messages echoed"; string_of_int r.el_msgs ];
+      [ "energy (elastic)"; Printf.sprintf "%.3f J" r.el_energy_j ];
+      [ "energy (static 4 cores)"; Printf.sprintf "%.3f J" r.el_static_energy_j ];
+    ];
+  emit_server_stats ~output ~label:"elastic scaling" cluster;
+  r
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let ablations ?(output = default_output) ?(jobs = default_jobs ()) () =
@@ -997,6 +1235,74 @@ let perf_fig5_slice ?(fast_path = true) ?(target_krps = 500.) () =
         r.Workloads.Mutilate.achieved_rps r.Workloads.Mutilate.avg_us
         r.Workloads.Mutilate.p99_us kshare)
 
+let perf_fig3a_slice ?(fast_path = true) () =
+  let fh = ref 0 and sh = ref 0 in
+  metered ~hits:(fh, sh) "fig3a-sim" (fun () ->
+      String.concat " "
+        (List.map
+           (fun cores ->
+             let p =
+               run_echo ~fast_path ~hits:(fh, sh) ~label:"IX-10G"
+                 ~client_hosts:4 ~client_threads:8 ~sessions:256
+                 ~kind:Cluster.Ix ~ports:1 ~cores ~msg_size:64
+                 ~msgs_per_conn:1 ()
+             in
+             Printf.sprintf "c%d:msgs_per_sec=%.17g,p99_us=%.17g" cores
+               p.msgs_per_sec p.p99_us)
+           [ 1; 2; 4 ]))
+
+(* Two full rebalances under live echo load: shrink the dataplane to 2
+   cores mid-run, then grow back to 4 — every flow group migrates
+   twice, with frames in flight.  The snapshot pins the migration
+   count, the parked-frame count and the cumulative retarget-to-handover
+   latency; the message count proves traffic kept flowing. *)
+let perf_migration_slice ?(fast_path = true) () =
+  metered "migration" (fun () ->
+      let server =
+        Cluster.server_spec ~threads:4 ~nic_ports:1
+          ?tcp_config:(tcp_override ~fast_path Cluster.Ix)
+          Cluster.Ix
+      in
+      let cluster =
+        Cluster.build ~client_hosts:2 ~client_threads:4
+          ?client_tcp_config:(tcp_override ~fast_path Cluster.Linux)
+          ~server ()
+      in
+      let host = Option.get cluster.Cluster.server_ix in
+      let cp = Ix_core.Control_plane.create host in
+      Apps.Echo.server cluster.Cluster.server ~port:7000 ~msg_size:64
+        ~app_ns:150;
+      let stats = Apps.Echo.new_stats () in
+      let stop_after = Engine.Sim_time.ms 6 in
+      let clients = Array.of_list cluster.Cluster.clients in
+      for s = 0 to 31 do
+        let client = clients.(s mod Array.length clients) in
+        let thread = s / Array.length clients mod 4 in
+        ignore
+          (Sim.at cluster.Cluster.sim (s * 2_000) (fun () ->
+               Apps.Echo.client client
+                 ~now:(Cluster.now cluster)
+                 ~thread ~server_ip:cluster.Cluster.server_ip ~port:7000
+                 ~msg_size:64 ~msgs_per_conn:64 ~stats ~stop_after))
+      done;
+      ignore
+        (Sim.at cluster.Cluster.sim (Engine.Sim_time.ms 2) (fun () ->
+             Ix_core.Control_plane.set_elastic_threads cp 2));
+      ignore
+        (Sim.at cluster.Cluster.sim (Engine.Sim_time.ms 4) (fun () ->
+             Ix_core.Control_plane.set_elastic_threads cp 4));
+      Sim.run ~until:stop_after cluster.Cluster.sim;
+      Printf.sprintf
+        "migrations=%d parked_frames=%d total_migration_ns=%d \
+         rss_retargets=%d msgs=%d"
+        (Ix_core.Control_plane.migrations_completed cp)
+        (Metrics.counter_value (Ix_core.Ix_host.metrics host) "cp.parked_frames")
+        (Ix_core.Control_plane.total_migration_ns cp)
+        (Array.fold_left
+           (fun acc nic -> acc + Ixhw.Nic.rss_retargets nic)
+           0 cluster.Cluster.server_nics)
+        stats.Apps.Echo.messages)
+
 (* ------------------------------------------------------------------ *)
 (* Chaos soak (robustness): ixsim chaos / bench chaos leg              *)
 
@@ -1011,6 +1317,7 @@ let chaos ?(jobs = default_jobs ()) ?(seed = 42)
 let run_all ?(output = default_output) ?(jobs = default_jobs ()) () =
   ignore (fig2 ~jobs ());
   ignore (fig3a ~output ~jobs ());
+  ignore (fig3a_sim ~output ~jobs ());
   ignore (fig3b ~output ~jobs ());
   ignore (fig3c ~output ~jobs ());
   ignore (fig4 ~jobs ());
@@ -1019,4 +1326,5 @@ let run_all ?(output = default_output) ?(jobs = default_jobs ()) () =
   table2 ~output ~jobs f5;
   ablations ~output ~jobs ();
   incast ~jobs ();
-  energy ~output ~jobs ()
+  energy ~output ~jobs ();
+  ignore (elastic_scaling ~output ())

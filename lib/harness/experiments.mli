@@ -84,6 +84,7 @@ val run_echo :
   ?batch_bound:int ->
   ?fast_path:bool ->
   ?hits:int ref * int ref ->
+  ?elastic:bool ->
   kind:Cluster.kind ->
   ports:int ->
   cores:int ->
@@ -99,7 +100,12 @@ val run_echo :
     cluster — the [--fast-path=off] escape hatch, which must not change
     any result.  [?hits] is a [(fast, slow)] pair of accumulators the
     runner adds the cluster-wide [fast_path_hits]/[slow_path_hits]
-    counters into after its measurement window. *)
+    counters into after its measurement window.
+
+    [?elastic] (default [false], IX only): [cores] becomes provisioned
+    capacity and the {!Ix_core.Elastic} policy loop scales the live
+    core count with load, starting from one; a summary line reports the
+    peak.  Elastic off leaves the run untouched. *)
 
 val netpipe_once :
   ?fast_path:bool ->
@@ -130,6 +136,13 @@ val fig2 : ?jobs:int -> ?sizes:int list -> unit -> netpipe_point list
 
 val fig3a : ?output:output -> ?jobs:int -> unit -> echo_point list
 (** Multi-core scalability, 64 B echo, n=1 connection per message. *)
+
+val fig3a_sim : ?output:output -> ?jobs:int -> unit -> echo_point list
+(** The sharded-sim reading of Fig. 3a, IX only: each point is one
+    simulated host running N per-core dataplanes behind the NIC's RSS
+    indirection table, with an explicit speedup-vs-1-core column
+    (near-linear scaling is the acceptance shape; test_elastic asserts
+    it on a reduced sweep). *)
 
 val fig3b : ?output:output -> ?jobs:int -> unit -> echo_point list
 (** Round trips per connection (n sweep) at 8 cores. *)
@@ -191,6 +204,34 @@ val energy : ?output:output -> ?jobs:int -> unit -> unit
     power and energy per message across load levels for polling and
     interrupt-driven IX. *)
 
+type elastic_result = {
+  el_samples : Ix_core.Elastic.sample list;
+  el_decisions : Ix_core.Elastic.decision list;
+  el_peak_cores : int;  (** most live cores any controller sample saw *)
+  el_final_cores : int;  (** live cores when the trace ended *)
+  el_migrations : int;  (** completed flow-group migrations *)
+  el_parked_frames : int;  (** frames parked (and replayed) across them *)
+  el_slo_p99_us : float;  (** the SLO the controller held *)
+  el_burst_breaches : int;
+      (** burst-phase controller windows whose p99 still exceeded the
+          SLO after the controller's settle time — 0 means the SLO held
+          across the burst *)
+  el_energy_j : float;  (** energy of the cores-used curve *)
+  el_static_energy_j : float;  (** all-capacity-always-on reference *)
+  el_msgs : int;
+}
+
+val elastic_scaling : ?output:output -> ?seed:int -> unit -> elastic_result
+(** The elastic-scaling experiment (tentpole, DESIGN.md §8): a bursty
+    load trace against one IX host with 4 provisioned dataplanes
+    starting on a single live core.  The {!Ix_core.Elastic} policy loop
+    (utilization + client-side windowed p99, with hysteresis) walks the
+    core count up into the burst and back down after it; every decision
+    is a set of no-drop flow-group migrations.  Prints the cores-used
+    curve and a summary (SLO hold, migrations, energy vs static
+    provisioning).  A single simulation: bit-identical at any [--jobs]
+    width by construction. *)
+
 val ablations : ?output:output -> ?jobs:int -> unit -> unit
 (** Design-choice ablations from DESIGN.md §5: batching off, interrupts
     instead of polling, copying instead of zero-copy, uncoalesced PCIe
@@ -220,6 +261,16 @@ val perf_fig4_slice : ?fast_path:bool -> ?conns:int -> unit -> perf_slice
 
 val perf_fig5_slice : ?fast_path:bool -> ?target_krps:float -> unit -> perf_slice
 (** One memcached USR load point on IX (Fig. 5 slice). *)
+
+val perf_fig3a_slice : ?fast_path:bool -> unit -> perf_slice
+(** IX 64 B echo at 1/2/4 cores on the sharded sim (Fig. 3a slice):
+    pins the multi-core throughput curve per core count. *)
+
+val perf_migration_slice : ?fast_path:bool -> unit -> perf_slice
+(** Flow-group migration under live load: 4 cores shrink to 2 and grow
+    back mid-echo.  Pins migration count, parked-frame count,
+    cumulative retarget-to-handover latency and the message total
+    (traffic must keep flowing). *)
 
 val chaos :
   ?jobs:int ->

@@ -39,6 +39,7 @@ type t = {
   c_filtered : Metrics.counter;
   c_rx : Metrics.counter;
   c_tx : Metrics.counter;
+  c_retargets : Metrics.counter;
 }
 
 let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key)
@@ -77,24 +78,48 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
     c_filtered = c "%s.rx_filtered" name;
     c_rx = c "%s.rx_frames" name;
     c_tx = c "%s.tx_frames" name;
+    c_retargets = c "%s.rss_retarget" name;
   }
 
 let mac t = t.mac_addr
 let queue_count t = Array.length t.queues
 let queue t i = t.queues.(i)
 
+(* Indirection rewrites take effect at classification time only: a
+   frame already hashed into a ring stays where it landed (the
+   descriptor write-back is done), so a mid-burst rewrite can never
+   misdeliver or retract a frame.  Each changed entry is a counted
+   [rss_retarget] event so migrations are observable in metrics. *)
 let set_indirection t f =
-  t.indirection <-
+  let next =
     Array.init indirection_entries (fun g ->
         let q = f g in
         assert (q >= 0 && q < Array.length t.queues);
         q)
+  in
+  for g = 0 to indirection_entries - 1 do
+    if next.(g) <> t.indirection.(g) then Metrics.incr t.c_retargets
+  done;
+  t.indirection <- next
+
+let set_indirection_entry t ~group ~queue =
+  if group < 0 || group >= indirection_entries then
+    invalid_arg "Nic.set_indirection_entry: group";
+  if queue < 0 || queue >= Array.length t.queues then
+    invalid_arg "Nic.set_indirection_entry: queue";
+  if t.indirection.(group) <> queue then begin
+    t.indirection.(group) <- queue;
+    Metrics.incr t.c_retargets
+  end
+
+let indirection_entry t group = t.indirection.(group)
+
+let rss_group_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
+  Toeplitz.hash_tuple ~lut:t.rss_lut ~src_ip ~dst_ip ~src_port ~dst_port ()
+  land (indirection_entries - 1)
 
 let rss_queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
-  let hash =
-    Toeplitz.hash_tuple ~lut:t.rss_lut ~src_ip ~dst_ip ~src_port ~dst_port ()
-  in
-  t.indirection.(hash land (indirection_entries - 1))
+  t.indirection.(rss_group_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port)
 
 (* Allocation-free: this runs once per received frame, so it reads the
    4-tuple fields directly rather than materializing the option. *)
@@ -204,6 +229,8 @@ let transmit_at t mbuf ~earliest ~on_complete =
 
 let transmit t mbuf ~on_complete = transmit_at t mbuf ~earliest:0 ~on_complete
 
+let rx_popped q = Metrics.value q.q_rx - q.count
+let rss_retargets t = Metrics.value t.c_retargets
 let rx_drops t = Metrics.value t.c_drops
 let rx_filtered t = Metrics.value t.c_filtered
 let rx_frames t = Metrics.value t.c_rx

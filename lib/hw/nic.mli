@@ -13,6 +13,10 @@ type t
 
 type rx_queue
 
+val indirection_entries : int
+(** Size of the RSS indirection table (128): the number of flow
+    groups, and therefore the granularity of placement/migration. *)
+
 val create :
   Engine.Sim.t ->
   mac:Ixnet.Mac_addr.t ->
@@ -37,7 +41,25 @@ val queue : t -> int -> rx_queue
 val set_indirection : t -> (int -> int) -> unit
 (** [set_indirection nic f] maps RSS flow group [g] (0..127) to queue
     [f g].  The control plane uses this to rebalance flow groups when
-    elastic threads come and go. *)
+    elastic threads come and go.  Rewrites take effect at
+    classification time only: frames already hashed into a ring stay
+    where they landed, so a mid-burst rewrite never misdelivers or
+    drops an in-flight frame.  Every changed entry counts one
+    [<name>.rss_retarget] event. *)
+
+val set_indirection_entry : t -> group:int -> queue:int -> unit
+(** Rewrite a single indirection entry — the hardware write behind a
+    flow-group migration.  Counts one [<name>.rss_retarget] event when
+    the entry actually changes; a same-value write is free. *)
+
+val indirection_entry : t -> int -> int
+(** Current queue for flow group [g]. *)
+
+val rss_group_of_tuple :
+  t -> src_ip:Ixnet.Ip_addr.t -> dst_ip:Ixnet.Ip_addr.t -> src_port:int -> dst_port:int -> int
+(** The RSS flow group (Toeplitz hash mod 128) of a 4-tuple as seen by
+    this NIC on receive — the unit of placement for migration.  Depends
+    only on the RSS key, never on the indirection table. *)
 
 val rss_queue_of_tuple :
   t -> src_ip:Ixnet.Ip_addr.t -> dst_ip:Ixnet.Ip_addr.t -> src_port:int -> dst_port:int -> int
@@ -80,6 +102,16 @@ val transmit_at :
 (** Like [transmit], but the frame does not start serializing before
     [earliest] — used by run-to-completion stacks whose cycle finishes
     (and rings its doorbell) at a future point of simulated time. *)
+
+val rx_popped : rx_queue -> int
+(** Frames the driver has taken out of this ring since creation — the
+    high-water mark a migration drain compares against: once [rx_popped]
+    passes the value of the queue's [rx_frames] counter at retarget
+    time, every frame that was steered here before the indirection
+    rewrite has been processed. *)
+
+val rss_retargets : t -> int
+(** Total indirection entries rewritten (the [rss_retarget] counter). *)
 
 val rx_drops : t -> int
 val rx_frames : t -> int

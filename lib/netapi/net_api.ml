@@ -6,12 +6,15 @@ let close_reason_name = function
   | Timeout -> "timeout"
   | Refused -> "refused"
 
+type census = { capacity : int; live : int }
+
 type conn = {
   id : int;
   send : string -> bool;
   close : unit -> unit;
   abort : unit -> unit;
   peer : Ixnet.Ip_addr.t * int;
+  home : unit -> int;
 }
 
 type handlers = {
@@ -31,7 +34,7 @@ let null_handlers =
 
 type stack = {
   name : string;
-  threads : int;
+  threads : unit -> census;
   connect : thread:int -> ip:Ixnet.Ip_addr.t -> port:int -> handlers -> unit;
   listen : port:int -> (thread:int -> conn -> handlers) -> unit;
   run_app : thread:int -> (unit -> unit) -> unit;
@@ -39,6 +42,13 @@ type stack = {
   metrics : unit -> Ixtelemetry.Metrics.snapshot;
   conn_count : unit -> int;
 }
+
+let capacity stack = (stack.threads ()).capacity
+let live_threads stack = (stack.threads ()).live
+
+let static_census n =
+  let census = { capacity = n; live = n } in
+  fun () -> census
 
 let kernel_share stack =
   Ixtelemetry.Metrics.snap_gauge (stack.metrics ()) "kernel_share"

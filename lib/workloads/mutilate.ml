@@ -38,7 +38,8 @@ let run ~sim ~clients ~server_ip ~port ~profile ~connections ~target_rps
   (* Spread connections over (client, thread) pairs. *)
   let slots =
     List.concat_map
-      (fun stack -> List.init stack.Net_api.threads (fun thread -> (stack, thread)))
+      (fun stack ->
+        List.init (Net_api.capacity stack) (fun thread -> (stack, thread)))
       clients
   in
   let slot_array = Array.of_list slots in

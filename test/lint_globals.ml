@@ -1,5 +1,7 @@
-(* Repository lint: no module-level mutable state in lib/, and no
-   allocating header decodes on the RX hot path (second pass below).
+(* Repository lint: no module-level mutable state in lib/, no
+   allocating header decodes on the RX hot path, and no cross-thread
+   synchronization primitives on the per-core dataplane paths (second
+   and third passes below).
 
    The parallel experiment harness (Engine.Domain_pool) runs whole
    simulations concurrently on separate domains; a top-level [ref],
@@ -115,6 +117,27 @@ let binding_header lines i =
 
 let hot_path_files = [ "core/dataplane.ml"; "tcp/tcp_endpoint.ml" ]
 
+(* Third pass: the per-core dataplane paths hold no cross-thread
+   synchronization primitives.  Per-thread state is exclusively owned
+   (DESIGN.md §8): placement changes travel through the RCU cell and
+   the control plane's migration protocol — parked frames, indirection
+   retargets, explicit TCB handover — never through locks or atomics
+   shared between elastic threads.  A Mutex/Atomic creeping in here
+   means shared mutable state on the per-core path. *)
+
+let per_core_files =
+  [
+    "core/dataplane.ml";
+    "core/libix.ml";
+    "core/ix_host.ml";
+    "core/control_plane.ml";
+    "core/elastic.ml";
+    "tcp/tcp_endpoint.ml";
+    "tcp/tcp_conn.ml";
+  ]
+
+let sync_primitives = [ "Mutex"; "Condition"; "Semaphore"; "Atomic"; "Domain" ]
+
 let allocating_decodes =
   [
     "Tcp_segment.decode";
@@ -125,6 +148,41 @@ let allocating_decodes =
   ]
 
 let failures = ref []
+
+(* Like [contains_token], but the match may be qualified further to the
+   right: "Mutex" matches "Mutex.create".  The left side still requires
+   a non-word boundary so "Engine.Domain_pool" never matches "Domain". *)
+let contains_module_use line tok =
+  let nl = String.length line and nt = String.length tok in
+  let rec at i =
+    if i + nt > nl then false
+    else if
+      String.sub line i nt = tok
+      && (i = 0 || not (is_word_char line.[i - 1]))
+      && (i + nt = nl || not (is_ident_char line.[i + nt]))
+    then true
+    else at (i + 1)
+  in
+  at 0
+
+let lint_per_core path lines =
+  if List.exists (fun suffix -> Filename.check_suffix path suffix) per_core_files
+  then
+    Array.iteri
+      (fun i line ->
+        List.iter
+          (fun tok ->
+            if contains_module_use line tok then
+              failures :=
+                Printf.sprintf
+                  "%s:%d: `%s` on the per-core dataplane path — per-thread \
+                   state is exclusively owned; route placement changes \
+                   through the RCU cell and the migration protocol \
+                   (DESIGN.md §8)"
+                  path (i + 1) tok
+                :: !failures)
+          sync_primitives)
+      lines
 
 let lint_hot_path path lines =
   if List.exists (fun suffix -> Filename.check_suffix path suffix) hot_path_files
@@ -153,6 +211,7 @@ let lint_file path =
    with End_of_file -> close_in ic);
   let lines = Array.of_list (List.rev !lines) in
   lint_hot_path path lines;
+  lint_per_core path lines;
   Array.iteri
     (fun i line ->
       match value_binding_name line with

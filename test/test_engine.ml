@@ -341,18 +341,6 @@ let test_stats_moments () =
   Alcotest.(check (float 1e-6)) "min" 2.0 (Stats.min_value s);
   Alcotest.(check (float 1e-6)) "max" 9.0 (Stats.max_value s)
 
-let test_counters () =
-  let c = Stats.Counters.create () in
-  Stats.Counters.incr c "rx";
-  Stats.Counters.add c "rx" 4;
-  Stats.Counters.incr c "tx";
-  check_int "rx" 5 (Stats.Counters.get c "rx");
-  check_int "tx" 1 (Stats.Counters.get c "tx");
-  check_int "absent" 0 (Stats.Counters.get c "nope");
-  Alcotest.(check (list (pair string int)))
-    "to_list sorted"
-    [ ("rx", 5); ("tx", 1) ]
-    (Stats.Counters.to_list c)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -400,6 +388,5 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "welford moments" `Quick test_stats_moments;
-          Alcotest.test_case "named counters" `Quick test_counters;
         ] );
     ]

@@ -59,7 +59,9 @@ let test_cluster_kinds () =
       let cluster = Cluster.build ~client_hosts:1 ~client_threads:1 ~server () in
       check_bool "stack name set" true
         (String.length cluster.Cluster.server.Netapi.Net_api.name > 0);
-      check_int "threads surface" 2 cluster.Cluster.server.Netapi.Net_api.threads)
+      check_int "capacity surface" 2 (Netapi.Net_api.capacity cluster.Cluster.server);
+      check_int "live = capacity when static" 2
+        (Netapi.Net_api.live_threads cluster.Cluster.server))
     [ Cluster.Ix; Cluster.Linux; Cluster.Mtcp ]
 
 let test_mtcp_rejects_bonding () =

@@ -266,9 +266,9 @@ let test_libix_write_coalescing () =
             (fun conn ~ok ->
               if ok then begin
                 before := Dataplane.syscalls_processed dp;
-                ignore (Libix.send lib conn "one ");
-                ignore (Libix.send lib conn "two ");
-                ignore (Libix.send lib conn "three")
+                ignore (Libix.send conn "one ");
+                ignore (Libix.send conn "two ");
+                ignore (Libix.send conn "three")
               end);
         });
   Sim.run ~until:(Engine.Sim_time.ms 50) cluster.Harness.Cluster.sim;
@@ -296,7 +296,7 @@ let test_libix_pending_send_limit () =
               ignore ok;
               (* Even before establishment, queueing beyond the pending
                  byte policy is rejected. *)
-              accepted := Libix.send lib conn (String.make (Libix.max_pending_send + 1) 'x'));
+              accepted := Libix.send conn (String.make (Libix.max_pending_send + 1) 'x'));
         });
   Sim.run ~until:(Engine.Sim_time.ms 10) cluster.Harness.Cluster.sim;
   check_bool "oversized write refused" false !accepted
