@@ -304,6 +304,78 @@ let chaos_cmd =
       const run $ log_term $ gc_term $ jobs_arg $ faults_arg $ seed_arg
       $ soak_arg $ legs_arg)
 
+let conn_scale_cmd =
+  let conns_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "conns" ] ~docv:"N" ~doc:"Connections to establish and sustain.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Churn events (Zipf-hot messages; every 16th closes a \
+                connection and reconnects on the same tuple).")
+  in
+  let cookies_arg =
+    Arg.(
+      value & opt fast_path_conv true
+      & info [ "syn-cookies" ] ~docv:"on|off"
+          ~doc:
+            "Listen path: $(b,on) (default) answers SYNs with stateless \
+             cookie SYN-ACKs and materializes the TCB on the validated \
+             handshake ACK; $(b,off) uses the classic SYN_RCVD state.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload seed; the result snapshot is a pure function of it.")
+  in
+  let flood_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flood" ] ~docv:"SYNS"
+          ~doc:
+            "Also run a SYN flood of $(docv) never-completed handshakes \
+             against a cookie listener and report its (zero) TCB cost.")
+  in
+  let run () () fast_path syn_cookies conns events seed flood =
+    let module CS = Workloads.Conn_scale in
+    let r = CS.run ~syn_cookies ~fast_path ~conns ~events ~seed () in
+    Printf.printf
+      "conn-scale: %d conns sustained (store %d/%d), %d churn events\n\
+      \  established %d, closes %d, reconnects %d, TIME_WAIT live %d\n\
+      \  cookies sent/validated/rejected %d/%d/%d, rsts %d\n\
+      \  fast/slow path %d/%d, %.1f resident B/conn, minor words/event %.2f\n\
+      \  snapshot: %s\n"
+      r.CS.r_connection_count r.CS.r_store_live r.CS.r_store_capacity
+      r.CS.r_events r.CS.r_established r.CS.r_closes r.CS.r_reconnects
+      r.CS.r_time_wait_live r.CS.r_cookies_sent r.CS.r_cookies_validated
+      r.CS.r_cookies_rejected r.CS.r_rsts r.CS.r_fast_hits r.CS.r_slow_hits
+      r.CS.r_bytes_per_conn r.CS.r_churn_minor_words_per_event
+      r.CS.r_snapshot;
+    if flood > 0 then begin
+      let f = CS.syn_flood ~syns:flood ~seed () in
+      Printf.printf
+        "syn-flood: %d SYNs -> %d cookies, %d TCBs allocated, %d \
+         connections, %.2f minor words/SYN\n"
+        f.CS.f_syns f.CS.f_cookies_sent f.CS.f_tcbs_allocated
+        f.CS.f_connections f.CS.f_minor_words_per_syn
+    end
+  in
+  Cmd.v
+    (Cmd.info "conn-scale"
+       ~doc:
+         "Million-connection churn: one endpoint sustains --conns \
+          connections in the unboxed SoA TCB store under Zipf-hot traffic \
+          with server-side closes, TIME_WAIT recycling and same-tuple \
+          reconnects.  Reports resident bytes per connection and \
+          allocation per event.")
+    Term.(
+      const run $ log_term $ gc_term $ fast_path_arg $ cookies_arg $ conns_arg
+      $ events_arg $ seed_arg $ flood_arg)
+
 let ping_cmd =
   let run () () =
     (* A 2-host IX cluster; thread 0 of the server pings the client. *)
@@ -332,6 +404,6 @@ let main =
     (Cmd.info "ixsim" ~version:"1.0"
        ~doc:"Simulated reproduction of IX (OSDI '14): dataplane OS experiments.")
     [ echo_cmd; breakdown_cmd; memcached_cmd; netpipe_cmd; fig_cmd; chaos_cmd;
-      ping_cmd ]
+      conn_scale_cmd; ping_cmd ]
 
 let () = exit (Cmd.eval main)

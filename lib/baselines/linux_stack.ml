@@ -445,7 +445,7 @@ let make_socket ctx tcb =
              (fun () ->
                charge_syscall ();
                Tcp_conn.abort (Lazy.force socket).tcb);
-           peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
+           peer = (Tcb.remote_ip tcb, Tcb.remote_port tcb);
            (* Linux sockets never migrate: home is the owning thread. *)
            home = (fun () -> ctx.idx);
          }

@@ -349,7 +349,7 @@ let make_socket ctx tcb =
                Metrics.incr ctx.c_api_calls;
                charge_u ctx ctx.costs.api_call_ns;
                Tcp_conn.abort (Lazy.force socket).tcb);
-           peer = (tcb.Tcb.remote_ip, tcb.Tcb.remote_port);
+           peer = (Tcb.remote_ip tcb, Tcb.remote_port tcb);
            (* mTCP pins flows to their accepting core: home never moves. *)
            home = (fun () -> ctx.idx);
          }

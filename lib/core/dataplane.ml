@@ -41,15 +41,19 @@ let default_costs =
     copy_ns_per_kb = 120;
   }
 
-(* Events are staged against the TCB and materialized (cookie read) when
-   the user phase begins, so an [accept] processed in between is
-   reflected. *)
+(* Events snapshot their fields when staged — the TCB's store slot may
+   be recycled before the user phase drains them (teardown releases it
+   immediately), so nothing may read back through the TCB at
+   materialization time.  The one field that can change between staging
+   and delivery is the cookie: events parked against a not-yet-accepted
+   connection are patched when [Sys_accept] lands (see
+   [patch_cookie]). *)
 type staged_event =
-  | St_knock of Tcb.t
-  | St_connected of Tcb.t * bool
-  | St_recv of Tcb.t * Mbuf.t * int * int
-  | St_sent of Tcb.t * int
-  | St_dead of Tcb.t * Tcb.close_reason
+  | St_knock of { handle : int; src_ip : Ixnet.Ip_addr.t; src_port : int; dst_port : int }
+  | St_connected of { mutable cookie : int; handle : int; ok : bool }
+  | St_recv of { mutable cookie : int; mbuf : Mbuf.t; off : int; len : int }
+  | St_sent of { mutable cookie : int; bytes : int; window : int }
+  | St_dead of { mutable cookie : int; reason : Tcb.close_reason }
   | St_udp of int * Ixnet.Ip_addr.t * int * Mbuf.t * int * int
 
 type state = Idle | Scheduled | Running
@@ -205,31 +209,41 @@ let stage_event t tcb ev =
   | Some pending -> pending := ev :: !pending
   | None -> t.staged_events <- ev :: t.staged_events
 
+(* [Sys_accept] assigns the user's cookie after events may already have
+   been parked against the connection; retarget them on flush. *)
+let patch_cookie ev cookie =
+  match ev with
+  | St_connected r -> r.cookie <- cookie
+  | St_recv r -> r.cookie <- cookie
+  | St_sent r -> r.cookie <- cookie
+  | St_dead r -> r.cookie <- cookie
+  | St_knock _ | St_udp _ -> ()
+
 let install_callbacks t tcb =
   let cbs = tcb.Tcb.callbacks in
-  cbs.Tcb.on_connected <- (fun ok -> stage_event t tcb (St_connected (tcb, ok)));
-  cbs.Tcb.on_recv <- (fun mbuf off len -> stage_event t tcb (St_recv (tcb, mbuf, off, len)));
-  cbs.Tcb.on_sent <- (fun n -> stage_event t tcb (St_sent (tcb, n)));
-  cbs.Tcb.on_closed <- (fun reason -> stage_event t tcb (St_dead (tcb, reason)))
+  cbs.Tcb.on_connected <-
+    (fun ok ->
+      stage_event t tcb
+        (St_connected { cookie = Tcb.cookie tcb; handle = Tcb.handle tcb; ok }));
+  cbs.Tcb.on_recv <-
+    (fun mbuf off len ->
+      stage_event t tcb (St_recv { cookie = Tcb.cookie tcb; mbuf; off; len }));
+  cbs.Tcb.on_sent <-
+    (fun n ->
+      stage_event t tcb
+        (St_sent { cookie = Tcb.cookie tcb; bytes = n; window = Tcb.rcv_window tcb }));
+  cbs.Tcb.on_closed <-
+    (fun reason -> stage_event t tcb (St_dead { cookie = Tcb.cookie tcb; reason }))
 
 let materialize ev =
   match ev with
-  | St_knock tcb ->
-      Ix_api.Ev_knock
-        {
-          handle = Tcb.handle tcb;
-          src_ip = tcb.Tcb.remote_ip;
-          src_port = tcb.Tcb.remote_port;
-          dst_port = tcb.Tcb.local_port;
-        }
-  | St_connected (tcb, ok) ->
-      Ix_api.Ev_connected { cookie = Tcb.cookie tcb; handle = Tcb.handle tcb; ok }
-  | St_recv (tcb, mbuf, off, len) ->
-      Ix_api.Ev_recv { cookie = Tcb.cookie tcb; mbuf; off; len }
-  | St_sent (tcb, bytes) ->
-      Ix_api.Ev_sent
-        { cookie = Tcb.cookie tcb; bytes_sent = bytes; window_size = Tcb.rcv_window tcb }
-  | St_dead (tcb, reason) -> Ix_api.Ev_dead { cookie = Tcb.cookie tcb; reason }
+  | St_knock { handle; src_ip; src_port; dst_port } ->
+      Ix_api.Ev_knock { handle; src_ip; src_port; dst_port }
+  | St_connected { cookie; handle; ok } -> Ix_api.Ev_connected { cookie; handle; ok }
+  | St_recv { cookie; mbuf; off; len } -> Ix_api.Ev_recv { cookie; mbuf; off; len }
+  | St_sent { cookie; bytes; window } ->
+      Ix_api.Ev_sent { cookie; bytes_sent = bytes; window_size = window }
+  | St_dead { cookie; reason } -> Ix_api.Ev_dead { cookie; reason }
   | St_udp (dst_port, src_ip, src_port, mbuf, off, len) ->
       Ix_api.Ev_udp_recv { dst_port; src_ip; src_port; mbuf; off; len }
 
@@ -272,13 +286,16 @@ let exec_syscall t (sc, on_result) =
       match lookup_handle t handle with
       | None -> on_result (-1)
       | Some tcb ->
-          tcb.Tcb.cookie <- cookie;
+          Tcb.set_cookie tcb cookie;
           (match Hashtbl.find_opt t.unaccepted handle with
           | Some pending ->
               Hashtbl.remove t.unaccepted handle;
-              (* Flush events buffered while unaccepted, oldest first. *)
+              (* Flush events buffered while unaccepted, oldest first;
+                 they were staged before the cookie existed. *)
               List.iter
-                (fun ev -> t.staged_events <- ev :: t.staged_events)
+                (fun ev ->
+                  patch_cookie ev cookie;
+                  t.staged_events <- ev :: t.staged_events)
                 (List.rev !pending)
           | None -> ());
           on_result 0)
@@ -715,7 +732,15 @@ let listen t ~port =
       install_callbacks t tcb;
       Hashtbl.replace t.handles (Tcb.handle tcb) tcb;
       Hashtbl.replace t.unaccepted (Tcb.handle tcb) (ref []);
-      t.staged_events <- St_knock tcb :: t.staged_events;
+      t.staged_events <-
+        St_knock
+          {
+            handle = Tcb.handle tcb;
+            src_ip = Tcb.remote_ip tcb;
+            src_port = Tcb.remote_port tcb;
+            dst_port = Tcb.local_port tcb;
+          }
+        :: t.staged_events;
       incr t.conn_count)
 
 let syscall t sc ~on_result =
@@ -769,8 +794,8 @@ let rss_group_of_flow t tcb =
   | (nic, _) :: _ ->
       (* The group of the *receive* direction at this host; all NICs
          share the RSS key, so the first one answers for all. *)
-      Nic.rss_group_of_tuple nic ~src_ip:tcb.Tcb.remote_ip ~dst_ip:t.local_ip
-        ~src_port:tcb.Tcb.remote_port ~dst_port:tcb.Tcb.local_port
+      Nic.rss_group_of_tuple nic ~src_ip:(Tcb.remote_ip tcb) ~dst_ip:t.local_ip
+        ~src_port:(Tcb.remote_port tcb) ~dst_port:(Tcb.local_port tcb)
 
 let migrate_group_to t dst ~group =
   let moving = ref [] in

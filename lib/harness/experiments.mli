@@ -264,7 +264,19 @@ val perf_fig5_slice : ?fast_path:bool -> ?target_krps:float -> unit -> perf_slic
 
 val perf_fig3a_slice : ?fast_path:bool -> unit -> perf_slice
 (** IX 64 B echo at 1/2/4 cores on the sharded sim (Fig. 3a slice):
-    pins the multi-core throughput curve per core count. *)
+    pins the multi-core throughput curve per core count.  Runs 8
+    messages per connection (the figure sweeps use 1) so the slice's
+    fast-path ratio reflects steady-state delivery rather than
+    handshake segments. *)
+
+val perf_conn_scale_slice :
+  ?fast_path:bool -> ?conns:int -> ?events:int -> unit -> perf_slice
+(** Connection-churn slice of [Workloads.Conn_scale]: [conns]
+    SYN-cookie connections established then churned for [events]
+    Zipf-hot events with TIME_WAIT recycling.  [perf_events] counts
+    crafted client segments (the workload is self-clocked, not
+    Sim-driven); the snapshot is the workload's deterministic counter
+    string. *)
 
 val perf_migration_slice : ?fast_path:bool -> unit -> perf_slice
 (** Flow-group migration under live load: 4 cores shrink to 2 and grow

@@ -1,21 +1,22 @@
 (* Open-addressing table keyed by the (local_port, remote_ip,
    remote_port) 3-tuple, probed linearly.
 
-   The tuple is 16 + 32 + 16 = 64 bits, one too many for OCaml's native
-   int (the old single-int packing shifted local_port into the sign bit,
-   colliding ports 0x8000+p with port p).  The key is therefore split
-   across two parallel unboxed int arrays: [krem] holds
-   (remote_ip << 16 | remote_port) — 48 bits — and [kloc] the local
-   port, with [krem] doubling as the slot state via negative sentinels.
+   The table stores only generation-checked flow handles into the SoA
+   TCB store ([Tcb.flow_handle]) — one unboxed int per slot, with the
+   handle array doubling as slot state via negative sentinels (live
+   handles are always positive: slot 0 of the store is reserved).  Key
+   comparison reads the connection's port/address columns straight out
+   of the store, so the table itself carries no key material: at
+   million-connection population it costs one word per slot instead of
+   the three the key-mirroring layout needed.
 
-   [find] runs once per RX segment, so it must not allocate: values are
-   stored as the [Some tcb] built once at [add] time and returned as-is
-   (misses return the static [None]). *)
+   [find] runs once per RX segment, so it must not allocate: [deref]
+   returns the [Some view] the store built at [create] time (misses
+   return the static [None]). *)
 
 type t = {
-  mutable krem : int array; (* remote_ip lsl 16 | remote_port, or sentinel *)
-  mutable kloc : int array;
-  mutable vals : Tcb.t option array;
+  store : Tcb.store;
+  mutable slots : int array; (* flow handle, or negative sentinel *)
   mutable count : int; (* live entries *)
   mutable used : int; (* live + tombstones *)
 }
@@ -31,29 +32,34 @@ let hash ~krem ~kloc =
   let h = (h lxor (h lsr 30)) * 0x2545F4914F6CDD1D in
   h lxor (h lsr 27)
 
-let create () =
-  {
-    krem = Array.make initial_capacity empty;
-    kloc = Array.make initial_capacity 0;
-    vals = Array.make initial_capacity None;
-    count = 0;
-    used = 0;
-  }
+let create ~store =
+  { store; slots = Array.make initial_capacity empty; count = 0; used = 0 }
 
 let key_rem ~remote_ip ~remote_port =
   ((remote_ip land 0xFFFF_FFFF) lsl 16) lor (remote_port land 0xFFFF)
 
+(* Does the connection behind [fh] carry this key?  A handle whose
+   generation has moved on dereferences to [None] and can never match —
+   a freed-and-reused store slot is not confused with its predecessor. *)
+let[@inline] fh_matches store fh ~krem ~kloc =
+  match Tcb.deref store fh with
+  | Some c ->
+      Tcb.local_port c = kloc
+      && key_rem ~remote_ip:(Tcb.remote_ip c) ~remote_port:(Tcb.remote_port c)
+         = krem
+  | None -> false
+
 (* Find the slot holding (krem, kloc), or -1. *)
 let probe t ~krem ~kloc =
-  let mask = Array.length t.krem - 1 in
+  let mask = Array.length t.slots - 1 in
   let i = ref (hash ~krem ~kloc land mask) in
   let slot = ref (-1) in
   let searching = ref true in
   while !searching do
-    let k = t.krem.(!i) in
-    if k = empty then searching := false
+    let fh = t.slots.(!i) in
+    if fh = empty then searching := false
     else begin
-      if k = krem && t.kloc.(!i) = kloc then begin
+      if fh >= 0 && fh_matches t.store fh ~krem ~kloc then begin
         slot := !i;
         searching := false
       end
@@ -62,13 +68,13 @@ let probe t ~krem ~kloc =
   done;
   !slot
 
-let rec insert t ~krem ~kloc v =
-  let mask = Array.length t.krem - 1 in
+let rec insert t ~krem ~kloc fh =
+  let mask = Array.length t.slots - 1 in
   let i = ref (hash ~krem ~kloc land mask) in
   let slot = ref (-1) in
   let searching = ref true in
   while !searching do
-    let k = t.krem.(!i) in
+    let k = t.slots.(!i) in
     if k = empty then begin
       if !slot = -1 then slot := !i;
       searching := false
@@ -77,62 +83,68 @@ let rec insert t ~krem ~kloc v =
       if !slot = -1 then slot := !i;
       i := (!i + 1) land mask
     end
-    else if k = krem && t.kloc.(!i) = kloc then begin
+    else if fh_matches t.store k ~krem ~kloc then begin
       slot := !i;
       searching := false
     end
     else i := (!i + 1) land mask
   done;
   let i = !slot in
-  (match t.krem.(i) with
+  (match t.slots.(i) with
   | k when k = empty ->
       t.count <- t.count + 1;
       t.used <- t.used + 1
   | k when k = tombstone -> t.count <- t.count + 1
   | _ -> ());
-  t.krem.(i) <- krem;
-  t.kloc.(i) <- kloc;
-  t.vals.(i) <- v;
+  t.slots.(i) <- fh;
   (* Resize on 3/4 occupancy (live + tombstones) to keep probes short;
      rehashing also clears accumulated tombstones. *)
-  let capacity = Array.length t.krem in
+  let capacity = Array.length t.slots in
   if 4 * t.used >= 3 * capacity then rehash t (2 * capacity)
 
 and rehash t capacity' =
-  let krem = t.krem and kloc = t.kloc and vals = t.vals in
-  t.krem <- Array.make capacity' empty;
-  t.kloc <- Array.make capacity' 0;
-  t.vals <- Array.make capacity' None;
+  let old = t.slots in
+  t.slots <- Array.make capacity' empty;
   t.count <- 0;
   t.used <- 0;
-  Array.iteri
-    (fun i k -> if k >= 0 then insert t ~krem:k ~kloc:kloc.(i) vals.(i))
-    krem
+  Array.iter
+    (fun fh ->
+      if fh >= 0 then
+        (* Re-derive the key from the store; a stale handle drops out. *)
+        match Tcb.deref t.store fh with
+        | Some c ->
+            insert t
+              ~krem:
+                (key_rem ~remote_ip:(Tcb.remote_ip c)
+                   ~remote_port:(Tcb.remote_port c))
+              ~kloc:(Tcb.local_port c) fh
+        | None -> ())
+    old
 
 let add t ~local_port ~remote_ip ~remote_port tcb =
   insert t ~krem:(key_rem ~remote_ip ~remote_port) ~kloc:(local_port land 0xFFFF)
-    (Some tcb)
+    (Tcb.flow_handle tcb)
 
 let find t ~local_port ~remote_ip ~remote_port =
   let slot =
     probe t ~krem:(key_rem ~remote_ip ~remote_port) ~kloc:(local_port land 0xFFFF)
   in
-  if slot = -1 then None else t.vals.(slot)
+  if slot = -1 then None else Tcb.deref t.store t.slots.(slot)
 
 let remove t ~local_port ~remote_ip ~remote_port =
   let slot =
     probe t ~krem:(key_rem ~remote_ip ~remote_port) ~kloc:(local_port land 0xFFFF)
   in
   if slot >= 0 then begin
-    t.krem.(slot) <- tombstone;
-    t.vals.(slot) <- None;
+    t.slots.(slot) <- tombstone;
     t.count <- t.count - 1
   end
 
 let count t = t.count
 
 let iter t f =
-  Array.iteri
-    (fun i k ->
-      if k >= 0 then match t.vals.(i) with Some tcb -> f tcb | None -> ())
-    t.krem
+  Array.iter
+    (fun fh ->
+      if fh >= 0 then
+        match Tcb.deref t.store fh with Some tcb -> f tcb | None -> ())
+    t.slots

@@ -7,7 +7,9 @@
 
 type t
 
-val create : unit -> t
+val create : store:Tcb.store -> t
+(** The table stores generation-checked handles into [store]
+    ([Tcb.flow_handle]); key comparison reads the store's columns. *)
 
 val add : t -> local_port:int -> remote_ip:Ixnet.Ip_addr.t -> remote_port:int -> Tcb.t -> unit
 

@@ -1,12 +1,41 @@
+(* The in-use set is a bitmap over the port range — one bit per port,
+   ~6 KB for the full ephemeral range, allocation-free on both [alloc]
+   and [free].  The Hashtbl it replaces resized itself up to the
+   population high-water mark and rehashed on the hot connect path; at
+   million-connection churn that was measurable GC traffic. *)
+
 type t = {
   lo : int;
   hi : int;
-  used : (int, unit) Hashtbl.t;
+  bits : Bytes.t; (* bit i = port lo+i in use *)
+  mutable in_use : int;
   mutable cursor : int;
 }
 
 let create ?(lo = 16384) ?(hi = 65535) () =
-  { lo; hi; used = Hashtbl.create 256; cursor = lo }
+  {
+    lo;
+    hi;
+    bits = Bytes.make (((hi - lo + 1) + 7) / 8) '\000';
+    in_use = 0;
+    cursor = lo;
+  }
+
+let[@inline] test t port =
+  let i = port - t.lo in
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let[@inline] set t port =
+  let i = port - t.lo in
+  Bytes.unsafe_set t.bits (i lsr 3)
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits (i lsr 3)) lor (1 lsl (i land 7))))
+
+let[@inline] clear t port =
+  let i = port - t.lo in
+  Bytes.unsafe_set t.bits (i lsr 3)
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land lnot (1 lsl (i land 7))))
 
 let alloc t ~suitable =
   let range = t.hi - t.lo + 1 in
@@ -14,8 +43,9 @@ let alloc t ~suitable =
     if attempts >= range then None
     else begin
       let port = t.lo + ((cursor - t.lo) mod range) in
-      if (not (Hashtbl.mem t.used port)) && suitable port then begin
-        Hashtbl.replace t.used port ();
+      if (not (test t port)) && suitable port then begin
+        set t port;
+        t.in_use <- t.in_use + 1;
         t.cursor <- port + 1;
         Some port
       end
@@ -24,5 +54,10 @@ let alloc t ~suitable =
   in
   probe 0 t.cursor
 
-let free t port = Hashtbl.remove t.used port
-let in_use t = Hashtbl.length t.used
+let free t port =
+  if port >= t.lo && port <= t.hi && test t port then begin
+    clear t port;
+    t.in_use <- t.in_use - 1
+  end
+
+let in_use t = t.in_use

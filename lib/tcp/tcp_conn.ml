@@ -16,7 +16,7 @@ let cancel_timer wheel slot =
 
 let set_rexmit tcb f =
   cancel_timer tcb.env.wheel tcb.rexmit_timer;
-  let deadline = tcb.env.now () + Rtt.rto_ns tcb.rtt in
+  let deadline = tcb.env.now () + rto_ns tcb in
   tcb.rexmit_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline f)
 
 let clear_rexmit tcb =
@@ -37,8 +37,8 @@ let cancel_all_timers tcb =
 (* Segment construction                                                *)
 
 let advertised_window tcb =
-  let w = Tcb.rcv_window tcb in
-  let shift = if tcb.ws_enabled then tcb.cfg.wscale else 0 in
+  let w = rcv_window tcb in
+  let shift = if ws_enabled tcb then tcb.cfg.wscale else 0 in
   let field = w lsr shift in
   min field 0xFFFF
 
@@ -46,8 +46,8 @@ let advertised_window tcb =
    the mbuf (this is the NIC's gather DMA in the real system; the data
    itself still lives in application buffers until acknowledged). *)
 let gather_payload tcb mbuf ~seq ~len =
-  let skip0 = Seqno.diff seq tcb.snd_queue_seq in
-  assert (skip0 >= 0 && skip0 + len <= tcb.snd_queue_len);
+  let skip0 = Seqno.diff seq (snd_queue_seq tcb) in
+  assert (skip0 >= 0 && skip0 + len <= snd_queue_len tcb);
   let dst = mbuf.Mbuf.buf in
   let rec walk iovs skip remaining dst_off =
     if remaining > 0 then begin
@@ -75,18 +75,24 @@ type seg_kind =
   | Seg_rst
 
 let emit tcb kind =
+  (* A CLOSED connection never transmits.  With the SoA store this also
+     covers released views: they read the dead row (state = CLOSED), so
+     a stale [consume]/[ack_now] after teardown is a silent no-op
+     instead of a segment built from zeroed columns. *)
+  if state tcb = Tcp_state.Closed then ()
+  else
   match tcb.env.alloc () with
   | None -> () (* transmit pool exhausted: behaves as loss; RTO recovers *)
   | Some mbuf ->
-      let ack_flag = tcb.state <> Tcp_state.Syn_sent in
-      (* The per-TCB scratch header: every field is rewritten here and
+      let ack_flag = state tcb <> Tcp_state.Syn_sent in
+      (* The env's scratch header: every field is rewritten here and
          the record is consumed by [Seg.prepend] below, before anything
          can re-enter [emit] — no TX segment allocates a header. *)
-      let seg = tcb.emit_scratch in
-      seg.Seg.src_port <- tcb.local_port;
-      seg.Seg.dst_port <- tcb.remote_port;
-      seg.Seg.seq <- tcb.snd_nxt;
-      seg.Seg.ack <- (if ack_flag then tcb.rcv_nxt else 0);
+      let seg = tcb.env.emit_scratch in
+      seg.Seg.src_port <- local_port tcb;
+      seg.Seg.dst_port <- remote_port tcb;
+      seg.Seg.seq <- snd_nxt tcb;
+      seg.Seg.ack <- (if ack_flag then rcv_nxt tcb else 0);
       seg.Seg.syn <- false;
       seg.Seg.ack_flag <- ack_flag;
       seg.Seg.fin <- false;
@@ -101,19 +107,19 @@ let emit tcb kind =
       seg.Seg.payload_len <- 0;
       (match kind with
       | Seg_syn ->
-          seg.Seg.seq <- tcb.iss;
+          seg.Seg.seq <- iss tcb;
           seg.Seg.syn <- true;
           seg.Seg.ack_flag <- false;
           seg.Seg.mss <- Some tcb.cfg.mss;
           seg.Seg.wscale <- Some tcb.cfg.wscale;
-          seg.Seg.window <- min (Tcb.rcv_window tcb) 0xFFFF
+          seg.Seg.window <- min (rcv_window tcb) 0xFFFF
       | Seg_syn_ack ->
-          seg.Seg.seq <- tcb.iss;
+          seg.Seg.seq <- iss tcb;
           seg.Seg.syn <- true;
           seg.Seg.ack_flag <- true;
           seg.Seg.mss <- Some tcb.cfg.mss;
-          seg.Seg.wscale <- (if tcb.ws_enabled then Some tcb.cfg.wscale else None);
-          seg.Seg.window <- min (Tcb.rcv_window tcb) 0xFFFF
+          seg.Seg.wscale <- (if ws_enabled tcb then Some tcb.cfg.wscale else None);
+          seg.Seg.window <- min (rcv_window tcb) 0xFFFF
       | Seg_data { seq; len; psh } ->
           gather_payload tcb mbuf ~seq ~len;
           seg.Seg.seq <- seq;
@@ -122,21 +128,21 @@ let emit tcb kind =
       | Seg_fin_rexmit ->
           (* The FIN occupies the sequence just below snd_nxt. *)
           seg.Seg.fin <- true;
-          seg.Seg.seq <- Seqno.sub tcb.snd_nxt 1
+          seg.Seg.seq <- Seqno.sub (snd_nxt tcb) 1
       | Seg_ack -> ()
       | Seg_rst -> seg.Seg.rst <- true);
       (* DCTCP: echo congestion marks on outgoing ACK-bearing segments. *)
-      if tcb.cfg.dctcp && tcb.ce_to_echo && seg.Seg.ack_flag then begin
-        tcb.ce_to_echo <- false;
+      if tcb.cfg.dctcp && ce_to_echo tcb && seg.Seg.ack_flag then begin
+        set_ce_to_echo tcb false;
         seg.Seg.ece <- true
       end;
-      Seg.prepend mbuf ~src:tcb.local_ip ~dst:tcb.remote_ip seg;
-      tcb.segs_out <- tcb.segs_out + 1;
+      Seg.prepend mbuf ~src:(local_ip tcb) ~dst:(remote_ip tcb) seg;
+      incr_segs_out tcb;
       (match kind with
-      | Seg_data { len; _ } -> tcb.bytes_out <- tcb.bytes_out + len
+      | Seg_data { len; _ } -> add_bytes_out tcb len
       | Seg_syn | Seg_syn_ack | Seg_fin | Seg_fin_rexmit | Seg_ack | Seg_rst -> ());
-      tcb.rcv_adv_wnd <- Tcb.rcv_window tcb;
-      tcb.delack_count <- 0;
+      set_rcv_adv_wnd tcb (rcv_window tcb);
+      set_delack_count tcb 0;
       cancel_timer tcb.env.wheel tcb.delack_timer;
       tcb.delack_timer <- None;
       tcb.env.output tcb mbuf
@@ -144,33 +150,38 @@ let emit tcb kind =
 let ack_now tcb = emit tcb Seg_ack
 
 let advance_snd_nxt tcb n =
-  tcb.snd_nxt <- Seqno.add tcb.snd_nxt n;
-  if Seqno.gt tcb.snd_nxt tcb.snd_max then tcb.snd_max <- tcb.snd_nxt
+  set_snd_nxt tcb (Seqno.add (snd_nxt tcb) n);
+  if Seqno.gt (snd_nxt tcb) (snd_max tcb) then set_snd_max tcb (snd_nxt tcb)
 
 (* ------------------------------------------------------------------ *)
 (* Teardown                                                            *)
 
 let teardown tcb reason =
-  if tcb.state <> Tcp_state.Closed then begin
-    let was_synchronized = Tcp_state.is_synchronized tcb.state in
+  if state tcb <> Tcp_state.Closed then begin
+    let was_synchronized = Tcp_state.is_synchronized (state tcb) in
     cancel_all_timers tcb;
     List.iter (fun (_, mbuf, _, _) -> Mbuf.decref mbuf) tcb.ooo;
     tcb.ooo <- [];
-    tcb.state <- Tcp_state.Closed;
-    tcb.last_close <- Some reason;
+    tcb.snd_queue <- [];
+    set_state tcb Tcp_state.Closed;
+    set_last_close tcb reason;
     tcb.env.on_teardown tcb;
-    if was_synchronized then begin
-      if not tcb.close_notified then begin
-        tcb.close_notified <- true;
-        tcb.callbacks.on_closed reason
-      end
-    end
-    else tcb.callbacks.on_connected false
+    (if was_synchronized then begin
+       if not (close_notified tcb) then begin
+         set_close_notified tcb true;
+         tcb.callbacks.on_closed reason
+       end
+     end
+     else tcb.callbacks.on_connected false);
+    (* Only now, after the teardown hook and callbacks have read their
+       last fields, does the slot return to the store's free list; the
+       view is left pointing at the reserved dead row (CLOSED). *)
+    Tcb.release tcb
   end
 
 let abort tcb =
-  if tcb.state <> Tcp_state.Closed then begin
-    (match tcb.state with
+  if state tcb <> Tcp_state.Closed then begin
+    (match state tcb with
     | Tcp_state.Syn_sent | Tcp_state.Time_wait -> ()
     | _ -> emit tcb Seg_rst);
     teardown tcb Tcb.Reset
@@ -181,30 +192,30 @@ let abort tcb =
 
 let rec rexmit_timeout tcb () =
   tcb.rexmit_timer <- None;
-  if tcb.state <> Tcp_state.Closed then begin
-    tcb.rexmit_shots <- tcb.rexmit_shots + 1;
-    if tcb.rexmit_shots > max_rexmit_shots then teardown tcb Tcb.Timeout
+  if state tcb <> Tcp_state.Closed then begin
+    set_rexmit_shots tcb (rexmit_shots tcb + 1);
+    if rexmit_shots tcb > max_rexmit_shots then teardown tcb Tcb.Timeout
     else begin
-      tcb.retransmits <- tcb.retransmits + 1;
-      tcb.rtt_start <- -1 (* Karn: no sample across a retransmission *);
-      Rtt.backoff tcb.rtt;
-      Congestion.on_rto tcb.cong;
-      tcb.dupacks <- 0;
+      incr_retransmits tcb;
+      set_rtt_start tcb (-1) (* Karn: no sample across a retransmission *);
+      rtt_backoff tcb;
+      cong_on_rto tcb;
+      set_dupacks tcb 0;
       (* Go-back-N: after a timeout, everything past snd_una is treated
          as lost; slow start re-covers the range (the receiver's
          out-of-order cache turns most of it into large cumulative
          ACKs).  Without this, a multi-segment loss burst recovers only
          one hole per backed-off RTO — incast collapse squared. *)
-      if Tcp_state.is_synchronized tcb.state then begin
-        if tcb.fin_sent then begin
-          tcb.fin_sent <- false;
-          tcb.state <-
-            (match tcb.state with
+      if Tcp_state.is_synchronized (state tcb) then begin
+        if fin_sent tcb then begin
+          set_fin_sent tcb false;
+          set_state tcb
+            (match state tcb with
             | Tcp_state.Last_ack -> Tcp_state.Close_wait
             | Tcp_state.Fin_wait_1 | Tcp_state.Closing -> Tcp_state.Established
             | s -> s)
         end;
-        tcb.snd_nxt <- tcb.snd_una
+        set_snd_nxt tcb (snd_una tcb)
       end;
       retransmit_one tcb;
       set_rexmit tcb (rexmit_timeout tcb)
@@ -212,30 +223,30 @@ let rec rexmit_timeout tcb () =
   end
 
 and retransmit_one tcb =
-  match tcb.state with
+  match state tcb with
   | Tcp_state.Syn_sent -> emit tcb Seg_syn
   | Tcp_state.Syn_received -> emit tcb Seg_syn_ack
   | _ ->
       let data_in_flight =
-        let d = Seqno.diff tcb.snd_queue_seq tcb.snd_una in
+        let d = Seqno.diff (snd_queue_seq tcb) (snd_una tcb) in
         (* snd_queue_seq = snd_una in steady state; if FIN/SYN edge, d>0 *)
         d <= 0
       in
-      if data_in_flight && tcb.snd_queue_len > 0
-         && Seqno.lt tcb.snd_una (Seqno.add tcb.snd_queue_seq tcb.snd_queue_len)
+      if data_in_flight && snd_queue_len tcb > 0
+         && Seqno.lt (snd_una tcb) (Seqno.add (snd_queue_seq tcb) (snd_queue_len tcb))
       then begin
         let avail =
-          Seqno.diff (Seqno.add tcb.snd_queue_seq tcb.snd_queue_len) tcb.snd_una
+          Seqno.diff (Seqno.add (snd_queue_seq tcb) (snd_queue_len tcb)) (snd_una tcb)
         in
-        let len = min tcb.snd_mss avail in
-        emit tcb (Seg_data { seq = tcb.snd_una; len; psh = false });
+        let len = min (snd_mss tcb) avail in
+        emit tcb (Seg_data { seq = snd_una tcb; len; psh = false });
         (* Keep snd_nxt covering the retransmission (go-back-N resets). *)
-        if Seqno.lt tcb.snd_nxt (Seqno.add tcb.snd_una len) then begin
-          tcb.snd_nxt <- Seqno.add tcb.snd_una len;
-          if Seqno.gt tcb.snd_nxt tcb.snd_max then tcb.snd_max <- tcb.snd_nxt
+        if Seqno.lt (snd_nxt tcb) (Seqno.add (snd_una tcb) len) then begin
+          set_snd_nxt tcb (Seqno.add (snd_una tcb) len);
+          if Seqno.gt (snd_nxt tcb) (snd_max tcb) then set_snd_max tcb (snd_nxt tcb)
         end
       end
-      else if tcb.fin_sent then emit tcb Seg_fin_rexmit
+      else if fin_sent tcb then emit tcb Seg_fin_rexmit
       else ()
 
 let arm_rexmit_if_needed tcb =
@@ -246,56 +257,56 @@ let arm_rexmit_if_needed tcb =
 
 let rec persist_timeout tcb () =
   tcb.persist_timer <- None;
-  if tcb.state <> Tcp_state.Closed && tcb.snd_wnd = 0 && Tcb.unsent tcb > 0 then begin
+  if state tcb <> Tcp_state.Closed && snd_wnd tcb = 0 && Tcb.unsent tcb > 0 then begin
     (* Window probe: one byte beyond the window. *)
-    emit tcb (Seg_data { seq = tcb.snd_nxt; len = 1; psh = false });
+    emit tcb (Seg_data { seq = snd_nxt tcb; len = 1; psh = false });
     advance_snd_nxt tcb 1;
-    Rtt.backoff tcb.rtt;
+    rtt_backoff tcb;
     arm_rexmit_if_needed tcb;
     arm_persist tcb
   end
 
 and arm_persist tcb =
   if tcb.persist_timer = None then begin
-    let deadline = tcb.env.now () + Rtt.rto_ns tcb.rtt in
+    let deadline = tcb.env.now () + rto_ns tcb in
     tcb.persist_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline (persist_timeout tcb))
   end
 
 let try_output tcb =
-  if Tcp_state.can_send_data tcb.state || tcb.fin_queued then begin
-    let wnd = min tcb.snd_wnd (Congestion.cwnd tcb.cong) in
+  if Tcp_state.can_send_data (state tcb) || fin_queued tcb then begin
+    let wnd = min (snd_wnd tcb) (cwnd tcb) in
     let progress = ref true in
     while
       !progress && Tcb.unsent tcb > 0 && Tcb.flight tcb < wnd
-      && Tcp_state.can_send_data tcb.state
+      && Tcp_state.can_send_data (state tcb)
     do
-      let len = min (min tcb.snd_mss (Tcb.unsent tcb)) (wnd - Tcb.flight tcb) in
+      let len = min (min (snd_mss tcb) (Tcb.unsent tcb)) (wnd - Tcb.flight tcb) in
       if len <= 0 then progress := false
       else begin
-        let seq = tcb.snd_nxt in
+        let seq = snd_nxt tcb in
         let psh = len = Tcb.unsent tcb in
         (* Time one segment per window for RTT estimation. *)
-        if tcb.rtt_start < 0 then begin
-          tcb.rtt_start <- tcb.env.now ();
-          tcb.rtt_seq <- Seqno.add seq len
+        if rtt_start tcb < 0 then begin
+          set_rtt_start tcb (tcb.env.now ());
+          set_rtt_seq tcb (Seqno.add seq len)
         end;
         emit tcb (Seg_data { seq; len; psh });
         advance_snd_nxt tcb len
       end
     done;
     (* FIN once the queue is drained. *)
-    if tcb.fin_queued && (not tcb.fin_sent) && Tcb.unsent tcb = 0
-       && Tcp_state.can_send_data tcb.state
+    if fin_queued tcb && (not (fin_sent tcb)) && Tcb.unsent tcb = 0
+       && Tcp_state.can_send_data (state tcb)
     then begin
       emit tcb Seg_fin;
-      tcb.fin_sent <- true;
+      set_fin_sent tcb true;
       advance_snd_nxt tcb 1;
-      tcb.state <-
-        (match tcb.state with
+      set_state tcb
+        (match state tcb with
         | Tcp_state.Close_wait -> Tcp_state.Last_ack
         | _ -> Tcp_state.Fin_wait_1)
     end;
-    if tcb.snd_wnd = 0 && Tcb.unsent tcb > 0 && Tcb.flight tcb = 0 then
+    if snd_wnd tcb = 0 && Tcb.unsent tcb > 0 && Tcb.flight tcb = 0 then
       arm_persist tcb;
     arm_rexmit_if_needed tcb
   end
@@ -305,9 +316,9 @@ let try_output tcb =
 
 let connect env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
   let tcb = Tcb.create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie in
-  tcb.state <- Tcp_state.Syn_sent;
-  tcb.snd_nxt <- Seqno.add tcb.iss 1;
-  tcb.snd_max <- tcb.snd_nxt;
+  set_state tcb Tcp_state.Syn_sent;
+  set_snd_nxt tcb (Seqno.add (iss tcb) 1);
+  set_snd_max tcb (snd_nxt tcb);
   emit tcb Seg_syn;
   set_rexmit tcb (rexmit_timeout tcb);
   tcb
@@ -317,37 +328,68 @@ let accept_syn env cfg ~local_ip ~remote_ip ~segment ~cookie =
     Tcb.create env cfg ~local_ip ~local_port:segment.Seg.dst_port ~remote_ip
       ~remote_port:segment.Seg.src_port ~cookie
   in
-  tcb.state <- Tcp_state.Syn_received;
-  tcb.irs <- segment.Seg.seq;
-  tcb.rcv_nxt <- Seqno.add segment.Seg.seq 1;
+  set_state tcb Tcp_state.Syn_received;
+  set_irs tcb segment.Seg.seq;
+  set_rcv_nxt tcb (Seqno.add segment.Seg.seq 1);
   (match segment.Seg.mss with
-  | Some mss -> tcb.snd_mss <- min tcb.cfg.mss mss
-  | None -> tcb.snd_mss <- 536);
+  | Some mss -> set_snd_mss tcb (min tcb.cfg.mss mss)
+  | None -> set_snd_mss tcb 536);
   (match segment.Seg.wscale with
   | Some shift ->
-      tcb.ws_enabled <- true;
-      tcb.snd_wscale <- shift
-  | None -> tcb.ws_enabled <- false);
-  tcb.snd_wnd <- segment.Seg.window (* unscaled in SYN *);
-  tcb.snd_nxt <- Seqno.add tcb.iss 1;
-  tcb.snd_max <- tcb.snd_nxt;
+      set_ws_enabled tcb true;
+      set_snd_wscale tcb shift
+  | None -> set_ws_enabled tcb false);
+  set_snd_wnd tcb segment.Seg.window (* unscaled in SYN *);
+  set_snd_nxt tcb (Seqno.add (iss tcb) 1);
+  set_snd_max tcb (snd_nxt tcb);
   emit tcb Seg_syn_ack;
   set_rexmit tcb (rexmit_timeout tcb);
   tcb
 
+(* SYN-cookie materialization: the handshake already completed on the
+   wire (stateless SYN-ACK, cookie-validated ACK); build the TCB
+   directly in ESTABLISHED.  [iss] is the cookie value the SYN-ACK
+   carried as its ISS, [mss] the peer MSS recovered from the cookie's
+   class bits.  The endpoint validates the cookie before calling and
+   feeds the ACK segment through [input] afterwards, so any payload
+   riding it is delivered normally. *)
+let accept_cookie env cfg ~local_ip ~remote_ip ~segment ~iss:cookie_iss ~mss
+    ~cookie =
+  let tcb =
+    Tcb.create env cfg ~local_ip ~local_port:segment.Seg.dst_port ~remote_ip
+      ~remote_port:segment.Seg.src_port ~cookie
+  in
+  (* Replace the randomly drawn ISS with the cookie the peer echoed. *)
+  set_iss tcb cookie_iss;
+  let nxt = Seqno.add cookie_iss 1 in
+  set_snd_una tcb nxt;
+  set_snd_nxt tcb nxt;
+  set_snd_max tcb nxt;
+  set_recover tcb cookie_iss;
+  set_snd_queue_seq tcb nxt;
+  set_irs tcb (Seqno.sub segment.Seg.seq 1);
+  set_rcv_nxt tcb segment.Seg.seq;
+  set_snd_mss tcb (min tcb.cfg.mss mss);
+  (* The stateless SYN-ACK offered no window scaling. *)
+  set_ws_enabled tcb false;
+  set_snd_wnd tcb segment.Seg.window;
+  set_state tcb Tcp_state.Established;
+  env.on_established tcb;
+  tcb
+
 let send tcb iovs =
-  if not (Tcp_state.can_send_data tcb.state) || tcb.fin_queued then 0
+  if not (Tcp_state.can_send_data (state tcb)) || fin_queued tcb then 0
   else begin
     (* IX semantics: accept only what the transmit budget (send buffer
        bounded by the peer's window headroom) allows; the caller
        retries the rest on a later [sent] event. *)
     let budget =
-      if tcb.cfg.buffered_send then tcb.cfg.snd_buf - tcb.snd_queue_len
+      if tcb.cfg.buffered_send then tcb.cfg.snd_buf - snd_queue_len tcb
       else begin
         let window_headroom =
-          max tcb.snd_wnd (2 * tcb.snd_mss) - (Tcb.flight tcb + Tcb.unsent tcb)
+          max (snd_wnd tcb) (2 * snd_mss tcb) - (Tcb.flight tcb + Tcb.unsent tcb)
         in
-        min (tcb.cfg.snd_buf - tcb.snd_queue_len) window_headroom
+        min (tcb.cfg.snd_buf - snd_queue_len tcb) window_headroom
       end
     in
     let budget = max budget 0 in
@@ -364,7 +406,7 @@ let send tcb iovs =
             else List.rev (Iovec.sub iov 0 remaining :: acc)
       in
       tcb.snd_queue <- tcb.snd_queue @ take [] accepted iovs;
-      tcb.snd_queue_len <- tcb.snd_queue_len + accepted;
+      set_snd_queue_len tcb (snd_queue_len tcb + accepted);
       try_output tcb
     end;
     accepted
@@ -372,20 +414,20 @@ let send tcb iovs =
 
 let consume tcb n =
   assert (n >= 0);
-  tcb.rcv_consumed <- min (tcb.rcv_consumed + n) tcb.rcv_delivered;
+  set_rcv_unconsumed tcb (max 0 (rcv_unconsumed tcb - n));
   (* Send a window update if the window reopened significantly since we
      last told the peer about it. *)
-  let w = Tcb.rcv_window tcb in
-  if (tcb.rcv_adv_wnd < tcb.snd_mss && w >= 2 * tcb.snd_mss)
-     || w - tcb.rcv_adv_wnd >= tcb.cfg.rcv_buf / 2
+  let w = rcv_window tcb in
+  if (rcv_adv_wnd tcb < snd_mss tcb && w >= 2 * snd_mss tcb)
+     || w - rcv_adv_wnd tcb >= tcb.cfg.rcv_buf / 2
   then ack_now tcb
 
 let close tcb =
-  match tcb.state with
+  match state tcb with
   | Tcp_state.Closed -> ()
   | Tcp_state.Syn_sent | Tcp_state.Listen -> teardown tcb Tcb.Normal
   | Tcp_state.Established | Tcp_state.Close_wait | Tcp_state.Syn_received ->
-      tcb.fin_queued <- true;
+      set_fin_queued tcb true;
       try_output tcb
   | Tcp_state.Fin_wait_1 | Tcp_state.Fin_wait_2 | Tcp_state.Closing
   | Tcp_state.Last_ack | Tcp_state.Time_wait ->
@@ -395,17 +437,24 @@ let close tcb =
 (* Input path                                                          *)
 
 let enter_time_wait tcb =
-  tcb.state <- Tcp_state.Time_wait;
+  set_state tcb Tcp_state.Time_wait;
   clear_rexmit tcb;
   cancel_timer tcb.env.wheel tcb.time_wait_timer;
-  let deadline = tcb.env.now () + tcb.cfg.time_wait_ns in
-  tcb.time_wait_timer <-
-    Some (Wheel.schedule tcb.env.wheel ~deadline (fun () -> teardown tcb Tcb.Normal))
+  tcb.time_wait_timer <- None;
+  (* TIME_WAIT recycling: the endpoint records a [Tw_table] remnant and
+     returns [true]; the full TCB is released right away instead of
+     sitting armed for [time_wait_ns]. *)
+  if tcb.env.on_time_wait tcb then teardown tcb Tcb.Normal
+  else begin
+    let deadline = tcb.env.now () + tcb.cfg.time_wait_ns in
+    tcb.time_wait_timer <-
+      Some (Wheel.schedule tcb.env.wheel ~deadline (fun () -> teardown tcb Tcb.Normal))
+  end
 
 let drop_acked_data tcb ack =
   let acked_data =
-    let d = Seqno.diff ack tcb.snd_queue_seq in
-    max 0 (min d tcb.snd_queue_len)
+    let d = Seqno.diff ack (snd_queue_seq tcb) in
+    max 0 (min d (snd_queue_len tcb))
   in
   if acked_data > 0 then begin
     let rec drop n iovs =
@@ -419,36 +468,36 @@ let drop_acked_data tcb ack =
       end
     in
     tcb.snd_queue <- drop acked_data tcb.snd_queue;
-    tcb.snd_queue_seq <- Seqno.add tcb.snd_queue_seq acked_data;
-    tcb.snd_queue_len <- tcb.snd_queue_len - acked_data
+    set_snd_queue_seq tcb (Seqno.add (snd_queue_seq tcb) acked_data);
+    set_snd_queue_len tcb (snd_queue_len tcb - acked_data)
   end;
   acked_data
 
 let update_send_window tcb (seg : Seg.t) =
-  let scale = if tcb.ws_enabled then tcb.snd_wscale else 0 in
-  tcb.snd_wnd <- seg.Seg.window lsl scale;
-  if tcb.snd_wnd > 0 then begin
+  let scale = if ws_enabled tcb then snd_wscale tcb else 0 in
+  set_snd_wnd tcb (seg.Seg.window lsl scale);
+  if snd_wnd tcb > 0 then begin
     cancel_timer tcb.env.wheel tcb.persist_timer;
     tcb.persist_timer <- None
   end
 
 let schedule_delack tcb =
-  tcb.delack_count <- tcb.delack_count + 1;
-  if tcb.delack_count >= tcb.cfg.delack_segs then ack_now tcb
+  set_delack_count tcb (delack_count tcb + 1);
+  if delack_count tcb >= tcb.cfg.delack_segs then ack_now tcb
   else if tcb.delack_timer = None then begin
     let deadline = tcb.env.now () + tcb.cfg.delack_ns in
     let fire () =
       tcb.delack_timer <- None;
-      if tcb.state <> Tcp_state.Closed && tcb.delack_count > 0 then ack_now tcb
+      if state tcb <> Tcp_state.Closed && delack_count tcb > 0 then ack_now tcb
     in
     tcb.delack_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline fire)
   end
 
 (* Deliver the in-order byte range [seg payload from rcv_nxt onward]. *)
 let deliver_payload tcb mbuf ~off ~len =
-  if len > 0 && Tcp_state.can_receive_data tcb.state then begin
-    tcb.rcv_delivered <- tcb.rcv_delivered + len;
-    tcb.bytes_in <- tcb.bytes_in + len;
+  if len > 0 && Tcp_state.can_receive_data (state tcb) then begin
+    set_rcv_unconsumed tcb (rcv_unconsumed tcb + len);
+    add_bytes_in tcb len;
     Mbuf.incref mbuf;
     tcb.callbacks.on_recv mbuf off len
   end
@@ -467,11 +516,11 @@ let insert_ooo tcb seq mbuf off len =
 
 let rec drain_ooo tcb =
   match tcb.ooo with
-  | (seq, mbuf, off, len) :: rest when Seqno.le seq tcb.rcv_nxt ->
+  | (seq, mbuf, off, len) :: rest when Seqno.le seq (rcv_nxt tcb) ->
       tcb.ooo <- rest;
-      let skip = Seqno.diff tcb.rcv_nxt seq in
+      let skip = Seqno.diff (rcv_nxt tcb) seq in
       if skip < len then begin
-        tcb.rcv_nxt <- Seqno.add tcb.rcv_nxt (len - skip);
+        set_rcv_nxt tcb (Seqno.add (rcv_nxt tcb) (len - skip));
         deliver_payload tcb mbuf ~off:(off + skip) ~len:(len - skip)
       end;
       Mbuf.decref mbuf;
@@ -481,15 +530,15 @@ let rec drain_ooo tcb =
 let process_payload tcb (seg : Seg.t) mbuf =
   let seq = seg.Seg.seq and len = seg.Seg.payload_len in
   if len = 0 then false
-  else if not (Tcp_state.can_receive_data tcb.state) then false
+  else if not (Tcp_state.can_receive_data (state tcb)) then false
   else begin
     let seg_end = Seqno.add seq len in
-    if Seqno.le seg_end tcb.rcv_nxt then begin
+    if Seqno.le seg_end (rcv_nxt tcb) then begin
       (* Entirely old: dup segment, force an ACK to resynchronize. *)
       ack_now tcb;
       false
     end
-    else if Seqno.gt seq tcb.rcv_nxt then begin
+    else if Seqno.gt seq (rcv_nxt tcb) then begin
       (* Future data: out of order.  Stash and dup-ACK. *)
       insert_ooo tcb seq mbuf seg.Seg.payload_off len;
       ack_now tcb;
@@ -497,9 +546,9 @@ let process_payload tcb (seg : Seg.t) mbuf =
     end
     else begin
       (* In order (possibly with an old prefix). *)
-      let skip = Seqno.diff tcb.rcv_nxt seq in
+      let skip = Seqno.diff (rcv_nxt tcb) seq in
       let fresh = len - skip in
-      tcb.rcv_nxt <- Seqno.add tcb.rcv_nxt fresh;
+      set_rcv_nxt tcb (Seqno.add (rcv_nxt tcb) fresh);
       deliver_payload tcb mbuf ~off:(seg.Seg.payload_off + skip) ~len:fresh;
       drain_ooo tcb;
       true
@@ -508,19 +557,19 @@ let process_payload tcb (seg : Seg.t) mbuf =
 
 let process_fin tcb (seg : Seg.t) =
   let fin_seq = Seqno.add seg.Seg.seq seg.Seg.payload_len in
-  if seg.Seg.fin && fin_seq = tcb.rcv_nxt then begin
-    tcb.rcv_nxt <- Seqno.add tcb.rcv_nxt 1;
+  if seg.Seg.fin && fin_seq = rcv_nxt tcb then begin
+    set_rcv_nxt tcb (Seqno.add (rcv_nxt tcb) 1);
     ack_now tcb;
-    (match tcb.state with
+    (match state tcb with
     | Tcp_state.Established ->
-        tcb.state <- Tcp_state.Close_wait;
-        if not tcb.close_notified then begin
-          tcb.close_notified <- true;
+        set_state tcb Tcp_state.Close_wait;
+        if not (close_notified tcb) then begin
+          set_close_notified tcb true;
           tcb.callbacks.on_closed Tcb.Normal
         end
     | Tcp_state.Fin_wait_1 ->
         (* Our FIN not yet acked: simultaneous close. *)
-        tcb.state <- Tcp_state.Closing
+        set_state tcb Tcp_state.Closing
     | Tcp_state.Fin_wait_2 -> enter_time_wait tcb
     | Tcp_state.Syn_received | Tcp_state.Close_wait | Tcp_state.Closing
     | Tcp_state.Last_ack | Tcp_state.Time_wait | Tcp_state.Closed
@@ -530,51 +579,51 @@ let process_fin tcb (seg : Seg.t) =
 
 let process_ack tcb (seg : Seg.t) =
   let ack = seg.Seg.ack in
-  if Seqno.gt ack tcb.snd_max then ack_now tcb (* acks never-sent data *)
-  else if Seqno.gt ack tcb.snd_una then begin
+  if Seqno.gt ack (snd_max tcb) then ack_now tcb (* acks never-sent data *)
+  else if Seqno.gt ack (snd_una tcb) then begin
     (* After a go-back-N reset, a cumulative ACK may leapfrog snd_nxt
        (the receiver's out-of-order cache covered the hole). *)
-    if Seqno.gt ack tcb.snd_nxt then tcb.snd_nxt <- ack;
-    let acked = Seqno.diff ack tcb.snd_una in
+    if Seqno.gt ack (snd_nxt tcb) then set_snd_nxt tcb ack;
+    let acked = Seqno.diff ack (snd_una tcb) in
     if tcb.cfg.dctcp then
-      Congestion.on_ecn_feedback tcb.cong ~acked_bytes:acked ~marked:seg.Seg.ece;
-    tcb.snd_una <- ack;
-    tcb.rexmit_shots <- 0;
-    Rtt.reset_backoff tcb.rtt;
+      cong_on_ecn_feedback tcb ~acked_bytes:acked ~marked:seg.Seg.ece;
+    set_snd_una tcb ack;
+    set_rexmit_shots tcb 0;
+    rtt_reset_backoff tcb;
     (* RTT sample (Karn-valid). *)
-    if tcb.rtt_start >= 0 && Seqno.ge ack tcb.rtt_seq then begin
-      Rtt.observe tcb.rtt ~sample_ns:(tcb.env.now () - tcb.rtt_start);
-      tcb.rtt_start <- -1
+    if rtt_start tcb >= 0 && Seqno.ge ack (rtt_seq tcb) then begin
+      rtt_observe tcb ~sample_ns:(tcb.env.now () - rtt_start tcb);
+      set_rtt_start tcb (-1)
     end;
     let data_acked = drop_acked_data tcb ack in
     update_send_window tcb seg;
-    if Congestion.in_recovery tcb.cong then begin
-      if Seqno.ge tcb.snd_una tcb.recover then begin
-        Congestion.on_recovery_exit tcb.cong;
-        tcb.dupacks <- 0
+    if in_recovery tcb then begin
+      if Seqno.ge (snd_una tcb) (recover tcb) then begin
+        cong_on_recovery_exit tcb;
+        set_dupacks tcb 0
       end
       else
         (* Partial ACK: retransmit the next hole immediately. *)
         retransmit_one tcb
     end
     else begin
-      tcb.dupacks <- 0;
-      Congestion.on_ack tcb.cong ~acked_bytes:acked ~flight:(Tcb.flight tcb)
+      set_dupacks tcb 0;
+      cong_on_ack tcb ~acked_bytes:acked
     end;
     (* Handshake / close transitions driven by our data being acked. *)
-    (match tcb.state with
+    (match state tcb with
     | Tcp_state.Syn_received ->
-        tcb.state <- Tcp_state.Established;
+        set_state tcb Tcp_state.Established;
         update_send_window tcb seg;
         tcb.env.on_established tcb
-    | Tcp_state.Fin_wait_1 when tcb.fin_sent && ack = tcb.snd_nxt ->
-        tcb.state <- Tcp_state.Fin_wait_2
-    | Tcp_state.Closing when tcb.fin_sent && ack = tcb.snd_nxt ->
+    | Tcp_state.Fin_wait_1 when fin_sent tcb && ack = snd_nxt tcb ->
+        set_state tcb Tcp_state.Fin_wait_2
+    | Tcp_state.Closing when fin_sent tcb && ack = snd_nxt tcb ->
         enter_time_wait tcb
-    | Tcp_state.Last_ack when tcb.fin_sent && ack = tcb.snd_nxt ->
+    | Tcp_state.Last_ack when fin_sent tcb && ack = snd_nxt tcb ->
         teardown tcb Tcb.Normal
     | _ -> ());
-    if tcb.state <> Tcp_state.Closed then begin
+    if state tcb <> Tcp_state.Closed then begin
       if Tcb.flight tcb = 0 then clear_rexmit tcb
       else set_rexmit tcb (rexmit_timeout tcb);
       if data_acked > 0 then tcb.callbacks.on_sent data_acked;
@@ -585,19 +634,19 @@ let process_ack tcb (seg : Seg.t) =
     (* ack = snd_una: possible duplicate. *)
     update_send_window tcb seg;
     if seg.Seg.payload_len = 0 && Tcb.flight tcb > 0 then begin
-      tcb.dupacks <- tcb.dupacks + 1;
-      if tcb.dupacks = Congestion.dup_ack_threshold then begin
-        tcb.recover <- tcb.snd_nxt;
-        Congestion.on_fast_retransmit tcb.cong ~flight:(Tcb.flight tcb);
+      set_dupacks tcb (dupacks tcb + 1);
+      if dupacks tcb = dup_ack_threshold then begin
+        set_recover tcb (snd_nxt tcb);
+        cong_on_fast_retransmit tcb ~flight:(Tcb.flight tcb);
         retransmit_one tcb
       end
-      else if tcb.dupacks > Congestion.dup_ack_threshold then begin
-        Congestion.on_dup_ack tcb.cong;
+      else if dupacks tcb > dup_ack_threshold then begin
+        cong_on_dup_ack tcb;
         try_output tcb
       end
     end;
-    (match tcb.state with
-    | Tcp_state.Syn_received when Seqno.ge ack tcb.snd_una ->
+    (match state tcb with
+    | Tcp_state.Syn_received when Seqno.ge ack (snd_una tcb) ->
         () (* retransmitted handshake ACK handled above *)
     | _ -> ());
     try_output tcb
@@ -605,33 +654,33 @@ let process_ack tcb (seg : Seg.t) =
 
 let input_syn_sent tcb (seg : Seg.t) =
   if seg.Seg.rst then begin
-    if seg.Seg.ack_flag && seg.Seg.ack = tcb.snd_nxt then teardown tcb Tcb.Refused
+    if seg.Seg.ack_flag && seg.Seg.ack = snd_nxt tcb then teardown tcb Tcb.Refused
   end
-  else if seg.Seg.syn && seg.Seg.ack_flag && seg.Seg.ack = tcb.snd_nxt then begin
-    tcb.irs <- seg.Seg.seq;
-    tcb.rcv_nxt <- Seqno.add seg.Seg.seq 1;
-    tcb.snd_una <- seg.Seg.ack;
+  else if seg.Seg.syn && seg.Seg.ack_flag && seg.Seg.ack = snd_nxt tcb then begin
+    set_irs tcb seg.Seg.seq;
+    set_rcv_nxt tcb (Seqno.add seg.Seg.seq 1);
+    set_snd_una tcb seg.Seg.ack;
     (match seg.Seg.mss with
-    | Some mss -> tcb.snd_mss <- min tcb.cfg.mss mss
-    | None -> tcb.snd_mss <- 536);
+    | Some mss -> set_snd_mss tcb (min tcb.cfg.mss mss)
+    | None -> set_snd_mss tcb 536);
     (match seg.Seg.wscale with
     | Some shift ->
-        tcb.ws_enabled <- true;
-        tcb.snd_wscale <- shift
-    | None -> tcb.ws_enabled <- false);
-    tcb.snd_wnd <- seg.Seg.window (* unscaled in SYN *);
-    tcb.state <- Tcp_state.Established;
+        set_ws_enabled tcb true;
+        set_snd_wscale tcb shift
+    | None -> set_ws_enabled tcb false);
+    set_snd_wnd tcb seg.Seg.window (* unscaled in SYN *);
+    set_state tcb Tcp_state.Established;
     clear_rexmit tcb;
-    tcb.rexmit_shots <- 0;
+    set_rexmit_shots tcb 0;
     ack_now tcb;
     tcb.callbacks.on_connected true;
     try_output tcb
   end
 
 let input ?(ce = false) tcb (seg : Seg.t) mbuf =
-  tcb.segs_in <- tcb.segs_in + 1;
-  if ce && tcb.cfg.dctcp then tcb.ce_to_echo <- true;
-  match tcb.state with
+  incr_segs_in tcb;
+  if ce && tcb.cfg.dctcp then set_ce_to_echo tcb true;
+  match state tcb with
   | Tcp_state.Closed | Tcp_state.Listen -> ()
   | Tcp_state.Syn_sent -> input_syn_sent tcb seg
   | Tcp_state.Syn_received when seg.Seg.rst -> teardown tcb Tcb.Reset
@@ -648,16 +697,16 @@ let input ?(ce = false) tcb (seg : Seg.t) mbuf =
   | _ ->
       if seg.Seg.rst then begin
         (* Accept an RST whose sequence falls in the receive window. *)
-        if Seqno.ge seg.Seg.seq tcb.rcv_nxt
-           && Seqno.lt seg.Seg.seq (Seqno.add tcb.rcv_nxt (max 1 (Tcb.rcv_window tcb)))
-           || seg.Seg.seq = tcb.rcv_nxt
+        if Seqno.ge seg.Seg.seq (rcv_nxt tcb)
+           && Seqno.lt seg.Seg.seq (Seqno.add (rcv_nxt tcb) (max 1 (rcv_window tcb)))
+           || seg.Seg.seq = rcv_nxt tcb
         then teardown tcb Tcb.Reset
       end
       else begin
         if seg.Seg.ack_flag then process_ack tcb seg;
-        if tcb.state <> Tcp_state.Closed then begin
+        if state tcb <> Tcp_state.Closed then begin
           let delivered = process_payload tcb seg mbuf in
-          if tcb.state <> Tcp_state.Closed then begin
+          if state tcb <> Tcp_state.Closed then begin
             process_fin tcb seg;
             if delivered then schedule_delack tcb
           end
@@ -691,40 +740,40 @@ let input ?(ce = false) tcb (seg : Seg.t) mbuf =
      duplicate ACK has retransmit side effects and falls back). *)
 let input_fast tcb (seg : Seg.t) mbuf =
   tcb.cfg.fast_path
-  && tcb.state = Tcp_state.Established
+  && state tcb = Tcp_state.Established
   && seg.Seg.ack_flag
   && (not seg.Seg.syn) && (not seg.Seg.fin) && (not seg.Seg.rst)
   && (not tcb.cfg.dctcp) && (not seg.Seg.ece) && (not seg.Seg.cwr)
-  && seg.Seg.seq = tcb.rcv_nxt
+  && seg.Seg.seq = rcv_nxt tcb
   && tcb.ooo == []
-  && tcb.snd_wnd > 0
-  && seg.Seg.window lsl (if tcb.ws_enabled then tcb.snd_wscale else 0)
-     = tcb.snd_wnd
+  && snd_wnd tcb > 0
+  && seg.Seg.window lsl (if ws_enabled tcb then snd_wscale tcb else 0)
+     = snd_wnd tcb
   && tcb.persist_timer = None
   &&
   let ack = seg.Seg.ack in
-  let ack_advances = Seqno.gt ack tcb.snd_una in
+  let ack_advances = Seqno.gt ack (snd_una tcb) in
   (if ack_advances then
-     Seqno.le ack tcb.snd_nxt && not (Congestion.in_recovery tcb.cong)
-   else ack = tcb.snd_una && seg.Seg.payload_len > 0)
+     Seqno.le ack (snd_nxt tcb) && not (in_recovery tcb)
+   else ack = snd_una tcb && seg.Seg.payload_len > 0)
   && begin
        (* Committed: replicate the slow path's effect sequence. *)
-       tcb.segs_in <- tcb.segs_in + 1;
+       incr_segs_in tcb;
        if ack_advances then begin
          (* [process_ack], new-data branch, with the gated-out cases
             (leapfrog, DCTCP feedback, recovery, handshake/close
             transitions, window change) removed. *)
-         let acked = Seqno.diff ack tcb.snd_una in
-         tcb.snd_una <- ack;
-         tcb.rexmit_shots <- 0;
-         Rtt.reset_backoff tcb.rtt;
-         if tcb.rtt_start >= 0 && Seqno.ge ack tcb.rtt_seq then begin
-           Rtt.observe tcb.rtt ~sample_ns:(tcb.env.now () - tcb.rtt_start);
-           tcb.rtt_start <- -1
+         let acked = Seqno.diff ack (snd_una tcb) in
+         set_snd_una tcb ack;
+         set_rexmit_shots tcb 0;
+         rtt_reset_backoff tcb;
+         if rtt_start tcb >= 0 && Seqno.ge ack (rtt_seq tcb) then begin
+           rtt_observe tcb ~sample_ns:(tcb.env.now () - rtt_start tcb);
+           set_rtt_start tcb (-1)
          end;
          let data_acked = drop_acked_data tcb ack in
-         tcb.dupacks <- 0;
-         Congestion.on_ack tcb.cong ~acked_bytes:acked ~flight:(Tcb.flight tcb);
+         set_dupacks tcb 0;
+         cong_on_ack tcb ~acked_bytes:acked;
          if Tcb.flight tcb = 0 then clear_rexmit tcb
          else set_rexmit tcb (rexmit_timeout tcb);
          if data_acked > 0 then tcb.callbacks.on_sent data_acked;
@@ -736,9 +785,9 @@ let input_fast tcb (seg : Seg.t) mbuf =
          try_output tcb;
        (* Payload + delayed-ACK accounting, exactly as [input]'s tail
           ([process_fin] is a no-op here: FIN is gated out). *)
-       if tcb.state <> Tcp_state.Closed then begin
+       if state tcb <> Tcp_state.Closed then begin
          let delivered = process_payload tcb seg mbuf in
-         if tcb.state <> Tcp_state.Closed && delivered then
+         if state tcb <> Tcp_state.Closed && delivered then
            schedule_delack tcb
        end;
        true
@@ -758,7 +807,7 @@ let rebind tcb new_env =
     let deadline = new_env.Tcb.now () + tcb.cfg.delack_ns in
     let fire () =
       tcb.delack_timer <- None;
-      if tcb.state <> Tcp_state.Closed && tcb.delack_count > 0 then ack_now tcb
+      if state tcb <> Tcp_state.Closed && delack_count tcb > 0 then ack_now tcb
     in
     tcb.delack_timer <- Some (Wheel.schedule new_env.Tcb.wheel ~deadline fire)
   end;

@@ -34,6 +34,23 @@ val accept_syn :
     emits the SYN-ACK.  The caller (the endpoint demultiplexer) fires
     its accept callback once the connection reaches ESTABLISHED. *)
 
+val accept_cookie :
+  Tcb.env ->
+  Tcb.config ->
+  local_ip:Ixnet.Ip_addr.t ->
+  remote_ip:Ixnet.Ip_addr.t ->
+  segment:Ixnet.Tcp_segment.t ->
+  iss:Seqno.t ->
+  mss:int ->
+  cookie:int ->
+  Tcb.t
+(** SYN-cookie materialization: build a TCB directly in ESTABLISHED
+    from a cookie-validated handshake ACK.  [iss] is the cookie value
+    the stateless SYN-ACK carried as its initial sequence number and
+    [mss] the peer MSS recovered from the cookie's class bits; the
+    endpoint validates the cookie before calling and feeds [segment]
+    through [input] afterwards so piggybacked payload is delivered. *)
+
 val input : ?ce:bool -> Tcb.t -> Ixnet.Tcp_segment.t -> Ixmem.Mbuf.t -> unit
 (** Process one segment addressed to this connection.  [ce] reports the
     IP header's Congestion Experienced mark (echoed as ECE when the

@@ -16,6 +16,7 @@ val create :
   ?metrics:Ixtelemetry.Metrics.t ->
   ?metrics_prefix:string ->
   ?handle_alloc:int ref ->
+  ?store:Tcb.store ->
   unit ->
   t
 (** [metrics]/[metrics_prefix] place the endpoint's counters
@@ -77,3 +78,23 @@ val fast_path_hits : t -> int
 val slow_path_hits : t -> int
 (** Segments that fell back to the full state machine
     ([<prefix>.slow_path_hits]). *)
+
+val syn_cookies_sent : t -> int
+(** Stateless SYN-ACKs emitted on the cookie listen path
+    ([config.syn_cookies]); each one allocated no TCB. *)
+
+val syn_cookies_validated : t -> int
+(** Handshake ACKs whose cookie verified — each materialized a TCB
+    directly in ESTABLISHED. *)
+
+val syn_cookies_rejected : t -> int
+(** Flow-miss ACKs on a listening port whose cookie failed to verify
+    (answered with RST). *)
+
+val port_exhausted : t -> int
+(** Active opens that found no suitable ephemeral port; [connect]
+    returns [None] rather than raising. *)
+
+val time_wait_count : t -> int
+(** Live TIME_WAIT remnants ([config.tw_recycle]); these are compact
+    table rows, not TCBs. *)

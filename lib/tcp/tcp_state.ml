@@ -11,6 +11,33 @@ type t =
   | Last_ack
   | Time_wait
 
+(* Dense codes for the SoA TCB store's packed state field. *)
+let to_int = function
+  | Closed -> 0
+  | Listen -> 1
+  | Syn_sent -> 2
+  | Syn_received -> 3
+  | Established -> 4
+  | Fin_wait_1 -> 5
+  | Fin_wait_2 -> 6
+  | Close_wait -> 7
+  | Closing -> 8
+  | Last_ack -> 9
+  | Time_wait -> 10
+
+let of_int = function
+  | 1 -> Listen
+  | 2 -> Syn_sent
+  | 3 -> Syn_received
+  | 4 -> Established
+  | 5 -> Fin_wait_1
+  | 6 -> Fin_wait_2
+  | 7 -> Close_wait
+  | 8 -> Closing
+  | 9 -> Last_ack
+  | 10 -> Time_wait
+  | _ -> Closed
+
 let is_synchronized = function
   | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
   | Time_wait ->

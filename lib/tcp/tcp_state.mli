@@ -13,6 +13,12 @@ type t =
   | Last_ack
   | Time_wait
 
+val to_int : t -> int
+(** Dense code (0..10) for packed storage in the SoA TCB store. *)
+
+val of_int : int -> t
+(** Inverse of [to_int]; out-of-range codes map to [Closed]. *)
+
 val is_synchronized : t -> bool
 (** States in which the connection has a synchronized sequence space
     (Established and later). *)

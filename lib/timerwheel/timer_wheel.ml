@@ -26,6 +26,17 @@ type t = {
   l0_mask : int array;
   l0_min : int array;
   l0_dirty : Bytes.t;
+  (* Occupancy statistics (million-timer audit).  [resident] counts
+     list entries per level — live timers *and* cancelled tombstones,
+     i.e. actual memory residency; the difference against [armed] is
+     the tombstone backlog awaiting slot visits. *)
+  mutable max_armed : int;
+  mutable n_scheduled : int;
+  mutable n_fired : int;
+  mutable n_cancelled : int;
+  mutable n_cascades : int;
+  mutable n_cascaded : int;
+  resident : int array;
 }
 
 let mask_words = slots / 32
@@ -39,6 +50,13 @@ let create ?(tick_ns = default_tick_ns) ~now () =
     l0_mask = Array.make mask_words 0;
     l0_min = Array.make slots max_int;
     l0_dirty = Bytes.make slots '\000';
+    max_armed = 0;
+    n_scheduled = 0;
+    n_fired = 0;
+    n_cancelled = 0;
+    n_cascades = 0;
+    n_cascaded = 0;
+    resident = Array.make levels 0;
   }
 
 let now t = t.current * t.tick_ns
@@ -54,6 +72,7 @@ let place t timer =
   in
   let l = level 0 1 in
   let slot = (timer.deadline_tick lsr (slot_bits * l)) land (slots - 1) in
+  t.resident.(l) <- t.resident.(l) + 1;
   if l = 0 then begin
     t.l0_mask.(slot lsr 5) <- t.l0_mask.(slot lsr 5) lor (1 lsl (slot land 31));
     if timer.deadline_tick < t.l0_min.(slot) then
@@ -69,11 +88,21 @@ let schedule t ~deadline action =
   let timer = { deadline_tick; action; state = `Armed } in
   place t timer;
   t.armed <- t.armed + 1;
+  t.n_scheduled <- t.n_scheduled + 1;
+  if t.armed > t.max_armed then t.max_armed <- t.armed;
   timer
 
 let cancel t timer =
   if timer.state = `Armed then begin
     timer.state <- `Cancelled;
+    (* The armed count drops NOW, not when the tombstone's slot is
+       eventually visited.  (Million-connection audit: with the
+       decrement deferred, [advance] saw [armed > 0] for wheels holding
+       nothing but tombstones and ground through them tick by tick —
+       and [pending]/[next_expiry] overstated live work to idle
+       hosts.) *)
+    t.armed <- t.armed - 1;
+    t.n_cancelled <- t.n_cancelled + 1;
     (* If this timer defined its level-0 slot's minimum, that slot
        needs a rescan.  (If it lives at a higher level — or another
        slot's timer merely shares the deadline — this is a spurious
@@ -96,12 +125,14 @@ let fire_slot t =
      deadlines fire FIFO. *)
   let entries = List.rev entries in
   let fire timer =
+    t.resident.(0) <- t.resident.(0) - 1;
     match timer.state with
-    | `Cancelled | `Fired -> t.armed <- t.armed - (if timer.state = `Cancelled then 1 else 0)
+    | `Cancelled | `Fired -> () (* tombstone: already counted out *)
     | `Armed ->
         if timer.deadline_tick <= t.current then begin
           timer.state <- `Fired;
           t.armed <- t.armed - 1;
+          t.n_fired <- t.n_fired + 1;
           timer.action ()
         end
         else
@@ -115,11 +146,14 @@ let cascade t l =
   let slot = (t.current lsr (slot_bits * l)) land (slots - 1) in
   let entries = t.wheel.(l).(slot) in
   t.wheel.(l).(slot) <- [];
+  t.n_cascades <- t.n_cascades + 1;
   let redistribute timer =
+    t.resident.(l) <- t.resident.(l) - 1;
     match timer.state with
-    | `Cancelled -> t.armed <- t.armed - 1
-    | `Fired -> ()
-    | `Armed -> place t timer
+    | `Cancelled | `Fired -> ()
+    | `Armed ->
+        t.n_cascaded <- t.n_cascaded + 1;
+        place t timer
   in
   List.iter redistribute entries
 
@@ -176,3 +210,43 @@ let next_expiry t =
     let tick = min !best boundary in
     Some (tick * t.tick_ns)
   end
+
+(* Defined after every function that touches [t]'s fields: several
+   field names are shared with [t], and a later definition would win
+   type-directed disambiguation. *)
+type stats = {
+  armed : int;
+  max_armed : int;
+  scheduled : int;
+  fired : int;
+  cancelled : int;
+  cascades : int;
+  cascaded_timers : int;
+  resident : int array;
+}
+
+let stats (t : t) : stats =
+  {
+    armed = t.armed;
+    max_armed = t.max_armed;
+    scheduled = t.n_scheduled;
+    fired = t.n_fired;
+    cancelled = t.n_cancelled;
+    cascades = t.n_cascades;
+    cascaded_timers = t.n_cascaded;
+    resident = Array.copy t.resident;
+  }
+
+let register_metrics (t : t) registry ~prefix =
+  let module M = Ixtelemetry.Metrics in
+  let probe name f = M.probe registry (prefix ^ "." ^ name) (fun () -> float_of_int (f ())) in
+  probe "armed" (fun () -> t.armed);
+  probe "max_armed" (fun () -> t.max_armed);
+  probe "scheduled" (fun () -> t.n_scheduled);
+  probe "fired" (fun () -> t.n_fired);
+  probe "cancelled" (fun () -> t.n_cancelled);
+  probe "cascades" (fun () -> t.n_cascades);
+  probe "cascaded_timers" (fun () -> t.n_cascaded);
+  Array.iteri
+    (fun l _ -> probe (Printf.sprintf "resident_l%d" l) (fun () -> t.resident.(l)))
+    t.resident

@@ -41,3 +41,24 @@ val pending : t -> int
 (** Number of armed (uncancelled, unfired) timers. *)
 
 val now : t -> Engine.Sim_time.t
+
+type stats = {
+  armed : int;  (** live timers right now *)
+  max_armed : int;  (** high-water mark of [armed] *)
+  scheduled : int;  (** total [schedule] calls *)
+  fired : int;  (** total callbacks run *)
+  cancelled : int;  (** total effective [cancel] calls *)
+  cascades : int;  (** higher-level slots redistributed *)
+  cascaded_timers : int;  (** live timers moved by cascades *)
+  resident : int array;
+      (** per-level list entries, including cancelled tombstones not
+          yet reclaimed by a slot visit; [resident] minus [armed]
+          (summed) is the tombstone backlog *)
+}
+
+val stats : t -> stats
+(** Occupancy snapshot for capacity audits ([resident] is a copy). *)
+
+val register_metrics : t -> Ixtelemetry.Metrics.t -> prefix:string -> unit
+(** Export the same numbers as live probe gauges named
+    [<prefix>.armed], [<prefix>.cascades], [<prefix>.resident_l0] … *)

@@ -115,7 +115,8 @@ let binding_header lines i =
    path exists to avoid — use [decode_into] with the per-core scratch
    instead (see DESIGN.md, "receive fast path"). *)
 
-let hot_path_files = [ "core/dataplane.ml"; "tcp/tcp_endpoint.ml" ]
+let hot_path_files =
+  [ "core/dataplane.ml"; "tcp/tcp_endpoint.ml"; "tcp/tcb.ml"; "tcp/tw_table.ml" ]
 
 (* Third pass: the per-core dataplane paths hold no cross-thread
    synchronization primitives.  Per-thread state is exclusively owned
@@ -134,6 +135,9 @@ let per_core_files =
     "core/elastic.ml";
     "tcp/tcp_endpoint.ml";
     "tcp/tcp_conn.ml";
+    "tcp/tcb.ml";
+    "tcp/tw_table.ml";
+    "workloads/conn_scale.ml";
   ]
 
 let sync_primitives = [ "Mutex"; "Condition"; "Semaphore"; "Atomic"; "Domain" ]

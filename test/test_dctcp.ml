@@ -133,21 +133,16 @@ let test_ece_echoed_on_ce () =
   let wheel = Timerwheel.Timer_wheel.create ~now:0 () in
   let sent = ref [] in
   let env =
-    {
-      Tcb.now = (fun () -> 0);
-      wheel;
-      alloc = (fun () -> Some (Mbuf.create ()));
-      output =
-        (fun _tcb mbuf ->
-          (match Ixnet.Tcp_segment.decode mbuf ~src:ip_b ~dst:ip_a with
-          | Ok seg -> sent := seg :: !sent
-          | Error _ -> ());
-          Mbuf.decref mbuf);
-      rng = Engine.Rng.create ~seed:1;
-      handle_alloc = ref 0;
-      on_teardown = ignore;
-      on_established = ignore;
-    }
+    Tcb.make_env
+      ~now:(fun () -> 0)
+      ~wheel
+      ~alloc:(fun () -> Some (Mbuf.create ()))
+      ~output:(fun _tcb mbuf ->
+        (match Ixnet.Tcp_segment.decode mbuf ~src:ip_b ~dst:ip_a with
+        | Ok seg -> sent := seg :: !sent
+        | Error _ -> ());
+        Mbuf.decref mbuf)
+      ~rng:(Engine.Rng.create ~seed:1) ~handle_alloc:(ref 0) ()
   in
   let cfg = { Tcb.default_config with Tcb.dctcp = true; delack_segs = 1 } in
   (* Passive open via a synthetic SYN. *)
@@ -187,7 +182,7 @@ let test_ece_echoed_on_ce () =
         Ixnet.Tcp_segment.syn = false;
         ack_flag = true;
         seq;
-        ack = Seqno.add tcb.Tcb.iss 1;
+        ack = Seqno.add (Tcb.iss tcb) 1;
         mss = None;
         wscale = None;
       }

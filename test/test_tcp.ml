@@ -383,7 +383,7 @@ let test_retransmit_counted () =
   let tcb, _, _, _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data () in
   run net ~ms:10_000;
   Alcotest.(check string) "delivered despite 20% loss" data (Buffer.contents received);
-  check_bool "retransmissions happened" true (tcb.Tcb.retransmits > 0)
+  check_bool "retransmissions happened" true (Tcb.retransmits tcb > 0)
 
 let test_survives_flap () =
   (* The wire goes fully down for 6 ms mid-transfer — shorter than the
@@ -408,7 +408,7 @@ let test_survives_flap () =
   Alcotest.(check string) "exactly-once delivery across the flap" data
     (Buffer.contents received);
   check_bool "rode out the outage on retransmissions" true
-    (tcb.Tcb.retransmits > 0)
+    (Tcb.retransmits tcb > 0)
 
 let test_bidirectional_echo () =
   let net = make_net () in
@@ -439,7 +439,7 @@ let test_rtt_measured () =
   let _ = sink_server net.b ~port:80 in
   let tcb, _, _, _ = streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:(String.make 5000 'x') () in
   run net ~ms:200;
-  let srtt = Rtt.srtt_ns tcb.Tcb.rtt in
+  let srtt = Tcb.srtt_ns tcb in
   check_bool "srtt near 2x one-way delay" true (srtt >= 100_000 && srtt < 400_000)
 
 let test_half_close_server_can_still_send () =
@@ -509,7 +509,7 @@ let test_mss_negotiation_clamps_segments () =
   in
   run net ~ms:200;
   check_int "delivered" 5_000 (Buffer.length received);
-  check_bool "segment count respects MSS" true (tcb.Tcb.segs_out >= 10)
+  check_bool "segment count respects MSS" true (Tcb.segs_out tcb >= 10)
 
 let test_ooo_flood_recovers () =
   (* Heavy reordering-by-loss: more OOO segments than the 64-entry
@@ -545,19 +545,17 @@ let transfer_roundtrip ~loss ~size ~seed =
 
 (* --- flow table ----------------------------------------------------- *)
 
-let make_tcb ~local_port ~remote_ip ~remote_port =
-  let env =
-    {
-      Tcb.now = (fun () -> 0);
-      wheel = Wheel.create ~now:0 ();
-      alloc = (fun () -> None);
-      output = (fun _ _ -> ());
-      rng = Engine.Rng.create ~seed:7;
-      handle_alloc = ref 0;
-      on_teardown = (fun _ -> ());
-      on_established = (fun _ -> ());
-    }
-  in
+(* One env (hence one SoA store) per test: the flow table stores
+   handles into its endpoint's store. *)
+let make_tcb_env () =
+  Tcb.make_env
+    ~now:(fun () -> 0)
+    ~wheel:(Wheel.create ~now:0 ())
+    ~alloc:(fun () -> None)
+    ~output:(fun _ _ -> ())
+    ~rng:(Engine.Rng.create ~seed:7) ~handle_alloc:(ref 0) ()
+
+let make_tcb env ~local_port ~remote_ip ~remote_port =
   Tcb.create env Tcb.default_config ~local_ip:ip_a ~local_port ~remote_ip
     ~remote_port ~cookie:0
 
@@ -566,10 +564,11 @@ let test_flow_table_high_local_port () =
      63-bit int, so any local port with bit 15 set (>= 0x8000) spilled
      into the sign bit and aliased local_port land 0x7FFF for the same
      remote endpoint. *)
-  let ft = Flow_table.create () in
+  let env = make_tcb_env () in
+  let ft = Flow_table.create ~store:env.Tcb.store in
   let remote_ip = ip_b and remote_port = 7777 in
-  let hi = make_tcb ~local_port:0x8000 ~remote_ip ~remote_port in
-  let lo = make_tcb ~local_port:0x0000 ~remote_ip ~remote_port in
+  let hi = make_tcb env ~local_port:0x8000 ~remote_ip ~remote_port in
+  let lo = make_tcb env ~local_port:0x0000 ~remote_ip ~remote_port in
   Flow_table.add ft ~local_port:0x8000 ~remote_ip ~remote_port hi;
   Flow_table.add ft ~local_port:0x0000 ~remote_ip ~remote_port lo;
   check_int "two distinct flows" 2 (Flow_table.count ft);
@@ -589,13 +588,14 @@ let test_flow_table_high_local_port () =
 let test_flow_table_growth_and_tombstones () =
   (* Push the open-addressing table through several resizes with
      interleaved removals, then verify every surviving flow resolves. *)
-  let ft = Flow_table.create () in
+  let env = make_tcb_env () in
+  let ft = Flow_table.create ~store:env.Tcb.store in
   let tcbs = Hashtbl.create 64 in
   for i = 0 to 4_999 do
     let local_port = 0x8000 lor (i land 0x7FFF) in
     let remote_ip = Ixnet.Ip_addr.of_octets 10 1 (i lsr 8) (i land 0xFF) in
     let remote_port = 1000 + (i mod 50) in
-    let tcb = make_tcb ~local_port ~remote_ip ~remote_port in
+    let tcb = make_tcb env ~local_port ~remote_ip ~remote_port in
     Flow_table.add ft ~local_port ~remote_ip ~remote_port tcb;
     Hashtbl.replace tcbs i (local_port, remote_ip, remote_port, tcb)
   done;

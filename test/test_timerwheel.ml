@@ -20,10 +20,11 @@ let test_cancel () =
   let fired = ref false in
   let timer = Wheel.schedule w ~deadline:(5 * tick) (fun () -> fired := true) in
   Wheel.cancel w timer;
-  check_int "pending counts cancelled until visited" 1 (Wheel.pending w);
+  check_int "pending drops at cancel" 0 (Wheel.pending w);
+  check_int "tombstone still resident" 1 (Wheel.stats w).Wheel.resident.(0);
   Wheel.advance w ~now:(6 * tick);
   check_bool "cancelled did not fire" false !fired;
-  check_int "tombstone reaped" 0 (Wheel.pending w)
+  check_int "still none pending" 0 (Wheel.pending w)
 
 let test_past_deadline_fires_next_tick () =
   let w = Wheel.create ~now:(100 * tick) () in
