@@ -465,6 +465,9 @@ let perf ~smoke ~jobs ~fast_path ~out () =
         (fun () -> H.perf_fig4_slice ~fast_path ~conns:1_000 ());
         (fun () -> H.perf_migration_slice ~fast_path ());
         (fun () -> H.perf_conn_scale_slice ~fast_path ~conns:2_000 ~events:6_000 ());
+        (fun () ->
+          H.perf_batch_sweep_slice ~fast_path ~client_hosts:2 ~client_threads:4
+            ~sessions:96 ());
       ]
     else
       [
@@ -474,6 +477,7 @@ let perf ~smoke ~jobs ~fast_path ~out () =
         (fun () -> H.perf_fig3a_slice ~fast_path ());
         (fun () -> H.perf_migration_slice ~fast_path ());
         (fun () -> H.perf_conn_scale_slice ~fast_path ());
+        (fun () -> H.perf_batch_sweep_slice ~fast_path ());
       ]
   in
   let rows = List.map run_slice slices in
@@ -633,7 +637,7 @@ let usage () =
   print_endline
     "usage: main.exe [--metrics] [--trace=FILE] [--gc] [--smoke] [--jobs=N] \
      [--fast-path=on|off] [--out=FILE] \
-     [fig2|fig3a|fig3a-sim|fig3b|fig3c|fig4|fig5|fig6|table2|ablations|incast|energy|elastic|breakdown|chaos|conn-scale|micro|perf|all]";
+     [fig2|fig3a|fig3a-sim|fig3b|fig3c|fig4|fig5|fig6|batch-sweep|table2|ablations|incast|energy|elastic|breakdown|chaos|conn-scale|micro|perf|all]";
   exit 1
 
 let () =
@@ -708,6 +712,8 @@ let () =
   | "fig4" -> ignore (timed "fig4" (fun () -> H.fig4 ~jobs ()))
   | "fig5" -> ignore (timed "fig5" (fun () -> H.fig5 ~output ~jobs ()))
   | "fig6" -> ignore (timed "fig6" (fun () -> H.fig6 ~output ~jobs ()))
+  | "batch-sweep" ->
+      ignore (timed "batch-sweep" (fun () -> H.batch_sweep ~output ~jobs ()))
   | "table2" ->
       let f5 = timed "fig5 (for table 2)" (fun () -> H.fig5 ~output ~jobs ()) in
       timed "table2" (fun () -> H.table2 ~output ~jobs f5)

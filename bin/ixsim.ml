@@ -130,23 +130,74 @@ let elastic_arg =
 let ports_arg = Arg.(value & opt int 1 & info [ "p"; "ports" ] ~doc:"Server NIC ports (1 or 4).")
 let size_arg = Arg.(value & opt int 64 & info [ "m"; "msg-size" ] ~doc:"Message size in bytes.")
 let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Round trips per connection.")
-let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX adaptive batch bound B.")
+let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~doc:"IX batch bound B (the start value when --adaptive-batch is given).")
+
+(* --adaptive-batch FLOOR:CEILING arms the deterministic bound
+   controller; without it the bound stays fixed at --batch. *)
+let adaptive_batch_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Some floor, Some ceiling when 1 <= floor && floor <= ceiling ->
+            Ok (Ix_core.Batch.Adaptive { floor; ceiling })
+        | _ -> Error (`Msg (Printf.sprintf "expected FLOOR:CEILING with 1 <= floor <= ceiling, got %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected FLOOR:CEILING, got %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Ix_core.Batch.Fixed -> "fixed"
+      | Ix_core.Batch.Adaptive { floor; ceiling } ->
+          Printf.sprintf "%d:%d" floor ceiling)
+  in
+  Arg.conv (parse, print)
+
+let adaptive_batch_arg =
+  Arg.(
+    value
+    & opt (some adaptive_batch_conv) None
+    & info [ "adaptive-batch" ] ~docv:"FLOOR:CEILING"
+        ~doc:
+          "Let the batch bound self-tune within $(docv) (e.g. $(b,1:64)): \
+           saturated windows double B toward the ceiling, light windows \
+           halve it toward the floor, and congested TX bursts share \
+           doorbells.  Off by default (fixed B from --batch).")
 
 let echo_cmd =
-  let run () output () kind fast_path elastic cores ports size n batch =
+  let run () output () kind fast_path elastic cores ports size n batch adaptive =
+    let batch_mode =
+      Option.value adaptive ~default:Ix_core.Batch.Fixed
+    in
+    let batch_stats = ref (0., 0., 0) in
     let p =
       Harness.Experiments.run_echo ~output ~fast_path ~elastic ~kind ~ports
-        ~cores ~msg_size:size ~msgs_per_conn:n ~batch_bound:batch ()
+        ~cores ~msg_size:size ~msgs_per_conn:n ~batch_bound:batch ~batch_mode
+        ~batch_stats ()
     in
     Printf.printf "%s: %.2f M msgs/s, %.2f Gbps goodput, p99 %.1f us\n"
       p.Harness.Experiments.label
       (p.Harness.Experiments.msgs_per_sec /. 1e6)
-      p.Harness.Experiments.goodput_gbps p.Harness.Experiments.p99_us
+      p.Harness.Experiments.goodput_gbps p.Harness.Experiments.p99_us;
+    if kind = Harness.Cluster.Ix then begin
+      let mean_batch, mean_tx, bound = !batch_stats in
+      Printf.printf
+        "batch: mean %.1f pkts/cycle, mean TX burst %.1f, B in effect %d%s\n"
+        mean_batch mean_tx bound
+        (match batch_mode with
+        | Ix_core.Batch.Fixed -> ""
+        | Ix_core.Batch.Adaptive { floor; ceiling } ->
+            Printf.sprintf " (adaptive %d..%d)" floor ceiling)
+    end
   in
   Cmd.v (Cmd.info "echo" ~doc:"Run the echo benchmark once (§5.3).")
     Term.(
       const run $ log_term $ output_term $ gc_term $ kind_arg $ fast_path_arg
-      $ elastic_arg $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg)
+      $ elastic_arg $ cores_arg $ ports_arg $ size_arg $ n_arg $ batch_arg
+      $ adaptive_batch_arg)
 
 let breakdown_cmd =
   let run () output () cores size =
@@ -201,8 +252,8 @@ let netpipe_cmd =
 let fig_cmd =
   let module E = Harness.Experiments in
   let fig_names =
-    "fig2, fig3a, fig3a-sim, fig3b, fig3c, fig4, fig5, fig6, table2, \
-     ablations, incast, energy, elastic, all"
+    "fig2, fig3a, fig3a-sim, fig3b, fig3c, fig4, fig5, fig6, batch-sweep, \
+     table2, ablations, incast, energy, elastic, all"
   in
   let fig_arg =
     Arg.(
@@ -221,6 +272,7 @@ let fig_cmd =
     | "fig4" -> ignore (E.fig4 ~jobs ())
     | "fig5" -> ignore (E.fig5 ~output ~jobs ())
     | "fig6" -> ignore (E.fig6 ~output ~jobs ())
+    | "batch-sweep" -> ignore (E.batch_sweep ~output ~jobs ())
     | "table2" -> E.table2 ~output ~jobs (E.fig5 ~output ~jobs ())
     | "ablations" -> E.ablations ~output ~jobs ()
     | "incast" -> E.incast ~jobs ()

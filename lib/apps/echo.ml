@@ -25,6 +25,14 @@ let server stack ~port ~msg_size ~app_ns =
         Net_api.null_handlers with
         Net_api.on_data =
           (fun conn data ->
+            if Buffer.length buffered = 0 && String.length data = msg_size then begin
+              (* Fast path: the segment carries exactly one message —
+                 echo it straight back without staging it through the
+                 reassembly buffer. *)
+              stack.Net_api.charge_app ~thread app_ns;
+              ignore (conn.Net_api.send data)
+            end
+            else begin
             Buffer.add_string buffered data;
             (* Hold off the echo until a full message has arrived. *)
             while Buffer.length buffered >= msg_size do
@@ -41,7 +49,8 @@ let server stack ~port ~msg_size ~app_ns =
               end;
               stack.Net_api.charge_app ~thread app_ns;
               ignore (conn.Net_api.send msg)
-            done);
+            done
+            end);
       })
 
 let client stack ~now ~thread ~server_ip ~port ~msg_size ~msgs_per_conn ~stats

@@ -29,10 +29,16 @@ let wrap_conn (c : Libix.conn) ~peer : Net_api.conn =
     send =
       (fun data ->
         (* Entering user context guarantees the queued write is flushed
-           (coalesced into a sendv) even when the caller is a timer. *)
-        let ok = ref false in
-        in_owner_context c (fun () -> ok := Libix.send c data);
-        !ok);
+           (coalesced into a sendv) even when the caller is a timer.
+           Handlers already run in the user phase, so the common case
+           is a direct call. *)
+        let lib = Libix.owner c in
+        if Dataplane.in_app_context (Libix.dataplane lib) then Libix.send c data
+        else begin
+          let ok = ref false in
+          Libix.run lib (fun () -> ok := Libix.send c data);
+          !ok
+        end);
     close = (fun () -> in_owner_context c (fun () -> Libix.close c));
     abort = (fun () -> in_owner_context c (fun () -> Libix.abort c));
     peer;

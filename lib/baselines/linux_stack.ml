@@ -92,6 +92,12 @@ type core_ctx = {
   mutable irq_scheduled : bool;
   mutable last_irq : int;
   mutable timer_wakeup : Sim.handle option;
+  (* Cached wakeup thunks ([app_run ctx] / [do_irq ctx] / the timer
+     advance), installed on first use — scheduling a wakeup is
+     per-batch work and should not build a closure each time. *)
+  mutable app_thunk : unit -> unit;
+  mutable irq_thunk : unit -> unit;
+  mutable timer_thunk : unit -> unit;
   sockets : (int, socket) Hashtbl.t; (* by tcb handle *)
   mutable jobs : (unit -> unit) list; (* deferred app closures *)
   mutable conn_seq : int;
@@ -143,8 +149,7 @@ let ethernet_frame ctx ~remote_ip mbuf =
               src = Nic.mac ctx.tx_nic;
               ethertype = Ixnet.Ethernet.Arp;
             };
-          Nic.transmit_at ctx.tx_nic req ~earliest:(Cpu_core.free_at ctx.cpu)
-            ~on_complete:(fun () -> Mbuf.decref req));
+          Nic.transmit_at ctx.tx_nic req ~earliest:(Cpu_core.free_at ctx.cpu));
       None
 
 let output_raw ctx ~remote_ip mbuf =
@@ -157,10 +162,11 @@ let output_raw ctx ~remote_ip mbuf =
   | Some frame ->
       ignore (Cpu_core.charge ctx.cpu ~now Cpu_core.Kernel ctx.costs.tx_pkt_ns);
       Nic.transmit_at ctx.tx_nic frame ~earliest:(Cpu_core.free_at ctx.cpu)
-        ~on_complete:(fun () -> Mbuf.decref frame)
 
 (* ------------------------------------------------------------------ *)
 (* Application thread                                                  *)
+
+let no_thunk () = ()
 
 let mark_ready ctx socket =
   if not socket.in_ready then begin
@@ -180,135 +186,149 @@ let rec schedule_app ctx =
       end
       else max now (Cpu_core.free_at ctx.cpu)
     in
-    ignore (Sim.at ctx.sim resume (fun () -> app_run ctx))
+    if ctx.app_thunk == no_thunk then ctx.app_thunk <- (fun () -> app_run ctx);
+    ignore (Sim.at ctx.sim resume ctx.app_thunk)
   end
+
+and charge_k ctx ns =
+  ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns)
+
+and charge_u ctx ns =
+  ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.User ns)
+
+(* Trim [k] accepted bytes off the front of a backlog iovec list. *)
+and drop_accepted k = function
+  | [] -> []
+  | (iov : Iovec.t) :: rest ->
+      if iov.Iovec.len <= k then drop_accepted (k - iov.Iovec.len) rest
+      else Iovec.sub iov k (iov.Iovec.len - k) :: rest
+
+and service_socket ctx socket =
+  socket.in_ready <- false;
+  charge_k ctx ctx.costs.epoll_event_ns;
+  (* read(2): copy the receive queue out to user space. *)
+  if socket.rx_bytes > 0 then begin
+    let data = Buffer.contents socket.rx_buf in
+    Buffer.clear socket.rx_buf;
+    socket.rx_bytes <- 0;
+    Metrics.incr ctx.c_syscalls;
+    charge_k ctx ctx.costs.syscall_ns;
+    charge_k ctx (ctx.costs.copy_ns_per_kb * String.length data / 1024);
+    Tcp_conn.consume socket.tcb (String.length data);
+    charge_u ctx 0;
+    socket.handlers.Net_api.on_data socket.conn data
+  end;
+  if socket.sent_pending > 0 then begin
+    let n = socket.sent_pending in
+    socket.sent_pending <- 0;
+    (* Flush backlog the TCP budget previously refused. *)
+    if socket.backlog <> [] then begin
+      let iovs = socket.backlog in
+      socket.backlog <- [];
+      let accepted = Tcp_conn.send socket.tcb iovs in
+      socket.backlog <- drop_accepted accepted iovs
+    end;
+    socket.handlers.Net_api.on_sent socket.conn n
+  end;
+  match socket.closed_reason with
+  | Some reason ->
+      socket.closed_reason <- None;
+      socket.handlers.Net_api.on_closed socket.conn reason
+  | None -> ()
+
+and run_job job = job ()
+
+and drain ctx =
+  let ready = List.rev ctx.ready in
+  ctx.ready <- [];
+  let jobs = List.rev ctx.jobs in
+  ctx.jobs <- [];
+  List.iter run_job jobs;
+  List.iter (service_socket ctx) ready;
+  if ctx.ready <> [] || ctx.jobs <> [] then drain ctx
 
 and app_run ctx =
   ctx.app_scheduled <- false;
   ctx.app_blocked <- false;
-  let now () = Sim.now ctx.sim in
-  let charge_k ns = ignore (Cpu_core.charge ctx.cpu ~now:(now ()) Cpu_core.Kernel ns) in
-  let charge_u ns = ignore (Cpu_core.charge ctx.cpu ~now:(now ()) Cpu_core.User ns) in
   (* epoll_wait returns a batch of ready descriptors. *)
-  charge_k ctx.costs.epoll_ns;
-  let rec drain () =
-    let ready = List.rev ctx.ready in
-    ctx.ready <- [];
-    let jobs = List.rev ctx.jobs in
-    ctx.jobs <- [];
-    List.iter (fun job -> job ()) jobs;
-    List.iter
-      (fun socket ->
-        socket.in_ready <- false;
-        charge_k ctx.costs.epoll_event_ns;
-        (* read(2): copy the receive queue out to user space. *)
-        if socket.rx_bytes > 0 then begin
-          let data = Buffer.contents socket.rx_buf in
-          Buffer.clear socket.rx_buf;
-          socket.rx_bytes <- 0;
-          Metrics.incr ctx.c_syscalls;
-          charge_k ctx.costs.syscall_ns;
-          charge_k (ctx.costs.copy_ns_per_kb * String.length data / 1024);
-          Tcp_conn.consume socket.tcb (String.length data);
-          charge_u 0;
-          socket.handlers.Net_api.on_data socket.conn data
-        end;
-        if socket.sent_pending > 0 then begin
-          let n = socket.sent_pending in
-          socket.sent_pending <- 0;
-          (* Flush backlog the TCP budget previously refused. *)
-          if socket.backlog <> [] then begin
-            let iovs = socket.backlog in
-            socket.backlog <- [];
-            let accepted = Tcp_conn.send socket.tcb iovs in
-            let rec drop k = function
-              | [] -> []
-              | (iov : Iovec.t) :: rest ->
-                  if iov.Iovec.len <= k then drop (k - iov.Iovec.len) rest
-                  else Iovec.sub iov k (iov.Iovec.len - k) :: rest
-            in
-            socket.backlog <- drop accepted iovs
-          end;
-          socket.handlers.Net_api.on_sent socket.conn n
-        end;
-        match socket.closed_reason with
-        | Some reason ->
-            socket.closed_reason <- None;
-            socket.handlers.Net_api.on_closed socket.conn reason
-        | None -> ())
-      ready;
-    if ctx.ready <> [] || ctx.jobs <> [] then drain ()
-  in
-  drain ();
+  charge_k ctx ctx.costs.epoll_ns;
+  drain ctx;
   ctx.app_blocked <- true
 
 (* ------------------------------------------------------------------ *)
 (* Interrupt / softirq path                                            *)
 
+(* The GRO flow key is the 12 bytes (src ip, dst ip, ports) starting
+   at the IPv4 source address; packed into two immediate ints so the
+   per-packet comparison allocates nothing. *)
+let gro_key_a mbuf =
+  let b = mbuf.Mbuf.buf and o = mbuf.Mbuf.off in
+  (Bytes.get_uint16_be b (o + 26) lsl 32)
+  lor (Bytes.get_uint16_be b (o + 28) lsl 16)
+  lor Bytes.get_uint16_be b (o + 30)
+
+let gro_key_b mbuf =
+  let b = mbuf.Mbuf.buf and o = mbuf.Mbuf.off in
+  (Bytes.get_uint16_be b (o + 32) lsl 32)
+  lor (Bytes.get_uint16_be b (o + 34) lsl 16)
+  lor Bytes.get_uint16_be b (o + 36)
+
 let rec do_irq ctx =
   ctx.irq_scheduled <- false;
   ctx.last_irq <- Sim.now ctx.sim;
-  let charge ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu_core.Kernel ns) in
   Metrics.incr ctx.c_irqs;
-  charge ctx.costs.irq_entry_ns;
+  charge_k ctx ctx.costs.irq_entry_ns;
   (* NAPI poll: drain the rings (64-packet budget per queue per pass).
      GRO: consecutive in-order segments of the same flow aggregate, so
      follow-up packets of a bulk stream cost a fraction of the first
      (this is what lets 2014-era Linux stream at several Gbit/s). *)
-  (* The GRO flow key is the 12 bytes (src ip, dst ip, ports) starting
-     at the IPv4 source address; packed into two immediate ints so the
-     per-packet comparison allocates nothing. *)
-  let key_a mbuf =
-    let b = mbuf.Mbuf.buf and o = mbuf.Mbuf.off in
-    (Bytes.get_uint16_be b (o + 26) lsl 32)
-    lor (Bytes.get_uint16_be b (o + 28) lsl 16)
-    lor Bytes.get_uint16_be b (o + 30)
-  and key_b mbuf =
-    let b = mbuf.Mbuf.buf and o = mbuf.Mbuf.off in
-    (Bytes.get_uint16_be b (o + 32) lsl 32)
-    lor (Bytes.get_uint16_be b (o + 34) lsl 16)
-    lor Bytes.get_uint16_be b (o + 36)
-  in
-  let rec napi () =
-    let processed = ref 0 in
-    List.iter
-      (fun (_, q) ->
-        let n = Nic.rx_burst_into q ~into:ctx.rx_scratch ~off:0 ~max:64 in
-        Nic.replenish q n;
-        let prev_valid = ref false and prev_a = ref 0 and prev_b = ref 0 in
-        for i = 0 to n - 1 do
-          let mbuf = ctx.rx_scratch.(i) in
-          incr processed;
-          Metrics.incr ctx.c_pkts;
-          if mbuf.Mbuf.len >= 38 then begin
-            let a = key_a mbuf and b = key_b mbuf in
-            if !prev_valid && a = !prev_a && b = !prev_b then
-              charge (ctx.costs.softirq_pkt_ns / 3)
-            else charge ctx.costs.softirq_pkt_ns;
-            prev_valid := true;
-            prev_a := a;
-            prev_b := b
-          end
-          else begin
-            charge ctx.costs.softirq_pkt_ns;
-            prev_valid := false
-          end;
-          (match ctx.cache with
-          | Some cm ->
-              charge
-                (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(ctx.conn_count)
-                / 2)
-          | None -> ());
-          process_frame ctx mbuf
-        done)
-      ctx.queues;
-    if !processed > 0 then napi ()
-  in
-  napi ();
+  napi ctx;
   (* Kernel timers piggyback on the softirq pass. *)
   Wheel.advance ctx.wheel ~now:(Sim.now ctx.sim);
   arm_timer_wakeup ctx;
   if ctx.ready <> [] then schedule_app ctx
+
+and napi ctx =
+  let processed = napi_queues ctx 0 ctx.queues in
+  if processed > 0 then napi ctx
+
+and napi_queues ctx processed = function
+  | [] -> processed
+  | (_, q) :: rest ->
+      let n = Nic.rx_burst_into q ~into:ctx.rx_scratch ~off:0 ~max:64 in
+      Nic.replenish q n;
+      (* GRO state threads through as plain int arguments; -1 means no
+         previous flow (real keys are non-negative 48-bit packs). *)
+      napi_burst ctx n 0 (-1) (-1);
+      napi_queues ctx (processed + n) rest
+
+and napi_burst ctx n i prev_a prev_b =
+  if i < n then begin
+    let mbuf = ctx.rx_scratch.(i) in
+    Metrics.incr ctx.c_pkts;
+    if mbuf.Mbuf.len >= 38 then begin
+      let a = gro_key_a mbuf and b = gro_key_b mbuf in
+      if a = prev_a && b = prev_b then
+        charge_k ctx (ctx.costs.softirq_pkt_ns / 3)
+      else charge_k ctx ctx.costs.softirq_pkt_ns;
+      napi_charge_cache ctx;
+      process_frame ctx mbuf;
+      napi_burst ctx n (i + 1) a b
+    end
+    else begin
+      charge_k ctx ctx.costs.softirq_pkt_ns;
+      napi_charge_cache ctx;
+      process_frame ctx mbuf;
+      napi_burst ctx n (i + 1) (-1) (-1)
+    end
+  end
+
+and napi_charge_cache ctx =
+  match ctx.cache with
+  | Some cm ->
+      charge_k ctx
+        (Ixhw.Cache_model.extra_ns_per_message cm ~conns:!(ctx.conn_count) / 2)
+  | None -> ()
 
 and process_frame ctx mbuf =
   (* Scratch-record decode: the records are per-core and only valid
@@ -354,8 +374,7 @@ and process_arp ctx mbuf =
                   src = Nic.mac ctx.tx_nic;
                   ethertype = Ixnet.Ethernet.Ipv4;
                 };
-              Nic.transmit_at ctx.tx_nic datagram ~earliest:(Cpu_core.free_at ctx.cpu)
-                ~on_complete:(fun () -> Mbuf.decref datagram))
+              Nic.transmit_at ctx.tx_nic datagram ~earliest:(Cpu_core.free_at ctx.cpu))
             (List.rev parked)
       | None -> ());
       if arp.Ixnet.Arp_packet.op = Ixnet.Arp_packet.Request
@@ -379,7 +398,6 @@ and process_arp ctx mbuf =
                 ethertype = Ixnet.Ethernet.Arp;
               };
             Nic.transmit_at ctx.tx_nic reply ~earliest:(Cpu_core.free_at ctx.cpu)
-              ~on_complete:(fun () -> Mbuf.decref reply)
       end
 
 and arm_timer_wakeup ctx =
@@ -392,12 +410,13 @@ and arm_timer_wakeup ctx =
   | None -> ()
   | Some deadline ->
       let at = max deadline (Sim.now ctx.sim) in
-      ctx.timer_wakeup <-
-        Some
-          (Sim.at ctx.sim at (fun () ->
-               Wheel.advance ctx.wheel ~now:(Sim.now ctx.sim);
-               arm_timer_wakeup ctx;
-               if ctx.ready <> [] then schedule_app ctx))
+      if ctx.timer_thunk == no_thunk then
+        ctx.timer_thunk <-
+          (fun () ->
+            Wheel.advance ctx.wheel ~now:(Sim.now ctx.sim);
+            arm_timer_wakeup ctx;
+            if ctx.ready <> [] then schedule_app ctx);
+      ctx.timer_wakeup <- Some (Sim.at ctx.sim at ctx.timer_thunk)
 
 (* Interrupt moderation: fire now if the line has been quiet, else
    defer to the adaptive interval boundary. *)
@@ -406,7 +425,8 @@ let on_nic_notify ctx =
     ctx.irq_scheduled <- true;
     let now = Sim.now ctx.sim in
     let at = max now (ctx.last_irq + ctx.costs.itr_interval_ns) in
-    ignore (Sim.at ctx.sim at (fun () -> do_irq ctx))
+    if ctx.irq_thunk == no_thunk then ctx.irq_thunk <- (fun () -> do_irq ctx);
+    ignore (Sim.at ctx.sim at ctx.irq_thunk)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -431,7 +451,7 @@ let make_socket ctx tcb =
                charge_syscall ();
                charge_k (ctx.costs.copy_ns_per_kb * String.length data / 1024);
                let iov = Iovec.of_string data in
-               let accepted = Tcp_conn.send s.tcb [ iov ] in
+               let accepted = Tcp_conn.send_iov s.tcb iov in
                if accepted < iov.Iovec.len then
                  s.backlog <-
                    s.backlog @ [ Iovec.sub iov accepted (iov.Iovec.len - accepted) ];
@@ -524,6 +544,9 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(costs = default_costs)
           app_blocked = true;
           app_scheduled = false;
           irq_scheduled = false;
+          app_thunk = no_thunk;
+          irq_thunk = no_thunk;
+          timer_thunk = no_thunk;
           last_irq = min_int / 2;
           timer_wakeup = None;
           sockets = Hashtbl.create 1024;

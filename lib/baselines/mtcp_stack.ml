@@ -103,7 +103,7 @@ let charge_u ctx ns = ignore (Cpu_core.charge ctx.cpu ~now:(Sim.now ctx.sim) Cpu
 let tx_frame ctx frame =
   charge_k ctx ctx.costs.tx_pkt_ns;
   let earliest = Cpu_core.free_at ctx.cpu + (ctx.costs.batch_interval_ns / 2) in
-  Nic.transmit_at ctx.tx_nic frame ~earliest ~on_complete:(fun () -> Mbuf.decref frame)
+  Nic.transmit_at ctx.tx_nic frame ~earliest
 
 let output_raw ctx ~remote_ip mbuf =
   charge_k ctx ctx.costs.proto_tx_ns;

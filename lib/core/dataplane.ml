@@ -43,20 +43,16 @@ let default_costs =
 
 (* Events snapshot their fields when staged — the TCB's store slot may
    be recycled before the user phase drains them (teardown releases it
-   immediately), so nothing may read back through the TCB at
-   materialization time.  The one field that can change between staging
-   and delivery is the cookie: events parked against a not-yet-accepted
-   connection are patched when [Sys_accept] lands (see
-   [patch_cookie]). *)
-type staged_event =
-  | St_knock of { handle : int; src_ip : Ixnet.Ip_addr.t; src_port : int; dst_port : int }
-  | St_connected of { mutable cookie : int; handle : int; ok : bool }
-  | St_recv of { mutable cookie : int; mbuf : Mbuf.t; off : int; len : int }
-  | St_sent of { mutable cookie : int; bytes : int; window : int }
-  | St_dead of { mutable cookie : int; reason : Tcb.close_reason }
-  | St_udp of int * Ixnet.Ip_addr.t * int * Mbuf.t * int * int
+   immediately), so nothing may read back through the TCB at delivery
+   time.  [Ix_api.event] values are staged directly (no intermediate
+   record); the one field that can change between staging and delivery
+   is the cookie, mutable for exactly that reason: events parked
+   against a not-yet-accepted connection are patched when [Sys_accept]
+   lands (see [patch_cookie]). *)
 
 type state = Idle | Scheduled | Running
+
+let no_thunk () = ()
 
 type t = {
   sim : Sim.t;
@@ -81,8 +77,8 @@ type t = {
   local_ip : Ixnet.Ip_addr.t;
   mutable ep : Tcp_endpoint.t option; (* set right after creation *)
   mutable app : Ix_api.event list -> unit;
-  mutable staged_events : staged_event list; (* reversed *)
-  mutable unaccepted : (int, staged_event list ref) Hashtbl.t;
+  mutable staged_events : Ix_api.event list; (* reversed *)
+  mutable unaccepted : (int, Ix_api.event list ref) Hashtbl.t;
   mutable staged_syscalls : (Ix_api.syscall * (int -> unit)) list; (* reversed *)
   (* Flow-group migration state.  While a group is inbound-parked the
      destination thread holds arriving TCP frames of that group aside
@@ -111,9 +107,19 @@ type t = {
   seg_scratch : Seg.t;
   mutable kernel_ns_acc : int;
   mutable user_ns_acc : int;
+  (* Stage-span bookkeeping for [run_cycle]'s tracer marks: the cycle's
+     start time and the end of the last span cut.  Plain mutable fields
+     so the per-cycle hot path allocates no closure or ref for them. *)
+  mutable cycle_start : int;
+  mutable span_cursor : int;
   mutable state : state;
   mutable in_user_phase : bool;
   mutable idle_wakeup : Sim.handle option;
+  (* Cached reschedule thunks ([run_cycle t] / [kick t]): installed on
+     first use so the cycle loop does not allocate a closure per
+     wakeup. *)
+  mutable cycle_thunk : unit -> unit;
+  mutable kick_thunk : unit -> unit;
   handles : (int, Tcb.t) Hashtbl.t;
   udp_binds : (int, unit) Hashtbl.t;
   metrics : Metrics.t;
@@ -211,46 +217,42 @@ let stage_event t tcb ev =
 
 (* [Sys_accept] assigns the user's cookie after events may already have
    been parked against the connection; retarget them on flush. *)
-let patch_cookie ev cookie =
+let patch_cookie (ev : Ix_api.event) cookie =
   match ev with
-  | St_connected r -> r.cookie <- cookie
-  | St_recv r -> r.cookie <- cookie
-  | St_sent r -> r.cookie <- cookie
-  | St_dead r -> r.cookie <- cookie
-  | St_knock _ | St_udp _ -> ()
+  | Ix_api.Ev_connected r -> r.cookie <- cookie
+  | Ix_api.Ev_recv r -> r.cookie <- cookie
+  | Ix_api.Ev_sent r -> r.cookie <- cookie
+  | Ix_api.Ev_dead r -> r.cookie <- cookie
+  | Ix_api.Ev_knock _ | Ix_api.Ev_udp_recv _ -> ()
 
 let install_callbacks t tcb =
   let cbs = tcb.Tcb.callbacks in
   cbs.Tcb.on_connected <-
     (fun ok ->
       stage_event t tcb
-        (St_connected { cookie = Tcb.cookie tcb; handle = Tcb.handle tcb; ok }));
+        (Ix_api.Ev_connected { cookie = Tcb.cookie tcb; handle = Tcb.handle tcb; ok }));
   cbs.Tcb.on_recv <-
     (fun mbuf off len ->
-      stage_event t tcb (St_recv { cookie = Tcb.cookie tcb; mbuf; off; len }));
+      stage_event t tcb (Ix_api.Ev_recv { cookie = Tcb.cookie tcb; mbuf; off; len }));
   cbs.Tcb.on_sent <-
     (fun n ->
       stage_event t tcb
-        (St_sent { cookie = Tcb.cookie tcb; bytes = n; window = Tcb.rcv_window tcb }));
+        (Ix_api.Ev_sent
+           {
+             cookie = Tcb.cookie tcb;
+             bytes_sent = n;
+             window_size = Tcb.rcv_window tcb;
+           }));
   cbs.Tcb.on_closed <-
-    (fun reason -> stage_event t tcb (St_dead { cookie = Tcb.cookie tcb; reason }))
-
-let materialize ev =
-  match ev with
-  | St_knock { handle; src_ip; src_port; dst_port } ->
-      Ix_api.Ev_knock { handle; src_ip; src_port; dst_port }
-  | St_connected { cookie; handle; ok } -> Ix_api.Ev_connected { cookie; handle; ok }
-  | St_recv { cookie; mbuf; off; len } -> Ix_api.Ev_recv { cookie; mbuf; off; len }
-  | St_sent { cookie; bytes; window } ->
-      Ix_api.Ev_sent { cookie; bytes_sent = bytes; window_size = window }
-  | St_dead { cookie; reason } -> Ix_api.Ev_dead { cookie; reason }
-  | St_udp (dst_port, src_ip, src_port, mbuf, off, len) ->
-      Ix_api.Ev_udp_recv { dst_port; src_ip; src_port; mbuf; off; len }
+    (fun reason ->
+      stage_event t tcb (Ix_api.Ev_dead { cookie = Tcb.cookie tcb; reason }))
 
 (* ------------------------------------------------------------------ *)
 (* Syscall execution (step 4)                                          *)
 
-let lookup_handle t handle = Hashtbl.find_opt t.handles handle
+(* Raises [Not_found]; the syscall arms match on the exception rather
+   than an option so hot-path lookups do not box the result. *)
+let lookup_handle t handle = Hashtbl.find t.handles handle
 
 let rss_suitable t ~remote_ip ~remote_port =
   (* §4.4: probe ephemeral ports until the *reply* direction RSS-hashes
@@ -284,8 +286,8 @@ let exec_syscall t (sc, on_result) =
           on_result (Tcb.handle tcb))
   | Ix_api.Sys_accept { handle; cookie } -> (
       match lookup_handle t handle with
-      | None -> on_result (-1)
-      | Some tcb ->
+      | exception Not_found -> on_result (-1)
+      | tcb ->
           Tcb.set_cookie tcb cookie;
           (match Hashtbl.find_opt t.unaccepted handle with
           | Some pending ->
@@ -299,24 +301,24 @@ let exec_syscall t (sc, on_result) =
                 (List.rev !pending)
           | None -> ());
           on_result 0)
-  | Ix_api.Sys_sendv { handle; iovs } -> (
+  | Ix_api.Sys_sendv { handle; queue } -> (
       match lookup_handle t handle with
-      | None -> on_result (-1)
-      | Some tcb ->
-          let accepted = Tcp_conn.send tcb iovs in
+      | exception Not_found -> on_result (-1)
+      | tcb ->
+          let accepted = Tcp_conn.send_from tcb queue in
           if not t.zero_copy then
             charge_kernel t (t.costs.copy_ns_per_kb * accepted / 1024);
           on_result accepted)
   | Ix_api.Sys_recv_done { handle; bytes_acked } -> (
       match lookup_handle t handle with
-      | None -> on_result (-1)
-      | Some tcb ->
+      | exception Not_found -> on_result (-1)
+      | tcb ->
           Tcp_conn.consume tcb bytes_acked;
           on_result 0)
   | Ix_api.Sys_close { handle } -> (
       match lookup_handle t handle with
-      | None -> on_result (-1)
-      | Some tcb ->
+      | exception Not_found -> on_result (-1)
+      | tcb ->
           if Hashtbl.mem t.unaccepted handle then begin
             (* Rejecting a knock. *)
             Hashtbl.remove t.unaccepted handle;
@@ -326,8 +328,8 @@ let exec_syscall t (sc, on_result) =
           on_result 0)
   | Ix_api.Sys_abort { handle } -> (
       match lookup_handle t handle with
-      | None -> on_result (-1)
-      | Some tcb ->
+      | exception Not_found -> on_result (-1)
+      | tcb ->
           Tcp_conn.abort tcb;
           on_result 0)
   | Ix_api.Sys_udp_sendv { src_port; dst_ip; dst_port; iovs } -> (
@@ -371,25 +373,22 @@ let process_arp t mbuf =
 (* ICMP echo: answered in the dataplane kernel (the paper implemented
    RFC-compliant ICMP alongside UDP and ARP). *)
 let process_icmp t ~src_ip mbuf =
-  match Ixnet.Icmp_packet.decode mbuf with
-  | Error _ -> ()
-  | Ok icmp when icmp.Ixnet.Icmp_packet.kind = Ixnet.Icmp_packet.Echo_request -> (
-      match Mempool.alloc t.pool with
-      | None -> ()
-      | Some reply ->
-          Ixnet.Icmp_packet.write reply
-            { icmp with Ixnet.Icmp_packet.kind = Ixnet.Icmp_packet.Echo_reply };
-          Ixnet.Ipv4_packet.prepend reply
-            {
-              Ixnet.Ipv4_packet.src = t.local_ip;
-              dst = src_ip;
-              protocol = Ixnet.Ipv4_packet.Icmp;
-              ttl = 64;
-              ecn = 0;
-              payload_len = reply.Mbuf.len;
-            };
-          resolve_and_frame t ~remote_ip:src_ip reply)
-  | Ok reply -> t.ping_handler ~src_ip reply
+  if Ixnet.Icmp_packet.is_echo_request mbuf then begin
+    (* Hot path: answer without decoding — one blit into the reply
+       mbuf, no record or payload string. *)
+    match Mempool.alloc t.pool with
+    | None -> ()
+    | Some reply ->
+        Ixnet.Icmp_packet.reply_into mbuf ~into:reply;
+        Ixnet.Ipv4_packet.prepend_fields reply ~src:t.local_ip ~dst:src_ip
+          ~protocol:Ixnet.Ipv4_packet.Icmp ~ttl:64 ~ecn:0
+          ~payload_len:reply.Mbuf.len;
+        resolve_and_frame t ~remote_ip:src_ip reply
+  end
+  else
+    match Ixnet.Icmp_packet.decode mbuf with
+    | Error _ -> ()
+    | Ok reply -> t.ping_handler ~src_ip reply
 
 (* Every IPv4 frame lands in exactly one accounting bucket: delivered
    to TCP (counted by the endpoint's [tcp.<i>.rx_segs]), dropped by
@@ -465,13 +464,15 @@ let process_ipv4 t mbuf =
             then begin
               Mbuf.incref mbuf;
               t.staged_events <-
-                St_udp
-                  ( udp.Ixnet.Udp_packet.dst_port,
-                    ip.Ixnet.Ipv4_packet.src,
-                    udp.Ixnet.Udp_packet.src_port,
-                    mbuf,
-                    udp.Ixnet.Udp_packet.payload_off,
-                    udp.Ixnet.Udp_packet.payload_len )
+                Ix_api.Ev_udp_recv
+                  {
+                    dst_port = udp.Ixnet.Udp_packet.dst_port;
+                    src_ip = ip.Ixnet.Ipv4_packet.src;
+                    src_port = udp.Ixnet.Udp_packet.src_port;
+                    mbuf;
+                    off = udp.Ixnet.Udp_packet.payload_off;
+                    len = udp.Ixnet.Udp_packet.payload_len;
+                  }
                 :: t.staged_events
             end)
     | Ixnet.Ipv4_packet.Other _ -> Metrics.incr t.c_rx_other
@@ -507,6 +508,28 @@ let has_work t =
   rx_pending t > 0 || t.staged_events <> [] || t.staged_syscalls <> []
   || t.replay <> []
 
+(* Pull a bounded batch off the RX rings, round-robin across queues,
+   into [t.rx_scratch] starting at [filled]; replenish as we go. *)
+let rec gather_rx t filled remaining = function
+  | [] -> filled
+  | (_, q) :: rest ->
+      if remaining = 0 then filled
+      else begin
+        let taken =
+          Nic.rx_burst_into q ~into:t.rx_scratch ~off:filled ~max:remaining
+        in
+        Nic.replenish q taken;
+        gather_rx t (filled + taken) (remaining - taken) rest
+      end
+
+(* Cut a tracer stage span at the current charge watermark.  Spans tile
+   [cycle_start, t_end] exactly — see the timeline note in [run_cycle]. *)
+let mark t stage =
+  let at = t.cycle_start + t.kernel_ns_acc + t.user_ns_acc in
+  if at > t.span_cursor then
+    Tracer.span t.tracer stage ~start:t.span_cursor ~stop:at;
+  t.span_cursor <- at
+
 let rec run_cycle t =
   t.state <- Running;
   (match t.idle_wakeup with
@@ -523,12 +546,8 @@ let rec run_cycle t =
      in charge order gives a per-stage timeline whose spans tile
      [start, t_end] exactly — stage totals sum to the committed busy
      time by construction. *)
-  let cursor = ref start in
-  let mark stage =
-    let at = start + t.kernel_ns_acc + t.user_ns_acc in
-    if at > !cursor then Tracer.span t.tracer stage ~start:!cursor ~stop:at;
-    cursor := at
-  in
+  t.cycle_start <- start;
+  t.span_cursor <- start;
   (* --- (1) poll RX rings, take a bounded batch, replenish --- *)
   charge_kernel t t.costs.poll_ns;
   let budget = Batch.next_batch t.batcher ~pending:(rx_pending t) in
@@ -537,28 +556,14 @@ let rec run_cycle t =
     Array.blit t.rx_scratch 0 scratch 0 (Array.length t.rx_scratch);
     t.rx_scratch <- scratch
   end;
-  let n_rx =
-    let rec gather filled remaining = function
-      | [] -> filled
-      | (_, q) :: rest ->
-          if remaining = 0 then filled
-          else begin
-            let taken =
-              Nic.rx_burst_into q ~into:t.rx_scratch ~off:filled ~max:remaining
-            in
-            Nic.replenish q taken;
-            gather (filled + taken) (remaining - taken) rest
-          end
-    in
-    gather 0 budget t.queues
-  in
+  let n_rx = gather_rx t 0 budget t.queues in
   (* Replenish doorbells are coalesced across queues: one charge for
      the burst's descriptor total, not one partial-batch write per
      queue (adaptive batching, §4.2 — doorbells are per burst). *)
   charge_kernel t (Ixhw.Pcie_model.replenish_cost_ns t.pcie ~descriptors:n_rx);
   Metrics.add t.c_rx_pkts n_rx;
   charge_kernel t (t.costs.rx_pkt_ns * n_rx);
-  mark Tracer.Rx_driver;
+  mark t Tracer.Rx_driver;
   (* --- (2) protocol processing, generating event conditions --- *)
   (* Frames parked during a flow-group migration replay first: they
      arrived before anything polled this cycle, and their TCBs are home
@@ -572,18 +577,22 @@ let rec run_cycle t =
   for i = 0 to n_rx - 1 do
     process_frame t t.rx_scratch.(i)
   done;
-  mark Tracer.Tcp_in;
+  mark t Tracer.Tcp_in;
   (* --- (3) user phase: deliver event conditions to the app --- *)
-  let staged = List.rev t.staged_events in
+  let staged = t.staged_events in
   t.staged_events <- [];
   if staged <> [] then begin
     charge_kernel t (Protection.enter_user t.prot);
-    mark Tracer.Crossing;
+    mark t Tracer.Crossing;
     t.in_user_phase <- true;
-    let events = List.map materialize staged in
-    Metrics.add t.c_events (List.length events);
-    charge_user t (t.costs.event_ns * List.length events);
-    mark Tracer.Event_delivery;
+    (* [staged] is in reverse arrival order (it was built as a stack);
+       one [rev] restores arrival order — the staged values ARE the
+       [Ix_api.event]s, nothing is re-materialized per event. *)
+    let events = List.rev staged in
+    let n_events = List.length events in
+    Metrics.add t.c_events n_events;
+    charge_user t (t.costs.event_ns * n_events);
+    mark t Tracer.Event_delivery;
     (* §4.5 protection backstop: an exception escaping the user phase
        must not take the elastic thread down — the kernel regains
        control, counts the fault and keeps serving other flows.  (Libix
@@ -596,10 +605,10 @@ let rec run_cycle t =
        Log.debug (fun m ->
            m "thread %d: user phase fault contained: %s" t.id
              (Printexc.to_string exn)));
-    mark Tracer.User_phase;
+    mark t Tracer.User_phase;
     t.in_user_phase <- false;
     charge_kernel t (Protection.enter_kernel t.prot);
-    mark Tracer.Crossing;
+    mark t Tracer.Crossing;
     (* §4.5: a timeout interrupt detects elastic threads that spend
        excessive time in user mode; we mark them non-responsive for the
        control plane. *)
@@ -609,29 +618,29 @@ let rec run_cycle t =
   let syscalls = List.rev t.staged_syscalls in
   t.staged_syscalls <- [];
   List.iter (exec_syscall t) syscalls;
-  mark Tracer.Syscall;
+  mark t Tracer.Syscall;
   (* --- (5) kernel timers --- *)
   charge_kernel t t.costs.timer_ns;
   Wheel.advance t.wheel ~now:(now t);
-  mark Tracer.Timer;
+  mark t Tracer.Timer;
   (* --- (6) transmit --- *)
   let n_tx = t.tx_len in
   Batch.note_tx t.batcher n_tx;
   charge_kernel t (t.costs.tx_pkt_ns * n_tx);
   (* One doorbell write per TX burst, regardless of how many segments
-     the burst carries (tracked by [Batch] so the amortization is
-     observable in the batch statistics). *)
-  if n_tx > 0 then
+     the burst carries.  [Batch] owns the ring decision: in fixed mode
+     every burst rings; in adaptive mode congested bursts coalesce
+     until a bound's worth of segments has accumulated. *)
+  if Batch.doorbell_due t.batcher ~burst:n_tx then
     charge_kernel t (Ixhw.Pcie_model.doorbell_cost_ns t.pcie);
-  mark Tracer.Tx_driver;
+  mark t Tracer.Tx_driver;
   (* Commit costs to the core; effects land at cycle end. *)
   let t_mid = Cpu_core.charge t.cpu ~now:start Cpu_core.Kernel t.kernel_ns_acc in
   let t_end = Cpu_core.charge t.cpu ~now:t_mid Cpu_core.User t.user_ns_acc in
   for i = 0 to n_tx - 1 do
     let mbuf = t.tx_buf.(i) in
     t.tx_buf.(i) <- t.scratch_seed;
-    Nic.transmit_at t.tx_nic mbuf ~earliest:t_end ~on_complete:(fun () ->
-        Mbuf.decref mbuf)
+    Nic.transmit_at t.tx_nic mbuf ~earliest:t_end
   done;
   (* Frames staged while transmitting (none today) slide to the front
      for the next cycle. *)
@@ -650,15 +659,15 @@ let rec run_cycle t =
   if t.watchers <> [] then
     t.watchers <- List.filter (fun w -> not (w ())) t.watchers;
   (* Loop or go idle. *)
-  if has_work t then begin
+  (if has_work t then begin
     t.state <- Scheduled;
-    ignore (Sim.at t.sim t_end (fun () -> run_cycle t))
+    ignore (Sim.at t.sim t_end (cycle_thunk t))
   end
   else begin
     t.state <- Idle;
     arm_idle_wakeup t t_end;
     maybe_background t t_end
-  end
+  end);
 
 (* §4.1: background threads timeshare a hardware thread with the
    elastic work.  A slice runs only while the dataplane is otherwise
@@ -699,12 +708,20 @@ and maybe_background t earliest =
                end))
       end
 
+and cycle_thunk t =
+  if t.cycle_thunk == no_thunk then t.cycle_thunk <- (fun () -> run_cycle t);
+  t.cycle_thunk
+
+and kick_thunk t =
+  if t.kick_thunk == no_thunk then t.kick_thunk <- (fun () -> kick t);
+  t.kick_thunk
+
 and arm_idle_wakeup t earliest =
   match Wheel.next_expiry t.wheel with
   | None -> ()
   | Some deadline ->
       let at = max deadline earliest in
-      t.idle_wakeup <- Some (Sim.at t.sim at (fun () -> kick t))
+      t.idle_wakeup <- Some (Sim.at t.sim at (kick_thunk t))
 
 and kick t =
   match t.state with
@@ -718,7 +735,7 @@ and kick t =
       | None -> ());
       let wakeup_cost = if t.polling then 0 else t.interrupt_latency_ns in
       let at = max (now t) (Cpu_core.free_at t.cpu) + wakeup_cost in
-      ignore (Sim.at t.sim at (fun () -> run_cycle t))
+      ignore (Sim.at t.sim at (cycle_thunk t))
 
 (* ------------------------------------------------------------------ *)
 
@@ -733,7 +750,7 @@ let listen t ~port =
       Hashtbl.replace t.handles (Tcb.handle tcb) tcb;
       Hashtbl.replace t.unaccepted (Tcb.handle tcb) (ref []);
       t.staged_events <-
-        St_knock
+        Ix_api.Ev_knock
           {
             handle = Tcb.handle tcb;
             src_ip = Tcb.remote_ip tcb;
@@ -881,7 +898,8 @@ let metrics t = t.metrics
 let tracer t = t.tracer
 
 let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
-    ?(costs = default_costs) ?(batch_bound = 64) ?(config = Tcb.default_config)
+    ?(costs = default_costs) ?(batch_bound = 64) ?(batch_mode = Batch.Fixed)
+    ?(config = Tcb.default_config)
     ?(zero_copy = true) ?(polling = true) ?cache ?(conn_count = ref 0)
     ?(pcie = Ixhw.Pcie_model.create ()) ?metrics ?(tracer_capacity = 4096)
     ?handle_alloc ~rng () =
@@ -901,7 +919,7 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       arp;
       rcu;
       costs;
-      batcher = Batch.create ~bound:batch_bound ();
+      batcher = Batch.create ~bound:batch_bound ~mode:batch_mode ();
       prot = Protection.create ();
       pol = Policy.create ();
       pcie;
@@ -928,9 +946,13 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       seg_scratch = Seg.scratch ();
       kernel_ns_acc = 0;
       user_ns_acc = 0;
+      cycle_start = 0;
+      span_cursor = 0;
       state = Idle;
       in_user_phase = false;
       idle_wakeup = None;
+      cycle_thunk = no_thunk;
+      kick_thunk = no_thunk;
       handles = Hashtbl.create 1024;
       udp_binds = Hashtbl.create 8;
       metrics;
@@ -960,6 +982,13 @@ let create ~sim ~thread_id ~core ~local_ip ~queues ~tx_nic ~arp ~rcu
       ~metrics_prefix:(Printf.sprintf "tcp.%d" thread_id) ?handle_alloc ()
   in
   t.ep <- Some ep;
+  (* Batch telemetry: sampled live at snapshot time so the gauges
+     always reflect the bound in effect (which moves in adaptive
+     mode) and the amortization actually achieved. *)
+  let g name f = Metrics.probe metrics (Printf.sprintf "dataplane.%d.batch.%s" thread_id name) f in
+  g "bound" (fun () -> float_of_int (Batch.bound t.batcher));
+  g "mean" (fun () -> Batch.mean_batch t.batcher);
+  g "mean_tx_burst" (fun () -> Batch.mean_tx_burst t.batcher);
   (* Chain teardown: the endpoint unhooks flow tables; we additionally
      drop the handle and count the connection out. *)
   let env = Tcp_endpoint.env ep in

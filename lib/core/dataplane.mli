@@ -45,6 +45,7 @@ val create :
   rcu:Rcu.manager ->
   ?costs:costs ->
   ?batch_bound:int ->
+  ?batch_mode:Batch.mode ->
   ?config:Ixtcp.Tcb.config ->
   ?zero_copy:bool ->
   ?polling:bool ->

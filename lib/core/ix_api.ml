@@ -3,7 +3,7 @@ type handle = int
 type syscall =
   | Sys_connect of { cookie : int; dst_ip : Ixnet.Ip_addr.t; dst_port : int }
   | Sys_accept of { handle : handle; cookie : int }
-  | Sys_sendv of { handle : handle; iovs : Ixmem.Iovec.t list }
+  | Sys_sendv of { handle : handle; queue : Ixmem.Iov_deque.t }
   | Sys_recv_done of { handle : handle; bytes_acked : int }
   | Sys_close of { handle : handle }
   | Sys_abort of { handle : handle }
@@ -21,10 +21,10 @@ type event =
       src_port : int;
       dst_port : int;  (** listening port, so libix can find the acceptor *)
     }
-  | Ev_connected of { cookie : int; handle : handle; ok : bool }
-  | Ev_recv of { cookie : int; mbuf : Ixmem.Mbuf.t; off : int; len : int }
-  | Ev_sent of { cookie : int; bytes_sent : int; window_size : int }
-  | Ev_dead of { cookie : int; reason : Ixtcp.Tcb.close_reason }
+  | Ev_connected of { mutable cookie : int; handle : handle; ok : bool }
+  | Ev_recv of { mutable cookie : int; mbuf : Ixmem.Mbuf.t; off : int; len : int }
+  | Ev_sent of { mutable cookie : int; bytes_sent : int; window_size : int }
+  | Ev_dead of { mutable cookie : int; reason : Ixtcp.Tcb.close_reason }
   | Ev_udp_recv of {
       dst_port : int;
       src_ip : Ixnet.Ip_addr.t;
@@ -41,8 +41,8 @@ let pp_syscall fmt = function
       Format.fprintf fmt "connect(cookie=%d, %a:%d)" cookie Ixnet.Ip_addr.pp dst_ip
         dst_port
   | Sys_accept { handle; cookie } -> Format.fprintf fmt "accept(h=%d, cookie=%d)" handle cookie
-  | Sys_sendv { handle; iovs } ->
-      Format.fprintf fmt "sendv(h=%d, %dB)" handle (Ixmem.Iovec.total iovs)
+  | Sys_sendv { handle; queue } ->
+      Format.fprintf fmt "sendv(h=%d, %dB)" handle (Ixmem.Iov_deque.bytes queue)
   | Sys_recv_done { handle; bytes_acked } ->
       Format.fprintf fmt "recv_done(h=%d, %dB)" handle bytes_acked
   | Sys_close { handle } -> Format.fprintf fmt "close(h=%d)" handle

@@ -4,6 +4,7 @@ module Cpu_core = Ixhw.Cpu_core
 type options = {
   costs : Dataplane.costs;
   batch_bound : int;
+  batch_mode : Batch.mode;
   config : Ixtcp.Tcb.config;
   zero_copy : bool;
   polling : bool;
@@ -27,6 +28,7 @@ let default_options =
   {
     costs = Dataplane.default_costs;
     batch_bound = 64;
+    batch_mode = Batch.Fixed;
     config = ix_tcp_config;
     zero_copy = true;
     polling = true;
@@ -73,7 +75,8 @@ let create ~sim ~host_id ~ip ~nics ~threads ?(options = default_options)
     Dataplane.create ~sim ~thread_id:i
       ~core:(Cpu_core.create ~id:((host_id * 100) + i))
       ~local_ip:ip ~queues ~tx_nic ~arp:arp_cache ~rcu:rcu_mgr ~costs:options.costs
-      ~batch_bound:options.batch_bound ~config:options.config
+      ~batch_bound:options.batch_bound ~batch_mode:options.batch_mode
+      ~config:options.config
       ~zero_copy:options.zero_copy ~polling:options.polling ?cache:options.cache
       ~conn_count ?pcie:options.pcie ~metrics:registry ~handle_alloc
       ~rng:(Engine.Rng.split rng) ()

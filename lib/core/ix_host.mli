@@ -12,6 +12,7 @@ type t
 type options = {
   costs : Dataplane.costs;
   batch_bound : int;
+  batch_mode : Batch.mode;  (** fixed B (the default) or adaptive *)
   config : Ixtcp.Tcb.config;
   zero_copy : bool;
   polling : bool;

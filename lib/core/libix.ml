@@ -1,5 +1,6 @@
 module Mbuf = Ixmem.Mbuf
 module Iovec = Ixmem.Iovec
+module Iov_deque = Ixmem.Iov_deque
 
 let max_pending_send = 1 lsl 20
 
@@ -19,7 +20,7 @@ and conn = {
   mutable handle : int; (* -1 until the dataplane reports it *)
   mutable peer : Ixnet.Ip_addr.t * int;
   mutable handlers : handlers;
-  mutable write_queue : Iovec.t list; (* in order; head is oldest *)
+  write_queue : Iov_deque.t; (* in order; consumed from the front *)
   mutable queued_bytes : int;
   mutable in_flight : int; (* bytes accepted by the stack, not yet acked *)
   mutable dirty : bool;
@@ -37,6 +38,9 @@ and t = {
          migrates between threads (events route by cookie) *)
   mutable dirty_conns : conn list;
   mutable zc_reader : (conn -> Mbuf.t -> int -> int -> unit) option;
+  mutable zc_udp_reader :
+    (src:Ixnet.Ip_addr.t * int -> dst_port:int -> Mbuf.t -> int -> int -> unit)
+    option;
 }
 
 let default_handlers =
@@ -69,40 +73,35 @@ let mark_dirty conn =
 
 (* Coalesce each dirty connection's queued writes into one sendv (the
    libix behaviour the paper describes), reissuing trimmed suffixes on
-   later rounds. *)
+   later rounds.  The syscall carries the write queue itself:
+   execution moves the accepted prefix by reference onto the TCB's
+   send queue, so nothing is materialized or rebuilt per round. *)
 let flush t =
   let dirty = t.dirty_conns in
   t.dirty_conns <- [];
   List.iter
     (fun conn ->
       conn.dirty <- false;
-      if (not conn.dead) && conn.handle >= 0 && conn.write_queue <> [] then begin
-        let iovs = conn.write_queue in
+      if (not conn.dead) && conn.handle >= 0
+         && not (Iov_deque.is_empty conn.write_queue)
+      then
         Dataplane.syscall t.dp
-          (Ix_api.Sys_sendv { handle = conn.handle; iovs })
+          (Ix_api.Sys_sendv { handle = conn.handle; queue = conn.write_queue })
           ~on_result:(fun accepted ->
             if accepted > 0 then begin
-              let rec drop n = function
-                | [] -> []
-                | (iov : Iovec.t) :: rest ->
-                    if iov.Iovec.len <= n then drop (n - iov.Iovec.len) rest
-                    else Iovec.sub iov n (iov.Iovec.len - n) :: rest
-              in
-              conn.write_queue <- drop accepted conn.write_queue;
               conn.queued_bytes <- conn.queued_bytes - accepted;
               conn.in_flight <- conn.in_flight + accepted
-            end)
-      end)
+            end))
     dirty
 
 let handle_event t ev =
   match ev with
   | Ix_api.Ev_knock { handle; src_ip; src_port; dst_port } -> (
-      match Hashtbl.find_opt t.acceptors dst_port with
-      | None ->
+      match Hashtbl.find t.acceptors dst_port with
+      | exception Not_found ->
           (* No acceptor: reject the knock. *)
           Dataplane.syscall t.dp (Ix_api.Sys_close { handle }) ~on_result:ignore
-      | Some on_accept ->
+      | on_accept ->
           let cookie = fresh_cookie t in
           let conn =
             {
@@ -111,7 +110,7 @@ let handle_event t ev =
               handle;
               peer = (src_ip, src_port);
               handlers = default_handlers;
-              write_queue = [];
+              write_queue = Iov_deque.create ();
               queued_bytes = 0;
               in_flight = 0;
               dirty = false;
@@ -122,20 +121,21 @@ let handle_event t ev =
           Dataplane.syscall t.dp (Ix_api.Sys_accept { handle; cookie }) ~on_result:ignore;
           conn.handlers <- on_accept conn)
   | Ix_api.Ev_connected { cookie; handle; ok } -> (
-      match Hashtbl.find_opt t.conns cookie with
-      | None -> ()
-      | Some conn ->
+      match Hashtbl.find t.conns cookie with
+      | exception Not_found -> ()
+      | conn ->
           conn.handle <- handle;
           if not ok then begin
             conn.dead <- true;
             Hashtbl.remove t.conns cookie
           end;
           conn.handlers.on_connected conn ~ok;
-          if ok && conn.write_queue <> [] then mark_dirty conn)
+          if ok && not (Iov_deque.is_empty conn.write_queue) then
+            mark_dirty conn)
   | Ix_api.Ev_recv { cookie; mbuf; off; len } -> (
-      match Hashtbl.find_opt t.conns cookie with
-      | None -> Mbuf.decref mbuf
-      | Some conn -> (
+      match Hashtbl.find t.conns cookie with
+      | exception Not_found -> Mbuf.decref mbuf
+      | conn -> (
           match t.zc_reader with
           | Some reader -> reader conn mbuf off len
           | None ->
@@ -148,27 +148,35 @@ let handle_event t ev =
               Mbuf.decref mbuf;
               conn.handlers.on_data conn data))
   | Ix_api.Ev_sent { cookie; bytes_sent; _ } -> (
-      match Hashtbl.find_opt t.conns cookie with
-      | None -> ()
-      | Some conn ->
+      match Hashtbl.find t.conns cookie with
+      | exception Not_found -> ()
+      | conn ->
           conn.in_flight <- max 0 (conn.in_flight - bytes_sent);
-          if conn.write_queue <> [] then mark_dirty conn;
+          if not (Iov_deque.is_empty conn.write_queue) then mark_dirty conn;
           conn.handlers.on_sent conn bytes_sent)
   | Ix_api.Ev_dead { cookie; reason } -> (
-      match Hashtbl.find_opt t.conns cookie with
-      | None -> ()
-      | Some conn ->
+      match Hashtbl.find t.conns cookie with
+      | exception Not_found -> ()
+      | conn ->
           conn.dead <- true;
           Hashtbl.remove t.conns cookie;
           conn.handlers.on_closed conn reason)
   | Ix_api.Ev_udp_recv { dst_port; src_ip; src_port; mbuf; off; len } -> (
-      match Hashtbl.find_opt t.udp_handlers dst_port with
-      | None -> Mbuf.decref mbuf
-      | Some handler ->
-          let data = Bytes.sub_string mbuf.Mbuf.buf off len in
-          Dataplane.charge_user t.dp (len * 100 / 1024);
-          Mbuf.decref mbuf;
-          handler ~src:(src_ip, src_port) data)
+      match t.zc_udp_reader with
+      | Some reader ->
+          (* Zero-copy contract, like Ev_recv: the reader sees the
+             payload in place and owns the mbuf reference (release
+             with [udp_recv_done]). *)
+          reader ~src:(src_ip, src_port) ~dst_port mbuf off len
+      | None -> (
+          match Hashtbl.find t.udp_handlers dst_port with
+          | exception Not_found -> Mbuf.decref mbuf
+          | handler ->
+              (* Compatibility path: one copy, close to its use (§6). *)
+              let data = Bytes.sub_string mbuf.Mbuf.buf off len in
+              Dataplane.charge_user t.dp (len * 100 / 1024);
+              Mbuf.decref mbuf;
+              handler ~src:(src_ip, src_port) data))
 
 (* §4.5 containment: an exception out of an application handler is the
    app's fault, not the dataplane's — the offending connection is
@@ -225,6 +233,7 @@ let create ?cookie_alloc dp =
       cookie_alloc;
       dirty_conns = [];
       zc_reader = None;
+      zc_udp_reader = None;
     }
   in
   Dataplane.set_app dp (fun events ->
@@ -249,7 +258,7 @@ let connect t ~ip ~port handlers =
       handle = -1;
       peer = (ip, port);
       handlers;
-      write_queue = [];
+      write_queue = Iov_deque.create ();
       queued_bytes = 0;
       in_flight = 0;
       dirty = false;
@@ -276,6 +285,13 @@ let udp_send t ~src_port ~dst_ip ~dst_port data =
     ~on_result:ignore
 
 let set_zero_copy_reader t reader = t.zc_reader <- Some reader
+let set_zero_copy_udp_reader t reader = t.zc_udp_reader <- Some reader
+
+(* No user-copy charge here: the compat path's charge models the copy
+   out of the mbuf, which a zero-copy reader skips — that is the win. *)
+let udp_recv_done _t mbuf = Mbuf.decref mbuf
+
+let udp_handler t ~port = Hashtbl.find_opt t.udp_handlers port
 
 (* Conn-directed operations route through [conn.owner]: after a
    flow-group migration the TCB (and its handle) lives on another
@@ -293,13 +309,25 @@ let sendv conn iovs =
   let total = Iovec.total iovs in
   if conn.dead || conn.queued_bytes + total > max_pending_send then false
   else begin
-    conn.write_queue <- conn.write_queue @ iovs;
+    (* O(1) amortized per slice — a deep queue under backpressure used
+       to pay a full list rebuild per sendv here. *)
+    List.iter (Iov_deque.push conn.write_queue) iovs;
     conn.queued_bytes <- conn.queued_bytes + total;
     mark_dirty conn;
     true
   end
 
-let send conn data = sendv conn [ Iovec.of_string data ]
+(* Single-slice [sendv], open-coded: the per-message echo path runs it
+   once per request, so it skips the list build and the fold. *)
+let send conn data =
+  let len = String.length data in
+  if conn.dead || conn.queued_bytes + len > max_pending_send then false
+  else begin
+    Iov_deque.push conn.write_queue (Iovec.of_string data);
+    conn.queued_bytes <- conn.queued_bytes + len;
+    mark_dirty conn;
+    true
+  end
 
 let close conn =
   if not conn.dead then

@@ -262,7 +262,11 @@ let exhausted t now =
    [tap_frames + wire_dups = tap_forwarded + wire_drops + flap_drops]. *)
 let tap t frame deliver =
   Metrics.incr t.c_tap_frames;
-  if flap_down t (Sim.now t.sim) then Metrics.incr t.c_flap_drops
+  if flap_down t (Sim.now t.sim) then begin
+    Metrics.incr t.c_flap_drops;
+    (* Swallowed: the tap consumes the frame's wire-buffer reference. *)
+    Frame.release frame
+  end
   else begin
     let s = t.spec in
     let u = Rng.float t.wire_rng 1.0 in
@@ -271,7 +275,10 @@ let tap t frame deliver =
     let d3 = d2 +. s.truncate_rate in
     let d4 = d3 +. s.duplicate_rate in
     let d5 = d4 +. s.reorder_rate in
-    if u < d1 then Metrics.incr t.c_wire_drops
+    if u < d1 then begin
+      Metrics.incr t.c_wire_drops;
+      Frame.release frame
+    end
     else if u < d2 then begin
       Metrics.incr t.c_wire_corrupts;
       let pos = Rng.int t.wire_rng (max 1 (Frame.length frame)) in
@@ -287,6 +294,8 @@ let tap t frame deliver =
     end
     else if u < d4 then begin
       Metrics.incr t.c_wire_dups;
+      (* Two deliveries from one incoming reference: take a second. *)
+      Frame.retain frame;
       Metrics.incr t.c_tap_forwarded;
       deliver frame;
       Metrics.incr t.c_tap_forwarded;

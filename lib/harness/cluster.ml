@@ -12,6 +12,7 @@ type spec = {
   threads : int;
   nic_ports : int;
   batch_bound : int;
+  batch_mode : Ix_core.Batch.mode;
   zero_copy : bool;
   polling : bool;
   cache : Ixhw.Cache_model.t option;
@@ -20,12 +21,14 @@ type spec = {
 }
 
 let server_spec ?(threads = 8) ?(nic_ports = 1) ?(batch_bound = 64)
-    ?(zero_copy = true) ?(polling = true) ?cache ?pcie ?tcp_config kind =
+    ?(batch_mode = Ix_core.Batch.Fixed) ?(zero_copy = true) ?(polling = true)
+    ?cache ?pcie ?tcp_config kind =
   {
     kind;
     threads;
     nic_ports;
     batch_bound;
+    batch_mode;
     zero_copy;
     polling;
     cache;
@@ -108,6 +111,7 @@ let make_stack sim ~spec ~host_id ~ip ~nics ~metrics ~seed ~linux_costs =
         {
           Ix_host.default_options with
           Ix_host.batch_bound = spec.batch_bound;
+          batch_mode = spec.batch_mode;
           zero_copy = spec.zero_copy;
           polling = spec.polling;
           cache = spec.cache;
@@ -174,6 +178,7 @@ let build ?(seed = 42) ?(client_hosts = 6) ?(client_threads = 8)
             threads = client_threads;
             nic_ports = 1;
             batch_bound = 64;
+            batch_mode = Ix_core.Batch.Fixed;
             zero_copy = true;
             polling = true;
             cache = None;

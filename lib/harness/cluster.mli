@@ -14,6 +14,7 @@ type spec = {
   threads : int;
   nic_ports : int;
   batch_bound : int;  (** IX only *)
+  batch_mode : Ix_core.Batch.mode;  (** IX only: fixed B or adaptive *)
   zero_copy : bool;  (** IX only *)
   polling : bool;  (** IX only *)
   cache : Ixhw.Cache_model.t option;  (** connection-count L3 model *)
@@ -22,6 +23,7 @@ type spec = {
 }
 
 val server_spec : ?threads:int -> ?nic_ports:int -> ?batch_bound:int ->
+  ?batch_mode:Ix_core.Batch.mode ->
   ?zero_copy:bool -> ?polling:bool -> ?cache:Ixhw.Cache_model.t ->
   ?pcie:Ixhw.Pcie_model.t -> ?tcp_config:Ixtcp.Tcb.config -> kind -> spec
 

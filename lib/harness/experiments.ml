@@ -170,13 +170,34 @@ let emit_server_stats ~output ~label cluster =
 (* ------------------------------------------------------------------ *)
 (* Echo runner (Figs. 3a/3b/3c and the ablations)                      *)
 
+(* Aggregate batch statistics across a host's elastic threads, read
+   straight from each dataplane's batcher after the measurement
+   window: (mean admitted batch, mean TX burst, largest bound in
+   effect). *)
+let host_batch_stats host =
+  let packets = ref 0 and cycles = ref 0 in
+  let txp = ref 0 and txb = ref 0 in
+  let bound = ref 0 in
+  Ix_core.Ix_host.iter_threads host (fun dp ->
+      let b = Ix_core.Dataplane.batcher dp in
+      packets := !packets + Ix_core.Batch.packets b;
+      cycles := !cycles + Ix_core.Batch.cycles b;
+      txp := !txp + Ix_core.Batch.tx_packets b;
+      txb := !txb + Ix_core.Batch.tx_bursts b;
+      bound := max !bound (Ix_core.Batch.bound b));
+  let mean num den =
+    if den = 0 then 0. else float_of_int num /. float_of_int den
+  in
+  (mean !packets !cycles, mean !txp !txb, !bound)
+
 let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
     ?(client_threads = 8) ?(sessions = 768) ?cache ?pcie ?(zero_copy = true)
-    ?(polling = true) ?(batch_bound = 64) ?(fast_path = true) ?hits
+    ?(polling = true) ?(batch_bound = 64) ?(batch_mode = Ix_core.Batch.Fixed)
+    ?batch_stats ?(fast_path = true) ?hits
     ?(elastic = false) ~kind ~ports ~cores ~msg_size ~msgs_per_conn () =
   let server =
     Cluster.server_spec ~threads:cores ~nic_ports:ports ~batch_bound
-      ~zero_copy ~polling ?cache ?pcie
+      ~batch_mode ~zero_copy ~polling ?cache ?pcie
       ?tcp_config:(tcp_override ~fast_path kind)
       kind
   in
@@ -233,6 +254,9 @@ let run_echo ?(output = default_output) ?(label = "") ?(client_hosts = 6)
   let warm_busy = server_busy () in
   Sim.run ~until:stop_after cluster.Cluster.sim;
   accumulate_fast_path_hits ?hits cluster;
+  (match (batch_stats, cluster.Cluster.server_ix) with
+  | Some cell, Some host -> cell := host_batch_stats host
+  | _ -> ());
   (match elastic_state with
   | Some (cp, el) ->
       Ix_core.Elastic.stop el;
@@ -795,6 +819,57 @@ let fig6 ?(output = default_output) ?(jobs = default_jobs ()) () =
   points
 
 (* ------------------------------------------------------------------ *)
+(* Batch sweep: fixed B values against the adaptive controller         *)
+
+(* Fixed bounds bracket the paper's Fig. 6 range; the adaptive row
+   starts at B=8 so the sweep shows the controller actually moving
+   (it must climb toward the ceiling under the echo load, not merely
+   inherit a good static choice). *)
+let batch_sweep_configs =
+  [
+    ("B=1", 1, Ix_core.Batch.Fixed);
+    ("B=8", 8, Ix_core.Batch.Fixed);
+    ("B=64", 64, Ix_core.Batch.Fixed);
+    ("adaptive 1..64", 8, Ix_core.Batch.Adaptive { floor = 1; ceiling = 64 });
+  ]
+
+let batch_sweep ?(output = default_output) ?(jobs = default_jobs ()) () =
+  let jobs = resolve_jobs ~output jobs in
+  let points =
+    par_map ~jobs
+      (List.map
+         (fun (label, bound, mode) () ->
+           let stats = ref (0., 0., 0) in
+           let p =
+             run_echo ~output ~label ~client_hosts:4 ~client_threads:8
+               ~sessions:512 ~kind:Cluster.Ix ~ports:1 ~cores:2 ~msg_size:64
+               ~msgs_per_conn:8 ~batch_bound:bound ~batch_mode:mode
+               ~batch_stats:stats ()
+           in
+           (label, p, !stats))
+         batch_sweep_configs)
+  in
+  let rows =
+    List.map
+      (fun (label, p, (mean_batch, mean_tx, bound_end)) ->
+        [
+          label;
+          Report.mps p.msgs_per_sec;
+          Report.us p.p99_us;
+          Printf.sprintf "%.1f" mean_batch;
+          Printf.sprintf "%.1f" mean_tx;
+          string_of_int bound_end;
+        ])
+      points
+  in
+  Report.table
+    ~title:"Batch sweep: fixed B vs adaptive controller (64B echo, 2 cores)"
+    ~headers:
+      [ "config"; "msgs/s"; "p99 us"; "mean batch"; "mean TX burst"; "B in effect" ]
+    rows;
+  points
+
+(* ------------------------------------------------------------------ *)
 (* Incast (extension): fine-grained timers and DCTCP, per §6           *)
 
 (* N synchronized senders each ship one [block] to a single receiver
@@ -1332,6 +1407,39 @@ let perf_migration_slice ?(fast_path = true) () =
            0 cluster.Cluster.server_nics)
         stats.Apps.Echo.messages)
 
+(* The batch-sweep slice pins one point per sweep config — fixed
+   B=1/B=64 and the adaptive controller — including the batch
+   telemetry (mean admitted batch, mean TX burst, bound in effect) the
+   dataplane also publishes as gauges.  The telemetry is part of the
+   snapshot on purpose: the batch controller is driven only by the
+   deterministic next_batch call stream, so these values must
+   reproduce bit-for-bit, and the adaptive row's [bound] pins that the
+   controller actually moved. *)
+let perf_batch_sweep_slice ?(fast_path = true) ?(client_hosts = 4)
+    ?(client_threads = 8) ?(sessions = 256) () =
+  let fh = ref 0 and sh = ref 0 in
+  metered ~hits:(fh, sh) "batch-sweep" (fun () ->
+      String.concat " "
+        (List.map
+           (fun (key, bound, mode) ->
+             let stats = ref (0., 0., 0) in
+             let p =
+               run_echo ~fast_path ~hits:(fh, sh) ~label:key ~client_hosts
+                 ~client_threads ~sessions ~kind:Cluster.Ix ~ports:1 ~cores:2
+                 ~msg_size:64 ~msgs_per_conn:8 ~batch_bound:bound
+                 ~batch_mode:mode ~batch_stats:stats ()
+             in
+             let mean_batch, mean_tx, bound_end = !stats in
+             Printf.sprintf
+               "%s:msgs_per_sec=%.17g,p99_us=%.17g,mean_batch=%.17g,\
+                mean_tx_burst=%.17g,bound=%d"
+               key p.msgs_per_sec p.p99_us mean_batch mean_tx bound_end)
+           [
+             ("b1", 1, Ix_core.Batch.Fixed);
+             ("b64", 64, Ix_core.Batch.Fixed);
+             ("adaptive", 8, Ix_core.Batch.Adaptive { floor = 1; ceiling = 64 });
+           ]))
+
 (* ------------------------------------------------------------------ *)
 (* Chaos soak (robustness): ixsim chaos / bench chaos leg              *)
 
@@ -1352,8 +1460,12 @@ let run_all ?(output = default_output) ?(jobs = default_jobs ()) () =
   ignore (fig4 ~jobs ());
   let f5 = fig5 ~output ~jobs () in
   ignore (fig6 ~output ~jobs ());
+  ignore (batch_sweep ~output ~jobs ());
   table2 ~output ~jobs f5;
   ablations ~output ~jobs ();
   incast ~jobs ();
   energy ~output ~jobs ();
   ignore (elastic_scaling ~output ())
+
+
+(* TEMPORARY instrumentation - removed before commit *)

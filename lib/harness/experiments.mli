@@ -82,6 +82,8 @@ val run_echo :
   ?zero_copy:bool ->
   ?polling:bool ->
   ?batch_bound:int ->
+  ?batch_mode:Ix_core.Batch.mode ->
+  ?batch_stats:(float * float * int) ref ->
   ?fast_path:bool ->
   ?hits:int ref * int ref ->
   ?elastic:bool ->
@@ -178,6 +180,18 @@ val fig5 :
 val fig6 : ?output:output -> ?jobs:int -> unit -> (int * float * float) list
 (** Batch bound B sweep on USR: (B, achieved kRPS at high load,
     low-load p99 µs). *)
+
+val batch_sweep :
+  ?output:output ->
+  ?jobs:int ->
+  unit ->
+  (string * echo_point * (float * float * int)) list
+(** Fixed batch bounds (B=1/8/64) against the adaptive controller on
+    the 64 B echo workload.  Each point carries the host's aggregate
+    batch telemetry — (mean admitted batch, mean TX burst, largest
+    bound in effect) — read from the dataplanes' batchers after the
+    measurement window; the adaptive row starts at B=8 so the table
+    shows the controller climbing under load. *)
 
 val table2 : ?output:output -> ?jobs:int -> memcached_point list -> unit
 (** Derive Table 2 (unloaded p99 latency; max RPS under the 500 µs p99
@@ -277,6 +291,19 @@ val perf_conn_scale_slice :
     crafted client segments (the workload is self-clocked, not
     Sim-driven); the snapshot is the workload's deterministic counter
     string. *)
+
+val perf_batch_sweep_slice :
+  ?fast_path:bool ->
+  ?client_hosts:int ->
+  ?client_threads:int ->
+  ?sessions:int ->
+  unit ->
+  perf_slice
+(** One echo point per {!batch_sweep} config (fixed B=1/B=64 and the
+    adaptive controller), batch telemetry included in the snapshot:
+    the controller is driven purely by the deterministic next_batch
+    call stream, so mean batch, mean TX burst and the bound in effect
+    must reproduce bit-for-bit. *)
 
 val perf_migration_slice : ?fast_path:bool -> unit -> perf_slice
 (** Flow-group migration under live load: 4 cores shrink to 2 and grow

@@ -1,28 +1,70 @@
 module Mbuf = Ixmem.Mbuf
 
-type t = { data : string }
+(* A frame is a view [buf.(off .. off+len-1)].  Two ownership modes:
 
-let of_mbuf mbuf = { data = Bytes.sub_string mbuf.Mbuf.buf mbuf.Mbuf.off mbuf.Mbuf.len }
-let length t = String.length t.data
+   - [owner = None]: the frame owns a private copy of the bytes
+     (a snapshot).  Retain/release are no-ops; the GC reclaims it.
+   - [owner = Some mbuf]: a borrowed view straight over the sender's
+     mbuf payload — the zero-copy TX path.  The frame holds one mbuf
+     reference taken at [borrow_mbuf]; every hand-off on the wire
+     (link delivery, switch forwarding) transfers that reference, and
+     the final consumer releases it, returning the buffer to its pool.
+
+   Mutating helpers ([with_ce]/[corrupt]/[truncate]) are copy-on-write:
+   they never write through a borrowed view (the sender's buffer must
+   stay pristine for retransmission); when they change anything they
+   detach into an owned copy and consume the input reference. *)
+type t = {
+  buf : Bytes.t;
+  off : int;
+  len : int;
+  owner : Mbuf.t option;
+}
+
+(* Inert placeholder for pooled storage slots (e.g. a link's pending
+   delivery ring); never appears on the wire. *)
+let empty = { buf = Bytes.empty; off = 0; len = 0; owner = None }
+
+let of_mbuf mbuf =
+  (* Owned snapshot (the "DMA read" copy).  Cold/control paths and
+     tests only — the per-packet TX path uses [borrow_mbuf]. *)
+  {
+    buf = Bytes.sub mbuf.Mbuf.buf mbuf.Mbuf.off mbuf.Mbuf.len;
+    off = 0;
+    len = mbuf.Mbuf.len;
+    owner = None;
+  }
+
+let borrow_mbuf mbuf =
+  Mbuf.incref mbuf;
+  { buf = mbuf.Mbuf.buf; off = mbuf.Mbuf.off; len = mbuf.Mbuf.len; owner = Some mbuf }
+
+let retain t = match t.owner with Some m -> Mbuf.incref m | None -> ()
+let release t = match t.owner with Some m -> Mbuf.decref m | None -> ()
+let is_borrowed t = Option.is_some t.owner
+
+let length t = t.len
 
 let wire_bytes t =
   Ixnet.Ethernet.wire_bytes ~payload_len:(length t - Ixnet.Ethernet.header_size)
 
+let byte t i = Char.code (Bytes.get t.buf (t.off + i))
+
 let read_mac t off =
-  let b i = Char.code t.data.[off + i] in
+  let b i = byte t (off + i) in
   (b 0 lsl 40) lor (b 1 lsl 32) lor (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8)
   lor b 5
 
 let dst_mac t = read_mac t 0
 let src_mac t = read_mac t 6
 
-let read_u16 t off = (Char.code t.data.[off] lsl 8) lor Char.code t.data.[off + 1]
+let read_u16 t off = (byte t off lsl 8) lor byte t (off + 1)
 
 let read_ip t off =
-  (Char.code t.data.[off] lsl 24)
-  lor (Char.code t.data.[off + 1] lsl 16)
-  lor (Char.code t.data.[off + 2] lsl 8)
-  lor Char.code t.data.[off + 3]
+  (byte t off lsl 24)
+  lor (byte t (off + 1) lsl 16)
+  lor (byte t (off + 2) lsl 8)
+  lor byte t (off + 3)
 
 (* The RSS 4-tuple reads are split into a validity test plus four
    fixed-offset field reads so the NIC's per-frame classify and the
@@ -31,9 +73,9 @@ let read_ip t off =
 let has_rss_tuple t =
   length t >= 38
   && read_u16 t 12 = 0x0800
-  && (let protocol = Char.code t.data.[23] in
+  && (let protocol = byte t 23 in
       protocol = 6 || protocol = 17)
-  && Char.code t.data.[14] = 0x45
+  && byte t 14 = 0x45
 
 let rss_src_ip t = read_ip t 26
 let rss_dst_ip t = read_ip t 30
@@ -65,26 +107,33 @@ let l3l4_hash t =
   end
 
 let is_ce t =
-  length t >= 34 && read_u16 t 12 = 0x0800 && Char.code t.data.[15] land 3 = 3
+  length t >= 34 && read_u16 t 12 = 0x0800 && byte t 15 land 3 = 3
+
+(* Detach into an owned copy of the first [keep] bytes, consuming the
+   input reference — the copy-on-write step shared by the mutators. *)
+let detach t ~keep =
+  let buf = Bytes.sub t.buf t.off keep in
+  release t;
+  { buf; off = 0; len = keep; owner = None }
 
 let with_ce t =
   if length t < 34 || read_u16 t 12 <> 0x0800 then t
   else begin
-    let tos = Char.code t.data.[15] in
+    let tos = byte t 15 in
     if tos land 3 = 3 then t
     else begin
-      let buf = Bytes.of_string t.data in
+      let m = (byte t 14 lsl 8) lor tos in
+      let hc = read_u16 t 24 in
+      let t' = detach t ~keep:t.len in
       let tos' = tos lor 3 in
-      Bytes.set_uint8 buf 15 tos';
+      Bytes.set_uint8 t'.buf 15 tos';
       (* RFC 1624 incremental checksum update for the changed 16-bit
          word (version/ihl . tos). *)
-      let m = (Char.code t.data.[14] lsl 8) lor tos in
-      let m' = (Char.code t.data.[14] lsl 8) lor tos' in
-      let hc = read_u16 t 24 in
+      let m' = (byte t 14 lsl 8) lor tos' in
       let sum = (lnot hc land 0xFFFF) + (lnot m land 0xFFFF) + m' in
       let rec fold s = if s > 0xFFFF then fold ((s land 0xFFFF) + (s lsr 16)) else s in
-      Bytes.set_uint16_be buf 24 (lnot (fold sum) land 0xFFFF);
-      { data = Bytes.unsafe_to_string buf }
+      Bytes.set_uint16_be t'.buf 24 (lnot (fold sum) land 0xFFFF);
+      t'
     end
   end
 
@@ -97,14 +146,14 @@ let corrupt t ~pos ~mask =
   if n = 0 then t
   else begin
     let pos = pos mod n and mask = if mask land 0xFF = 0 then 0x01 else mask land 0xFF in
-    let buf = Bytes.of_string t.data in
-    Bytes.set_uint8 buf pos (Char.code t.data.[pos] lxor mask);
-    { data = Bytes.unsafe_to_string buf }
+    let prev = byte t pos in
+    let t' = detach t ~keep:n in
+    Bytes.set_uint8 t'.buf pos (prev lxor mask);
+    t'
   end
 
 let truncate t ~keep =
   let n = length t in
-  if keep >= n then t else { data = String.sub t.data 0 (max 1 keep) }
+  if keep >= n then t else detach t ~keep:(max 1 keep)
 
-let to_mbuf t ~into =
-  Mbuf.append into t.data
+let to_mbuf t ~into = Mbuf.append_bytes into t.buf t.off t.len

@@ -1,13 +1,54 @@
 (** A frame in flight on the wire.
 
-    Transmission snapshots the mbuf into an immutable string (the DMA
-    read); reception copies it into an mbuf of the receiving queue's
-    pool (the DMA write).  The accessors below are the fixed-offset
-    header peeks NIC hardware performs for RSS and switching. *)
+    A frame is a byte view plus an ownership mode:
 
-type t = { data : string }
+    - {!of_mbuf} snapshots the mbuf into a private copy (the "DMA
+      read") — cold/control paths and tests.
+    - {!borrow_mbuf} is the zero-copy TX path: the frame is a view
+      straight over the sender's mbuf payload and holds one mbuf
+      reference.  Each hand-off on the wire transfers that reference;
+      the final consumer calls {!release}.  Fan-out (switch flooding,
+      wire-fault duplication) takes extra references with {!retain}.
+
+    Reception copies the view into an mbuf of the receiving queue's
+    pool (the DMA write) and releases it.  The accessors below are the
+    fixed-offset header peeks NIC hardware performs for RSS and
+    switching.
+
+    Ownership protocol: every [Link.send]/[deliver]/[Nic.receive]
+    consumes exactly one frame reference.  The mutators ({!with_ce},
+    {!corrupt}, {!truncate}) are copy-on-write and also consuming:
+    when they change anything they return a detached owned copy and
+    release the input; when the input is already in the requested
+    state they return it unchanged (physically equal), passing the
+    reference through.  For owned snapshots all of retain/release are
+    no-ops, so holding and re-sending an {!of_mbuf} frame remains
+    legal. *)
+
+type t
+
+val empty : t
+(** Inert zero-length placeholder for pooled storage slots; never
+    placed on the wire. *)
 
 val of_mbuf : Ixmem.Mbuf.t -> t
+(** Owned snapshot of the mbuf contents; independent of the mbuf's
+    lifetime.  Per-packet TX uses {!borrow_mbuf} instead. *)
+
+val borrow_mbuf : Ixmem.Mbuf.t -> t
+(** Zero-copy view over the mbuf's current payload, holding one mbuf
+    reference (incref).  The caller must not rewrite the mbuf payload
+    until the frame is released. *)
+
+val retain : t -> unit
+(** Take one more reference (fan-out).  No-op on owned snapshots. *)
+
+val release : t -> unit
+(** Drop one reference (terminal consumption: RX copy-in, wire drop,
+    switch discard).  No-op on owned snapshots. *)
+
+val is_borrowed : t -> bool
+
 val length : t -> int
 
 val wire_bytes : t -> int
@@ -36,22 +77,28 @@ val l3l4_hash : t -> int
 (** The switch's LAG member-selection hash (bonding, §5.1). *)
 
 val to_mbuf : t -> into:Ixmem.Mbuf.t -> unit
-(** DMA the frame contents into a fresh mbuf. *)
+(** DMA the frame contents into a fresh mbuf.  Does not release the
+    frame — the receive path releases after the copy-in. *)
 
 val with_ce : t -> t
-(** Return a copy with the IPv4 ECN field set to Congestion
-    Experienced, updating the header checksum incrementally (RFC 1624).
-    Non-IPv4 frames are returned unchanged — this is what an
-    ECN-marking switch queue does to passing packets. *)
+(** The frame with the IPv4 ECN field set to Congestion Experienced,
+    updating the header checksum incrementally (RFC 1624).  Non-IPv4
+    or already-marked frames are returned unchanged (physically
+    equal); otherwise a detached owned copy is returned and the input
+    reference consumed — this is what an ECN-marking switch queue does
+    to passing packets. *)
 
 val is_ce : t -> bool
 
 val corrupt : t -> pos:int -> mask:int -> t
-(** A copy with one byte XOR-flipped: byte [pos mod length] is XORed
-    with [mask land 0xFF] (coerced to [0x01] when zero so the copy
-    always differs).  No checksum fixup — wire damage the receiver's
-    RX validation is expected to catch. *)
+(** Copy-on-write byte flip: byte [pos mod length] is XORed with
+    [mask land 0xFF] (coerced to [0x01] when zero so the result always
+    differs).  Consumes the input reference and returns a detached
+    owned copy.  No checksum fixup — wire damage the receiver's RX
+    validation is expected to catch. *)
 
 val truncate : t -> keep:int -> t
-(** A copy cut to the first [keep] bytes (at least 1; a [keep] at or
-    beyond the frame length returns it unchanged) — a runt frame. *)
+(** Copy-on-write cut to the first [keep] bytes (at least 1) — a runt
+    frame.  A [keep] at or beyond the frame length returns the frame
+    unchanged (physically equal); otherwise consumes the input
+    reference and returns a detached owned copy. *)

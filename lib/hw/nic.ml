@@ -35,6 +35,10 @@ type t = {
   mutable indirection : int array;
   rss_lut : Toeplitz.lut;  (** per-key hash tables owned by this NIC *)
   tx_link : Link.t;
+  mutable tx_snapshot : bool;
+      (** debug: deep-copy on transmit instead of borrowing (the
+          pre-zero-copy behavior); the equivalence suite flips this to
+          prove the borrow path is bit-identical *)
   c_drops : Metrics.counter;
   c_filtered : Metrics.counter;
   c_rx : Metrics.counter;
@@ -74,6 +78,7 @@ let create _sim ~mac ~queues ?(ring_size = 512) ?(rss_key = Toeplitz.default_key
     indirection = Array.init indirection_entries (fun i -> i mod queues);
     rss_lut = Toeplitz.lut_of_key rss_key;
     tx_link = tx;
+    tx_snapshot = false;
     c_drops = c "%s.rx_drops" name;
     c_filtered = c "%s.rx_filtered" name;
     c_rx = c "%s.rx_frames" name;
@@ -136,37 +141,41 @@ let classify t frame =
    padding, so the header is the floor that matters.) *)
 let runt_limit = 14
 
+(* Consumes the frame's reference: whatever the outcome — filter,
+   drop, or copy-in — the sender's buffer is done with once receive
+   returns (the DMA write happened or never will). *)
 let receive t frame =
-  if Frame.length frame < runt_limit then
-    (* Runt (e.g. a wire fault truncated the frame mid-header): the MAC
-       discards it before parsing; counted with the filter drops so
-       frame conservation still closes. *)
-    Metrics.incr t.c_filtered
-  else
-  let dst = Frame.dst_mac frame in
-  if dst <> t.mac_addr && not (Ixnet.Mac_addr.is_broadcast dst) then
-    (* MAC filter: counted so frame conservation audits close — a wire
-       fault that flips a MAC byte ends up here, not in a black hole. *)
-    Metrics.incr t.c_filtered
-  else begin
-    let q = t.queues.(classify t frame) in
-    if q.avail_descs = 0 then Metrics.incr t.c_drops
-    else begin
-      match Mempool.alloc q.pool with
-      | None -> Metrics.incr t.c_drops
-      | Some mbuf ->
-          q.avail_descs <- q.avail_descs - 1;
-          Frame.to_mbuf frame ~into:mbuf;
-          if Array.length q.ring = 0 then q.ring <- Array.make q.ring_size mbuf;
-          let slot = q.head + q.count in
-          let slot = if slot >= q.ring_size then slot - q.ring_size else slot in
-          q.ring.(slot) <- mbuf;
-          q.count <- q.count + 1;
-          Metrics.incr t.c_rx;
-          Metrics.incr q.q_rx;
-          q.notify ()
-    end
-  end
+  (if Frame.length frame < runt_limit then
+     (* Runt (e.g. a wire fault truncated the frame mid-header): the MAC
+        discards it before parsing; counted with the filter drops so
+        frame conservation still closes. *)
+     Metrics.incr t.c_filtered
+   else
+   let dst = Frame.dst_mac frame in
+   if dst <> t.mac_addr && not (Ixnet.Mac_addr.is_broadcast dst) then
+     (* MAC filter: counted so frame conservation audits close — a wire
+        fault that flips a MAC byte ends up here, not in a black hole. *)
+     Metrics.incr t.c_filtered
+   else begin
+     let q = t.queues.(classify t frame) in
+     if q.avail_descs = 0 then Metrics.incr t.c_drops
+     else begin
+       match Mempool.alloc q.pool with
+       | None -> Metrics.incr t.c_drops
+       | Some mbuf ->
+           q.avail_descs <- q.avail_descs - 1;
+           Frame.to_mbuf frame ~into:mbuf;
+           if Array.length q.ring = 0 then q.ring <- Array.make q.ring_size mbuf;
+           let slot = q.head + q.count in
+           let slot = if slot >= q.ring_size then slot - q.ring_size else slot in
+           q.ring.(slot) <- mbuf;
+           q.count <- q.count + 1;
+           Metrics.incr t.c_rx;
+           Metrics.incr q.q_rx;
+           q.notify ()
+     end
+   end);
+  Frame.release frame
 
 let set_notify q f = q.notify <- f
 let queue_index q = q.index
@@ -219,15 +228,23 @@ let replenish q n =
 
 let free_descriptors q = q.avail_descs
 
-let transmit_at t mbuf ~earliest ~on_complete =
-  let frame = Frame.of_mbuf mbuf in
+let transmit_at t mbuf ~earliest =
+  let frame =
+    (* Zero-copy TX: the wire borrows the mbuf payload under one held
+       reference; the buffer returns to its pool when the receiving NIC
+       (or a drop) releases the last reference.  tx_snapshot restores
+       the old deep copy (Frame.of_mbuf) for equivalence testing. *)
+    if t.tx_snapshot then Frame.of_mbuf mbuf else Frame.borrow_mbuf mbuf
+  in
   Metrics.incr t.c_tx;
-  (* The frame contents are snapshotted here (DMA read), so the driver
-     may reclaim the buffer immediately. *)
   Link.send_at t.tx_link frame ~earliest;
-  on_complete ()
+  (* The wire holds its own reference now; the caller's is consumed
+     here rather than through a per-packet completion closure. *)
+  Ixmem.Mbuf.decref mbuf
 
-let transmit t mbuf ~on_complete = transmit_at t mbuf ~earliest:0 ~on_complete
+let set_tx_snapshot t v = t.tx_snapshot <- v
+
+let transmit t mbuf = transmit_at t mbuf ~earliest:0
 
 let rx_popped q = Metrics.value q.q_rx - q.count
 let rss_retargets t = Metrics.value t.c_retargets

@@ -67,7 +67,15 @@ val rss_queue_of_tuple :
     used by [Port_alloc] to probe ephemeral ports. *)
 
 val receive : t -> Frame.t -> unit
-(** Entry point wired to the switch-side link's [deliver]. *)
+(** Entry point wired to the switch-side link's [deliver].  Consumes
+    the frame's reference: after the copy-in (or a counted filter/drop)
+    the sender's wire buffer is released back toward its pool. *)
+
+val set_tx_snapshot : t -> bool -> unit
+(** Debug/testing: when [true], {!transmit} deep-copies the mbuf into
+    an owned frame ([Frame.of_mbuf], the pre-zero-copy behavior)
+    instead of borrowing it.  The equivalence suite flips this to
+    prove the borrowed wire path is bit-identical.  Default [false]. *)
 
 val set_notify : rx_queue -> (unit -> unit) -> unit
 (** Called (synchronously) each time a frame lands in the queue. *)
@@ -92,13 +100,14 @@ val replenish : rx_queue -> int -> unit
 
 val free_descriptors : rx_queue -> int
 
-val transmit : t -> Ixmem.Mbuf.t -> on_complete:(unit -> unit) -> unit
-(** Place a frame on the wire; [on_complete] fires once the frame has
-    been snapshotted (DMA read), after which the caller may reclaim the
-    buffer. *)
+val transmit : t -> Ixmem.Mbuf.t -> unit
+(** Place a frame on the wire.  The NIC takes its own reference on the
+    buffer (zero-copy DMA) and consumes the caller's — the buffer
+    returns to its pool when the wire is done with it.  A caller that
+    wants to keep reading the mbuf must [Mbuf.incref] before handing
+    it over. *)
 
-val transmit_at :
-  t -> Ixmem.Mbuf.t -> earliest:Engine.Sim_time.t -> on_complete:(unit -> unit) -> unit
+val transmit_at : t -> Ixmem.Mbuf.t -> earliest:Engine.Sim_time.t -> unit
 (** Like [transmit], but the frame does not start serializing before
     [earliest] — used by run-to-completion stacks whose cycle finishes
     (and rings its doorbell) at a future point of simulated time. *)

@@ -37,24 +37,35 @@ let bond t ~ports =
   let members = Array.of_list ports in
   List.iter (fun p -> t.bond_member.(p) <- members) ports
 
+(* Egress consumes one frame reference: either the link takes it, or
+   an unattached port drops it (releasing the wire buffer). *)
 let egress t port_idx frame =
   match t.ports.(port_idx).out with
   | Some link -> Link.send link frame
-  | None -> () (* unattached port: frame dropped *)
+  | None -> Frame.release frame (* unattached port: frame dropped *)
 
 let forward t ~ingress_port frame =
   let dst = Frame.dst_mac frame in
   if Ixnet.Mac_addr.is_broadcast dst then begin
     t.flooded_count <- t.flooded_count + 1;
+    (* Flooding fans the single incoming reference out to k egresses:
+       the first egress reuses it, each further one takes its own
+       retain; zero egresses means the reference is released here. *)
+    let sent_first = ref false in
     Array.iteri
       (fun i port ->
-        if i <> ingress_port && Option.is_some port.out then egress t i frame)
-      t.ports
+        if i <> ingress_port && Option.is_some port.out then begin
+          if !sent_first then Frame.retain frame else sent_first := true;
+          egress t i frame
+        end)
+      t.ports;
+    if not !sent_first then Frame.release frame
   end
   else begin
     match Hashtbl.find t.mac_table dst with
     | exception Not_found ->
-        () (* unknown unicast: drop (hosts are statically attached) *)
+        (* unknown unicast: drop (hosts are statically attached) *)
+        Frame.release frame
     | port_idx ->
         t.forwarded_count <- t.forwarded_count + 1;
         (* Pick the LAG member carrying this frame's flow. *)

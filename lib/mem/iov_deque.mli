@@ -1,0 +1,45 @@
+(** A byte queue of iovec slices, consumed from the front in byte
+    granularity.
+
+    Backs the libix per-connection write queue and the TCB send queue:
+    [push] is O(1) amortized, and partial front consumption (a TCP
+    stack accepting a prefix of a sendv, an ACK covering part of a
+    slice) advances an internal index instead of rebuilding a list.
+    Single-owner, like everything on the per-core path. *)
+
+type t
+
+val create : unit -> t
+(** Empty queue; the backing array is allocated lazily on first push. *)
+
+val is_empty : t -> bool
+
+val bytes : t -> int
+(** Unconsumed bytes queued. *)
+
+val length : t -> int
+(** Live slices (including a partially consumed front slice). *)
+
+val push : t -> Iovec.t -> unit
+(** Append a slice (by reference — the bytes are not copied).  Empty
+    slices are ignored. *)
+
+val clear : t -> unit
+(** Drop everything, including the slice references (a cleared queue
+    pins no application buffers).  The backing array is kept for
+    reuse. *)
+
+val drop_front : t -> int -> unit
+(** [drop_front t n] consumes [n] bytes from the front (the ACK path).
+    Allocation-free.  Raises [Invalid_argument] if [n] is negative or
+    exceeds {!bytes}. *)
+
+val blit_to : t -> skip:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+(** Copy [len] bytes starting [skip] bytes past the front into [dst]
+    at [dst_off] — the segment-gather path.  Raises
+    [Invalid_argument] if the range exceeds {!bytes}. *)
+
+val transfer : src:t -> dst:t -> max_bytes:int -> int
+(** Move up to [max_bytes] bytes from the front of [src] onto the back
+    of [dst], returning the bytes moved.  Whole slices move by
+    reference; only a split at the boundary allocates one slice. *)

@@ -1,6 +1,10 @@
 type t = { buf : Bytes.t; off : int; len : int }
 
-let of_string s = { buf = Bytes.of_string s; off = 0; len = String.length s }
+(* The unsafe coercion is sound here: iovec contents are only ever
+   read (blit into TX mbufs) — nothing writes through [buf], matching
+   the sendv contract that the slices stay immutable until acked.
+   This keeps of_string zero-copy, which matters on the send path. *)
+let of_string s = { buf = Bytes.unsafe_of_string s; off = 0; len = String.length s }
 let of_bytes b = { buf = b; off = 0; len = Bytes.length b }
 
 let sub t off len =

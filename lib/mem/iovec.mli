@@ -7,6 +7,9 @@
 type t = { buf : Bytes.t; off : int; len : int }
 
 val of_string : string -> t
+(** Zero-copy view of [s] (no allocation beyond the slice record).
+    Sound because slices are read-only by contract. *)
+
 val of_bytes : Bytes.t -> t
 val sub : t -> int -> int -> t
 val total : t list -> int

@@ -21,6 +21,29 @@ let write mbuf t =
   Bytes.set_uint16_be buf (off + 2) csum;
   mbuf.Mbuf.len <- mbuf.Mbuf.len + len
 
+(* Hot-path peek: a checksum-valid echo request, without materializing
+   the record (whose [data] field copies the payload). *)
+let is_echo_request mbuf =
+  mbuf.Mbuf.len >= header
+  && Bytes.get_uint8 mbuf.Mbuf.buf mbuf.Mbuf.off = 8
+  && Checksum.verify mbuf.Mbuf.buf ~off:mbuf.Mbuf.off ~len:mbuf.Mbuf.len ~init:0
+
+(* Zero-allocation echo reply: blit the request into the reply mbuf,
+   flip the type, refresh the checksum.  The dataplane answers pings
+   with this instead of decode + write (two payload copies and a
+   record). *)
+let reply_into mbuf ~into =
+  let len = mbuf.Mbuf.len in
+  if Mbuf.tailroom into < len then invalid_arg "Icmp_packet.reply_into: no room";
+  let off = into.Mbuf.off + into.Mbuf.len in
+  let buf = into.Mbuf.buf in
+  Bytes.blit mbuf.Mbuf.buf mbuf.Mbuf.off buf off len;
+  Bytes.set_uint8 buf off 0 (* Echo_reply *);
+  Bytes.set_uint16_be buf (off + 2) 0;
+  let csum = Checksum.compute buf ~off ~len in
+  Bytes.set_uint16_be buf (off + 2) csum;
+  into.Mbuf.len <- into.Mbuf.len + len
+
 let decode mbuf =
   if mbuf.Mbuf.len < header then Error "icmp: too short"
   else begin

@@ -8,3 +8,13 @@ type t = { kind : kind; ident : int; seq : int; data : string }
 
 val write : Ixmem.Mbuf.t -> t -> unit
 val decode : Ixmem.Mbuf.t -> (t, string) result
+
+val is_echo_request : Ixmem.Mbuf.t -> bool
+(** Checksum-valid echo request?  Allocation-free peek for the
+    dataplane's ping hot path ({!decode}'s [data] field copies the
+    payload; replies built with {!reply_into} never need it). *)
+
+val reply_into : Ixmem.Mbuf.t -> into:Ixmem.Mbuf.t -> unit
+(** Build the echo reply to request [mbuf] directly in [into]: one
+    blit, type flipped, checksum refreshed — no intermediate record or
+    payload string. *)

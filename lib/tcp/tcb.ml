@@ -90,6 +90,10 @@ let default_config =
     tw_recycle = true;
   }
 
+(* Sentinel for [rexmit_action] before [Tcp_conn] installs the real
+   callback; compared with [==]. *)
+let no_rexmit_action () = ()
+
 type callbacks = {
   mutable on_connected : bool -> unit;
       (** active open finished; [true] = established *)
@@ -200,12 +204,21 @@ and t = {
           elastic thread (new wheel, pools and output path) *)
   cfg : config;
   callbacks : callbacks;
-  mutable snd_queue : Ixmem.Iovec.t list;
+  snd_queue : Ixmem.Iov_deque.t;
+      (** unacked send data as app-buffer slices; consumed from the
+          front by ACKs ([drop_front]), gathered into TX mbufs by
+          sequence offset ([blit_to]) *)
   mutable ooo : (Seqno.t * Mbuf.t * int * int) list;  (** seq, mbuf, off, len *)
-  mutable rexmit_timer : Timerwheel.Timer_wheel.timer option;
-  mutable persist_timer : Timerwheel.Timer_wheel.timer option;
-  mutable delack_timer : Timerwheel.Timer_wheel.timer option;
-  mutable time_wait_timer : Timerwheel.Timer_wheel.timer option;
+  (* Timer handles hold [Timer_wheel.null] when disarmed — a plain
+     field instead of an option so the per-ACK re-arm boxes nothing. *)
+  mutable rexmit_timer : Timerwheel.Timer_wheel.timer;
+  mutable persist_timer : Timerwheel.Timer_wheel.timer;
+  mutable delack_timer : Timerwheel.Timer_wheel.timer;
+  mutable time_wait_timer : Timerwheel.Timer_wheel.timer;
+  mutable rexmit_action : unit -> unit;
+      (** the RTO callback, built once per connection ([Tcp_conn]
+          installs it on first arm) — re-arming a retransmit timer on
+          every ACK must not allocate a fresh closure *)
 }
 
 and env = {
@@ -719,12 +732,13 @@ let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
       env;
       cfg;
       callbacks = null_callbacks ();
-      snd_queue = [];
+      snd_queue = Ixmem.Iov_deque.create ();
       ooo = [];
-      rexmit_timer = None;
-      persist_timer = None;
-      delack_timer = None;
-      time_wait_timer = None;
+      rexmit_timer = Timerwheel.Timer_wheel.null;
+      persist_timer = Timerwheel.Timer_wheel.null;
+      delack_timer = Timerwheel.Timer_wheel.null;
+      time_wait_timer = Timerwheel.Timer_wheel.null;
+      rexmit_action = no_rexmit_action;
     }
   in
   s.views.(i) <- Some tcb;

@@ -9,29 +9,21 @@ let max_rexmit_shots = 12
 (* ------------------------------------------------------------------ *)
 (* Timer plumbing                                                      *)
 
-let cancel_timer wheel slot =
-  match slot with
-  | Some timer -> Wheel.cancel wheel timer
-  | None -> ()
-
-let set_rexmit tcb f =
-  cancel_timer tcb.env.wheel tcb.rexmit_timer;
-  let deadline = tcb.env.now () + rto_ns tcb in
-  tcb.rexmit_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline f)
+let cancel_timer wheel timer = Wheel.cancel wheel timer
 
 let clear_rexmit tcb =
   cancel_timer tcb.env.wheel tcb.rexmit_timer;
-  tcb.rexmit_timer <- None
+  tcb.rexmit_timer <- Wheel.null
 
 let cancel_all_timers tcb =
   cancel_timer tcb.env.wheel tcb.rexmit_timer;
   cancel_timer tcb.env.wheel tcb.persist_timer;
   cancel_timer tcb.env.wheel tcb.delack_timer;
   cancel_timer tcb.env.wheel tcb.time_wait_timer;
-  tcb.rexmit_timer <- None;
-  tcb.persist_timer <- None;
-  tcb.delack_timer <- None;
-  tcb.time_wait_timer <- None
+  tcb.rexmit_timer <- Wheel.null;
+  tcb.persist_timer <- Wheel.null;
+  tcb.delack_timer <- Wheel.null;
+  tcb.time_wait_timer <- Wheel.null
 
 (* ------------------------------------------------------------------ *)
 (* Segment construction                                                *)
@@ -48,33 +40,23 @@ let advertised_window tcb =
 let gather_payload tcb mbuf ~seq ~len =
   let skip0 = Seqno.diff seq (snd_queue_seq tcb) in
   assert (skip0 >= 0 && skip0 + len <= snd_queue_len tcb);
-  let dst = mbuf.Mbuf.buf in
-  let rec walk iovs skip remaining dst_off =
-    if remaining > 0 then begin
-      match iovs with
-      | [] -> assert false
-      | (iov : Iovec.t) :: rest ->
-          if skip >= iov.Iovec.len then walk rest (skip - iov.Iovec.len) remaining dst_off
-          else begin
-            let n = min (iov.Iovec.len - skip) remaining in
-            Iovec.blit iov ~src_off:skip ~dst ~dst_off ~len:n;
-            walk rest 0 (remaining - n) (dst_off + n)
-          end
-    end
-  in
-  walk tcb.snd_queue skip0 len (mbuf.Mbuf.off + mbuf.Mbuf.len);
+  Ixmem.Iov_deque.blit_to tcb.snd_queue ~skip:skip0 ~dst:mbuf.Mbuf.buf
+    ~dst_off:(mbuf.Mbuf.off + mbuf.Mbuf.len) ~len;
   mbuf.Mbuf.len <- mbuf.Mbuf.len + len
 
 type seg_kind =
   | Seg_syn
   | Seg_syn_ack
-  | Seg_data of { seq : Seqno.t; len : int; psh : bool }
   | Seg_fin
   | Seg_fin_rexmit
   | Seg_ack
   | Seg_rst
 
-let emit tcb kind =
+(* [dlen >= 0] makes this a data segment [dseq, dseq+dlen) (with PSH
+   per [dpsh]) and [kind] is ignored; [dlen < 0] emits the control
+   segment [kind].  Data segments pass their parameters as immediate
+   arguments so the TX hot path allocates no descriptor per segment. *)
+let emit_seg tcb kind ~dseq ~dlen ~dpsh =
   (* A CLOSED connection never transmits.  With the SoA store this also
      covers released views: they read the dead row (state = CLOSED), so
      a stale [consume]/[ack_now] after teardown is a silent no-op
@@ -105,32 +87,34 @@ let emit tcb kind =
       seg.Seg.wscale <- None;
       seg.Seg.payload_off <- 0;
       seg.Seg.payload_len <- 0;
-      (match kind with
-      | Seg_syn ->
-          seg.Seg.seq <- iss tcb;
-          seg.Seg.syn <- true;
-          seg.Seg.ack_flag <- false;
-          seg.Seg.mss <- Some tcb.cfg.mss;
-          seg.Seg.wscale <- Some tcb.cfg.wscale;
-          seg.Seg.window <- min (rcv_window tcb) 0xFFFF
-      | Seg_syn_ack ->
-          seg.Seg.seq <- iss tcb;
-          seg.Seg.syn <- true;
-          seg.Seg.ack_flag <- true;
-          seg.Seg.mss <- Some tcb.cfg.mss;
-          seg.Seg.wscale <- (if ws_enabled tcb then Some tcb.cfg.wscale else None);
-          seg.Seg.window <- min (rcv_window tcb) 0xFFFF
-      | Seg_data { seq; len; psh } ->
-          gather_payload tcb mbuf ~seq ~len;
-          seg.Seg.seq <- seq;
-          seg.Seg.psh <- psh
-      | Seg_fin -> seg.Seg.fin <- true
-      | Seg_fin_rexmit ->
-          (* The FIN occupies the sequence just below snd_nxt. *)
-          seg.Seg.fin <- true;
-          seg.Seg.seq <- Seqno.sub (snd_nxt tcb) 1
-      | Seg_ack -> ()
-      | Seg_rst -> seg.Seg.rst <- true);
+      (if dlen >= 0 then begin
+         gather_payload tcb mbuf ~seq:dseq ~len:dlen;
+         seg.Seg.seq <- dseq;
+         seg.Seg.psh <- dpsh
+       end
+       else
+         match kind with
+         | Seg_syn ->
+             seg.Seg.seq <- iss tcb;
+             seg.Seg.syn <- true;
+             seg.Seg.ack_flag <- false;
+             seg.Seg.mss <- Some tcb.cfg.mss;
+             seg.Seg.wscale <- Some tcb.cfg.wscale;
+             seg.Seg.window <- min (rcv_window tcb) 0xFFFF
+         | Seg_syn_ack ->
+             seg.Seg.seq <- iss tcb;
+             seg.Seg.syn <- true;
+             seg.Seg.ack_flag <- true;
+             seg.Seg.mss <- Some tcb.cfg.mss;
+             seg.Seg.wscale <- (if ws_enabled tcb then Some tcb.cfg.wscale else None);
+             seg.Seg.window <- min (rcv_window tcb) 0xFFFF
+         | Seg_fin -> seg.Seg.fin <- true
+         | Seg_fin_rexmit ->
+             (* The FIN occupies the sequence just below snd_nxt. *)
+             seg.Seg.fin <- true;
+             seg.Seg.seq <- Seqno.sub (snd_nxt tcb) 1
+         | Seg_ack -> ()
+         | Seg_rst -> seg.Seg.rst <- true);
       (* DCTCP: echo congestion marks on outgoing ACK-bearing segments. *)
       if tcb.cfg.dctcp && ce_to_echo tcb && seg.Seg.ack_flag then begin
         set_ce_to_echo tcb false;
@@ -138,15 +122,15 @@ let emit tcb kind =
       end;
       Seg.prepend mbuf ~src:(local_ip tcb) ~dst:(remote_ip tcb) seg;
       incr_segs_out tcb;
-      (match kind with
-      | Seg_data { len; _ } -> add_bytes_out tcb len
-      | Seg_syn | Seg_syn_ack | Seg_fin | Seg_fin_rexmit | Seg_ack | Seg_rst -> ());
+      if dlen >= 0 then add_bytes_out tcb dlen;
       set_rcv_adv_wnd tcb (rcv_window tcb);
       set_delack_count tcb 0;
       cancel_timer tcb.env.wheel tcb.delack_timer;
-      tcb.delack_timer <- None;
+      tcb.delack_timer <- Wheel.null;
       tcb.env.output tcb mbuf
 
+let emit tcb kind = emit_seg tcb kind ~dseq:0 ~dlen:(-1) ~dpsh:false
+let emit_data tcb ~seq ~len ~psh = emit_seg tcb Seg_ack ~dseq:seq ~dlen:len ~dpsh:psh
 let ack_now tcb = emit tcb Seg_ack
 
 let advance_snd_nxt tcb n =
@@ -162,7 +146,7 @@ let teardown tcb reason =
     cancel_all_timers tcb;
     List.iter (fun (_, mbuf, _, _) -> Mbuf.decref mbuf) tcb.ooo;
     tcb.ooo <- [];
-    tcb.snd_queue <- [];
+    Ixmem.Iov_deque.clear tcb.snd_queue;
     set_state tcb Tcp_state.Closed;
     set_last_close tcb reason;
     tcb.env.on_teardown tcb;
@@ -190,8 +174,18 @@ let abort tcb =
 (* ------------------------------------------------------------------ *)
 (* Output path                                                         *)
 
-let rec rexmit_timeout tcb () =
-  tcb.rexmit_timer <- None;
+(* The RTO closure is built once per TCB and cached in [rexmit_action];
+   re-arming the timer after every ACK then costs only the wheel slot,
+   not a fresh closure. *)
+let rec set_rexmit tcb =
+  cancel_timer tcb.env.wheel tcb.rexmit_timer;
+  (if tcb.rexmit_action == Tcb.no_rexmit_action then
+     tcb.rexmit_action <- rexmit_timeout tcb);
+  let deadline = tcb.env.now () + rto_ns tcb in
+  tcb.rexmit_timer <- Wheel.schedule tcb.env.wheel ~deadline tcb.rexmit_action
+
+and rexmit_timeout tcb () =
+  tcb.rexmit_timer <- Wheel.null;
   if state tcb <> Tcp_state.Closed then begin
     set_rexmit_shots tcb (rexmit_shots tcb + 1);
     if rexmit_shots tcb > max_rexmit_shots then teardown tcb Tcb.Timeout
@@ -218,7 +212,7 @@ let rec rexmit_timeout tcb () =
         set_snd_nxt tcb (snd_una tcb)
       end;
       retransmit_one tcb;
-      set_rexmit tcb (rexmit_timeout tcb)
+      set_rexmit tcb
     end
   end
 
@@ -239,7 +233,7 @@ and retransmit_one tcb =
           Seqno.diff (Seqno.add (snd_queue_seq tcb) (snd_queue_len tcb)) (snd_una tcb)
         in
         let len = min (snd_mss tcb) avail in
-        emit tcb (Seg_data { seq = snd_una tcb; len; psh = false });
+        emit_data tcb ~seq:(snd_una tcb) ~len ~psh:false;
         (* Keep snd_nxt covering the retransmission (go-back-N resets). *)
         if Seqno.lt (snd_nxt tcb) (Seqno.add (snd_una tcb) len) then begin
           set_snd_nxt tcb (Seqno.add (snd_una tcb) len);
@@ -251,15 +245,15 @@ and retransmit_one tcb =
 
 let arm_rexmit_if_needed tcb =
   if Tcb.flight tcb > 0 then begin
-    if tcb.rexmit_timer = None then set_rexmit tcb (rexmit_timeout tcb)
+    if tcb.rexmit_timer == Wheel.null then set_rexmit tcb
   end
   else clear_rexmit tcb
 
 let rec persist_timeout tcb () =
-  tcb.persist_timer <- None;
+  tcb.persist_timer <- Wheel.null;
   if state tcb <> Tcp_state.Closed && snd_wnd tcb = 0 && Tcb.unsent tcb > 0 then begin
     (* Window probe: one byte beyond the window. *)
-    emit tcb (Seg_data { seq = snd_nxt tcb; len = 1; psh = false });
+    emit_data tcb ~seq:(snd_nxt tcb) ~len:1 ~psh:false;
     advance_snd_nxt tcb 1;
     rtt_backoff tcb;
     arm_rexmit_if_needed tcb;
@@ -267,9 +261,9 @@ let rec persist_timeout tcb () =
   end
 
 and arm_persist tcb =
-  if tcb.persist_timer = None then begin
+  if tcb.persist_timer == Wheel.null then begin
     let deadline = tcb.env.now () + rto_ns tcb in
-    tcb.persist_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline (persist_timeout tcb))
+    tcb.persist_timer <- Wheel.schedule tcb.env.wheel ~deadline (persist_timeout tcb)
   end
 
 let try_output tcb =
@@ -290,7 +284,7 @@ let try_output tcb =
           set_rtt_start tcb (tcb.env.now ());
           set_rtt_seq tcb (Seqno.add seq len)
         end;
-        emit tcb (Seg_data { seq; len; psh });
+        emit_data tcb ~seq ~len ~psh;
         advance_snd_nxt tcb len
       end
     done;
@@ -320,7 +314,7 @@ let connect env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
   set_snd_nxt tcb (Seqno.add (iss tcb) 1);
   set_snd_max tcb (snd_nxt tcb);
   emit tcb Seg_syn;
-  set_rexmit tcb (rexmit_timeout tcb);
+  set_rexmit tcb;
   tcb
 
 let accept_syn env cfg ~local_ip ~remote_ip ~segment ~cookie =
@@ -343,7 +337,7 @@ let accept_syn env cfg ~local_ip ~remote_ip ~segment ~cookie =
   set_snd_nxt tcb (Seqno.add (iss tcb) 1);
   set_snd_max tcb (snd_nxt tcb);
   emit tcb Seg_syn_ack;
-  set_rexmit tcb (rexmit_timeout tcb);
+  set_rexmit tcb;
   tcb
 
 (* SYN-cookie materialization: the handshake already completed on the
@@ -377,35 +371,78 @@ let accept_cookie env cfg ~local_ip ~remote_ip ~segment ~iss:cookie_iss ~mss
   env.on_established tcb;
   tcb
 
+(* IX semantics: accept only what the transmit budget (send buffer
+   bounded by the peer's window headroom) allows; the caller retries
+   the rest on a later [sent] event. *)
+let send_budget tcb =
+  let budget =
+    if tcb.cfg.buffered_send then tcb.cfg.snd_buf - snd_queue_len tcb
+    else begin
+      let window_headroom =
+        max (snd_wnd tcb) (2 * snd_mss tcb) - (Tcb.flight tcb + Tcb.unsent tcb)
+      in
+      min (tcb.cfg.snd_buf - snd_queue_len tcb) window_headroom
+    end
+  in
+  max budget 0
+
 let send tcb iovs =
   if not (Tcp_state.can_send_data (state tcb)) || fin_queued tcb then 0
   else begin
-    (* IX semantics: accept only what the transmit budget (send buffer
-       bounded by the peer's window headroom) allows; the caller
-       retries the rest on a later [sent] event. *)
-    let budget =
-      if tcb.cfg.buffered_send then tcb.cfg.snd_buf - snd_queue_len tcb
-      else begin
-        let window_headroom =
-          max (snd_wnd tcb) (2 * snd_mss tcb) - (Tcb.flight tcb + Tcb.unsent tcb)
-        in
-        min (tcb.cfg.snd_buf - snd_queue_len tcb) window_headroom
-      end
-    in
-    let budget = max budget 0 in
+    let budget = send_budget tcb in
     let total = Iovec.total iovs in
     let accepted = min budget total in
     if accepted > 0 then begin
-      (* Split iovecs at the accepted boundary. *)
-      let rec take acc remaining = function
-        | [] -> List.rev acc
+      (* Queue iovecs, splitting the one at the accepted boundary. *)
+      let rec take remaining = function
+        | [] -> ()
         | (iov : Iovec.t) :: rest ->
-            if remaining = 0 then List.rev acc
-            else if iov.Iovec.len <= remaining then
-              take (iov :: acc) (remaining - iov.Iovec.len) rest
-            else List.rev (Iovec.sub iov 0 remaining :: acc)
+            if remaining > 0 then
+              if iov.Iovec.len <= remaining then begin
+                Ixmem.Iov_deque.push tcb.snd_queue iov;
+                take (remaining - iov.Iovec.len) rest
+              end
+              else Ixmem.Iov_deque.push tcb.snd_queue (Iovec.sub iov 0 remaining)
       in
-      tcb.snd_queue <- tcb.snd_queue @ take [] accepted iovs;
+      take accepted iovs;
+      set_snd_queue_len tcb (snd_queue_len tcb + accepted);
+      try_output tcb
+    end;
+    accepted
+  end
+
+(* Single-slice [send], open-coded: the per-message socket write path
+   (one [write(2)] per request) skips the list build and the local
+   recursion closure. *)
+let send_iov tcb (iov : Iovec.t) =
+  if not (Tcp_state.can_send_data (state tcb)) || fin_queued tcb then 0
+  else begin
+    let accepted = min (send_budget tcb) iov.Iovec.len in
+    if accepted > 0 then begin
+      if accepted = iov.Iovec.len then Ixmem.Iov_deque.push tcb.snd_queue iov
+      else Ixmem.Iov_deque.push tcb.snd_queue (Iovec.sub iov 0 accepted);
+      set_snd_queue_len tcb (snd_queue_len tcb + accepted);
+      try_output tcb
+    end;
+    accepted
+  end
+
+(* Zero-copy sendv: pull the accepted prefix straight off the
+   connection's write queue — whole slices move by reference, only a
+   split at the acceptance boundary allocates.  This is the libix
+   run-to-completion path; the list-based [send] above stays for
+   callers holding materialized iovec lists (baseline stacks). *)
+let send_from tcb queue =
+  if not (Tcp_state.can_send_data (state tcb)) || fin_queued tcb then 0
+  else begin
+    let budget = send_budget tcb in
+    let accepted = min budget (Ixmem.Iov_deque.bytes queue) in
+    if accepted > 0 then begin
+      let moved =
+        Ixmem.Iov_deque.transfer ~src:queue ~dst:tcb.snd_queue
+          ~max_bytes:accepted
+      in
+      assert (moved = accepted);
       set_snd_queue_len tcb (snd_queue_len tcb + accepted);
       try_output tcb
     end;
@@ -440,7 +477,7 @@ let enter_time_wait tcb =
   set_state tcb Tcp_state.Time_wait;
   clear_rexmit tcb;
   cancel_timer tcb.env.wheel tcb.time_wait_timer;
-  tcb.time_wait_timer <- None;
+  tcb.time_wait_timer <- Wheel.null;
   (* TIME_WAIT recycling: the endpoint records a [Tw_table] remnant and
      returns [true]; the full TCB is released right away instead of
      sitting armed for [time_wait_ns]. *)
@@ -448,7 +485,7 @@ let enter_time_wait tcb =
   else begin
     let deadline = tcb.env.now () + tcb.cfg.time_wait_ns in
     tcb.time_wait_timer <-
-      Some (Wheel.schedule tcb.env.wheel ~deadline (fun () -> teardown tcb Tcb.Normal))
+      Wheel.schedule tcb.env.wheel ~deadline (fun () -> teardown tcb Tcb.Normal)
   end
 
 let drop_acked_data tcb ack =
@@ -457,17 +494,9 @@ let drop_acked_data tcb ack =
     max 0 (min d (snd_queue_len tcb))
   in
   if acked_data > 0 then begin
-    let rec drop n iovs =
-      if n = 0 then iovs
-      else begin
-        match iovs with
-        | [] -> assert false
-        | (iov : Iovec.t) :: rest ->
-            if iov.Iovec.len <= n then drop (n - iov.Iovec.len) rest
-            else Iovec.sub iov n (iov.Iovec.len - n) :: rest
-      end
-    in
-    tcb.snd_queue <- drop acked_data tcb.snd_queue;
+    (* Allocation-free: whole slices pop, a partial one advances the
+       deque's front index. *)
+    Ixmem.Iov_deque.drop_front tcb.snd_queue acked_data;
     set_snd_queue_seq tcb (Seqno.add (snd_queue_seq tcb) acked_data);
     set_snd_queue_len tcb (snd_queue_len tcb - acked_data)
   end;
@@ -478,19 +507,19 @@ let update_send_window tcb (seg : Seg.t) =
   set_snd_wnd tcb (seg.Seg.window lsl scale);
   if snd_wnd tcb > 0 then begin
     cancel_timer tcb.env.wheel tcb.persist_timer;
-    tcb.persist_timer <- None
+    tcb.persist_timer <- Wheel.null
   end
 
 let schedule_delack tcb =
   set_delack_count tcb (delack_count tcb + 1);
   if delack_count tcb >= tcb.cfg.delack_segs then ack_now tcb
-  else if tcb.delack_timer = None then begin
+  else if tcb.delack_timer == Wheel.null then begin
     let deadline = tcb.env.now () + tcb.cfg.delack_ns in
     let fire () =
-      tcb.delack_timer <- None;
+      tcb.delack_timer <- Wheel.null;
       if state tcb <> Tcp_state.Closed && delack_count tcb > 0 then ack_now tcb
     in
-    tcb.delack_timer <- Some (Wheel.schedule tcb.env.wheel ~deadline fire)
+    tcb.delack_timer <- Wheel.schedule tcb.env.wheel ~deadline fire
   end
 
 (* Deliver the in-order byte range [seg payload from rcv_nxt onward]. *)
@@ -625,7 +654,7 @@ let process_ack tcb (seg : Seg.t) =
     | _ -> ());
     if state tcb <> Tcp_state.Closed then begin
       if Tcb.flight tcb = 0 then clear_rexmit tcb
-      else set_rexmit tcb (rexmit_timeout tcb);
+      else set_rexmit tcb;
       if data_acked > 0 then tcb.callbacks.on_sent data_acked;
       try_output tcb
     end
@@ -749,7 +778,7 @@ let input_fast tcb (seg : Seg.t) mbuf =
   && snd_wnd tcb > 0
   && seg.Seg.window lsl (if ws_enabled tcb then snd_wscale tcb else 0)
      = snd_wnd tcb
-  && tcb.persist_timer = None
+  && tcb.persist_timer == Wheel.null
   &&
   let ack = seg.Seg.ack in
   let ack_advances = Seqno.gt ack (snd_una tcb) in
@@ -775,7 +804,7 @@ let input_fast tcb (seg : Seg.t) mbuf =
          set_dupacks tcb 0;
          cong_on_ack tcb ~acked_bytes:acked;
          if Tcb.flight tcb = 0 then clear_rexmit tcb
-         else set_rexmit tcb (rexmit_timeout tcb);
+         else set_rexmit tcb;
          if data_acked > 0 then tcb.callbacks.on_sent data_acked;
          try_output tcb
        end
@@ -797,18 +826,18 @@ let input_fast tcb (seg : Seg.t) mbuf =
 (* Flow migration                                                      *)
 
 let rebind tcb new_env =
-  let had_rexmit = tcb.rexmit_timer <> None in
-  let had_delack = tcb.delack_timer <> None in
-  let had_time_wait = tcb.time_wait_timer <> None in
+  let had_rexmit = tcb.rexmit_timer != Wheel.null in
+  let had_delack = tcb.delack_timer != Wheel.null in
+  let had_time_wait = tcb.time_wait_timer != Wheel.null in
   cancel_all_timers tcb;
   tcb.env <- new_env;
-  if had_rexmit || Tcb.flight tcb > 0 then set_rexmit tcb (rexmit_timeout tcb);
+  if had_rexmit || Tcb.flight tcb > 0 then set_rexmit tcb;
   if had_delack then begin
     let deadline = new_env.Tcb.now () + tcb.cfg.delack_ns in
     let fire () =
-      tcb.delack_timer <- None;
+      tcb.delack_timer <- Wheel.null;
       if state tcb <> Tcp_state.Closed && delack_count tcb > 0 then ack_now tcb
     in
-    tcb.delack_timer <- Some (Wheel.schedule new_env.Tcb.wheel ~deadline fire)
+    tcb.delack_timer <- Wheel.schedule new_env.Tcb.wheel ~deadline fire
   end;
   if had_time_wait then enter_time_wait tcb

@@ -74,6 +74,17 @@ val send : Tcb.t -> Ixmem.Iovec.t list -> int
     automatically).  Accepted bytes must stay immutable until reported
     by [on_sent]. *)
 
+val send_iov : Tcb.t -> Ixmem.Iovec.t -> int
+(** [send tcb [iov]] without building the list — the per-message
+    socket write path. *)
+
+val send_from : Tcb.t -> Ixmem.Iov_deque.t -> int
+(** Like {!send}, but pulls the accepted prefix directly off a write
+    queue: whole slices move by reference onto the TCB's send queue
+    (only a split at the acceptance boundary allocates), and the
+    remainder stays queued for the caller's retry.  The zero-copy
+    libix sendv path. *)
+
 val consume : Tcb.t -> int -> unit
 (** IX [recv_done]: the application has released [n] received bytes;
     advances the receive window (and emits a window update if it

@@ -9,6 +9,10 @@ type timer = {
   mutable state : [ `Armed | `Cancelled | `Fired ];
 }
 
+(* Inert sentinel: lets timer holders use a plain [timer] field (no
+   option box per arm).  Never armed, so [cancel] is a no-op on it. *)
+let null = { deadline_tick = 0; action = (fun () -> ()); state = `Fired }
+
 type t = {
   tick_ns : int;
   wheel : timer list array array; (* level -> slot -> timers (unordered) *)

@@ -15,6 +15,11 @@ type t
 type timer
 (** Handle for cancellation. *)
 
+val null : timer
+(** An inert, never-armed timer: lets holders keep a plain [timer]
+    field instead of a [timer option] (no box per arm).  [cancel] on it
+    is a no-op. *)
+
 val default_tick_ns : int
 (** 16 µs, the paper's minimum timeout granularity. *)
 

@@ -1,4 +1,4 @@
-(* Million-connection churn workload (DESIGN.md §9).
+(* Million-connection churn workload (DESIGN.md §8b).
 
    One [Tcp_endpoint] plays the server; the million clients are
    synthetic — raw TCP segments crafted straight into mbufs and fed to

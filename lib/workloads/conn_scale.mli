@@ -1,4 +1,4 @@
-(** Million-connection churn workload (ISSUE 7, DESIGN.md §9).
+(** Million-connection churn workload (ISSUE 7, DESIGN.md §8b).
 
     A single [Tcp_endpoint] serves [conns] synthetic clients whose
     state lives in unboxed arrays; the driver is single-threaded and

@@ -1,7 +1,8 @@
 (* Repository lint: no module-level mutable state in lib/, no
-   allocating header decodes on the RX hot path, and no cross-thread
-   synchronization primitives on the per-core dataplane paths (second
-   and third passes below).
+   allocating header decodes on the RX hot path, no cross-thread
+   synchronization primitives on the per-core dataplane paths, and no
+   per-packet payload copies on the wire path (second, third and
+   fourth passes below).
 
    The parallel experiment harness (Engine.Domain_pool) runs whole
    simulations concurrently on separate domains; a top-level [ref],
@@ -142,6 +143,42 @@ let per_core_files =
 
 let sync_primitives = [ "Mutex"; "Condition"; "Semaphore"; "Atomic"; "Domain" ]
 
+(* Fourth pass: no per-packet copies on the wire path.  lib/hw and
+   lib/core move every frame of every simulation; a [Frame.of_mbuf]
+   snapshot or a [Bytes.sub_string] payload copy there reintroduces
+   exactly the per-packet allocation the zero-copy wire path removed
+   (DESIGN.md §9: NICs transmit refcounted views over the sender's
+   mbuf; faults copy-on-write; libix readers see payloads in place).
+   Deliberate exceptions go on the allowlist: an entry is a
+   (path-suffix, substring) pair and excuses a flagged line when the
+   substring appears on that line or the one above it — so the excuse
+   lives next to the copy it excuses. *)
+
+let per_packet_dirs = [ "hw"; "core" ]
+let per_packet_copies = [ "Frame.of_mbuf"; "Bytes.sub_string" ]
+
+let per_packet_allowlist =
+  [
+    (* The copy-path ablation lever: Frame.of_mbuf only runs when
+       set_tx_snapshot pinned the NIC to the pre-zero-copy behavior
+       (the copy-vs-borrow equivalence tests flip it). *)
+    ("hw/nic.ml", "tx_snapshot");
+    (* libix compatibility readers: an app that registered no
+       zero-copy reader gets one copy, close to its use (§6). *)
+    ("core/libix.ml", "Compatibility path");
+  ]
+
+let contains_sub line sub =
+  let nl = String.length line and ns = String.length sub in
+  let rec at i =
+    if i + ns > nl then false
+    else if String.sub line i ns = sub then true
+    else at (i + 1)
+  in
+  at 0
+
+let in_dir path d = contains_sub path (Filename.dir_sep ^ d ^ Filename.dir_sep)
+
 let allocating_decodes =
   [
     "Tcp_segment.decode";
@@ -188,6 +225,32 @@ let lint_per_core path lines =
           sync_primitives)
       lines
 
+let lint_per_packet path lines =
+  if List.exists (fun d -> in_dir path d) per_packet_dirs then
+    Array.iteri
+      (fun i line ->
+        List.iter
+          (fun tok ->
+            if contains_token line tok then
+              let allowed =
+                List.exists
+                  (fun (suffix, sub) ->
+                    Filename.check_suffix path suffix
+                    && (contains_sub line sub
+                       || (i > 0 && contains_sub lines.(i - 1) sub)))
+                  per_packet_allowlist
+              in
+              if not allowed then
+                failures :=
+                  Printf.sprintf
+                    "%s:%d: `%s` copies a packet payload on the wire path — \
+                     borrow the mbuf (Frame.borrow_mbuf, zero-copy readers) \
+                     or add a documented allowlist entry (DESIGN.md §9)"
+                    path (i + 1) tok
+                  :: !failures)
+          per_packet_copies)
+      lines
+
 let lint_hot_path path lines =
   if List.exists (fun suffix -> Filename.check_suffix path suffix) hot_path_files
   then
@@ -216,6 +279,7 @@ let lint_file path =
   let lines = Array.of_list (List.rev !lines) in
   lint_hot_path path lines;
   lint_per_core path lines;
+  lint_per_packet path lines;
   Array.iteri
     (fun i line ->
       match value_binding_name line with

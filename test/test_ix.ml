@@ -19,6 +19,63 @@ let test_batch_policy () =
   Batch.set_bound b 1;
   check_int "rebound" 1 (Batch.next_batch b ~pending:100)
 
+(* The adaptive controller is a pure function of the next_batch call
+   stream: saturated windows double the bound toward the ceiling,
+   light windows halve it toward the floor, and the bound never leaves
+   [floor, ceiling]. *)
+let test_batch_adaptive_controller () =
+  let b = Batch.create ~bound:8 ~mode:(Batch.Adaptive { floor = 1; ceiling = 64 }) () in
+  check_int "starts at the requested bound" 8 (Batch.bound b);
+  (* Saturate: every cycle has more pending than the bound admits. *)
+  for _ = 1 to 32 do
+    ignore (Batch.next_batch b ~pending:1_000)
+  done;
+  check_int "saturated window doubles" 16 (Batch.bound b);
+  check_bool "congested" true (Batch.congested b);
+  for _ = 1 to 64 do
+    ignore (Batch.next_batch b ~pending:1_000)
+  done;
+  check_int "keeps climbing" 64 (Batch.bound b);
+  for _ = 1 to 32 do
+    ignore (Batch.next_batch b ~pending:1_000)
+  done;
+  check_int "clamped at the ceiling" 64 (Batch.bound b);
+  (* Go idle-ish: one packet per non-idle cycle, far below bound/4. *)
+  for _ = 1 to 32 * 7 do
+    ignore (Batch.next_batch b ~pending:1)
+  done;
+  (* One packet per cycle rests at bound=4: mean admitted equals
+     limit/4 exactly there and the halving test is strict. *)
+  check_bool "bound came back down" true (Batch.bound b <= 4);
+  check_bool "not congested" false (Batch.congested b);
+  (* Idle cycles don't advance the window. *)
+  let before = Batch.bound b in
+  for _ = 1 to 1_000 do
+    ignore (Batch.next_batch b ~pending:0)
+  done;
+  check_int "idle cycles leave the bound alone" before (Batch.bound b)
+
+let test_batch_doorbell_coalescing () =
+  (* Fixed mode: one ring per non-empty burst, exactly as before. *)
+  let f = Batch.create ~bound:64 () in
+  check_bool "fixed rings on burst" true (Batch.doorbell_due f ~burst:3);
+  check_bool "fixed skips empty" false (Batch.doorbell_due f ~burst:0);
+  check_int "fixed doorbells" 1 (Batch.doorbells f);
+  (* Adaptive + congested: small bursts coalesce until a bound's worth
+     of segments accumulated; a quiet cycle flushes the deferred ring. *)
+  let a = Batch.create ~bound:8 ~mode:(Batch.Adaptive { floor = 1; ceiling = 8 }) () in
+  for _ = 1 to 32 do
+    ignore (Batch.next_batch a ~pending:1_000)
+  done;
+  check_bool "congested after saturated window" true (Batch.congested a);
+  check_bool "small burst defers" false (Batch.doorbell_due a ~burst:3);
+  check_bool "still under bound" false (Batch.doorbell_due a ~burst:3);
+  check_bool "bound reached rings" true (Batch.doorbell_due a ~burst:3);
+  check_bool "fresh accumulation defers again" false (Batch.doorbell_due a ~burst:1);
+  check_bool "quiet cycle flushes" true (Batch.doorbell_due a ~burst:0);
+  check_bool "nothing left to flush" false (Batch.doorbell_due a ~burst:0);
+  check_int "adaptive doorbells" 2 (Batch.doorbells a)
+
 (* ---------------- Protection ---------------- *)
 
 let test_protection_transitions () =
@@ -301,6 +358,54 @@ let test_libix_pending_send_limit () =
   Sim.run ~until:(Engine.Sim_time.ms 10) cluster.Harness.Cluster.sim;
   check_bool "oversized write refused" false !accepted
 
+(* Deep-queue regression: the old write_queue was an immutable list
+   rebuilt with [@] on every send, so queueing n writes in one round
+   cost O(n^2) words (~100M at n=4000).  The ring deque keeps it
+   linear.  The drain also exercises the window-limited sendv path at
+   depth: only a prefix is accepted per round and the remainder must
+   survive in place until Ev_sent reopens the window. *)
+let test_libix_deep_queue () =
+  let server = Harness.Cluster.server_spec ~threads:1 Harness.Cluster.Ix in
+  let cluster =
+    Harness.Cluster.build ~client_hosts:1 ~client_threads:1
+      ~client_kind:Harness.Cluster.Ix ~server ()
+  in
+  let host = Option.get cluster.Harness.Cluster.server_ix in
+  let received = ref 0 in
+  let client = List.hd cluster.Harness.Cluster.clients in
+  client.Netapi.Net_api.listen ~port:9 (fun ~thread:_ _conn ->
+      {
+        Netapi.Net_api.null_handlers with
+        Netapi.Net_api.on_data =
+          (fun _ data -> received := !received + String.length data);
+      });
+  let lib = Ix_host.libix host 0 in
+  let sends = 4_000 and chunk = 16 in
+  let payload = String.make chunk 'q' in
+  let queue_words = ref infinity in
+  Libix.run lib (fun () ->
+      Libix.connect lib
+        ~ip:(List.hd cluster.Harness.Cluster.client_ips)
+        ~port:9
+        {
+          Libix.default_handlers with
+          Libix.on_connected =
+            (fun conn ~ok ->
+              check_bool "connected" true ok;
+              let w0 = Gc.minor_words () in
+              for _ = 1 to sends do
+                ignore (Libix.send conn payload)
+              done;
+              queue_words := Gc.minor_words () -. w0);
+        });
+  Sim.run ~until:(Engine.Sim_time.ms 200) cluster.Harness.Cluster.sim;
+  check_int "every queued byte drained" (sends * chunk) !received;
+  check_bool
+    (Printf.sprintf "queueing stayed linear (%.0f words for %d sends)"
+       !queue_words sends)
+    true
+    (!queue_words < float_of_int (sends * 500))
+
 let test_icmp_ping_roundtrip () =
   let server = Harness.Cluster.server_spec ~threads:1 Harness.Cluster.Ix in
   let cluster =
@@ -404,7 +509,14 @@ let test_background_threads_timeshare () =
 let () =
   Alcotest.run "ix_core"
     [
-      ("batch", [ Alcotest.test_case "adaptive bounded policy" `Quick test_batch_policy ]);
+      ( "batch",
+        [
+          Alcotest.test_case "adaptive bounded policy" `Quick test_batch_policy;
+          Alcotest.test_case "adaptive controller" `Quick
+            test_batch_adaptive_controller;
+          Alcotest.test_case "doorbell coalescing" `Quick
+            test_batch_doorbell_coalescing;
+        ] );
       ( "protection",
         [
           Alcotest.test_case "transitions & costs" `Quick test_protection_transitions;
@@ -453,6 +565,7 @@ let () =
           Alcotest.test_case "refused connect" `Quick test_libix_send_limit;
           Alcotest.test_case "write coalescing" `Quick test_libix_write_coalescing;
           Alcotest.test_case "pending send limit" `Quick test_libix_pending_send_limit;
+          Alcotest.test_case "deep queue stays linear" `Quick test_libix_deep_queue;
           Alcotest.test_case "icmp ping" `Quick test_icmp_ping_roundtrip;
         ] );
     ]
