@@ -105,6 +105,7 @@ let micro () =
                window = 1000;
                mss = None;
                wscale = None;
+               sack = None;
                payload_off = 0;
                payload_len = 0;
              }))

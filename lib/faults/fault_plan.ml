@@ -21,6 +21,10 @@ type spec = {
   exhaust_ns : int;
   doorbell_delay_ns : int;
   app_crash_rate : float;
+  hostile_rst_rate : float;
+  hostile_syn_rate : float;
+  hostile_olddup_rate : float;
+  hostile_ack_rate : float;
 }
 
 let none =
@@ -39,6 +43,10 @@ let none =
     exhaust_ns = 0;
     doorbell_delay_ns = 0;
     app_crash_rate = 0.;
+    hostile_rst_rate = 0.;
+    hostile_syn_rate = 0.;
+    hostile_olddup_rate = 0.;
+    hostile_ack_rate = 0.;
   }
 
 let default =
@@ -57,6 +65,21 @@ let default =
     exhaust_ns = 150_000;
     doorbell_delay_ns = 5_000;
     app_crash_rate = 0.0005;
+    hostile_rst_rate = 0.;
+    hostile_syn_rate = 0.;
+    hostile_olddup_rate = 0.;
+    hostile_ack_rate = 0.;
+  }
+
+(* The hostile-peer soak: the standard cocktail plus blind forgeries at
+   rates high enough that a few-ms soak sees every variant. *)
+let hostile =
+  {
+    default with
+    hostile_rst_rate = 0.02;
+    hostile_syn_rate = 0.01;
+    hostile_olddup_rate = 0.02;
+    hostile_ack_rate = 0.01;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -107,7 +130,23 @@ let parse s =
   match String.trim s with
   | "" | "none" -> Ok none
   | "default" -> Ok default
+  | "hostile" -> Ok hostile
   | s ->
+      (* A [name:] prefix starts from that named spec instead of
+         [none] — ["hostile:rst=0.1"] is the hostile soak with the
+         blind-RST rate raised. *)
+      let base, s =
+        match String.index_opt s ':' with
+        | Some i -> (
+            let rest = String.sub s (i + 1) (String.length s - i - 1) in
+            match String.sub s 0 i with
+            | "none" -> (Ok none, rest)
+            | "default" -> (Ok default, rest)
+            | "hostile" -> (Ok hostile, rest)
+            | name ->
+                (Error (Printf.sprintf "unknown base spec %S" name), rest))
+        | None -> (Ok none, s)
+      in
       let fields = String.split_on_char ',' s in
       let rec apply spec = function
         | [] -> Ok spec
@@ -145,13 +184,21 @@ let parse s =
                   | "doorbell" ->
                       duration (fun d -> { spec with doorbell_delay_ns = d })
                   | "crash" -> rate (fun r -> { spec with app_crash_rate = r })
+                  | "hostile_rst" | "rst" ->
+                      rate (fun r -> { spec with hostile_rst_rate = r })
+                  | "hostile_syn" | "syn" ->
+                      rate (fun r -> { spec with hostile_syn_rate = r })
+                  | "hostile_olddup" | "olddup" ->
+                      rate (fun r -> { spec with hostile_olddup_rate = r })
+                  | "hostile_ack" | "ack" ->
+                      rate (fun r -> { spec with hostile_ack_rate = r })
                   | k -> Error (Printf.sprintf "unknown fault key %S" k)
                 in
                 match updated with
                 | Ok spec -> apply spec rest
                 | Error e -> Error e))
       in
-      apply none fields
+      Result.bind base (fun base -> apply base fields)
 
 let to_string spec =
   if spec = none then "none"
@@ -175,6 +222,10 @@ let to_string spec =
     window "exhaust" spec.exhaust_period_ns spec.exhaust_ns;
     dur "doorbell" spec.doorbell_delay_ns;
     rate "crash" spec.app_crash_rate;
+    rate "hostile_rst" spec.hostile_rst_rate;
+    rate "hostile_syn" spec.hostile_syn_rate;
+    rate "hostile_olddup" spec.hostile_olddup_rate;
+    rate "hostile_ack" spec.hostile_ack_rate;
     Buffer.contents buf
   end
 
@@ -186,6 +237,12 @@ type t = {
   sim : Sim.t;
   wire_rng : Rng.t;  (** one draw per tapped frame, plus damage params *)
   app_rng : Rng.t;  (** one draw per {!app_crash} *)
+  hostile_rng : Rng.t;
+      (** one draw per cleanly forwarded TCP/UDP frame when the hostile
+          family is armed, plus forgery params.  Seeded independently of
+          [master] (a seed mix, not a split), so arming hostile faults
+          leaves the wire/app/phase streams of an existing plan
+          untouched. *)
   flap_phase : int;
   stall_phase : int;
   exhaust_phase : int;
@@ -201,12 +258,20 @@ type t = {
   c_exhaust_denials : Metrics.counter;
   c_doorbell_delays : Metrics.counter;
   c_app_crashes : Metrics.counter;
+  c_hostile_rsts : Metrics.counter;
+  c_hostile_syns : Metrics.counter;
+  c_hostile_olddups : Metrics.counter;
+  c_hostile_acks : Metrics.counter;
 }
 
 let instantiate spec ~sim ~seed ~metrics =
   let master = Rng.create ~seed in
   let wire_rng = Rng.split master in
   let app_rng = Rng.split master in
+  (* Not a [split]: deriving the hostile stream from the seed directly
+     consumes nothing from [master], so plans without hostile faults
+     keep bit-identical wire/app streams and window phases. *)
+  let hostile_rng = Rng.create ~seed:(seed lxor 0x686F_7374_696C) in
   let phase period = if period > 0 then Rng.int master period else 0 in
   let c name = Metrics.counter metrics ("faults." ^ name) in
   {
@@ -214,6 +279,7 @@ let instantiate spec ~sim ~seed ~metrics =
     sim;
     wire_rng;
     app_rng;
+    hostile_rng;
     flap_phase = phase spec.flap_period_ns;
     stall_phase = phase spec.stall_period_ns;
     exhaust_phase = phase spec.exhaust_period_ns;
@@ -229,6 +295,10 @@ let instantiate spec ~sim ~seed ~metrics =
     c_exhaust_denials = c "exhaust_denials";
     c_doorbell_delays = c "doorbell_delays";
     c_app_crashes = c "app_crashes";
+    c_hostile_rsts = c "hostile_rsts";
+    c_hostile_syns = c "hostile_syns";
+    c_hostile_olddups = c "hostile_olddups";
+    c_hostile_acks = c "hostile_acks";
   }
 
 let spec_of t = t.spec
@@ -258,8 +328,14 @@ let exhausted t now =
    fires, keeping the stream consumption deterministic.  Flap swallows
    take precedence: a down link delivers nothing.
 
+   Cleanly forwarded frames are also the hostile forger's observation
+   point: with the hostile family armed, each clean TCP forward may
+   additionally inject one forged variant (drawn from the plan's
+   dedicated hostile stream) right behind the original.
+
    Counter conservation, maintained here and checked by the audit:
-   [tap_frames + wire_dups = tap_forwarded + wire_drops + flap_drops]. *)
+   [tap_frames + wire_dups + hostile_injected
+    = tap_forwarded + wire_drops + flap_drops]. *)
 let tap t frame deliver =
   Metrics.incr t.c_tap_frames;
   if flap_down t (Sim.now t.sim) then begin
@@ -310,14 +386,51 @@ let tap t frame deliver =
              deliver frame))
     end
     else begin
-      Metrics.incr t.c_tap_forwarded;
-      deliver frame
+      let h1 = s.hostile_rst_rate in
+      let h2 = h1 +. s.hostile_syn_rate in
+      let h3 = h2 +. s.hostile_olddup_rate in
+      let h4 = h3 +. s.hostile_ack_rate in
+      if h4 > 0. && Frame.has_rss_tuple frame then begin
+        let u = Rng.float t.hostile_rng 1.0 in
+        let forge =
+          if u < h1 then Some (Hostile.Rst, t.c_hostile_rsts)
+          else if u < h2 then Some (Hostile.Syn, t.c_hostile_syns)
+          else if u < h3 then Some (Hostile.Old_dup, t.c_hostile_olddups)
+          else if u < h4 then Some (Hostile.Ack_storm, t.c_hostile_acks)
+          else None
+        in
+        match forge with
+        | None ->
+            Metrics.incr t.c_tap_forwarded;
+            deliver frame
+        | Some (kind, counter) ->
+            (* Snapshot before delivery consumes the frame reference;
+               the forgery goes on the wire right behind the original. *)
+            let snapshot = Frame.copy_bytes frame in
+            Metrics.incr t.c_tap_forwarded;
+            deliver frame;
+            (match Hostile.craft kind t.hostile_rng snapshot with
+            | Some forged ->
+                Metrics.incr counter;
+                Metrics.incr t.c_tap_forwarded;
+                deliver forged
+            | None -> ())
+      end
+      else begin
+        Metrics.incr t.c_tap_forwarded;
+        deliver frame
+      end
     end
   end
+
+let hostile_faults s =
+  s.hostile_rst_rate > 0. || s.hostile_syn_rate > 0.
+  || s.hostile_olddup_rate > 0. || s.hostile_ack_rate > 0.
 
 let has_wire_faults s =
   s.drop_rate > 0. || s.corrupt_rate > 0. || s.truncate_rate > 0.
   || s.duplicate_rate > 0. || s.reorder_rate > 0. || s.flap_period_ns > 0
+  || hostile_faults s
 
 let wire_faults = has_wire_faults
 
@@ -364,3 +477,9 @@ let app_crash t =
      end
 
 let app_crashes t = Metrics.value t.c_app_crashes
+
+let hostile_injected t =
+  Metrics.value t.c_hostile_rsts
+  + Metrics.value t.c_hostile_syns
+  + Metrics.value t.c_hostile_olddups
+  + Metrics.value t.c_hostile_acks

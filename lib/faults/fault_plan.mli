@@ -14,7 +14,10 @@
     - mempool exhaustion windows through the pool's alloc gate
       ({!arm_pool});
     - application-handler crashes as a per-request Bernoulli draw the
-      app consults ({!app_crash}).
+      app consults ({!app_crash});
+    - hostile-peer forgeries (blind RST/SYN, stray old duplicates,
+      stale ACK storms — {!Hostile}) injected at the same link tap
+      behind cleanly forwarded TCP frames.
 
     Every random decision is drawn from the plan's own streams, and the
     window faults are pure functions of simulated time plus a phase
@@ -24,8 +27,10 @@
 
     The counters make fault accounting auditable
     ({!Harness.Chaos}): at the tap,
-    [tap_frames + wire_dups = tap_forwarded + wire_drops + flap_drops]
-    holds exactly. *)
+    [tap_frames + wire_dups + hostile_injected
+     = tap_forwarded + wire_drops + flap_drops]
+    holds exactly ([hostile_injected] being the sum of the four
+    [faults.hostile_*] counters). *)
 
 type spec = {
   drop_rate : float;  (** P(frame silently lost) per delivery *)
@@ -42,6 +47,13 @@ type spec = {
   exhaust_ns : int;  (** exhaustion-window length *)
   doorbell_delay_ns : int;  (** fixed doorbell posting delay; 0 = none *)
   app_crash_rate : float;  (** P(handler raises) per {!app_crash} draw *)
+  hostile_rst_rate : float;
+      (** P(blind seq-guessing RST injected) per clean TCP forward *)
+  hostile_syn_rate : float;  (** P(blind random-seq SYN|ACK injected) *)
+  hostile_olddup_rate : float;
+      (** P(stray old duplicate injected — the segment replayed from
+          far in the sequence past) *)
+  hostile_ack_rate : float;  (** P(stale pure ACK injected) *)
 }
 
 val none : spec
@@ -53,23 +65,36 @@ val default : spec
     kind plus periodic flap / stall / exhaustion windows and a small
     app-crash rate. *)
 
+val hostile : spec
+(** {!default} plus the hostile-peer forgery family: blind RSTs and
+    SYNs (the RFC 5961 threat model), stray old duplicates into live
+    flows and TIME_WAIT (RFC 1337 / D-SACK), and stale ACK storms. *)
+
 val parse : string -> (spec, string) result
 (** Parse a plan like
     ["drop=0.003,corrupt=0.003,flap=4ms/300us,stall=3ms/200us,exhaust=3ms/150us,doorbell=5us,crash=0.0005"].
     Keys: [drop], [corrupt], [truncate], [dup], [reorder] (rates in
     \[0,1\]); [reorder_delay] (duration); [flap], [stall], [exhaust]
     (period[/]window durations); [doorbell] (duration); [crash] (rate).
+    Hostile rates: [hostile_rst]/[rst], [hostile_syn]/[syn],
+    [hostile_olddup]/[olddup], [hostile_ack]/[ack].
     Durations take [ns], [us] or [ms] suffixes (bare numbers are ns).
-    ["none"] and ["default"] name the corresponding specs.  Unlisted
-    keys keep their {!none} value. *)
+    ["none"], ["default"] and ["hostile"] name the corresponding
+    specs; a ["name:"] prefix (e.g. ["hostile:rst=0.1"]) starts from
+    that named spec instead of {!none}.  Unlisted keys keep their base
+    value. *)
 
 val to_string : spec -> string
 (** Canonical round-trippable form (the nonzero fields). *)
 
 val wire_faults : spec -> bool
 (** Whether {!arm_link} would install a tap for this spec (any wire
-    fault rate nonzero, or flapping enabled).  The chaos audit uses
-    this to know when the NIC-side frame-conservation check applies. *)
+    fault rate nonzero, flapping enabled, or any hostile rate
+    nonzero).  The chaos audit uses this to know when the NIC-side
+    frame-conservation check applies. *)
+
+val hostile_faults : spec -> bool
+(** Whether any hostile forgery rate is nonzero. *)
 
 type t
 (** An armed plan: spec + rng streams + counters. *)
@@ -104,3 +129,8 @@ val app_crash : t -> bool
 
 val app_crashes : t -> int
 (** How many {!app_crash} draws returned [true] so far. *)
+
+val hostile_injected : t -> int
+(** Total forged frames injected so far (the sum of the four
+    [faults.hostile_*] counters) — the extra source term in the tap
+    conservation equation. *)

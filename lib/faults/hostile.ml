@@ -1,0 +1,121 @@
+(* Hostile-peer segment forgery (the injection half of the [hostile]
+   fault family in {!Fault_plan}).
+
+   A blind attacker on the wire sees a passing TCP frame and forges a
+   variant of it: a seq-guessing RST or SYN (the RFC 5961 threat
+   model), a stray old duplicate of the data (the RFC 1337 / D-SACK
+   threat model), or a stale ACK (an ACK-storm peer).  The forgery is
+   built from a [Frame.copy_bytes] snapshot of the observed frame —
+   addresses, ports and MACs are copied, so the injected frame follows
+   the same switch path and RSS steering as the original — and is put
+   on the wire as an owned frame.
+
+   Checksums (IPv4 header and TCP, including the pseudo header) are
+   recomputed so the forgery survives RX validation and reaches the
+   TCP input path: these faults attack the state machine, not the
+   checksum — {!Fault_plan}'s [corrupt] already covers damaged bits.
+
+   Cold path only: one bytes copy and one checksum walk per *injected*
+   frame, never per packet. *)
+
+module Rng = Engine.Rng
+module Frame = Ixhw.Frame
+module Checksum = Ixnet.Checksum
+
+type kind = Rst | Syn | Old_dup | Ack_storm
+
+(* Fixed offsets for an Ethernet + IPv4(IHL=5) + TCP frame. *)
+let eth = 14
+let ip_proto = eth + 9
+let ip_src = eth + 12
+let tcp = eth + 20
+let tcp_seq = tcp + 4
+let tcp_ack = tcp + 8
+let tcp_off_flags = tcp + 12
+let tcp_csum = tcp + 16
+let header_only_len = tcp + 20
+
+let u32 buf off = Int32.to_int (Bytes.get_int32_be buf off) land 0xFFFF_FFFF
+let set_u32 buf off v =
+  Bytes.set_int32_be buf off (Int32.of_int (v land 0xFFFF_FFFF))
+
+(* Rewrite the length-dependent fields and both checksums, then wrap
+   as an owned frame. *)
+let finish buf =
+  let ip_len = Bytes.length buf - eth in
+  Bytes.set_uint16_be buf (eth + 2) ip_len;
+  Bytes.set_uint16_be buf (eth + 10) 0;
+  Bytes.set_uint16_be buf (eth + 10) (Checksum.compute buf ~off:eth ~len:20);
+  let tcp_len = ip_len - 20 in
+  let src = Ixnet.Ip_addr.read buf ip_src
+  and dst = Ixnet.Ip_addr.read buf (ip_src + 4) in
+  Bytes.set_uint16_be buf tcp_csum 0;
+  let init = Checksum.pseudo_header_sum ~src ~dst ~protocol:6 ~length:tcp_len in
+  let sum = Checksum.ones_complement_sum buf ~off:tcp ~len:tcp_len ~init in
+  Bytes.set_uint16_be buf tcp_csum (Checksum.finish sum);
+  Frame.of_bytes buf
+
+(* Strip payload and options: keep the first 54 bytes and reset the
+   data offset to 5 — the shape of every blind header-only forgery. *)
+let header_only buf =
+  let hdr = Bytes.sub buf 0 header_only_len in
+  Bytes.set_uint8 hdr tcp_off_flags 0x50;
+  hdr
+
+(* Forge a [kind] variant of the observed frame bytes (a
+   [Frame.copy_bytes] snapshot; [craft] owns and mutates it).  [None]
+   when the frame is not plain Ethernet/IPv4(IHL=5)/TCP — the caller
+   forwards the original and injects nothing. *)
+let craft kind rng buf =
+  if
+    Bytes.length buf < header_only_len
+    || Char.code (Bytes.get buf eth) <> 0x45
+    || Char.code (Bytes.get buf ip_proto) <> 6
+  then None
+  else
+    Some
+      (match kind with
+      | Rst ->
+          (* Blind reset, impersonating the observed sender.  The seq
+             guess lands mostly in-window-but-inexact (the challenge-ACK
+             path), occasionally exactly on rcv_nxt (a legitimate-looking
+             teardown), occasionally outside the window (a plain drop). *)
+          let hdr = header_only buf in
+          Bytes.set_uint8 hdr (tcp_off_flags + 1) 0x04;
+          let seq = u32 hdr tcp_seq in
+          let delta =
+            if Rng.int rng 8 = 0 then 0 else Rng.int rng 65536 - 32768
+          in
+          set_u32 hdr tcp_seq (seq + delta);
+          set_u32 hdr tcp_ack 0;
+          finish hdr
+      | Syn ->
+          (* Blind SYN|ACK with a random sequence number.  Against a
+             synchronized connection this must provoke a challenge ACK,
+             not a reset or a state change (RFC 5961 §4); on a flow miss
+             it draws a stateless RST.  SYN|ACK rather than bare SYN so
+             a listener never materializes state for the forgery. *)
+          let hdr = header_only buf in
+          Bytes.set_uint8 hdr (tcp_off_flags + 1) 0x12;
+          set_u32 hdr tcp_seq (Rng.int rng 0x1_0000_0000);
+          finish hdr
+      | Old_dup ->
+          (* The observed segment replayed from far in the sequence past:
+             entirely left of any plausible receive window, so the
+             receiver must classify it as a duplicate (D-SACK report /
+             TIME_WAIT re-ACK), never splice its bytes into the stream.
+             The 4 MiB floor keeps it entirely-old even under large
+             scaled windows. *)
+          let dup = Bytes.copy buf in
+          let shift = 4_194_304 + Rng.int rng 4_194_304 in
+          set_u32 dup tcp_seq (u32 dup tcp_seq - shift);
+          finish dup
+      | Ack_storm ->
+          (* Stale pure ACK: acknowledgment field rewound a little, sent
+             at the observed seq.  Exercises the old-ACK / dup-ACK
+             accounting without ever covering new data. *)
+          let hdr = header_only buf in
+          Bytes.set_uint8 hdr (tcp_off_flags + 1) 0x10;
+          let ack = u32 hdr tcp_ack in
+          set_u32 hdr tcp_ack (ack - 1 - Rng.int rng 16384);
+          finish hdr)

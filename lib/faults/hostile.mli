@@ -1,0 +1,17 @@
+(** Hostile-peer segment forgery — the crafting half of the [hostile]
+    fault family ({!Fault_plan}).  Builds a forged TCP frame from a
+    snapshot of a passing one, with valid checksums so the forgery
+    reaches the TCP input path. *)
+
+type kind =
+  | Rst  (** blind seq-guessing reset (RFC 5961 §3 threat) *)
+  | Syn  (** blind SYN|ACK, random seq (RFC 5961 §4 threat) *)
+  | Old_dup  (** the segment replayed from far in the past (RFC 1337 /
+                 D-SACK threat) *)
+  | Ack_storm  (** stale pure ACK (dup-ACK accounting threat) *)
+
+val craft : kind -> Engine.Rng.t -> Bytes.t -> Ixhw.Frame.t option
+(** [craft kind rng buf] forges a [kind] variant of the observed frame
+    bytes [buf] (a {!Ixhw.Frame.copy_bytes} snapshot, which [craft]
+    takes ownership of).  Parameter draws come from [rng].  [None] when
+    the frame is not plain Ethernet/IPv4(IHL=5)/TCP. *)

@@ -83,12 +83,17 @@ let audit ~fm ~wire_armed ~offered_base (cluster : Cluster.t) =
   let failf fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
   let fc name = Metrics.counter_value fm ("faults." ^ name) in
   (* Tap conservation: every tapped frame is forwarded, destroyed on
-     the wire, or swallowed by a down link; duplication adds frames. *)
-  let tap_in = fc "tap_frames" + fc "wire_dups" in
+     the wire, or swallowed by a down link; duplication and hostile
+     forgery add frames. *)
+  let hostile_injected =
+    fc "hostile_rsts" + fc "hostile_syns" + fc "hostile_olddups"
+    + fc "hostile_acks"
+  in
+  let tap_in = fc "tap_frames" + fc "wire_dups" + hostile_injected in
   let tap_out = fc "tap_forwarded" + fc "wire_drops" + fc "flap_drops" in
   if tap_in <> tap_out then
-    failf "tap conservation: %d tapped+duped <> %d forwarded+dropped" tap_in
-      tap_out;
+    failf "tap conservation: %d tapped+duped+forged <> %d forwarded+dropped"
+      tap_in tap_out;
   (* NIC-side conservation while taps were armed: forwarded frames are
      exactly the frames the NICs were offered since arming. *)
   if wire_armed then begin
@@ -143,6 +148,26 @@ let audit ~fm ~wire_armed ~offered_base (cluster : Cluster.t) =
       if opened <> closed then
         failf "%s: %d connections opened <> %d close reasons recorded" tag
           opened closed;
+      (* Every reset-close has an attributed cause: a peer RST this
+         host deliberately accepted, or its own abort.  A blind forged
+         RST that tore a connection down without being counted would
+         break this balance. *)
+      let closed_reset = sum (fun i -> cv "tcp.%d.closed_reset" i) in
+      let reset_causes =
+        sum (fun i ->
+            cv "tcp.%d.rsts_accepted" i + cv "tcp.%d.local_aborts" i)
+      in
+      if closed_reset <> reset_causes then
+        failf "%s: closed_reset %d <> rsts_accepted+local_aborts %d" tag
+          closed_reset reset_causes;
+      (* Port reservation lifecycle: no ephemeral port is ever freed
+         twice (the Port_alloc guard counts any such attempt). *)
+      Ix_host.iter_threads host (fun dp ->
+          let ep = Dataplane.endpoint dp in
+          let dblfree = Ixtcp.Tcp_endpoint.port_double_frees ep in
+          if dblfree <> 0 then
+            failf "%s dp%d: %d ephemeral-port double frees" tag
+              (Dataplane.thread_id dp) dblfree);
       if Ix_host.connections host <> 0 then
         failf "%s: %d flows still in the flow tables" tag
           (Ix_host.connections host);

@@ -1,0 +1,738 @@
+(* Conformance driver: replay one segment schedule through the
+   production endpoint and through the pure-functional model
+   ([Ixtcp_model.Model_tcp]) and assert observable-trace equality.
+
+   One leg is a closed-loop conversation between an A side (the side
+   under test — real in pass 1, model in pass 2) and a B peer, which is
+   the *model* in both passes so the schedule facing A is identical.
+   The driver owns virtual time, a sorted event queue, and the wire:
+   loss, duplication and delay jitter are drawn from per-direction
+   seeded streams, and an optional hostile stream injects forged
+   segments (blind RST, SYN-in-window, old duplicates) so the RFC
+   5961 / 1337 / 2883 branches are exercised on both sides.
+
+   The model pass cannot draw its own ISS or ephemeral port — the
+   production endpoint draws those from its RNG — so the real pass runs
+   first and the model pass replays with the ISS and port harvested
+   from the real trace's first SYN-carrying emission.
+
+   Determinism: everything is a function of (seed, fast_path, faults,
+   hostile).  No wall clock, no Domain identity, no global state — a
+   leg gives bit-identical traces at any [--jobs]. *)
+
+module Rng = Engine.Rng
+module Wheel = Timerwheel.Timer_wheel
+module Mbuf = Ixmem.Mbuf
+module Mempool = Ixmem.Mempool
+module Iovec = Ixmem.Iovec
+module Seg = Ixnet.Tcp_segment
+module Ip_addr = Ixnet.Ip_addr
+module Tcb = Ixtcp.Tcb
+module Tcp_conn = Ixtcp.Tcp_conn
+module Tcp_endpoint = Ixtcp.Tcp_endpoint
+module Tcp_state = Ixtcp.Tcp_state
+module Seqno = Ixtcp.Seqno
+module Model = Ixtcp_model.Model_tcp
+
+(* ------------------------------------------------------------------ *)
+(* Observable trace                                                    *)
+
+type tr =
+  | T_out of Model.segment  (* emitted header, ack normalized to 0 when
+                               ack_flag is clear *)
+  | T_recv of int
+  | T_sent of int
+  | T_conn of bool
+  | T_closed of Tcb.close_reason
+  | T_ev of Tcb.protocol_event
+  | T_state of Tcp_state.t  (* sampled after each step, on change *)
+  | T_acc of int  (* bytes accepted by an application send *)
+
+let show_seg (s : Model.segment) =
+  let flag b c = if b then c else "" in
+  Printf.sprintf "%d>%d seq=%d ack=%d%s%s%s%s%s win=%d len=%d%s"
+    s.Model.src_port s.Model.dst_port s.Model.seq s.Model.ack
+    (flag s.Model.syn " SYN")
+    (flag s.Model.ack_flag " ACK")
+    (flag s.Model.fin " FIN")
+    (flag s.Model.rst " RST")
+    (flag s.Model.psh " PSH")
+    s.Model.window s.Model.payload_len
+    (match s.Model.sack with
+    | Some (l, r) -> Printf.sprintf " sack=%d-%d" l r
+    | None -> "")
+
+let show_ev = function
+  | Tcb.Challenge_ack_sent -> "challenge_ack_sent"
+  | Tcb.Challenge_ack_limited -> "challenge_ack_limited"
+  | Tcb.Rst_accepted -> "rst_accepted"
+  | Tcb.Local_abort -> "local_abort"
+  | Tcb.Tw_rst_dropped -> "tw_rst_dropped"
+  | Tcb.Dsack_sent -> "dsack_sent"
+  | Tcb.Dsack_dupack_ignored -> "dsack_dupack_ignored"
+
+let show_close = function
+  | Tcb.Normal -> "normal"
+  | Tcb.Reset -> "reset"
+  | Tcb.Timeout -> "timeout"
+  | Tcb.Refused -> "refused"
+
+let show_tr = function
+  | T_out s -> "out " ^ show_seg s
+  | T_recv n -> Printf.sprintf "recv %d" n
+  | T_sent n -> Printf.sprintf "sent %d" n
+  | T_conn b -> Printf.sprintf "connected %b" b
+  | T_closed r -> "closed " ^ show_close r
+  | T_ev e -> "event " ^ show_ev e
+  | T_state st -> "state " ^ Tcp_state.to_string st
+  | T_acc n -> Printf.sprintf "accepted %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Scenario: the application-level schedule, derived from the leg seed
+   alone so both passes see the same one.                              *)
+
+type op = Connect | Send of int | Close | Abort
+
+type scenario = {
+  a_active : bool;
+  b_port : int;  (* B's local port: its listen port when passive for A *)
+  iss_b : int;
+  events : (int * [ `A | `B ] * op) list;
+}
+
+let a_listen_port = 8080
+
+let make_scenario ~seed =
+  let r = Rng.create ~seed:(seed lxor 0x5cea_a21f) in
+  let a_active = Rng.bool r in
+  let b_port = if a_active then 9090 else 40_000 + Rng.int r 1024 in
+  let iss_b = Rng.int r 0x3FFF_FFFF in
+  let evs = ref [ (0, (if a_active then `A else `B), Connect) ] in
+  let n_sends = 2 + Rng.int r 5 in
+  for _ = 1 to n_sends do
+    let t = 1_000_000 + Rng.int r 15_000_000 in
+    let side = if Rng.bool r then `A else `B in
+    let len = 1 + Rng.int r 2999 in
+    evs := (t, side, Send len) :: !evs
+  done;
+  let abort_a = Rng.float r 1.0 < 0.12 in
+  let abort_b = Rng.float r 1.0 < 0.12 in
+  let t_ca = 18_000_000 + Rng.int r 8_000_000 in
+  let t_cb = 18_000_000 + Rng.int r 8_000_000 in
+  evs := (t_ca, `A, if abort_a then Abort else Close) :: !evs;
+  evs := (t_cb, `B, if abort_b then Abort else Close) :: !evs;
+  { a_active; b_port; iss_b; events = List.rev !evs }
+
+(* ------------------------------------------------------------------ *)
+(* Event queue: (time, insertion counter) orders everything.           *)
+
+type qev = Wire of [ `A | `B ] * Model.segment | Op of [ `A | `B ] * op
+
+type queue = { mutable q : (int * int * qev) list; mutable ctr : int }
+
+let push qu t ev =
+  qu.ctr <- qu.ctr + 1;
+  let item = (t, qu.ctr, ev) in
+  let rec ins = function
+    | [] -> [ item ]
+    | (t', _, _) :: _ as l when t' > t -> item :: l
+    | hd :: tl -> hd :: ins tl
+  in
+  qu.q <- ins qu.q
+
+(* ------------------------------------------------------------------ *)
+(* Wire model: per-direction fault streams.                            *)
+
+let wire_base_ns = 50_000
+let wire_jitter_ns = 150_000
+let p_drop = 0.08
+let p_dup = 0.05
+let p_forge = 0.10
+
+let forge rng (s : Model.segment) =
+  match Rng.int rng 3 with
+  | 0 ->
+      (* blind RST: guessed sequence near the window *)
+      {
+        s with
+        Model.rst = true;
+        syn = false;
+        fin = false;
+        psh = false;
+        ack_flag = false;
+        ack = 0;
+        payload_len = 0;
+        mss = None;
+        wscale = None;
+        sack = None;
+        seq = Seqno.add s.Model.seq (Rng.int rng 65536 - 32768);
+      }
+  | 1 ->
+      (* SYN injected into a synchronized connection (RFC 5961 §4) *)
+      {
+        s with
+        Model.syn = true;
+        rst = false;
+        fin = false;
+        psh = false;
+        payload_len = 0;
+        mss = Some 1400;
+        wscale = None;
+        sack = None;
+        seq = Seqno.add s.Model.seq (Rng.int rng 8192);
+      }
+  | _ ->
+      (* old duplicate from far behind rcv_nxt (D-SACK fodder) *)
+      {
+        s with
+        Model.syn = false;
+        rst = false;
+        fin = false;
+        mss = None;
+        wscale = None;
+        sack = None;
+        seq = Seqno.sub s.Model.seq ((1 lsl 22) + Rng.int rng (1 lsl 22));
+      }
+
+let send_wire qu ~rng ~faults ~hostile ~dst ~now seg =
+  if faults then begin
+    let drop = Rng.float rng 1.0 < p_drop in
+    let d1 = wire_base_ns + Rng.int rng wire_jitter_ns in
+    if not drop then push qu (now + d1) (Wire (dst, seg));
+    if Rng.float rng 1.0 < p_dup then begin
+      let d2 = wire_base_ns + Rng.int rng wire_jitter_ns in
+      push qu (now + d1 + d2) (Wire (dst, seg))
+    end
+  end
+  else push qu (now + wire_base_ns) (Wire (dst, seg));
+  if hostile && Rng.float rng 1.0 < p_forge then begin
+    let forged = forge rng seg in
+    let d = wire_base_ns + Rng.int rng wire_jitter_ns in
+    push qu (now + d) (Wire (dst, forged))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The A-side interface: one ordering policy, two implementations.     *)
+
+type side = {
+  deliver : now:int -> Model.segment -> unit;
+  timers : now:int -> unit;
+  next_deadline : unit -> int;
+  do_connect : now:int -> unit;
+  do_send : now:int -> int -> unit;
+  do_close : now:int -> unit;
+  do_abort : now:int -> unit;
+  flush : now:int -> unit;  (* post-step: consume delivered payload *)
+  sample_state : unit -> Tcp_state.t;
+}
+
+let a_ip = Ip_addr.of_octets 10 0 0 1
+let b_ip = Ip_addr.of_octets 10 0 0 2
+
+(* --- production endpoint fixture ---------------------------------- *)
+
+let hdr_of_seg (s : Seg.t) =
+  {
+    Model.src_port = s.Seg.src_port;
+    dst_port = s.Seg.dst_port;
+    seq = s.Seg.seq;
+    ack = (if s.Seg.ack_flag then s.Seg.ack else 0);
+    syn = s.Seg.syn;
+    ack_flag = s.Seg.ack_flag;
+    fin = s.Seg.fin;
+    rst = s.Seg.rst;
+    psh = s.Seg.psh;
+    window = s.Seg.window;
+    mss = s.Seg.mss;
+    wscale = s.Seg.wscale;
+    sack = s.Seg.sack;
+    payload_len = s.Seg.payload_len;
+  }
+
+let make_real_side ~record ~cfg ~seed ~now_ref ~active ~remote_port ~tx () =
+  let local_ip = a_ip and remote_ip = b_ip in
+  let wheel = Wheel.create ~tick_ns:1 ~now:0 () in
+  let pool = Mempool.create ~name:"conformance" () in
+  let zeros = Bytes.make 4096 '\000' in
+  let scratch = Seg.scratch () in
+  let tcbr = ref None and closed = ref false and pending = ref 0 in
+  let install tcb =
+    let cb = tcb.Tcb.callbacks in
+    cb.Tcb.on_recv <-
+      (fun mbuf _off len ->
+        record (T_recv len);
+        pending := !pending + len;
+        Mbuf.decref mbuf);
+    cb.Tcb.on_sent <- (fun n -> record (T_sent n));
+    cb.Tcb.on_connected <- (fun ok -> record (T_conn ok));
+    (* [on_closed Normal] is the EOF notification (peer FIN) — the
+       connection is still usable in CLOSE_WAIT; only [on_teardown]
+       (chained below) means the TCB is gone. *)
+    cb.Tcb.on_closed <- (fun r -> record (T_closed r))
+  in
+  let output_raw ~remote_ip mbuf =
+    (match Seg.decode mbuf ~src:local_ip ~dst:remote_ip with
+    | Ok s ->
+        let hdr = hdr_of_seg s in
+        record (T_out hdr);
+        tx ~now:!now_ref hdr
+    | Error e -> failwith ("conformance: emitted segment failed decode: " ^ e));
+    Mbuf.decref mbuf
+  in
+  let ep =
+    Tcp_endpoint.create
+      ~now:(fun () -> !now_ref)
+      ~wheel
+      ~alloc:(fun () -> Mempool.alloc pool)
+      ~output_raw
+      ~rng:(Rng.create ~seed:(seed lxor 0x9e37_79b9))
+      ~local_ip ~config:cfg ()
+  in
+  let env = Tcp_endpoint.env ep in
+  let prev_ev = env.Tcb.on_protocol_event in
+  env.Tcb.on_protocol_event <-
+    (fun e ->
+      prev_ev e;
+      record (T_ev e));
+  let prev_td = env.Tcb.on_teardown in
+  env.Tcb.on_teardown <-
+    (fun tcb ->
+      prev_td tcb;
+      closed := true);
+  (* Capture the TCB as soon as it exists — for passive opens that is
+     SYN_RECEIVED, well before [on_accept] fires, so a handshake-phase
+     teardown's [on_connected false] is observed like the model's. *)
+  let capture () =
+    match !tcbr with
+    | Some _ -> ()
+    | None ->
+        Tcp_endpoint.iter_connections ep (fun tcb ->
+            match !tcbr with
+            | Some _ -> ()
+            | None ->
+                tcbr := Some tcb;
+                install tcb)
+  in
+  if not active then
+    Tcp_endpoint.listen ep ~port:a_listen_port ~on_accept:(fun tcb ->
+        match !tcbr with
+        | Some _ -> ()
+        | None ->
+            tcbr := Some tcb;
+            install tcb);
+  let deliver ~now:_ (h : Model.segment) =
+    let mbuf = Mbuf.create () in
+    if h.Model.payload_len > 0 then
+      Mbuf.append_bytes mbuf zeros 0 h.Model.payload_len;
+    scratch.Seg.src_port <- h.Model.src_port;
+    scratch.Seg.dst_port <- h.Model.dst_port;
+    scratch.Seg.seq <- h.Model.seq;
+    scratch.Seg.ack <- h.Model.ack;
+    scratch.Seg.syn <- h.Model.syn;
+    scratch.Seg.ack_flag <- h.Model.ack_flag;
+    scratch.Seg.fin <- h.Model.fin;
+    scratch.Seg.rst <- h.Model.rst;
+    scratch.Seg.psh <- h.Model.psh;
+    scratch.Seg.ece <- false;
+    scratch.Seg.cwr <- false;
+    scratch.Seg.window <- h.Model.window;
+    scratch.Seg.mss <- h.Model.mss;
+    scratch.Seg.wscale <- h.Model.wscale;
+    scratch.Seg.sack <- h.Model.sack;
+    scratch.Seg.payload_off <- mbuf.Mbuf.off;
+    scratch.Seg.payload_len <- h.Model.payload_len;
+    Tcp_endpoint.rx_segment ep ~src_ip:remote_ip scratch mbuf;
+    Mbuf.decref mbuf;
+    capture ()
+  in
+  let do_connect ~now:_ =
+    if active then
+      match
+        Tcp_endpoint.connect ep ~remote_ip ~remote_port ~cookie:0 ()
+      with
+      | Some tcb ->
+          tcbr := Some tcb;
+          install tcb
+      | None -> failwith "conformance: connect found no port"
+  in
+  {
+    deliver;
+    timers = (fun ~now -> Wheel.advance wheel ~now);
+    next_deadline =
+      (fun () ->
+        match Wheel.next_expiry wheel with Some t -> t | None -> -1);
+    do_connect;
+    do_send =
+      (fun ~now:_ n ->
+        match !tcbr with
+        | Some tcb when not !closed ->
+            let acc =
+              Tcp_conn.send_iov tcb { Iovec.buf = zeros; off = 0; len = n }
+            in
+            record (T_acc acc)
+        | _ -> record (T_acc 0));
+    do_close =
+      (fun ~now:_ ->
+        match !tcbr with
+        | Some tcb when not !closed -> Tcp_conn.close tcb
+        | _ -> ());
+    do_abort =
+      (fun ~now:_ ->
+        match !tcbr with
+        | Some tcb when not !closed -> Tcp_conn.abort tcb
+        | _ -> ());
+    flush =
+      (fun ~now:_ ->
+        if !pending > 0 then begin
+          (match !tcbr with
+          | Some tcb when not !closed -> Tcp_conn.consume tcb !pending
+          | _ -> ());
+          pending := 0
+        end);
+    sample_state =
+      (fun () ->
+        if !closed then Tcp_state.Closed
+        else
+          match !tcbr with
+          | Some tcb -> Tcb.state tcb
+          | None -> Tcp_state.Closed);
+  }
+
+(* --- model fixture (A side under test, and the B peer) ------------- *)
+
+let make_model_side ~record ~cfg ~active ~local_port ~remote_port ~iss
+    ~listen_port ~tx () =
+  let conn = ref None and pending = ref 0 in
+  let alive () =
+    match !conn with
+    | Some c -> Model.state c <> Tcp_state.Closed
+    | None -> false
+  in
+  let process ~now items =
+    List.iter
+      (fun it ->
+        match it with
+        | Model.Out s ->
+            record (T_out s);
+            tx ~now s
+        | Model.Act a -> (
+            match a with
+            | Model.Recv n ->
+                record (T_recv n);
+                pending := !pending + n
+            | Model.Sent n -> record (T_sent n)
+            | Model.Connected ok -> record (T_conn ok)
+            | Model.Closed r -> record (T_closed r)
+            | Model.Event e -> record (T_ev e)))
+      items
+  in
+  (* Flow miss: transliteration of [Tcp_endpoint.send_rst]. *)
+  let stateless_rst ~now (seg : Model.segment) =
+    if not seg.Model.rst then begin
+      let base =
+        {
+          Model.src_port = seg.Model.dst_port;
+          dst_port = seg.Model.src_port;
+          seq = 0;
+          ack = 0;
+          syn = false;
+          ack_flag = false;
+          fin = false;
+          rst = true;
+          psh = false;
+          window = 0;
+          mss = None;
+          wscale = None;
+          sack = None;
+          payload_len = 0;
+        }
+      in
+      let out =
+        if seg.Model.ack_flag then { base with Model.seq = seg.Model.ack }
+        else
+          {
+            base with
+            Model.ack_flag = true;
+            ack =
+              Seqno.add seg.Model.seq
+                (seg.Model.payload_len + if seg.Model.syn then 1 else 0);
+          }
+      in
+      record (T_out out);
+      tx ~now out
+    end
+  in
+  let deliver ~now (seg : Model.segment) =
+    if alive () then begin
+      let c', items = Model.handle_segment (Option.get !conn) ~now seg in
+      conn := Some c';
+      process ~now items
+    end
+    else
+      match listen_port with
+      | Some p
+        when seg.Model.syn && (not seg.Model.ack_flag)
+             && seg.Model.dst_port = p ->
+          let c, items = Model.accept cfg ~now ~iss seg in
+          conn := Some c;
+          process ~now items
+      | _ -> stateless_rst ~now seg
+  in
+  {
+    deliver;
+    timers =
+      (fun ~now ->
+        if alive () then begin
+          let c', items = Model.handle_timers (Option.get !conn) ~now in
+          conn := Some c';
+          process ~now items
+        end);
+    next_deadline =
+      (fun () ->
+        if alive () then Model.next_deadline (Option.get !conn) else -1);
+    do_connect =
+      (fun ~now ->
+        if active && !conn = None then begin
+          let c, items = Model.connect cfg ~now ~local_port ~remote_port ~iss in
+          conn := Some c;
+          process ~now items
+        end);
+    do_send =
+      (fun ~now n ->
+        if alive () then begin
+          let c', items, acc = Model.send (Option.get !conn) ~now n in
+          conn := Some c';
+          (* the real fixture records acceptance after [send_iov]
+             returns, i.e. after any emissions it triggered *)
+          process ~now items;
+          record (T_acc acc)
+        end
+        else record (T_acc 0));
+    do_close =
+      (fun ~now ->
+        if alive () then begin
+          let c', items = Model.close (Option.get !conn) ~now in
+          conn := Some c';
+          process ~now items
+        end);
+    do_abort =
+      (fun ~now ->
+        if alive () then begin
+          let c', items = Model.abort (Option.get !conn) ~now in
+          conn := Some c';
+          process ~now items
+        end);
+    flush =
+      (fun ~now ->
+        if !pending > 0 then begin
+          if alive () then begin
+            let c', items = Model.consume (Option.get !conn) ~now !pending in
+            conn := Some c';
+            process ~now items
+          end;
+          pending := 0
+        end);
+    sample_state =
+      (fun () ->
+        if alive () then Model.state (Option.get !conn) else Tcp_state.Closed);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* One pass: drive a side (real or model) against the model B peer.    *)
+
+type pass_kind = Real | Replay of { iss_a : int; port_a : int }
+
+let t_limit_ns = 50_000_000
+let step_limit = 500_000
+
+let run_pass ~seed ~cfg ~faults ~hostile ~record ~kind =
+  let sc = make_scenario ~seed in
+  let qu = { q = []; ctr = 0 } in
+  let now = ref 0 in
+  let rng_ab = Rng.create ~seed:(seed lxor 0x0ab5_11fe) in
+  let rng_ba = Rng.create ~seed:(seed lxor 0x0ba5_22fd) in
+  let tx_a ~now:t seg =
+    send_wire qu ~rng:rng_ab ~faults ~hostile ~dst:`B ~now:t seg
+  in
+  let tx_b ~now:t seg =
+    send_wire qu ~rng:rng_ba ~faults ~hostile ~dst:`A ~now:t seg
+  in
+  let side_a =
+    match kind with
+    | Real ->
+        make_real_side ~record ~cfg ~seed ~now_ref:now ~active:sc.a_active
+          ~remote_port:sc.b_port ~tx:tx_a ()
+    | Replay { iss_a; port_a } ->
+        make_model_side ~record ~cfg ~active:sc.a_active ~local_port:port_a
+          ~remote_port:sc.b_port ~iss:iss_a
+          ~listen_port:(if sc.a_active then None else Some a_listen_port)
+          ~tx:tx_a ()
+  in
+  let side_b =
+    make_model_side
+      ~record:(fun _ -> ())
+      ~cfg
+      ~active:(not sc.a_active)
+      ~local_port:sc.b_port ~remote_port:a_listen_port ~iss:sc.iss_b
+      ~listen_port:(if sc.a_active then Some sc.b_port else None)
+      ~tx:tx_b ()
+  in
+  List.iter (fun (t, s, op) -> push qu t (Op (s, op))) sc.events;
+  let prev_state = ref Tcp_state.Closed in
+  let post_a () =
+    side_a.flush ~now:!now;
+    let st = side_a.sample_state () in
+    if st <> !prev_state then begin
+      record (T_state st);
+      prev_state := st
+    end
+  in
+  let post_b () = side_b.flush ~now:!now in
+  let exec side post op =
+    (match op with
+    | Connect -> side.do_connect ~now:!now
+    | Send n -> side.do_send ~now:!now n
+    | Close -> side.do_close ~now:!now
+    | Abort -> side.do_abort ~now:!now);
+    post ()
+  in
+  let steps = ref 0 in
+  let rec loop () =
+    incr steps;
+    if !steps > step_limit then
+      failwith "conformance: leg failed to quiesce within the step budget";
+    let tq = match qu.q with [] -> -1 | (t, _, _) :: _ -> t in
+    let ta = side_a.next_deadline () in
+    let tb = side_b.next_deadline () in
+    let cands = List.filter (fun t -> t >= 0) [ tq; ta; tb ] in
+    match cands with
+    | [] -> ()
+    | _ ->
+        let t = List.fold_left min max_int cands in
+        if t > t_limit_ns then ()
+        else begin
+          now := t;
+          side_a.timers ~now:t;
+          post_a ();
+          side_b.timers ~now:t;
+          post_b ();
+          let rec drain () =
+            match qu.q with
+            | (te, _, ev) :: rest when te <= t ->
+                qu.q <- rest;
+                (match ev with
+                | Wire (`A, seg) ->
+                    side_a.deliver ~now:t seg;
+                    post_a ()
+                | Wire (`B, seg) ->
+                    side_b.deliver ~now:t seg;
+                    post_b ()
+                | Op (`A, op) -> exec side_a post_a op
+                | Op (`B, op) -> exec side_b post_b op);
+                drain ()
+            | _ -> ()
+          in
+          drain ();
+          loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Leg = real pass + model replay + trace comparison.                  *)
+
+type report = {
+  equal : bool;
+  digest : int;  (* order-sensitive hash of the real trace *)
+  trace_len : int;
+  detail : string option;  (* first divergence, when not equal *)
+  trace_real : tr list;
+  trace_model : tr list;
+}
+
+let compare_traces tr tm =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a', y :: b' ->
+        if x = y then go (i + 1) a' b'
+        else
+          Some
+            (Printf.sprintf "item %d differs\n  real:  %s\n  model: %s" i
+               (show_tr x) (show_tr y))
+    | x :: _, [] ->
+        Some
+          (Printf.sprintf "model trace ends at item %d; real has: %s" i
+             (show_tr x))
+    | [], y :: _ ->
+        Some
+          (Printf.sprintf "real trace ends at item %d; model has: %s" i
+             (show_tr y))
+  in
+  go 0 tr tm
+
+let digest_trace tr =
+  List.fold_left (fun h it -> Hashtbl.hash (h, it)) 0x811c_9dc5 tr
+
+let base_config ~fast_path =
+  {
+    Tcb.default_config with
+    fast_path;
+    tw_recycle = false;
+    syn_cookies = false;
+    dctcp = false;
+  }
+
+let run_leg ~seed ~fast_path ?(faults = true) ?(hostile = false)
+    ?(mutate = false) () =
+  let cfg = base_config ~fast_path in
+  let trace_r = ref [] in
+  let harvested = ref None in
+  let record_r t =
+    trace_r := t :: !trace_r;
+    match t with
+    | T_out s when s.Model.syn && !harvested = None ->
+        harvested := Some (s.Model.seq, s.Model.src_port)
+    | _ -> ()
+  in
+  run_pass ~seed ~cfg ~faults ~hostile ~record:record_r ~kind:Real;
+  let iss_a, port_a = match !harvested with Some hp -> hp | None -> (0, 0) in
+  let trace_m = ref [] in
+  let out_idx = ref 0 in
+  let record_m t =
+    let t =
+      match t with
+      | T_out s ->
+          incr out_idx;
+          if mutate && !out_idx = 1 then
+            T_out { s with Model.window = (s.Model.window + 1) land 0xFFFF }
+          else T_out s
+      | t -> t
+    in
+    trace_m := t :: !trace_m
+  in
+  run_pass ~seed ~cfg ~faults ~hostile ~record:record_m
+    ~kind:(Replay { iss_a; port_a });
+  let tr = List.rev !trace_r and tm = List.rev !trace_m in
+  let detail = compare_traces tr tm in
+  {
+    equal = detail = None;
+    digest = digest_trace tr;
+    trace_len = List.length tr;
+    detail;
+    trace_real = tr;
+    trace_model = tm;
+  }
+
+let digest_legs ~seeds ~fast_path ?(faults = true) ?(hostile = false) ~jobs ()
+    =
+  Engine.Domain_pool.map_jobs ~jobs
+    (List.map
+       (fun seed () ->
+         let r = run_leg ~seed ~fast_path ~faults ~hostile () in
+         if not r.equal then
+           failwith
+             (Printf.sprintf "conformance: leg seed=%d diverged:\n%s" seed
+                (match r.detail with Some d -> d | None -> ""))
+         else r.digest)
+       seeds)

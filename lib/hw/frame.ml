@@ -157,3 +157,11 @@ let truncate t ~keep =
   if keep >= n then t else detach t ~keep:(max 1 keep)
 
 let to_mbuf t ~into = Mbuf.append_bytes into t.buf t.off t.len
+
+(* Snapshot/construct pair for the hostile-peer fault injector: it
+   copies a passing frame's bytes, rewrites the TCP header into a
+   forged variant, and puts the result on the wire as an owned frame.
+   Cold path only — one copy per *injected* frame, never per packet. *)
+let copy_bytes t = Bytes.sub t.buf t.off t.len
+
+let of_bytes buf = { buf; off = 0; len = Bytes.length buf; owner = None }

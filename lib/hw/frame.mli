@@ -97,6 +97,16 @@ val corrupt : t -> pos:int -> mask:int -> t
     owned copy.  No checksum fixup — wire damage the receiver's RX
     validation is expected to catch. *)
 
+val copy_bytes : t -> Bytes.t
+(** Fresh copy of the frame contents (does not consume the frame's
+    reference).  Cold-path helper for fault injectors that forge
+    variants of passing frames. *)
+
+val of_bytes : Bytes.t -> t
+(** Owned frame over [buf] (takes ownership; the caller must not
+    mutate it afterwards).  Retain/release are no-ops, as for any
+    owned snapshot. *)
+
 val truncate : t -> keep:int -> t
 (** Copy-on-write cut to the first [keep] bytes (at least 1) — a runt
     frame.  A [keep] at or beyond the frame length returns the frame

@@ -15,6 +15,7 @@ type t = {
   mutable window : int;
   mutable mss : int option;
   mutable wscale : int option;
+  mutable sack : (int * int) option;
   mutable payload_off : int;
   mutable payload_len : int;
 }
@@ -37,6 +38,7 @@ let scratch () =
     window = 0;
     mss = None;
     wscale = None;
+    sack = None;
     payload_off = 0;
     payload_len = 0;
   }
@@ -44,8 +46,10 @@ let scratch () =
 let options_size t =
   let mss = match t.mss with Some _ -> 4 | None -> 0 in
   let ws = match t.wscale with Some _ -> 3 | None -> 0 in
+  (* One SACK block (kind 5, len 10) — the D-SACK report slot. *)
+  let sack = match t.sack with Some _ -> 10 | None -> 0 in
   (* Round up to a 4-byte boundary with NOP/EOL padding. *)
-  (mss + ws + 3) land lnot 3
+  (mss + ws + sack + 3) land lnot 3
 
 let flags_byte t =
   (if t.fin then 0x01 else 0)
@@ -87,6 +91,14 @@ let prepend mbuf ~src ~dst t =
       Bytes.set_uint8 buf (!pos + 2) shift;
       pos := !pos + 3
   | None -> ());
+  (match t.sack with
+  | Some (left, right) ->
+      Bytes.set_uint8 buf !pos 5;
+      Bytes.set_uint8 buf (!pos + 1) 10;
+      Bytes.set_int32_be buf (!pos + 2) (Int32.of_int (left land 0xFFFFFFFF));
+      Bytes.set_int32_be buf (!pos + 6) (Int32.of_int (right land 0xFFFFFFFF));
+      pos := !pos + 10
+  | None -> ());
   while !pos < off + hdr_len do
     Bytes.set_uint8 buf !pos 1 (* NOP *);
     incr pos
@@ -100,7 +112,7 @@ let prepend mbuf ~src ~dst t =
   Bytes.set_uint16_be buf (off + 16) csum
 
 let parse_options buf ~off ~len =
-  let mss = ref None and wscale = ref None in
+  let mss = ref None and wscale = ref None and sack = ref None in
   let rec scan pos =
     if pos < off + len then begin
       match Bytes.get_uint8 buf pos with
@@ -115,6 +127,12 @@ let parse_options buf ~off ~len =
               (match kind with
               | 2 when olen = 4 -> mss := Some (Bytes.get_uint16_be buf (pos + 2))
               | 3 when olen = 3 -> wscale := Some (Bytes.get_uint8 buf (pos + 2))
+              | 5 when olen >= 10 ->
+                  (* First SACK block only — the D-SACK slot. *)
+                  let u32 p =
+                    Int32.to_int (Bytes.get_int32_be buf p) land 0xFFFFFFFF
+                  in
+                  sack := Some (u32 (pos + 2), u32 (pos + 6))
               | _ -> ());
               scan (pos + olen)
             end
@@ -122,7 +140,7 @@ let parse_options buf ~off ~len =
     end
   in
   scan off;
-  (!mss, !wscale)
+  (!mss, !wscale, !sack)
 
 (* Allocation-free decode: fills a caller-owned scratch record.  The
    scratch is only valid until the next [decode_into] on it — nothing
@@ -150,16 +168,18 @@ let decode_into mbuf ~src ~dst t =
             (* Options appear on SYNs only in practice; the common data
                segment takes the [else] branch and allocates nothing. *)
             if data_off > header_size then begin
-              let mss, wscale =
+              let mss, wscale, sack =
                 parse_options buf ~off:(off + header_size)
                   ~len:(data_off - header_size)
               in
               t.mss <- mss;
-              t.wscale <- wscale
+              t.wscale <- wscale;
+              t.sack <- sack
             end
             else begin
               t.mss <- None;
-              t.wscale <- None
+              t.wscale <- None;
+              t.sack <- None
             end;
             t.src_port <- Bytes.get_uint16_be buf off;
             t.dst_port <- Bytes.get_uint16_be buf (off + 2);
@@ -197,4 +217,7 @@ let pp fmt t =
   Format.fprintf fmt "%d>%d seq=%d ack=%d len=%d [%s%s%s%s%s] win=%d" t.src_port
     t.dst_port t.seq t.ack t.payload_len (flag "S" t.syn)
     (flag "A" t.ack_flag) (flag "F" t.fin) (flag "R" t.rst) (flag "P" t.psh)
-    t.window
+    t.window;
+  match t.sack with
+  | Some (l, r) -> Format.fprintf fmt " sack=%d-%d" l r
+  | None -> ()

@@ -17,6 +17,9 @@ type t = {
   mutable window : int;  (** raw 16-bit window field (pre-scaling) *)
   mutable mss : int option;  (** SYN-only option *)
   mutable wscale : int option;  (** SYN-only option *)
+  mutable sack : (int * int) option;
+      (** first SACK block (kind 5), [(left, right)] edges — carries the
+          D-SACK duplicate report (RFC 2883) *)
   mutable payload_off : int;  (** payload position within the mbuf buffer *)
   mutable payload_len : int;
 }

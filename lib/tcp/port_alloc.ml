@@ -10,6 +10,11 @@ type t = {
   bits : Bytes.t; (* bit i = port lo+i in use *)
   mutable in_use : int;
   mutable cursor : int;
+  mutable double_frees : int;
+      (* [free] calls for an in-range port that was not allocated —
+         each one is a lifecycle bug (a reservation returned twice, or
+         never taken); counted instead of silently ignored so tests
+         and the chaos audit can assert zero *)
 }
 
 let create ?(lo = 16384) ?(hi = 65535) () =
@@ -19,6 +24,7 @@ let create ?(lo = 16384) ?(hi = 65535) () =
     bits = Bytes.make (((hi - lo + 1) + 7) / 8) '\000';
     in_use = 0;
     cursor = lo;
+    double_frees = 0;
   }
 
 let[@inline] test t port =
@@ -55,9 +61,13 @@ let alloc t ~suitable =
   probe 0 t.cursor
 
 let free t port =
-  if port >= t.lo && port <= t.hi && test t port then begin
-    clear t port;
-    t.in_use <- t.in_use - 1
+  if port >= t.lo && port <= t.hi then begin
+    if test t port then begin
+      clear t port;
+      t.in_use <- t.in_use - 1
+    end
+    else t.double_frees <- t.double_frees + 1
   end
 
 let in_use t = t.in_use
+let double_frees t = t.double_frees

@@ -16,4 +16,12 @@ val alloc : t -> suitable:(int -> bool) -> int option
     cursor.  Returns [None] if the whole range is exhausted. *)
 
 val free : t -> int -> unit
+(** Return a port to the pool.  Freeing an in-range port that is not
+    currently allocated is counted in {!double_frees} (a reservation
+    lifecycle bug) and otherwise ignored; out-of-range ports (e.g. a
+    listener's well-known port) are silently ignored. *)
+
 val in_use : t -> int
+
+val double_frees : t -> int
+(** Number of {!free} calls that found the port already free. *)

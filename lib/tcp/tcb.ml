@@ -33,6 +33,18 @@ module Seg = Ixnet.Tcp_segment
 
 type close_reason = Normal | Reset | Timeout | Refused
 
+(* Cold-path protocol incidents the owning endpoint counts; reported
+   through [env.on_protocol_event] so [Tcp_conn] stays metrics-free. *)
+type protocol_event =
+  | Challenge_ack_sent  (** RFC 5961: suspicious RST/SYN answered with an ACK *)
+  | Challenge_ack_limited  (** challenge suppressed by the rate limiter *)
+  | Rst_accepted  (** a peer RST actually tore the connection down *)
+  | Local_abort  (** we RST the peer ([Tcp_conn.abort]) *)
+  | Tw_rst_dropped  (** RFC 1337: RST ignored in TIME_WAIT *)
+  | Dsack_sent  (** duplicate segment reported via a D-SACK block *)
+  | Dsack_dupack_ignored
+      (** dup-ACK carried a D-SACK for already-acked data — not loss *)
+
 type config = {
   mss : int;
   rcv_buf : int;  (** receive window ceiling, bytes *)
@@ -67,6 +79,20 @@ type config = {
       (** release the full TCB at the TIME_WAIT transition; the
           remnant (4-tuple, final sequence numbers, deadline) moves to
           the endpoint's compact [Tw_table] *)
+  rfc5961 : bool;
+      (** blind-injection hardening: in-window (but not exact-match)
+          RSTs and SYNs in synchronized states elicit a rate-limited
+          challenge ACK instead of acting on the segment *)
+  rfc1337 : bool;
+      (** TIME-WAIT assassination protection: RSTs never terminate
+          TIME_WAIT (neither the in-TCB timer nor a [Tw_table] remnant) *)
+  dsack : bool;
+      (** report fully-duplicate segments back to the sender in a
+          D-SACK block (RFC 2883), and discount dup-ACKs that carry
+          one — SACK-recovery groundwork *)
+  challenge_ack_limit : int;
+      (** max challenge ACKs per [challenge_ack_window_ns] (per env) *)
+  challenge_ack_window_ns : int;
 }
 
 (* Defaults follow a modern datacenter profile; stacks override the
@@ -88,6 +114,11 @@ let default_config =
     fast_path = true;
     syn_cookies = false;
     tw_recycle = true;
+    rfc5961 = true;
+    rfc1337 = true;
+    dsack = true;
+    challenge_ack_limit = 8;
+    challenge_ack_window_ns = 1_000_000 (* 1 ms, matching the scaled MSL *);
   }
 
 (* Sentinel for [rexmit_action] before [Tcp_conn] installs the real
@@ -145,7 +176,10 @@ let[@inline] with_hi word v = word land half_mask lor ((v land half_mask) lsl 31
      27..34 dupacks (saturating — only ever compared against the
             dup-ack threshold, far below the cap)
      35..40 rexmit_shots
-     41..48 backoff_mult (1..64) *)
+     41..48 backoff_mult (1..64)
+     49     port_owned (this connection checked its local port out of
+            the endpoint's [Port_alloc]; teardown returns it exactly
+            once) *)
 
 let b_ws_enabled = 7
 let b_fin_queued = 8
@@ -154,6 +188,7 @@ let b_close_notified = 10
 let b_ce_to_echo = 11
 let b_rtt_have_sample = 12
 let b_cong_recovery = 13
+let b_port_owned = 49
 
 type store = {
   mutable cap : int;
@@ -209,6 +244,10 @@ and t = {
           front by ACKs ([drop_front]), gathered into TX mbufs by
           sequence offset ([blit_to]) *)
   mutable ooo : (Seqno.t * Mbuf.t * int * int) list;  (** seq, mbuf, off, len *)
+  mutable dsack_pending : int;
+      (** duplicate range awaiting a D-SACK report on the next ACK:
+          [seq lor (len lsl 32)], 0 when none (a zero-length duplicate
+          is never recorded, so the encoding is unambiguous) *)
   (* Timer handles hold [Timer_wheel.null] when disarmed — a plain
      field instead of an option so the per-ACK re-arm boxes nothing. *)
   mutable rexmit_timer : Timerwheel.Timer_wheel.timer;
@@ -250,6 +289,12 @@ and env = {
       (** TIME_WAIT transition; return [true] to take over the wait
           (the endpoint records a [Tw_table] remnant and the TCB is
           released immediately), [false] for the classic in-TCB timer *)
+  mutable on_protocol_event : protocol_event -> unit;
+      (** cold-path incident hook; the endpoint counts these *)
+  mutable challenge_window_start : int;
+      (** RFC 5961 limiter: start of the current rate window.  Env-wide
+          (per elastic thread), as the RFC prescribes host-wide. *)
+  mutable challenge_sent : int;  (** challenge ACKs sent this window *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -467,6 +512,8 @@ let[@inline] close_notified tcb = flag tcb b_close_notified
 let[@inline] set_close_notified tcb v = set_flag tcb b_close_notified v
 let[@inline] ce_to_echo tcb = flag tcb b_ce_to_echo
 let[@inline] set_ce_to_echo tcb v = set_flag tcb b_ce_to_echo v
+let[@inline] port_owned tcb = flag tcb b_port_owned
+let[@inline] set_port_owned tcb v = set_flag tcb b_port_owned v
 
 let[@inline] snd_wscale tcb = (tcb.store.c_flags.(tcb.slot) lsr 14) land 0x1F
 
@@ -686,6 +733,9 @@ let make_env ~now ~wheel ~alloc ~output ~rng ~handle_alloc ?store () =
     on_teardown = ignore;
     on_established = ignore;
     on_time_wait = (fun _ -> false);
+    on_protocol_event = ignore;
+    challenge_window_start = 0;
+    challenge_sent = 0;
   }
 
 let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
@@ -734,6 +784,7 @@ let create env cfg ~local_ip ~local_port ~remote_ip ~remote_port ~cookie =
       callbacks = null_callbacks ();
       snd_queue = Ixmem.Iov_deque.create ();
       ooo = [];
+      dsack_pending = 0;
       rexmit_timer = Timerwheel.Timer_wheel.null;
       persist_timer = Timerwheel.Timer_wheel.null;
       delack_timer = Timerwheel.Timer_wheel.null;

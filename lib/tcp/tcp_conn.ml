@@ -85,6 +85,7 @@ let emit_seg tcb kind ~dseq ~dlen ~dpsh =
       seg.Seg.window <- advertised_window tcb;
       seg.Seg.mss <- None;
       seg.Seg.wscale <- None;
+      seg.Seg.sack <- None;
       seg.Seg.payload_off <- 0;
       seg.Seg.payload_len <- 0;
       (if dlen >= 0 then begin
@@ -115,6 +116,16 @@ let emit_seg tcb kind ~dseq ~dlen ~dpsh =
              seg.Seg.seq <- Seqno.sub (snd_nxt tcb) 1
          | Seg_ack -> ()
          | Seg_rst -> seg.Seg.rst <- true);
+      (* D-SACK (RFC 2883): the next ACK-bearing segment reports the
+         duplicate range recorded by [process_payload].  One pending
+         slot suffices — each duplicate arrival forces its own ACK. *)
+      if tcb.dsack_pending <> 0 && seg.Seg.ack_flag then begin
+        let dseq = tcb.dsack_pending land 0xFFFF_FFFF in
+        let dl = tcb.dsack_pending lsr 32 in
+        seg.Seg.sack <- Some (dseq, Seqno.add dseq dl);
+        tcb.dsack_pending <- 0;
+        tcb.env.on_protocol_event Dsack_sent
+      end;
       (* DCTCP: echo congestion marks on outgoing ACK-bearing segments. *)
       if tcb.cfg.dctcp && ce_to_echo tcb && seg.Seg.ack_flag then begin
         set_ce_to_echo tcb false;
@@ -132,6 +143,34 @@ let emit_seg tcb kind ~dseq ~dlen ~dpsh =
 let emit tcb kind = emit_seg tcb kind ~dseq:0 ~dlen:(-1) ~dpsh:false
 let emit_data tcb ~seq ~len ~psh = emit_seg tcb Seg_ack ~dseq:seq ~dlen:len ~dpsh:psh
 let ack_now tcb = emit tcb Seg_ack
+
+(* RFC 5961: a suspicious segment (in-window but not exact-match RST,
+   or a SYN in a synchronized state) is answered with a "challenge
+   ACK" — a legitimate peer reacts by re-sending its RST with the
+   exact sequence number, while a blind injector learns nothing.  The
+   limiter is env-wide (per elastic thread, as the RFC prescribes
+   host-wide) so an attacker cannot use one flow's budget to probe
+   another. *)
+let challenge_ack tcb =
+  let env = tcb.env in
+  let now = env.now () in
+  if now - env.challenge_window_start >= tcb.cfg.challenge_ack_window_ns
+  then begin
+    env.challenge_window_start <- now;
+    env.challenge_sent <- 0
+  end;
+  if env.challenge_sent < tcb.cfg.challenge_ack_limit then begin
+    env.challenge_sent <- env.challenge_sent + 1;
+    env.on_protocol_event Challenge_ack_sent;
+    ack_now tcb
+  end
+  else env.on_protocol_event Challenge_ack_limited
+
+(* RFC 793 RST acceptance window; [max 1] keeps an exact-sequence RST
+   acceptable against a closed (zero) receive window. *)
+let rst_in_window tcb (seg : Seg.t) =
+  Seqno.ge seg.Seg.seq (rcv_nxt tcb)
+  && Seqno.lt seg.Seg.seq (Seqno.add (rcv_nxt tcb) (max 1 (rcv_window tcb)))
 
 let advance_snd_nxt tcb n =
   set_snd_nxt tcb (Seqno.add (snd_nxt tcb) n);
@@ -168,6 +207,7 @@ let abort tcb =
     (match state tcb with
     | Tcp_state.Syn_sent | Tcp_state.Time_wait -> ()
     | _ -> emit tcb Seg_rst);
+    tcb.env.on_protocol_event Local_abort;
     teardown tcb Tcb.Reset
   end
 
@@ -563,7 +603,10 @@ let process_payload tcb (seg : Seg.t) mbuf =
   else begin
     let seg_end = Seqno.add seq len in
     if Seqno.le seg_end (rcv_nxt tcb) then begin
-      (* Entirely old: dup segment, force an ACK to resynchronize. *)
+      (* Entirely old: dup segment, force an ACK to resynchronize,
+         reporting the duplicate range in a D-SACK block (RFC 2883) so
+         the sender can tell spurious retransmission from loss. *)
+      if tcb.cfg.dsack then tcb.dsack_pending <- seq lor (len lsl 32);
       ack_now tcb;
       false
     end
@@ -662,7 +705,19 @@ let process_ack tcb (seg : Seg.t) =
   else begin
     (* ack = snd_una: possible duplicate. *)
     update_send_window tcb seg;
-    if seg.Seg.payload_len = 0 && Tcb.flight tcb > 0 then begin
+    let dsack_dup =
+      (* A dup-ACK whose D-SACK block sits at or below snd_una reports
+         a duplicate *delivery* (our spurious retransmission or a wire
+         dup), not a hole — it must not feed the fast-retransmit
+         counter (RFC 2883 §4; the SACK-recovery groundwork). *)
+      tcb.cfg.dsack
+      &&
+      match seg.Seg.sack with
+      | Some (_, right) -> Seqno.le right (snd_una tcb)
+      | None -> false
+    in
+    if dsack_dup then tcb.env.on_protocol_event Dsack_dupack_ignored
+    else if seg.Seg.payload_len = 0 && Tcb.flight tcb > 0 then begin
       set_dupacks tcb (dupacks tcb + 1);
       if dupacks tcb = dup_ack_threshold then begin
         set_recover tcb (snd_nxt tcb);
@@ -712,11 +767,28 @@ let input ?(ce = false) tcb (seg : Seg.t) mbuf =
   match state tcb with
   | Tcp_state.Closed | Tcp_state.Listen -> ()
   | Tcp_state.Syn_sent -> input_syn_sent tcb seg
-  | Tcp_state.Syn_received when seg.Seg.rst -> teardown tcb Tcb.Reset
+  | Tcp_state.Syn_received when seg.Seg.rst ->
+      (* RFC 5961 §3.2 applied to the nascent connection: only an
+         exact-sequence RST aborts the handshake; an in-window guess
+         draws a challenge ACK, anything else is dropped. *)
+      if not tcb.cfg.rfc5961 || seg.Seg.seq = rcv_nxt tcb then begin
+        tcb.env.on_protocol_event Rst_accepted;
+        teardown tcb Tcb.Reset
+      end
+      else if rst_in_window tcb seg then challenge_ack tcb
   | Tcp_state.Syn_received when seg.Seg.syn ->
       emit tcb Seg_syn_ack (* duplicate SYN: re-answer *)
   | Tcp_state.Time_wait ->
-      if seg.Seg.rst then teardown tcb Tcb.Reset
+      if seg.Seg.rst then begin
+        (* RFC 1337: TIME-WAIT assassination protection — an RST must
+           not cut the quiet period short, or old duplicates from this
+           incarnation could corrupt its successor. *)
+        if tcb.cfg.rfc1337 then tcb.env.on_protocol_event Tw_rst_dropped
+        else begin
+          tcb.env.on_protocol_event Rst_accepted;
+          teardown tcb Tcb.Reset
+        end
+      end
       else begin
         (* Any arrival in TIME_WAIT (e.g. a retransmitted FIN whose
            final ACK was lost) is re-ACKed and restarts the timer. *)
@@ -725,12 +797,28 @@ let input ?(ce = false) tcb (seg : Seg.t) mbuf =
       end
   | _ ->
       if seg.Seg.rst then begin
-        (* Accept an RST whose sequence falls in the receive window. *)
-        if Seqno.ge seg.Seg.seq (rcv_nxt tcb)
-           && Seqno.lt seg.Seg.seq (Seqno.add (rcv_nxt tcb) (max 1 (rcv_window tcb)))
-           || seg.Seg.seq = rcv_nxt tcb
-        then teardown tcb Tcb.Reset
+        (* RFC 5961 §3.2: only an RST at exactly rcv_nxt terminates;
+           one elsewhere in the receive window — a blind attacker's
+           best guess — draws a rate-limited challenge ACK, which a
+           genuine peer answers with an exact-sequence RST.  With the
+           hardening off, any in-window RST is accepted (RFC 793). *)
+        if seg.Seg.seq = rcv_nxt tcb then begin
+          tcb.env.on_protocol_event Rst_accepted;
+          teardown tcb Tcb.Reset
+        end
+        else if rst_in_window tcb seg then begin
+          if tcb.cfg.rfc5961 then challenge_ack tcb
+          else begin
+            tcb.env.on_protocol_event Rst_accepted;
+            teardown tcb Tcb.Reset
+          end
+        end
       end
+      else if seg.Seg.syn && tcb.cfg.rfc5961 then
+        (* RFC 5961 §4: a SYN in a synchronized state is never valid;
+           challenge-ACK it (the legacy path falls through below and
+           treats it as an old duplicate). *)
+        challenge_ack tcb
       else begin
         if seg.Seg.ack_flag then process_ack tcb seg;
         if state tcb <> Tcp_state.Closed then begin

@@ -39,6 +39,13 @@ type t = {
   c_syn_cookies_rejected : Metrics.counter;
   c_tw_reacks : Metrics.counter;
   c_port_exhausted : Metrics.counter;
+  c_challenge_acks_sent : Metrics.counter;
+  c_challenge_acks_limited : Metrics.counter;
+  c_rsts_accepted : Metrics.counter;
+  c_local_aborts : Metrics.counter;
+  c_tw_rst_dropped : Metrics.counter;
+  c_dsack_sent : Metrics.counter;
+  c_dsack_dupacks_ignored : Metrics.counter;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -126,6 +133,13 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
       c_syn_cookies_rejected = c "syn_cookies_rejected";
       c_tw_reacks = c "tw_reacks";
       c_port_exhausted = c "port_exhausted";
+      c_challenge_acks_sent = c "challenge_acks_sent";
+      c_challenge_acks_limited = c "challenge_acks_limited";
+      c_rsts_accepted = c "rsts_accepted";
+      c_local_aborts = c "local_aborts";
+      c_tw_rst_dropped = c "tw_rst_dropped";
+      c_dsack_sent = c "dsack_sent";
+      c_dsack_dupacks_ignored = c "dsack_dupacks_ignored";
     }
   in
   tcb_env.Tcb.on_teardown <-
@@ -140,7 +154,25 @@ let create ~now ~wheel ~alloc ~output_raw ~rng ~local_ip ~config ?metrics
       | None -> ());
       Flow_table.remove t.flows ~local_port:(Tcb.local_port tcb)
         ~remote_ip:(Tcb.remote_ip tcb) ~remote_port:(Tcb.remote_port tcb);
-      Port_alloc.free t.ports (Tcb.local_port tcb));
+      (* The port returns to the allocator exactly once, and only if
+         this connection checked it out ([connect] below).  Accepted
+         connections share the listener's port: freeing it here used to
+         clear an *active* outgoing connection's reservation whenever a
+         listener occupied an ephemeral-range port — the double-free
+         the [Port_alloc.double_frees] guard now counts. *)
+      if Tcb.port_owned tcb then begin
+        Tcb.set_port_owned tcb false;
+        Port_alloc.free t.ports (Tcb.local_port tcb)
+      end);
+  tcb_env.Tcb.on_protocol_event <-
+    (function
+      | Tcb.Challenge_ack_sent -> Metrics.incr t.c_challenge_acks_sent
+      | Tcb.Challenge_ack_limited -> Metrics.incr t.c_challenge_acks_limited
+      | Tcb.Rst_accepted -> Metrics.incr t.c_rsts_accepted
+      | Tcb.Local_abort -> Metrics.incr t.c_local_aborts
+      | Tcb.Tw_rst_dropped -> Metrics.incr t.c_tw_rst_dropped
+      | Tcb.Dsack_sent -> Metrics.incr t.c_dsack_sent
+      | Tcb.Dsack_dupack_ignored -> Metrics.incr t.c_dsack_dupacks_ignored);
   tcb_env.Tcb.on_established <-
     (fun tcb ->
       match Hashtbl.find_opt t.listeners (Tcb.local_port tcb) with
@@ -199,6 +231,9 @@ let connect t ~remote_ip ~remote_port ?(port_suitable = fun _ -> true) ~cookie (
         Tcp_conn.connect t.tcb_env t.cfg ~local_ip:t.ip ~local_port ~remote_ip
           ~remote_port ~cookie
       in
+      (* This connection owns the allocator reservation; teardown
+         returns it (exactly once — see [on_teardown]). *)
+      Tcb.set_port_owned tcb true;
       Metrics.incr t.c_connects;
       Flow_table.add t.flows ~local_port ~remote_ip ~remote_port tcb;
       Some tcb
@@ -228,6 +263,7 @@ let reply_base t (seg : Seg.t) =
   s.Seg.window <- 0;
   s.Seg.mss <- None;
   s.Seg.wscale <- None;
+  s.Seg.sack <- None;
   s.Seg.payload_off <- 0;
   s.Seg.payload_len <- 0;
   s
@@ -286,7 +322,12 @@ let send_tw_ack t ~src_ip (seg : Seg.t) ~seq ~ack =
    demux (the remnant was recycled by a legitimate new SYN). *)
 let rx_time_wait t ~src_ip (seg : Seg.t) slot =
   if seg.Seg.rst then begin
-    Tw_table.remove t.tw slot;
+    (* RFC 1337: a stray or forged RST must not assassinate the
+       TIME_WAIT remnant — losing it would let old duplicates from the
+       closed incarnation reach a successor connection.  The legacy
+       (pre-hardening) behaviour drops the remnant. *)
+    if t.cfg.Tcb.rfc1337 then Metrics.incr t.c_tw_rst_dropped
+    else Tw_table.remove t.tw slot;
     true
   end
   else if
@@ -415,3 +456,12 @@ let syn_cookies_validated t = Metrics.value t.c_syn_cookies_validated
 let syn_cookies_rejected t = Metrics.value t.c_syn_cookies_rejected
 let port_exhausted t = Metrics.value t.c_port_exhausted
 let time_wait_count t = Tw_table.count t.tw
+let challenge_acks_sent t = Metrics.value t.c_challenge_acks_sent
+let challenge_acks_limited t = Metrics.value t.c_challenge_acks_limited
+let rsts_accepted t = Metrics.value t.c_rsts_accepted
+let local_aborts t = Metrics.value t.c_local_aborts
+let tw_rst_dropped t = Metrics.value t.c_tw_rst_dropped
+let dsack_sent t = Metrics.value t.c_dsack_sent
+let dsack_dupacks_ignored t = Metrics.value t.c_dsack_dupacks_ignored
+let port_double_frees t = Port_alloc.double_frees t.ports
+let ports_in_use t = Port_alloc.in_use t.ports

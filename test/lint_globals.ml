@@ -138,6 +138,7 @@ let per_core_files =
     "tcp/tcp_conn.ml";
     "tcp/tcb.ml";
     "tcp/tw_table.ml";
+    "tcp/model/model_tcp.ml";
     "workloads/conn_scale.ml";
   ]
 
@@ -315,7 +316,7 @@ let lint_file path =
 let required_dirs =
   [
     "apps"; "baselines"; "core"; "engine"; "faults"; "harness"; "hw"; "mem";
-    "net"; "netapi"; "tcp"; "telemetry"; "timerwheel"; "workloads";
+    "model"; "net"; "netapi"; "tcp"; "telemetry"; "timerwheel"; "workloads";
   ]
 
 let visited_dirs = ref []

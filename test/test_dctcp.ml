@@ -163,6 +163,7 @@ let test_ece_echoed_on_ce () =
       window = 65_000;
       mss = Some 1460;
       wscale = Some 7;
+      sack = None;
       payload_off = 0;
       payload_len = 0;
     }

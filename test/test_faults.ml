@@ -87,6 +87,10 @@ let spec_gen =
   window >>= fun (exhaust_period_ns, exhaust_ns) ->
   dur >>= fun doorbell_delay_ns ->
   rate >>= fun app_crash_rate ->
+  rate >>= fun hostile_rst_rate ->
+  rate >>= fun hostile_syn_rate ->
+  rate >>= fun hostile_olddup_rate ->
+  rate >>= fun hostile_ack_rate ->
   return
     {
       FP.drop_rate;
@@ -103,6 +107,10 @@ let spec_gen =
       exhaust_ns;
       doorbell_delay_ns;
       app_crash_rate;
+      hostile_rst_rate;
+      hostile_syn_rate;
+      hostile_olddup_rate;
+      hostile_ack_rate;
     }
 
 let prop_spec_roundtrip =

@@ -97,6 +97,7 @@ let prop_endpoint_survives_random_segments =
               window = seq land 0xFFFF;
               mss = (if flags land 2 <> 0 then Some 1460 else None);
               wscale = None;
+              sack = None;
               payload_off = 0;
               payload_len = 0;
             }

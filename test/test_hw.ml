@@ -84,6 +84,7 @@ let make_tcp_frame ?(src_ip = ip 1) ?(dst_ip = ip 2) ?(src_port = 4000)
       window = 100;
       mss = None;
       wscale = None;
+      sack = None;
       payload_off = 0;
       payload_len = 0;
     }

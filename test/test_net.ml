@@ -209,6 +209,7 @@ let mk_seg ?(payload = "") ?(syn = false) ?(ack_flag = true) ?(fin = false)
       window = 1024;
       mss;
       wscale;
+      sack = None;
       payload_off = 0;
       payload_len = 0;
     }
@@ -276,6 +277,7 @@ let prop_tcp_roundtrip =
           window;
           mss = None;
           wscale = None;
+          sack = None;
           payload_off = 0;
           payload_len = 0;
         }

@@ -163,6 +163,44 @@ let prop_seqno_ordering_antisymmetric =
       QCheck.assume (Seqno.diff a b <> 0);
       Seqno.lt a b = Seqno.gt b a && Seqno.lt a b <> Seqno.lt b a)
 
+let prop_seqno_add_orders_across_wrap =
+  QCheck.Test.make ~name:"s < s+d for 0 < d < 2^31, across the wrap"
+    ~count:1000
+    QCheck.(pair (int_bound 0xFFFFFFFF) (int_range 1 0x7FFFFFFE))
+    (fun (s, d) ->
+      let s' = Seqno.add s d in
+      Seqno.lt s s' && Seqno.gt s' s && Seqno.le s s'
+      && (not (Seqno.le s' s))
+      && Seqno.diff s' s = d)
+
+let prop_seqno_le_reflexive_antisymmetric =
+  QCheck.Test.make ~name:"le reflexive and antisymmetric across wrap"
+    ~count:1000
+    QCheck.(pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+    (fun (a, b) ->
+      Seqno.le a a
+      &&
+      if Seqno.diff a b = 0 then Seqno.le a b && Seqno.le b a
+      else Seqno.le a b <> Seqno.le b a)
+
+(* The window-acceptance predicate the input path relies on:
+   [start <= s < start + len] in circular arithmetic. *)
+let window_contains ~start ~len s =
+  Seqno.le start s && Seqno.lt s (Seqno.add start len)
+
+let prop_seqno_window_contains =
+  QCheck.Test.make ~name:"window membership across the 2^32 wrap"
+    ~count:1000
+    QCheck.(
+      triple (int_bound 0xFFFFFFFF) (int_range 1 65535) (int_bound 0xFFFFFFFF))
+    (fun (start, wnd, k) ->
+      let inside = Seqno.add start (k mod wnd) in
+      let below = Seqno.sub start (1 + (k mod 1000)) in
+      let at_edge = Seqno.add start wnd in
+      window_contains ~start ~len:wnd inside
+      && (not (window_contains ~start ~len:wnd below))
+      && not (window_contains ~start ~len:wnd at_edge))
+
 (* ---------------- Rtt ---------------- *)
 
 let test_rtt_converges () =
@@ -631,6 +669,168 @@ let prop_sizes_roundtrip =
     QCheck.(int_range 1 100_000)
     (fun size -> transfer_roundtrip ~loss:0. ~size ~seed:2)
 
+(* ---------------- hostile-peer hardening ---------------- *)
+
+(* Hand-inject one crafted segment into an endpoint, bypassing the
+   wire (the mbuf carries no payload; flags come pre-set). *)
+let inject host ~src_ip ~src_port ~dst_port ~seq ~ack ?(syn = false)
+    ?(ack_flag = false) ?(rst = false) () =
+  let mbuf = Mbuf.create () in
+  let s = Seg.scratch () in
+  s.Seg.src_port <- src_port;
+  s.Seg.dst_port <- dst_port;
+  s.Seg.seq <- seq;
+  s.Seg.ack <- ack;
+  s.Seg.syn <- syn;
+  s.Seg.ack_flag <- ack_flag;
+  s.Seg.fin <- false;
+  s.Seg.rst <- rst;
+  s.Seg.psh <- false;
+  s.Seg.ece <- false;
+  s.Seg.cwr <- false;
+  s.Seg.window <- 65535;
+  s.Seg.mss <- None;
+  s.Seg.wscale <- None;
+  s.Seg.sack <- None;
+  s.Seg.payload_off <- mbuf.Mbuf.off;
+  s.Seg.payload_len <- 0;
+  Tcp_endpoint.rx_segment host.ep ~src_ip s mbuf;
+  Mbuf.decref mbuf
+
+let test_challenge_ack_rate_limit () =
+  let net = make_net () in
+  let received, _ = sink_server net.b ~port:80 in
+  let tcb, connected, _, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"" ()
+  in
+  run net ~ms:50;
+  check_bool "connected" true !connected;
+  let lp = Tcb.local_port tcb and rp = Tcb.remote_port tcb in
+  let rcv_nxt = Tcb.rcv_nxt tcb in
+  (* RST flood: in-window but not rcv_nxt-exact sequence numbers, all
+     inside one challenge-ACK rate window (no simulated time passes). *)
+  let flood = 20 in
+  for i = 1 to flood do
+    inject net.a ~src_ip:ip_b ~src_port:rp ~dst_port:lp
+      ~seq:(Seqno.add rcv_nxt (1 + (i mod 7)))
+      ~ack:0 ~rst:true ()
+  done;
+  let limit = Tcb.default_config.Tcb.challenge_ack_limit in
+  check_int "challenge ACKs capped at the configured limit" limit
+    (Tcp_endpoint.challenge_acks_sent net.a.ep);
+  check_int "every suppressed challenge is counted" (flood - limit)
+    (Tcp_endpoint.challenge_acks_limited net.a.ep);
+  check_int "no forged RST tore the connection down" 0
+    (Tcp_endpoint.rsts_accepted net.a.ep);
+  Alcotest.(check string)
+    "connection survives the flood" "ESTABLISHED"
+    (Tcp_state.to_string (Tcb.state tcb));
+  (* ...and still carries data afterwards *)
+  let msg = "still alive after the flood" in
+  let sent =
+    Tcp_conn.send_iov tcb
+      { Iovec.buf = Bytes.of_string msg; off = 0; len = String.length msg }
+  in
+  check_int "post-flood send accepted" (String.length msg) sent;
+  run net ~ms:100;
+  Alcotest.(check string) "post-flood data delivered" msg
+    (Buffer.contents received)
+
+let test_rfc1337_in_tcb_time_wait () =
+  (* Classic in-TCB TIME_WAIT (tw_recycle off), held long enough to
+     attack: an exact-sequence RST must be ignored, not assassinate. *)
+  let cfg =
+    {
+      Tcb.default_config with
+      tw_recycle = false;
+      time_wait_ns = 10_000_000_000;
+    }
+  in
+  let net = make_net ~config:cfg () in
+  let _ = sink_server net.b ~port:80 in
+  let tcb, _, _, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"x"
+      ~close_when_done:true ()
+  in
+  run net ~ms:500;
+  Alcotest.(check string)
+    "active closer parked in TIME_WAIT" "TIME_WAIT"
+    (Tcp_state.to_string (Tcb.state tcb));
+  let lp = Tcb.local_port tcb and rp = Tcb.remote_port tcb in
+  inject net.a ~src_ip:ip_b ~src_port:rp ~dst_port:lp ~seq:(Tcb.rcv_nxt tcb)
+    ~ack:0 ~rst:true ();
+  check_int "RST dropped per RFC 1337" 1 (Tcp_endpoint.tw_rst_dropped net.a.ep);
+  Alcotest.(check string)
+    "TIME_WAIT survives the assassination attempt" "TIME_WAIT"
+    (Tcp_state.to_string (Tcb.state tcb))
+
+let test_rfc1337_tw_table_remnant () =
+  (* Recycled TIME_WAIT (compact Tw_table remnant, no TCB): same
+     protection, same counter. *)
+  let cfg =
+    { Tcb.default_config with tw_recycle = true; time_wait_ns = 10_000_000_000 }
+  in
+  let net = make_net ~config:cfg () in
+  let _ = sink_server net.b ~port:80 in
+  let tcb, _, _, _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"x"
+      ~close_when_done:true ()
+  in
+  (* capture the tuple before the sim runs: the recycled TIME_WAIT
+     releases the TCB, after which its slot must not be read *)
+  let lp = Tcb.local_port tcb and rp = Tcb.remote_port tcb in
+  run net ~ms:500;
+  check_int "remnant recorded" 1 (Tcp_endpoint.time_wait_count net.a.ep);
+  inject net.a ~src_ip:ip_b ~src_port:rp ~dst_port:lp ~seq:0 ~ack:0 ~rst:true
+    ();
+  check_int "remnant RST dropped per RFC 1337" 1
+    (Tcp_endpoint.tw_rst_dropped net.a.ep);
+  check_int "remnant survives" 1 (Tcp_endpoint.time_wait_count net.a.ep)
+
+let test_port_free_is_counted_once () =
+  (* Regression for the port double-free: releasing the same port twice
+     must not corrupt the free list, and the guard must count it. *)
+  let pa = Port_alloc.create ~lo:50000 ~hi:50003 () in
+  let p1 = Option.get (Port_alloc.alloc pa ~suitable:(fun _ -> true)) in
+  let p2 = Option.get (Port_alloc.alloc pa ~suitable:(fun _ -> true)) in
+  check_int "two ports in use" 2 (Port_alloc.in_use pa);
+  Port_alloc.free pa p1;
+  check_int "clean free is not a double free" 0 (Port_alloc.double_frees pa);
+  Port_alloc.free pa p1;
+  check_int "second free of the same port is counted" 1
+    (Port_alloc.double_frees pa);
+  check_int "in_use not corrupted by the double free" 1
+    (Port_alloc.in_use pa);
+  (* the freed port must come back exactly once: draining the pool
+     yields each port at most once *)
+  let drained = ref [] in
+  let rec drain () =
+    match Port_alloc.alloc pa ~suitable:(fun _ -> true) with
+    | Some p ->
+        check_bool "no port handed out twice" false (List.mem p !drained);
+        drained := p :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check_bool "p2 still reserved" false (List.mem p2 !drained)
+
+let test_endpoint_lifecycle_no_double_free () =
+  (* Full lifecycle (connect, transfer, orderly close, TIME_WAIT
+     recycle) ends with every port back exactly once. *)
+  let net = make_net () in
+  let _ = sink_server net.b ~port:80 in
+  let _ =
+    streaming_client net.a ~remote_ip:ip_b ~port:80 ~data:"bye"
+      ~close_when_done:true ()
+  in
+  run net ~ms:2000;
+  check_int "no double frees on the client" 0
+    (Tcp_endpoint.port_double_frees net.a.ep);
+  check_int "no double frees on the server" 0
+    (Tcp_endpoint.port_double_frees net.b.ep);
+  check_int "client ports all returned" 0 (Tcp_endpoint.ports_in_use net.a.ep)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "tcp"
@@ -639,6 +839,9 @@ let () =
         [
           Alcotest.test_case "wraparound" `Quick test_seqno_wraparound;
           qt prop_seqno_ordering_antisymmetric;
+          qt prop_seqno_add_orders_across_wrap;
+          qt prop_seqno_le_reflexive_antisymmetric;
+          qt prop_seqno_window_contains;
         ] );
       ( "rtt",
         [
@@ -695,5 +898,18 @@ let () =
           Alcotest.test_case "survives a 6ms link flap" `Quick test_survives_flap;
           qt prop_exactly_once_under_loss;
           qt prop_sizes_roundtrip;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "challenge-ACK rate limit under RST flood"
+            `Quick test_challenge_ack_rate_limit;
+          Alcotest.test_case "RFC 1337, in-TCB TIME_WAIT" `Quick
+            test_rfc1337_in_tcb_time_wait;
+          Alcotest.test_case "RFC 1337, recycled remnant" `Quick
+            test_rfc1337_tw_table_remnant;
+          Alcotest.test_case "port double-free guard" `Quick
+            test_port_free_is_counted_once;
+          Alcotest.test_case "lifecycle frees each port once" `Quick
+            test_endpoint_lifecycle_no_double_free;
         ] );
     ]
